@@ -1,0 +1,113 @@
+// A6 — solution-method ablation (§3.2).
+//
+// TESS offers Newton-Raphson and RK4 pseudo-transient marching for steady
+// state, and Modified Euler / RK4 / Adams / Gear for transients. This
+// bench regenerates the tradeoff tables a user choosing among the system
+// module's widgets faces: convergence effort for steady state, and
+// accuracy-vs-RHS-cost for a throttle transient (reference: RK4 at a
+// fine step).
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "bench/testbed.hpp"
+#include "tess/engine.hpp"
+
+namespace npss {
+namespace {
+
+int run() {
+  tess::FlightCondition sls;
+
+  bench::print_header("A6a — steady-state balance methods (F100, wf=1.0)");
+  std::printf("%-18s %12s %16s %14s\n", "method", "iterations",
+              "residual rpm/s", "wall ms");
+  bench::print_rule();
+  for (auto method :
+       {tess::SteadyMethod::kNewtonRaphson, tess::SteadyMethod::kRk4March}) {
+    tess::F100Engine engine;
+    util::Stopwatch wall;
+    tess::SteadyResult r = engine.balance(1.0, sls, method);
+    std::printf("%-18s %12d %16.2e %14.1f\n",
+                method == tess::SteadyMethod::kNewtonRaphson
+                    ? "Newton-Raphson"
+                    : "RK4 march",
+                r.iterations, r.residual, wall.elapsed_ms());
+  }
+
+  bench::print_header(
+      "A6b — transient integrators on a 3 s throttle step (dt sweep)");
+  tess::FuelSchedule step = [](double t) {
+    return 1.0 + 0.25 * std::clamp((t - 0.1) / 0.2, 0.0, 1.0);
+  };
+
+  // Reference: RK4 at dt = 4 ms.
+  tess::F100Engine ref_engine;
+  tess::SteadyResult steady = ref_engine.balance(1.0, sls);
+  tess::TransientResult ref = ref_engine.transient(
+      steady.performance.speeds, step, sls, 3.0, 0.004,
+      solvers::IntegratorKind::kRungeKutta4);
+  const double ref_n1 = ref.history.back().performance.speeds[0];
+  const double ref_n2 = ref.history.back().performance.speeds[1];
+
+  std::printf("%-16s %8s %14s %14s %12s\n", "integrator", "dt", "err(N1,N2)",
+              "rhs evals", "wall ms");
+  bench::print_rule();
+  for (auto kind : solvers::all_integrators()) {
+    for (double dt : {0.08, 0.04, 0.02}) {
+      tess::F100Engine engine;
+      engine.balance(1.0, sls);  // warm the flow solver
+      util::Stopwatch wall;
+      tess::TransientResult tr = engine.transient(
+          steady.performance.speeds, step, sls, 3.0, dt, kind);
+      const auto& end = tr.history.back().performance;
+      const double err = std::max(std::abs(end.speeds[0] - ref_n1),
+                                  std::abs(end.speeds[1] - ref_n2));
+      std::printf("%-16s %8.3f %14.4e %14ld %12.1f\n",
+                  std::string(solvers::integrator_name(kind)).c_str(), dt,
+                  err, tr.rhs_evaluations, wall.elapsed_ms());
+    }
+  }
+  bench::print_header(
+      "A6c — stiff intercomponent-volume dynamics (mixer plenum state):\n"
+      "the configuration Gear exists for");
+  tess::F100Config vol_cfg;
+  vol_cfg.mixer_volume_m3 = 0.3;
+  std::printf("%-16s %8s %16s %18s\n", "integrator", "dt",
+              "end |dPt/dt| Pa/s", "stable?");
+  bench::print_rule();
+  for (auto kind : solvers::all_integrators()) {
+    for (double dt : {0.01, 0.002}) {
+      tess::F100Engine engine(vol_cfg);
+      tess::SteadyResult st = engine.balance(1.0, sls);
+      bool stable = true;
+      double end_dp = 0.0;
+      try {
+        tess::TransientResult tr = engine.transient(
+            st.performance.states, [](double) { return 1.1; }, sls, 0.2,
+            dt, kind);
+        end_dp =
+            std::abs(tr.history.back().performance.accelerations.back());
+        const double end_pt = tr.history.back().performance.states[2];
+        stable = end_dp < 1e5 && end_pt > 0.4e5 && end_pt < 1.0e6;
+      } catch (const std::exception&) {
+        stable = false;
+        end_dp = std::numeric_limits<double>::quiet_NaN();
+      }
+      std::printf("%-16s %8.4f %16.3e %18s\n",
+                  std::string(solvers::integrator_name(kind)).c_str(), dt,
+                  end_dp, stable ? "yes" : "NO (diverged)");
+    }
+  }
+  std::printf(
+      "\nShape checks: RK4 most accurate per step but 2x the RHS cost of\n"
+      "Euler/Adams; halving dt cuts 2nd-order errors ~4x; on the stiff\n"
+      "plenum state only Gear is stable at engine-transient step sizes —\n"
+      "the reason TESS's system module offers it (§3.2).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace npss
+
+int main() { return npss::run(); }

@@ -1,0 +1,133 @@
+// A1/A2 ablations — UTS marshaling micro-benchmarks (google-benchmark).
+//
+// A1 (§4.1 Cray port): conversion cost through each architecture's native
+// float format, and the out-of-range detection path.
+// A2 (§4.1 float/double): single- vs double-precision parameter arrays —
+// double costs ~2x the wire bytes of float, the tradeoff that motivated
+// adding `float` to UTS when Fortran joined.
+#include <benchmark/benchmark.h>
+
+#include "uts/canonical.hpp"
+#include "uts/spec.hpp"
+
+namespace {
+
+using namespace npss;
+
+const uts::Signature& array_signature(bool use_double) {
+  static const uts::Signature f = {
+      {"data", uts::ParamMode::kVal,
+       uts::Type::array(64, uts::Type::floating())}};
+  static const uts::Signature d = {
+      {"data", uts::ParamMode::kVal,
+       uts::Type::array(64, uts::Type::real_double())}};
+  return use_double ? d : f;
+}
+
+uts::ValueList array_values() {
+  std::vector<double> data(64);
+  for (int i = 0; i < 64; ++i) data[i] = 101325.0 * (1.0 + 0.01 * i);
+  return {uts::Value::real_array(data)};
+}
+
+void BM_MarshalFloatArray(benchmark::State& state) {
+  const auto& arch = arch::arch_catalog("sun-sparc10");
+  const uts::Signature& sig = array_signature(false);
+  uts::ValueList vals = array_values();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    util::Bytes out =
+        uts::marshal(arch, sig, vals, uts::Direction::kRequest);
+    bytes = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["wire_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_MarshalFloatArray);
+
+void BM_MarshalDoubleArray(benchmark::State& state) {
+  const auto& arch = arch::arch_catalog("sun-sparc10");
+  const uts::Signature& sig = array_signature(true);
+  uts::ValueList vals = array_values();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    util::Bytes out =
+        uts::marshal(arch, sig, vals, uts::Direction::kRequest);
+    bytes = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["wire_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_MarshalDoubleArray);
+
+void marshal_roundtrip_for_arch(benchmark::State& state,
+                                const char* arch_name) {
+  const auto& arch = arch::arch_catalog(arch_name);
+  const uts::Signature& sig = array_signature(true);
+  uts::ValueList vals = array_values();
+  for (auto _ : state) {
+    util::Bytes wire =
+        uts::marshal(arch, sig, vals, uts::Direction::kRequest);
+    uts::ValueList back =
+        uts::unmarshal(arch, sig, wire, uts::Direction::kRequest);
+    benchmark::DoNotOptimize(back);
+  }
+}
+
+void BM_RoundTrip_Sparc(benchmark::State& state) {
+  marshal_roundtrip_for_arch(state, "sun-sparc10");
+}
+void BM_RoundTrip_CrayYmp(benchmark::State& state) {
+  marshal_roundtrip_for_arch(state, "cray-ymp");
+}
+void BM_RoundTrip_Ibm370Hex(benchmark::State& state) {
+  marshal_roundtrip_for_arch(state, "ibm-370");
+}
+void BM_RoundTrip_I860LittleEndian(benchmark::State& state) {
+  marshal_roundtrip_for_arch(state, "intel-i860");
+}
+BENCHMARK(BM_RoundTrip_Sparc);
+BENCHMARK(BM_RoundTrip_CrayYmp);
+BENCHMARK(BM_RoundTrip_Ibm370Hex);
+BENCHMARK(BM_RoundTrip_I860LittleEndian);
+
+void BM_CrayOutOfRangeDetection(benchmark::State& state) {
+  // The §4.1 error path: decoding a Cray word whose magnitude exceeds
+  // binary64 raises RangeError rather than returning infinity.
+  util::Bytes word = arch::cray_out_of_range_word();
+  long errors = 0;
+  for (auto _ : state) {
+    try {
+      double v = arch::float_decode(arch::FloatFormatKind::kCray64, word);
+      benchmark::DoNotOptimize(v);
+    } catch (const util::RangeError&) {
+      ++errors;
+    }
+  }
+  state.counters["errors"] =
+      static_cast<double>(errors) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_CrayOutOfRangeDetection);
+
+void BM_SpecParseShaft(benchmark::State& state) {
+  const char* text = R"(
+    export shaft prog(
+        "ecom" val array[4] of float,
+        "incom" val integer,
+        "etur" val array[4] of float,
+        "intur" val integer,
+        "ecorr" val float,
+        "xspool" val float,
+        "xmyi" val float,
+        "dxspl" res float)
+  )";
+  for (auto _ : state) {
+    uts::SpecFile file = uts::parse_spec(text);
+    benchmark::DoNotOptimize(file);
+  }
+}
+BENCHMARK(BM_SpecParseShaft);
+
+}  // namespace
+
+BENCHMARK_MAIN();

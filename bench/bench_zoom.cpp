@@ -1,0 +1,79 @@
+// A8 — zooming ablation (§2.3).
+//
+// The §2.3 goal: integrate component models at different fidelity in one
+// simulation. The level-1 duct is a fixed fractional loss; the level-2
+// duct solves a 2-D relaxation problem per call (encapsulated parallel
+// computation, Figure 1). This bench regenerates the fidelity tradeoff:
+// answer shift and computational cost for the tailpipe duct zoomed to
+// level 2, as a function of the duct's wall contour — the physics the
+// level-1 model cannot see at all.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/testbed.hpp"
+#include "tess/engine.hpp"
+#include "tess/hifi_duct.hpp"
+
+namespace npss {
+namespace {
+
+int run() {
+  bench::print_header(
+      "A8 — zooming: level-1 vs level-2 tailpipe duct in the F100");
+
+  tess::FlightCondition sls;
+  tess::F100Engine level1;
+  util::Stopwatch w1;
+  tess::SteadyResult base = level1.balance(1.0, sls);
+  const double l1_ms = w1.elapsed_ms();
+  std::printf("level-1 (fixed 1%% loss): thrust %.2f kN, T4 %.1f K "
+              "(balance in %.1f ms)\n\n",
+              base.performance.thrust / 1e3, base.performance.t4, l1_ms);
+
+  std::printf("%10s %12s %12s %12s %12s %10s\n", "contour", "dp [%]",
+              "thrust kN", "d(thrust)", "T4 [K]", "wall ms");
+  bench::print_rule();
+  for (double contour : {-0.3, -0.15, 0.0, 0.15, 0.3}) {
+    tess::HifiDuctConfig duct_cfg;
+    duct_cfg.contour = contour;
+    duct_cfg.design_dp = 0.01;  // calibrated to the level-1 tailpipe
+
+    tess::F100Engine engine;
+    tess::ComponentHooks hooks = tess::ComponentHooks::local();
+    hooks.duct = [&duct_cfg, base_duct = hooks.duct](
+                     int instance, const tess::StationArray& in, double dp) {
+      if (instance != 1) return base_duct(instance, in, dp);  // bypass duct
+      tess::HifiDuctResult r =
+          tess::hifi_duct(tess::from_array(in), duct_cfg);
+      return tess::to_array(r.out);
+    };
+    engine.set_hooks(hooks);
+
+    util::Stopwatch w2;
+    tess::SteadyResult zoomed = engine.balance(1.0, sls);
+    const double ms = w2.elapsed_ms();
+
+    tess::HifiDuctResult sample = tess::hifi_duct(
+        tess::from_array(tess::to_array(
+            zoomed.performance.stations.at("st6"))),
+        duct_cfg);
+    std::printf("%10.2f %12.3f %12.2f %+11.2f%% %12.1f %10.1f\n", contour,
+                sample.dp_fraction * 100.0,
+                zoomed.performance.thrust / 1e3,
+                (zoomed.performance.thrust / base.performance.thrust - 1.0) *
+                    100.0,
+                zoomed.performance.t4, ms);
+  }
+  std::printf(
+      "\nShape checks: the straight level-2 duct reproduces the level-1\n"
+      "answer (calibration); contoured ducts shift thrust by up to a few\n"
+      "percent — physics invisible to level 1 — at ~10-100x the\n"
+      "computational cost per balance, the fidelity/cost tradeoff zooming\n"
+      "manages (§2.3, §2.1's five fidelity levels).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace npss
+
+int main() { return npss::run(); }

@@ -1,0 +1,59 @@
+// Shared bench fixture: the paper's two-site testbed (NASA Lewis Research
+// Center and The University of Arizona, joined by the 1993 Internet) with
+// the machines of Tables 1 and 2, plus small table-printing helpers.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "npss/procedures.hpp"
+#include "npss/remote_backend.hpp"
+#include "npss/runtime.hpp"
+#include "rpc/schooner.hpp"
+#include "sim/cluster.hpp"
+
+namespace npss::bench {
+
+/// Machines named in the paper's experiments (name -> arch, site).
+inline void build_paper_testbed(sim::Cluster& cluster) {
+  cluster.add_machine("sparc-ua", "sun-sparc10", "uarizona");
+  cluster.add_machine("sgi340-ua", "sgi-4d340", "uarizona");
+  cluster.add_machine("sparc-lerc", "sun-sparc10", "lerc");
+  cluster.add_machine("sgi480-lerc", "sgi-4d480", "lerc");
+  cluster.add_machine("sgi420-lerc", "sgi-4d420", "lerc");
+  cluster.add_machine("cray-lerc", "cray-ymp", "lerc");
+  cluster.add_machine("convex-lerc", "convex-c220", "lerc");
+  cluster.add_machine("rs6000-lerc", "ibm-rs6000", "lerc");
+  cluster.set_site_link("lerc", "uarizona",
+                        sim::link_profile("internet-wan"));
+  cluster.set_intra_site_link(sim::link_profile("ethernet-lan"));
+}
+
+struct Testbed {
+  Testbed() {
+    build_paper_testbed(cluster);
+    glue::install_tess_procedures_everywhere(cluster);
+    schooner = std::make_unique<rpc::SchoonerSystem>(cluster, "sparc-ua");
+  }
+  ~Testbed() {
+    glue::clear_npss_runtime();
+  }
+
+  sim::Cluster cluster;
+  std::unique_ptr<rpc::SchoonerSystem> schooner;
+};
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n");
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+}  // namespace npss::bench

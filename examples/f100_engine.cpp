@@ -1,0 +1,111 @@
+// f100_engine — the Figure 2 reproduction.
+//
+// Builds the F100 engine as a network of TESS modules in the flow
+// executive, places the four adapted modules on remote machines through
+// their §3.3 widgets (machine radio buttons + pathname type-in), balances
+// the engine, flies a throttle transient, then "flies" a climb profile by
+// editing the inlet widgets between runs — the §2.4 executive use cases.
+// Finally the network is saved to f100.net (the Network Editor's save).
+//
+//   $ ./f100_engine
+#include <cstdio>
+#include <fstream>
+
+#include "npss/network_driver.hpp"
+#include "npss/procedures.hpp"
+#include "npss/runtime.hpp"
+
+using namespace npss;
+using glue::F100NetworkNames;
+
+int main() {
+  // The two-site testbed of Tables 1 and 2.
+  sim::Cluster cluster;
+  cluster.add_machine("sparc-ua", "sun-sparc10", "uarizona");
+  cluster.add_machine("sgi340-ua", "sgi-4d340", "uarizona");
+  cluster.add_machine("cray-lerc", "cray-ymp", "lerc");
+  cluster.add_machine("sgi420-lerc", "sgi-4d420", "lerc");
+  cluster.add_machine("rs6000-lerc", "ibm-rs6000", "lerc");
+  cluster.set_site_link("uarizona", "lerc",
+                        sim::link_profile("internet-wan"));
+  glue::install_tess_procedures_everywhere(cluster);
+  rpc::SchoonerSystem schooner(cluster, "sparc-ua");
+  glue::configure_npss_runtime(cluster, schooner, "sparc-ua");
+
+  // Drag the modules into the workspace and wire the airflow (Figure 2).
+  flow::Network net;
+  F100NetworkNames names = glue::build_f100_network(net);
+  std::printf("F100 network: %zu modules, %zu connections\n",
+              net.module_names().size(), net.connections().size());
+
+  // The Table 2 placement, via the §3.3 widgets.
+  auto place = [&](const std::string& module, const std::string& machine) {
+    net.module(module).widget("machine").select(machine);
+    std::printf("  %-12s -> %s (path %s)\n", module.c_str(), machine.c_str(),
+                net.module(module).widget("path").text().c_str());
+  };
+  std::printf("remote placement:\n");
+  place(names.burner, "sgi340-ua");
+  place(names.bypass_duct, "cray-lerc");
+  place(names.tailpipe, "cray-lerc");
+  place(names.nozzle, "sgi420-lerc");
+  place(names.lp_shaft, "rs6000-lerc");
+  place(names.hp_shaft, "rs6000-lerc");
+
+  glue::NetworkEngineDriver driver(net);
+  driver.set_tolerances(5e-6, 1e-4);
+
+  // Balance the engine at part power, as TESS does before any transient.
+  glue::NetworkSteadyResult steady = driver.balance(1.0);
+  std::printf(
+      "\nbalanced: N1=%.0f rpm  N2=%.0f rpm  T4=%.0f K  thrust=%.1f kN "
+      "(%d Newton iterations)\n",
+      steady.speeds[0], steady.speeds[1], steady.t4, steady.thrust / 1e3,
+      steady.iterations);
+
+  // Throttle transient: advance fuel flow, watch the spools.
+  std::printf("\n1.5 s throttle transient (Improved Euler):\n");
+  std::printf("%8s %10s %10s %10s %12s\n", "t [s]", "N1 [rpm]", "N2 [rpm]",
+              "T4 [K]", "thrust [kN]");
+  tess::FuelSchedule throttle = [](double t) {
+    return t < 0.1 ? 1.0 : 1.27;
+  };
+  auto history = driver.run_transient(throttle, 1.5, 0.05);
+  for (std::size_t i = 0; i < history.size(); i += 6) {
+    const auto& s = history[i];
+    std::printf("%8.2f %10.1f %10.1f %10.1f %12.2f\n", s.t, s.speeds[0],
+                s.speeds[1], s.t4, s.thrust / 1e3);
+  }
+
+  // "Fly" a climb profile by editing the operating-condition widgets.
+  std::printf("\nclimb profile (steady points):\n");
+  std::printf("%10s %6s %10s %12s %10s\n", "alt [m]", "Mach", "wf [kg/s]",
+              "thrust [kN]", "T4 [K]");
+  struct Leg {
+    double alt, mach, wf;
+  };
+  for (const Leg& leg : {Leg{0, 0.0, 1.27}, Leg{3000, 0.5, 1.05},
+                         Leg{7000, 0.75, 0.85}, Leg{11000, 0.85, 0.62}}) {
+    flow::Module& inlet = net.module(names.inlet);
+    inlet.widget("altitude").set_real(leg.alt);
+    inlet.widget("mach").set_real(leg.mach);
+    tess::FlightCondition fc{leg.alt, leg.mach, 0.0};
+    net.module(names.nozzle).widget("pamb").set_real(fc.ambient_pressure());
+    glue::NetworkSteadyResult pt = driver.balance(leg.wf);
+    std::printf("%10.0f %6.2f %10.2f %12.2f %10.1f\n", leg.alt, leg.mach,
+                leg.wf, pt.thrust / 1e3, pt.t4);
+  }
+
+  // Save the engine model, as the AVS Network Editor would.
+  std::ofstream("f100.net") << net.save_to_text();
+  std::printf("\nnetwork saved to f100.net (%zu modules); Manager stats: "
+              "%llu lines, %llu processes started\n",
+              net.module_names().size(),
+              static_cast<unsigned long long>(schooner.stats().lines_created),
+              static_cast<unsigned long long>(
+                  schooner.stats().processes_started));
+
+  net.clear();  // destroy() -> sch_i_quit on every adapted module
+  glue::clear_npss_runtime();
+  return 0;
+}

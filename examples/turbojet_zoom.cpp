@@ -1,0 +1,174 @@
+// turbojet_zoom — substituting component codes at different fidelity
+// (the §2.3 "zooming" goal and §2.4 "modify the engine model by
+// substituting different codes for one or more engine components").
+//
+// Starts from the single-spool turbojet network equivalent (built directly
+// from TESS modules), then swaps the combustor for a *level-2* model — a
+// user-defined module whose combustion efficiency degrades with loading —
+// without touching any other module. The executive re-balances and the two
+// fidelity levels are compared across the throttle range.
+//
+//   $ ./turbojet_zoom
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "flow/network.hpp"
+#include "npss/modules.hpp"
+#include "tess/engine.hpp"
+
+using namespace npss;
+
+namespace {
+
+/// A "level 2" combustor: efficiency falls off with combustor loading
+/// (fuel-air ratio relative to a design value), a first step beyond the
+/// level-1 constant-efficiency model.
+class Level2CombustorModule final : public flow::Module {
+ public:
+  std::string type_name() const override { return "tess-combustor-l2"; }
+
+  void spec(flow::ModuleSpec& spec) override {
+    spec.typein_real("wfuel", 0.8);
+    spec.typein_real("eff-peak", 0.995);
+    spec.typein_real("far-design", 0.02);
+    spec.typein_real("dp", 0.05);
+    spec.input("in", glue::station_type());
+    spec.output("out", glue::station_type());
+  }
+
+  void compute() override {
+    tess::GasState in_state = glue::station_from_value(in("in"));
+    const double wf = widget("wfuel").real();
+    const double far = wf / std::max(in_state.W, 1e-9);
+    const double rel = far / widget("far-design").real();
+    // Loading penalty: quadratic fall-off away from design loading.
+    const double eff = std::clamp(
+        widget("eff-peak").real() * (1.0 - 0.08 * (rel - 1.0) * (rel - 1.0)),
+        0.5, 1.0);
+    tess::CombustorResult r =
+        tess::combustor(in_state, wf, eff, widget("dp").real());
+    out("out", glue::station_to_value(r.out));
+    last_eff_ = eff;
+  }
+
+  double last_efficiency() const { return last_eff_; }
+
+ private:
+  double last_eff_ = 0.0;
+};
+
+struct TurbojetNet {
+  flow::Network net;
+
+  void build(bool level2_combustor) {
+    glue::register_tess_modules();
+    net.add("system", "tess-system");
+    net.add("inlet", "tess-inlet");
+    net.add("shaft", "tess-shaft");
+    net.add("compressor", "tess-compressor");
+    if (level2_combustor) {
+      net.add("burner", std::make_unique<Level2CombustorModule>());
+    } else {
+      net.add("burner", "tess-combustor");
+    }
+    net.add("turbine", "tess-turbine");
+    net.add("tailpipe", "tess-duct");
+    net.add("nozzle", "tess-nozzle");
+
+    net.module("inlet").widget("W").set_real(77.0);
+    flow::Module& comp = net.module("compressor");
+    comp.widget("map").set_text("turbojet_compressor.map");
+    comp.widget("design-speed").set_real(7500.0);
+    comp.widget("shaft").set_text("shaft");
+    flow::Module& turb = net.module("turbine");
+    turb.widget("map").set_text("turbojet_turbine.map");
+    turb.widget("design-speed").set_real(7500.0);
+    turb.widget("shaft").set_text("shaft");
+    turb.widget("pr").set_real(4.4);
+    net.module("tailpipe").widget("dp").set_real(0.02);
+    net.module("nozzle").widget("area").set_real(0.212);
+    flow::Module& shaft = net.module("shaft");
+    shaft.widget("moment-inertia").set_real(110.0);
+    shaft.widget("spool-speed").set_real(7500.0);
+    shaft.widget("spool-speed-op").set_real(7500.0);
+
+    net.connect("inlet", "out", "compressor", "in");
+    net.connect("compressor", "out", "burner", "in");
+    net.connect("burner", "out", "turbine", "in");
+    net.connect("turbine", "out", "tailpipe", "in");
+    net.connect("tailpipe", "out", "nozzle", "in");
+    net.connect("compressor", "ecom", "shaft", "ecom");
+    net.connect("turbine", "etur", "shaft", "etur");
+  }
+
+  /// Single-spool balance: solve (W, turbine PR, N) so that turbine flow,
+  /// nozzle flow and shaft power all match.
+  struct Point {
+    double n, t4, thrust;
+  };
+  Point balance(double wf) {
+    net.module("burner").widget("wfuel").set_real(wf);
+    auto read = [&](const std::string& m, const std::string& p) {
+      for (const auto& port : net.module(m).outputs()) {
+        if (port.name == p && port.value) return port.value->as_real();
+      }
+      throw util::GraphError("no value " + m + "." + p);
+    };
+    auto* shaft = dynamic_cast<glue::ShaftModule*>(&net.module("shaft"));
+    auto residual = [&](const std::vector<double>& u) {
+      net.module("inlet").widget("W").set_real(
+          std::clamp(u[0], 0.05, 3.0) * 77.0);
+      net.module("turbine").widget("pr").set_real(
+          std::clamp(u[1], 0.3, 2.5) * 4.4);
+      shaft->set_speed(std::clamp(u[2], 0.3, 1.4) * 7500.0);
+      net.evaluate();
+      return std::vector<double>{read("turbine", "flow-error"),
+                                 read("nozzle", "w-error"),
+                                 read("shaft", "accel") / 1000.0};
+    };
+    solvers::NewtonOptions opt;
+    opt.tolerance = 1e-8;
+    opt.max_iterations = 80;
+    solvers::NewtonResult nr =
+        solvers::newton_solve(residual, {1.0, 1.0, 1.0}, opt);
+    residual(nr.solution);
+    Point pt;
+    pt.n = shaft->speed();
+    pt.thrust = read("nozzle", "thrust") - read("inlet", "ram-drag");
+    pt.t4 = glue::station_from_value(
+                *net.module("burner").outputs()[0].value)
+                .Tt;
+    return pt;
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("turbojet with level-1 vs level-2 combustor (zooming)\n\n");
+  std::printf("%8s | %9s %9s %11s | %9s %9s %11s %8s\n", "wf", "N(L1)",
+              "T4(L1)", "thrust(L1)", "N(L2)", "T4(L2)", "thrust(L2)",
+              "eff(L2)");
+  for (int i = 0; i < 70; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  TurbojetNet level1, level2;
+  level1.build(false);
+  level2.build(true);
+  for (double wf : {0.55, 0.7, 0.85, 1.0, 1.15}) {
+    TurbojetNet::Point p1 = level1.balance(wf);
+    TurbojetNet::Point p2 = level2.balance(wf);
+    auto* burner2 =
+        dynamic_cast<Level2CombustorModule*>(&level2.net.module("burner"));
+    std::printf("%8.2f | %9.0f %9.0f %11.1f | %9.0f %9.0f %11.1f %8.3f\n",
+                wf, p1.n, p1.t4, p1.thrust / 1e3, p2.n, p2.t4,
+                p2.thrust / 1e3, burner2->last_efficiency());
+  }
+  std::printf(
+      "\nShape: the two fidelity levels agree near design loading and\n"
+      "diverge at the ends of the throttle range, where the level-2\n"
+      "efficiency fall-off matters — the interaction 'zooming' exists to\n"
+      "expose. The substitution touched exactly one module.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+#include "arch/arch.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <limits>
+
+#include "util/status.hpp"
+
+namespace npss::arch {
+
+namespace {
+
+using util::Bytes;
+using util::RangeError;
+
+const std::array<ArchDescriptor, 9>& catalog() {
+  static const std::array<ArchDescriptor, 9> machines = {{
+      // Workstations and servers from Table 1 / Table 2.
+      {"sun-sparc10", "Sun SPARCstation 10", FloatFormatKind::kIeee32,
+       FloatFormatKind::kIeee64, 4, Endianness::kBig, NameCase::kLower, 1.0},
+      {"sgi-4d340", "SGI 4D/340", FloatFormatKind::kIeee32,
+       FloatFormatKind::kIeee64, 4, Endianness::kBig, NameCase::kLower, 0.9},
+      {"sgi-4d420", "SGI 4D/420", FloatFormatKind::kIeee32,
+       FloatFormatKind::kIeee64, 4, Endianness::kBig, NameCase::kLower, 1.1},
+      {"sgi-4d480", "SGI 4D/480", FloatFormatKind::kIeee32,
+       FloatFormatKind::kIeee64, 4, Endianness::kBig, NameCase::kLower, 1.3},
+      {"ibm-rs6000", "IBM RS/6000-550", FloatFormatKind::kIeee32,
+       FloatFormatKind::kIeee64, 4, Endianness::kBig, NameCase::kLower, 1.5},
+      // Vector machines. The Cray's single- and double-precision REAL are
+      // both the 64-bit Cray word; its Fortran compiler upper-cases
+      // external names (the §4.1 problem). The Convex C220 is modeled in
+      // its IEEE compatibility mode.
+      {"cray-ymp", "Cray Y-MP", FloatFormatKind::kCray64,
+       FloatFormatKind::kCray64, 8, Endianness::kBig, NameCase::kUpper, 6.0},
+      {"convex-c220", "Convex C220", FloatFormatKind::kIeee32,
+       FloatFormatKind::kIeee64, 4, Endianness::kBig, NameCase::kLower, 2.5},
+      // Parallel machines from §2.2; the i860 is little-endian-capable and
+      // ran little-endian in the Intel iPSC/Delta systems.
+      {"intel-i860", "Intel i860 node", FloatFormatKind::kIeee32,
+       FloatFormatKind::kIeee64, 4, Endianness::kLittle, NameCase::kLower,
+       0.8},
+      // An IBM System/370-class host with hexadecimal floating point, kept
+      // in the catalog to exercise a narrower-range target than IEEE.
+      {"ibm-370", "IBM System/370", FloatFormatKind::kIbmHex32,
+       FloatFormatKind::kIbmHex64, 4, Endianness::kBig, NameCase::kUpper,
+       0.7},
+  }};
+  return machines;
+}
+
+}  // namespace
+
+std::string fortran_external_name(const ArchDescriptor& arch,
+                                  std::string_view name) {
+  std::string out(name);
+  if (arch.fortran_case == NameCase::kUpper) {
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+  } else {
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+  }
+  return out;
+}
+
+util::Bytes to_native_order(const ArchDescriptor& arch,
+                            std::span<const std::uint8_t> big_endian_word) {
+  Bytes out(big_endian_word.begin(), big_endian_word.end());
+  if (arch.endianness == Endianness::kLittle) {
+    std::reverse(out.begin(), out.end());
+  }
+  return out;
+}
+
+util::Bytes native_single(const ArchDescriptor& arch, double value) {
+  return to_native_order(arch, float_encode(arch.float_single, value));
+}
+
+util::Bytes native_double(const ArchDescriptor& arch, double value) {
+  return to_native_order(arch, float_encode(arch.float_double, value));
+}
+
+util::Bytes native_integer(const ArchDescriptor& arch, std::int64_t value) {
+  const std::size_t width = arch.int_width;
+  if (width < 8) {
+    const std::int64_t max = (std::int64_t{1} << (8 * width - 1)) - 1;
+    const std::int64_t min = -max - 1;
+    if (value < min || value > max) {
+      throw RangeError("integer " + std::to_string(value) +
+                       " overflows native " + std::to_string(width * 8) +
+                       "-bit integer on " + arch.name);
+    }
+  }
+  Bytes big(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    big[i] = static_cast<std::uint8_t>(
+        static_cast<std::uint64_t>(value) >> (8 * (width - 1 - i)));
+  }
+  return to_native_order(arch, big);
+}
+
+double read_native_single(const ArchDescriptor& arch,
+                          std::span<const std::uint8_t> image) {
+  return float_decode(arch.float_single, to_native_order(arch, image));
+}
+
+double read_native_double(const ArchDescriptor& arch,
+                          std::span<const std::uint8_t> image) {
+  return float_decode(arch.float_double, to_native_order(arch, image));
+}
+
+std::int64_t read_native_integer(const ArchDescriptor& arch,
+                                 std::span<const std::uint8_t> image) {
+  Bytes big = to_native_order(arch, image);
+  std::uint64_t raw = 0;
+  for (std::uint8_t b : big) raw = (raw << 8) | b;
+  const std::size_t bits = 8 * big.size();
+  if (bits < 64 && (raw & (std::uint64_t{1} << (bits - 1)))) {
+    raw |= ~std::uint64_t{0} << bits;  // sign-extend
+  }
+  return static_cast<std::int64_t>(raw);
+}
+
+const ArchDescriptor& arch_catalog(std::string_view key) {
+  for (const ArchDescriptor& arch : catalog()) {
+    if (arch.name == key) return arch;
+  }
+  throw util::NoSuchMachineError("unknown architecture '" + std::string(key) +
+                                 "'");
+}
+
+std::vector<std::string> arch_catalog_keys() {
+  std::vector<std::string> keys;
+  keys.reserve(catalog().size());
+  for (const ArchDescriptor& arch : catalog()) keys.push_back(arch.name);
+  return keys;
+}
+
+}  // namespace npss::arch

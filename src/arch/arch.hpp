@@ -1,0 +1,76 @@
+// Simulated machine architectures.
+//
+// An ArchDescriptor captures everything that made the paper's testbed
+// heterogeneous at the data level: native float formats for the Fortran/C
+// REAL and DOUBLE PRECISION types, native integer width, byte order, the
+// Fortran compiler's external-name case convention (upper on the Cray,
+// lower elsewhere — the source of the §4.1 naming problem), and a relative
+// CPU speed used to scale simulated compute time in the benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/float_format.hpp"
+#include "util/bytes.hpp"
+
+namespace npss::arch {
+
+enum class Endianness : std::uint8_t { kBig = 0, kLittle };
+
+enum class NameCase : std::uint8_t { kLower = 0, kUpper };
+
+struct ArchDescriptor {
+  std::string name;                 ///< catalog key, e.g. "cray-ymp"
+  std::string description;          ///< human-readable model name
+  FloatFormatKind float_single;     ///< native single-precision format
+  FloatFormatKind float_double;     ///< native double-precision format
+  std::size_t int_width;            ///< native INTEGER width in bytes (4/8)
+  Endianness endianness;            ///< native byte order
+  NameCase fortran_case;            ///< Fortran external-name convention
+  double cpu_speed;                 ///< throughput relative to a Sparc 10
+
+  bool ieee() const {
+    return float_double == FloatFormatKind::kIeee64 &&
+           float_single != FloatFormatKind::kCray64;
+  }
+};
+
+/// Apply the architecture's Fortran external-name convention to a symbol.
+std::string fortran_external_name(const ArchDescriptor& arch,
+                                  std::string_view name);
+
+/// Reorder a big-endian word image into the architecture's native byte
+/// order (and back — the operation is an involution).
+util::Bytes to_native_order(const ArchDescriptor& arch,
+                            std::span<const std::uint8_t> big_endian_word);
+
+// --- Native value images --------------------------------------------------
+// These produce / consume the bytes exactly as they would sit in the
+// simulated machine's memory, i.e. in its own float format and byte order.
+
+util::Bytes native_single(const ArchDescriptor& arch, double value);
+util::Bytes native_double(const ArchDescriptor& arch, double value);
+util::Bytes native_integer(const ArchDescriptor& arch, std::int64_t value);
+
+double read_native_single(const ArchDescriptor& arch,
+                          std::span<const std::uint8_t> image);
+double read_native_double(const ArchDescriptor& arch,
+                          std::span<const std::uint8_t> image);
+std::int64_t read_native_integer(const ArchDescriptor& arch,
+                                 std::span<const std::uint8_t> image);
+
+// --- Catalog ---------------------------------------------------------------
+// The machines named in the paper's Tables 1 and 2, plus the parallel
+// machines its §2.2 mentions.
+
+/// Look up a machine architecture by catalog key. Throws
+/// util::NoSuchMachineError for unknown keys.
+const ArchDescriptor& arch_catalog(std::string_view key);
+
+/// All catalog keys (stable order).
+std::vector<std::string> arch_catalog_keys();
+
+}  // namespace npss::arch

@@ -1,0 +1,205 @@
+#include "flow/module.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace npss::flow {
+
+using util::GraphError;
+using util::WidgetError;
+
+void ModuleSpec::input(const std::string& name, uts::Type type) {
+  if (module_->find_input(name)) {
+    throw GraphError("duplicate input port '" + name + "'");
+  }
+  module_->inputs_.push_back(InputPort{name, std::move(type), {}, "", ""});
+}
+
+void ModuleSpec::output(const std::string& name, uts::Type type) {
+  if (module_->find_output(name)) {
+    throw GraphError("duplicate output port '" + name + "'");
+  }
+  module_->outputs_.push_back(OutputPort{name, std::move(type), {}});
+}
+
+namespace {
+void add_widget(Module& module, std::unique_ptr<Widget> widget,
+                std::vector<std::unique_ptr<Widget>>& widgets) {
+  if (module.has_widget(widget->name())) {
+    throw WidgetError("duplicate widget '" + widget->name() + "'");
+  }
+  widgets.push_back(std::move(widget));
+}
+}  // namespace
+
+void ModuleSpec::dial(const std::string& name, double initial, double min,
+                      double max) {
+  add_widget(*module_,
+             std::make_unique<Widget>(name, WidgetKind::kDial,
+                                      uts::Value::real(initial),
+                                      std::vector<std::string>{}, min, max),
+             module_->widgets_);
+}
+
+void ModuleSpec::typein_real(const std::string& name, double initial) {
+  add_widget(*module_,
+             std::make_unique<Widget>(name, WidgetKind::kTypeinReal,
+                                      uts::Value::real(initial)),
+             module_->widgets_);
+}
+
+void ModuleSpec::typein_integer(const std::string& name,
+                                std::int64_t initial) {
+  add_widget(*module_,
+             std::make_unique<Widget>(name, WidgetKind::kTypeinInteger,
+                                      uts::Value::integer(initial)),
+             module_->widgets_);
+}
+
+void ModuleSpec::typein_string(const std::string& name, std::string initial) {
+  add_widget(*module_,
+             std::make_unique<Widget>(name, WidgetKind::kTypeinString,
+                                      uts::Value::str(std::move(initial))),
+             module_->widgets_);
+}
+
+void ModuleSpec::radio_buttons(const std::string& name,
+                               std::vector<std::string> choices,
+                               const std::string& initial) {
+  if (std::find(choices.begin(), choices.end(), initial) == choices.end()) {
+    throw WidgetError("radio buttons '" + name + "': initial choice '" +
+                      initial + "' not among choices");
+  }
+  add_widget(*module_,
+             std::make_unique<Widget>(name, WidgetKind::kRadioButtons,
+                                      uts::Value::str(initial),
+                                      std::move(choices)),
+             module_->widgets_);
+}
+
+void ModuleSpec::browser(const std::string& name, std::string initial_path) {
+  add_widget(*module_,
+             std::make_unique<Widget>(name, WidgetKind::kBrowser,
+                                      uts::Value::str(std::move(initial_path))),
+             module_->widgets_);
+}
+
+void ModuleSpec::toggle(const std::string& name, bool initial) {
+  add_widget(*module_,
+             std::make_unique<Widget>(name, WidgetKind::kToggle,
+                                      uts::Value::integer(initial ? 1 : 0)),
+             module_->widgets_);
+}
+
+Widget& Module::widget(const std::string& name) {
+  for (auto& w : widgets_) {
+    if (w->name() == name) return *w;
+  }
+  throw WidgetError("module '" + instance_name_ + "': no widget '" + name +
+                    "'");
+}
+
+const Widget& Module::widget(const std::string& name) const {
+  return const_cast<Module*>(this)->widget(name);
+}
+
+bool Module::has_widget(const std::string& name) const {
+  for (const auto& w : widgets_) {
+    if (w->name() == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Module::widget_names() const {
+  std::vector<std::string> names;
+  names.reserve(widgets_.size());
+  for (const auto& w : widgets_) names.push_back(w->name());
+  return names;
+}
+
+const uts::Value& Module::in(const std::string& name) const {
+  for (const InputPort& port : inputs_) {
+    if (port.name == name) {
+      if (!port.value) {
+        throw GraphError("module '" + instance_name_ + "': input '" + name +
+                         "' has no value yet");
+      }
+      return *port.value;
+    }
+  }
+  throw GraphError("module '" + instance_name_ + "': no input port '" + name +
+                   "'");
+}
+
+bool Module::has_in(const std::string& name) const {
+  for (const InputPort& port : inputs_) {
+    if (port.name == name) return port.value.has_value();
+  }
+  return false;
+}
+
+void Module::out(const std::string& name, uts::Value value) {
+  OutputPort* port = find_output(name);
+  if (!port) {
+    throw GraphError("module '" + instance_name_ + "': no output port '" +
+                     name + "'");
+  }
+  uts::check_value(port->type, value);
+  port->value = std::move(value);
+}
+
+bool Module::widgets_changed() const {
+  for (const auto& w : widgets_) {
+    if (w->changed()) return true;
+  }
+  return false;
+}
+
+void Module::clear_widget_changes() {
+  for (auto& w : widgets_) w->clear_changed();
+}
+
+InputPort* Module::find_input(const std::string& name) {
+  for (InputPort& port : inputs_) {
+    if (port.name == name) return &port;
+  }
+  return nullptr;
+}
+
+OutputPort* Module::find_output(const std::string& name) {
+  for (OutputPort& port : outputs_) {
+    if (port.name == name) return &port;
+  }
+  return nullptr;
+}
+
+ModuleFactory& ModuleFactory::instance() {
+  static ModuleFactory factory;
+  return factory;
+}
+
+void ModuleFactory::register_type(const std::string& type_name, Maker maker) {
+  makers_[type_name] = std::move(maker);
+}
+
+bool ModuleFactory::knows(const std::string& type_name) const {
+  return makers_.contains(type_name);
+}
+
+std::unique_ptr<Module> ModuleFactory::make(const std::string& type_name) const {
+  auto it = makers_.find(type_name);
+  if (it == makers_.end()) {
+    throw GraphError("no module type '" + type_name + "' registered");
+  }
+  return it->second();
+}
+
+std::vector<std::string> ModuleFactory::type_names() const {
+  std::vector<std::string> names;
+  names.reserve(makers_.size());
+  for (const auto& [name, maker] : makers_) names.push_back(name);
+  return names;
+}
+
+}  // namespace npss::flow

@@ -1,0 +1,98 @@
+#include "flow/widget.hpp"
+
+#include <algorithm>
+
+namespace npss::flow {
+
+using util::WidgetError;
+
+std::string_view widget_kind_name(WidgetKind kind) {
+  switch (kind) {
+    case WidgetKind::kDial: return "dial";
+    case WidgetKind::kTypeinReal: return "typein-real";
+    case WidgetKind::kTypeinInteger: return "typein-integer";
+    case WidgetKind::kTypeinString: return "typein-string";
+    case WidgetKind::kRadioButtons: return "radio-buttons";
+    case WidgetKind::kBrowser: return "browser";
+    case WidgetKind::kToggle: return "toggle";
+  }
+  return "?";
+}
+
+void Widget::set_real(double v) {
+  if (kind_ != WidgetKind::kDial && kind_ != WidgetKind::kTypeinReal) {
+    throw WidgetError("widget '" + name_ + "' (" +
+                      std::string(widget_kind_name(kind_)) +
+                      ") does not take a real value");
+  }
+  if (min_ && v < *min_) {
+    throw WidgetError("widget '" + name_ + "': " + std::to_string(v) +
+                      " below minimum " + std::to_string(*min_));
+  }
+  if (max_ && v > *max_) {
+    throw WidgetError("widget '" + name_ + "': " + std::to_string(v) +
+                      " above maximum " + std::to_string(*max_));
+  }
+  value_ = uts::Value::real(v);
+  mark();
+}
+
+void Widget::set_integer(std::int64_t v) {
+  if (kind_ != WidgetKind::kTypeinInteger) {
+    throw WidgetError("widget '" + name_ + "' does not take an integer");
+  }
+  value_ = uts::Value::integer(v);
+  mark();
+}
+
+void Widget::set_text(const std::string& v) {
+  if (kind_ != WidgetKind::kTypeinString && kind_ != WidgetKind::kBrowser) {
+    throw WidgetError("widget '" + name_ + "' does not take text");
+  }
+  value_ = uts::Value::str(v);
+  mark();
+}
+
+void Widget::select(const std::string& choice) {
+  if (kind_ != WidgetKind::kRadioButtons) {
+    throw WidgetError("widget '" + name_ + "' is not radio buttons");
+  }
+  if (std::find(choices_.begin(), choices_.end(), choice) == choices_.end()) {
+    throw WidgetError("widget '" + name_ + "': no choice '" + choice + "'");
+  }
+  value_ = uts::Value::str(choice);
+  mark();
+}
+
+void Widget::set_on(bool v) {
+  if (kind_ != WidgetKind::kToggle) {
+    throw WidgetError("widget '" + name_ + "' is not a toggle");
+  }
+  value_ = uts::Value::integer(v ? 1 : 0);
+  mark();
+}
+
+void Widget::set_from_text(const std::string& text) {
+  switch (kind_) {
+    case WidgetKind::kDial:
+    case WidgetKind::kTypeinReal:
+      set_real(std::stod(text));
+      return;
+    case WidgetKind::kTypeinInteger:
+      set_integer(std::stoll(text));
+      return;
+    case WidgetKind::kTypeinString:
+    case WidgetKind::kBrowser:
+      set_text(text);
+      return;
+    case WidgetKind::kRadioButtons:
+      select(text);
+      return;
+    case WidgetKind::kToggle:
+      set_on(text == "1" || text == "true" || text == "on");
+      return;
+  }
+  throw WidgetError("widget '" + name_ + "': cannot parse '" + text + "'");
+}
+
+}  // namespace npss::flow

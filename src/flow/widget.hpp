@@ -1,0 +1,78 @@
+// Widgets — the AVS control-panel elements the paper's prototype relies on
+// (§2.4, §3.3): dials, type-in boxes, radio buttons for picking the remote
+// machine, a type-in for the executable pathname, and file browsers for
+// performance maps. A widget holds one uts::Value and validates updates
+// against its kind.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "uts/value.hpp"
+#include "util/status.hpp"
+
+namespace npss::flow {
+
+enum class WidgetKind : std::uint8_t {
+  kDial = 0,        ///< bounded real
+  kTypeinReal,      ///< unbounded real
+  kTypeinInteger,
+  kTypeinString,    ///< e.g. the remote executable pathname (§3.3)
+  kRadioButtons,    ///< one-of-N strings, e.g. the remote machine (§3.3)
+  kBrowser,         ///< file path chooser (performance maps)
+  kToggle,          ///< boolean
+};
+
+std::string_view widget_kind_name(WidgetKind kind);
+
+class Widget {
+ public:
+  Widget(std::string name, WidgetKind kind, uts::Value initial,
+         std::vector<std::string> choices = {},
+         std::optional<double> min = std::nullopt,
+         std::optional<double> max = std::nullopt)
+      : name_(std::move(name)),
+        kind_(kind),
+        value_(std::move(initial)),
+        choices_(std::move(choices)),
+        min_(min),
+        max_(max) {}
+
+  const std::string& name() const { return name_; }
+  WidgetKind kind() const { return kind_; }
+  const std::vector<std::string>& choices() const { return choices_; }
+
+  double real() const { return value_.as_real(); }
+  std::int64_t integer() const { return value_.as_integer(); }
+  const std::string& text() const { return value_.as_string(); }
+  bool on() const { return value_.as_integer() != 0; }
+  const uts::Value& value() const { return value_; }
+
+  /// Setters validate against the widget kind and bounds, throwing
+  /// util::WidgetError on violations, and mark the widget changed so the
+  /// scheduler re-executes the owning module.
+  void set_real(double v);
+  void set_integer(std::int64_t v);
+  void set_text(const std::string& v);
+  void select(const std::string& choice);  ///< radio buttons only
+  void set_on(bool v);
+
+  /// Parse-and-set from text (used by the network file loader).
+  void set_from_text(const std::string& text);
+
+  bool changed() const { return changed_; }
+  void clear_changed() { changed_ = false; }
+
+ private:
+  void mark() { changed_ = true; }
+
+  std::string name_;
+  WidgetKind kind_;
+  uts::Value value_;
+  std::vector<std::string> choices_;
+  std::optional<double> min_, max_;
+  bool changed_ = true;  // initial value counts as a change
+};
+
+}  // namespace npss::flow

@@ -1,0 +1,89 @@
+// RemoteBackend — binds an EngineModel's ComponentHooks to Schooner remote
+// procedures, reproducing §3.3's adapted modules at the engine-model level
+// (the path the Table 1 / Table 2 experiments use).
+//
+// Placement is per *component instance*: the F100 has two duct and two
+// shaft instances, and in the paper each AVS module instance registers
+// with the Manager and owns its remote process — same-named procedures in
+// different lines, the very scenario that forced the §4.2 lines extension.
+// Each placed instance therefore gets its own SchoonerClient (== line).
+// Unplaced instances keep computing locally, so any subset of the adapted
+// components can be remote, as in the paper's module-by-module tests.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "rpc/schooner.hpp"
+#include "tess/engine.hpp"
+
+namespace npss::glue {
+
+enum class AdaptedComponent : std::uint8_t {
+  kShaft = 0,
+  kDuct,
+  kCombustor,
+  kNozzle,
+};
+
+std::string_view adapted_component_name(AdaptedComponent c);
+
+struct Placement {
+  std::string machine;
+  std::string path;  ///< empty = conventional install path
+};
+
+class RemoteBackend {
+ public:
+  RemoteBackend(rpc::SchoonerSystem& system, std::string avs_machine);
+  ~RemoteBackend();
+
+  /// Place instance `instance` of `component` remotely: opens a line,
+  /// issues sch_contact_schx, and builds the import stubs.
+  void place(AdaptedComponent component, int instance,
+             const Placement& placement);
+
+  /// Hooks for EngineModel::set_hooks(): remote where placed, local else.
+  tess::ComponentHooks hooks();
+
+  /// sch_move: migrate a placed instance's process to another machine
+  /// (§4.2). Moving any procedure of the process moves its siblings too
+  /// (setshaft travels with shaft). Returns the new process address.
+  std::string move(AdaptedComponent component, int instance,
+                   const std::string& machine, const std::string& path = "",
+                   bool transfer_state = false);
+
+  /// Remote calls per "component[instance]" so far.
+  std::map<std::string, int> call_counts() const;
+  int total_calls() const;
+
+  /// Stale-binding recoveries across all stubs (each moved stub pays one
+  /// on its first post-move call).
+  int total_stale_retries() const;
+
+  /// Worst per-line elapsed virtual time (network + marshal; the engine's
+  /// calls are sequential so lines see disjoint slices of the same wall
+  /// clock — the maximum is the end-to-end cost).
+  util::SimTime elapsed_virtual_us() const;
+  void reset_clocks();
+
+  /// sch_i_quit on every line (also run by the destructor).
+  void quit();
+
+ private:
+  struct Instance {
+    std::unique_ptr<rpc::SchoonerClient> client;
+    std::unique_ptr<rpc::RemoteProc> primary;   ///< duct/combustor/nozzle/shaft
+    std::unique_ptr<rpc::RemoteProc> secondary; ///< setshaft
+    util::SimTime clock_base = 0;
+  };
+
+  Instance* find(AdaptedComponent c, int instance);
+
+  rpc::SchoonerSystem* system_;
+  std::string avs_machine_;
+  std::map<std::pair<AdaptedComponent, int>, Instance> instances_;
+};
+
+}  // namespace npss::glue

@@ -1,0 +1,36 @@
+#include "npss/runtime.hpp"
+
+namespace npss::glue {
+
+std::vector<std::string> NpssRuntime::machine_choices() const {
+  std::vector<std::string> choices{kLocalMachine};
+  if (cluster) {
+    for (const std::string& m : cluster->machine_names()) {
+      choices.push_back(m);
+    }
+  }
+  return choices;
+}
+
+NpssRuntime& npss_runtime() {
+  static NpssRuntime runtime;
+  return runtime;
+}
+
+void configure_npss_runtime(sim::Cluster& cluster,
+                            rpc::SchoonerSystem& schooner,
+                            std::string avs_machine) {
+  NpssRuntime& rt = npss_runtime();
+  rt.cluster = &cluster;
+  rt.schooner = &schooner;
+  rt.avs_machine = std::move(avs_machine);
+}
+
+void clear_npss_runtime() {
+  NpssRuntime& rt = npss_runtime();
+  rt.cluster = nullptr;
+  rt.schooner = nullptr;
+  rt.avs_machine.clear();
+}
+
+}  // namespace npss::glue

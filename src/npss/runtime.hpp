@@ -1,0 +1,37 @@
+// Shared runtime context for the NPSS flow modules: which virtual cluster
+// and Schooner system the executive runs against, which machine hosts the
+// executive (the "AVS machine" column of Tables 1/2), and the machine
+// names offered by the §3.3 remote-placement radio buttons.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rpc/schooner.hpp"
+#include "sim/cluster.hpp"
+
+namespace npss::glue {
+
+/// Radio-button label for local (non-remote) computation.
+inline constexpr const char* kLocalMachine = "<local>";
+
+struct NpssRuntime {
+  sim::Cluster* cluster = nullptr;
+  rpc::SchoonerSystem* schooner = nullptr;
+  std::string avs_machine;
+
+  bool configured() const { return cluster && schooner; }
+  /// kLocalMachine followed by every cluster machine.
+  std::vector<std::string> machine_choices() const;
+};
+
+/// Process-wide runtime used by factory-constructed modules. Configure
+/// before building networks with adapted modules; clear when tearing the
+/// Schooner system down.
+NpssRuntime& npss_runtime();
+void configure_npss_runtime(sim::Cluster& cluster,
+                            rpc::SchoonerSystem& schooner,
+                            std::string avs_machine);
+void clear_npss_runtime();
+
+}  // namespace npss::glue

@@ -1,0 +1,86 @@
+#include "rpc/calling.hpp"
+
+#include "util/log.hpp"
+
+namespace npss::rpc {
+
+void CallCore::bind(const std::string& name, const std::string& import_text,
+                    BindingCache& cache) const {
+  Message lookup;
+  lookup.kind = MessageKind::kLookup;
+  lookup.line = line;
+  lookup.a = name;
+  lookup.b = import_text;
+  Message ack = io->call(manager, std::move(lookup));
+  cache.address = ack.a;
+  cache.resolved_name = ack.b;
+  ++cache.lookups;
+}
+
+uts::ValueList CallCore::invoke(const std::string& name,
+                                const uts::ProcDecl& import_decl,
+                                const std::string& import_text,
+                                uts::ValueList args,
+                                BindingCache& cache) const {
+  const uts::Signature& sig = import_decl.signature;
+  if (args.size() != sig.size()) {
+    throw util::TypeMismatchError(
+        "call to '" + name + "': " + std::to_string(args.size()) +
+        " arguments for " + std::to_string(sig.size()) + " parameters");
+  }
+  if (cache.address.empty()) bind(name, import_text, cache);
+
+  util::Bytes request_blob =
+      uts::marshal(*arch, sig, args, uts::Direction::kRequest);
+  if (compute) {
+    compute(static_cast<double>(request_blob.size()) * kMarshalUsPerByte);
+  }
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Message call_msg;
+    call_msg.kind = MessageKind::kCall;
+    call_msg.line = line;
+    call_msg.a = cache.resolved_name;
+    call_msg.b = import_text;
+    call_msg.blob = request_blob;
+    Message reply;
+    try {
+      reply = io->call(cache.address, std::move(call_msg),
+                       /*raise_errors=*/false);
+    } catch (const util::NoRouteError&) {
+      // The process is gone (moved, or its line shut down). Refresh the
+      // binding from the Manager and retry once.
+      if (attempt == 1) throw;
+      ++cache.stale_retries;
+      NPSS_LOG_DEBUG("rpc.call", "stale address for '", name,
+                     "', re-binding via manager");
+      bind(name, import_text, cache);
+      continue;
+    }
+    if (reply.is_error()) {
+      if (static_cast<util::ErrorCode>(reply.n) ==
+              util::ErrorCode::kStaleBinding &&
+          attempt == 0) {
+        ++cache.stale_retries;
+        bind(name, import_text, cache);
+        continue;
+      }
+      reply.raise_if_error();
+    }
+    if (compute) {
+      compute(static_cast<double>(reply.blob.size()) * kMarshalUsPerByte);
+    }
+    uts::ValueList results =
+        uts::unmarshal(*arch, sig, reply.blob, uts::Direction::kReply);
+    // Merge: val slots keep the caller's arguments.
+    for (std::size_t i = 0; i < sig.size(); ++i) {
+      if (!uts::param_travels(sig[i].mode, uts::Direction::kReply)) {
+        results[i] = std::move(args[i]);
+      }
+    }
+    return results;
+  }
+  throw util::CallError("call to '" + name + "' failed after retry");
+}
+
+}  // namespace npss::rpc

@@ -1,0 +1,53 @@
+// The client-side call core shared by SchoonerClient stubs and nested
+// server-side calls: bind (Manager lookup with type check), marshal through
+// the caller's native formats, invoke, and recover from stale bindings by
+// re-querying the Manager — the §4.2 cache-update path used after a
+// procedure migrates.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "rpc/io.hpp"
+#include "rpc/message.hpp"
+#include "uts/canonical.hpp"
+#include "uts/spec.hpp"
+
+namespace npss::rpc {
+
+/// Simulated marshaling cost billed per canonical byte (at reference-CPU
+/// speed); both client and host runtimes charge it.
+constexpr double kMarshalUsPerByte = 0.02;
+
+/// Per-importer cached binding ("procedure name caches within each
+/// procedure in the line", §4.2).
+struct BindingCache {
+  std::string address;        ///< empty = unbound
+  std::string resolved_name;  ///< exporter-cased name
+  int lookups = 0;            ///< Manager queries performed (bench metric)
+  int stale_retries = 0;      ///< calls that hit a moved procedure
+};
+
+struct CallCore {
+  MessageIo* io = nullptr;
+  std::string manager;
+  LineId line = kNoLine;
+  const arch::ArchDescriptor* arch = nullptr;
+  /// Bills simulated marshal CPU time (may be empty).
+  std::function<void(double)> compute;
+
+  /// Resolve `name` through the Manager (filling `cache`), then perform
+  /// one call. On a stale binding the cache is refreshed and the call
+  /// retried once. Returns the full import-signature-parallel value list:
+  /// val slots keep the caller's arguments, res/var slots carry results.
+  uts::ValueList invoke(const std::string& name,
+                        const uts::ProcDecl& import_decl,
+                        const std::string& import_text, uts::ValueList args,
+                        BindingCache& cache) const;
+
+  /// Just the bind step (used by benches isolating lookup cost).
+  void bind(const std::string& name, const std::string& import_text,
+            BindingCache& cache) const;
+};
+
+}  // namespace npss::rpc

@@ -1,0 +1,111 @@
+#include "rpc/client.hpp"
+
+#include "rpc/manager.hpp"
+#include "util/log.hpp"
+
+namespace npss::rpc {
+
+SchoonerClient::SchoonerClient(sim::Cluster& cluster, sim::EndpointPtr endpoint,
+                               std::string manager_address,
+                               std::string description)
+    : cluster_(&cluster),
+      endpoint_(std::move(endpoint)),
+      io_(cluster, endpoint_),
+      manager_(std::move(manager_address)) {
+  Message msg;
+  msg.kind = MessageKind::kRegisterLine;
+  msg.a = std::move(description);
+  Message ack = io_.call(manager_, std::move(msg));
+  line_ = ack.line;
+}
+
+SchoonerClient::~SchoonerClient() {
+  try {
+    quit();
+  } catch (...) {
+    // Destructor teardown is best-effort (the Manager may already be gone).
+  }
+}
+
+const arch::ArchDescriptor& SchoonerClient::arch() const {
+  return endpoint_->arch();
+}
+
+StartResult SchoonerClient::contact_schx(const std::string& machine,
+                                         const std::string& path,
+                                         bool shared) {
+  Message msg;
+  msg.kind = MessageKind::kStartRequest;
+  msg.line = line_;
+  msg.a = machine;
+  msg.b = path;
+  msg.n = shared ? 1 : 0;
+  Message ack = io_.call(manager_, std::move(msg));
+  StartResult result;
+  result.address = ack.a;
+  result.exports = ack.table;
+  NPSS_LOG_DEBUG("client", "line ", line_, ": started ", path, " on ",
+                 machine, " -> ", ack.a);
+  return result;
+}
+
+std::unique_ptr<RemoteProc> SchoonerClient::import_proc(
+    const std::string& name, const std::string& import_spec_text) {
+  uts::SpecFile file = uts::parse_spec(import_spec_text);
+  const uts::ProcDecl& decl = file.find(name);
+  if (decl.kind != uts::DeclKind::kImport) {
+    throw util::ModelError("declaration for '" + name +
+                           "' is not an import");
+  }
+  std::string text = uts::decl_to_string(decl);
+  return std::unique_ptr<RemoteProc>(
+      new RemoteProc(*this, name, decl, std::move(text)));
+}
+
+std::string SchoonerClient::move_proc(const std::string& name,
+                                      const std::string& machine,
+                                      const std::string& path,
+                                      bool transfer_state) {
+  Message msg;
+  msg.kind = MessageKind::kMove;
+  msg.line = line_;
+  msg.a = name;
+  msg.b = machine;
+  msg.c = path;
+  msg.n = transfer_state ? 1 : 0;
+  Message ack = io_.call(manager_, std::move(msg));
+  return ack.a;
+}
+
+void SchoonerClient::quit() {
+  if (line_ == kNoLine) return;
+  Message msg;
+  msg.kind = MessageKind::kQuit;
+  msg.line = line_;
+  io_.call(manager_, std::move(msg));
+  line_ = kNoLine;
+}
+
+uts::ValueList SchoonerClient::invoke(RemoteProc& proc, uts::ValueList args) {
+  if (line_ == kNoLine) {
+    throw util::ShutdownError("line already quit");
+  }
+  CallCore core;
+  core.io = &io_;
+  core.manager = manager_;
+  core.line = line_;
+  core.arch = &endpoint_->arch();
+  core.compute = [this](double us) {
+    endpoint_->clock().advance(static_cast<util::SimTime>(
+        us / std::max(endpoint_->arch().cpu_speed, 1e-6)));
+  };
+  return core.invoke(proc.name_, proc.decl_, proc.import_text_,
+                     std::move(args), proc.cache_);
+}
+
+uts::ValueList RemoteProc::call(uts::ValueList args) {
+  ++calls_;
+  return owner_->invoke(*this, std::move(args));
+}
+
+}  // namespace npss::rpc

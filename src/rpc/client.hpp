@@ -1,0 +1,118 @@
+// The client-side Schooner library, as the adapted AVS modules used it
+// (§3.3): sch_contact_schx to register with the Manager and start remote
+// processes, import stubs for calling, sch_i_quit for line teardown, and
+// the §4.2 extension sch_move for migrating a running procedure.
+//
+// One SchoonerClient == one *line*: a sequential thread of control with
+// its own procedure name space under the shared, persistent Manager.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "rpc/calling.hpp"
+#include "rpc/io.hpp"
+#include "rpc/message.hpp"
+#include "uts/spec.hpp"
+
+namespace npss::rpc {
+
+class SchoonerClient;
+
+/// An imported remote procedure (the client stub the stub compiler would
+/// have generated from the import specification).
+class RemoteProc {
+ public:
+  /// Invoke the procedure. `args` is parallel to the import signature;
+  /// res-slot inputs are ignored. Returns the full slot list with res/var
+  /// slots holding the results.
+  uts::ValueList call(uts::ValueList args);
+
+  const std::string& name() const { return name_; }
+  const uts::Signature& signature() const { return decl_.signature; }
+
+  /// Metrics for the benches.
+  int calls() const { return calls_; }
+  int lookups() const { return cache_.lookups; }
+  int stale_retries() const { return cache_.stale_retries; }
+
+  /// Drop the cached binding (tests use this to force a fresh lookup).
+  void invalidate() { cache_.address.clear(); }
+
+ private:
+  friend class SchoonerClient;
+  RemoteProc(SchoonerClient& owner, std::string name, uts::ProcDecl decl,
+             std::string import_text)
+      : owner_(&owner),
+        name_(std::move(name)),
+        decl_(std::move(decl)),
+        import_text_(std::move(import_text)) {}
+
+  SchoonerClient* owner_;
+  std::string name_;
+  uts::ProcDecl decl_;
+  std::string import_text_;
+  BindingCache cache_;
+  int calls_ = 0;
+};
+
+struct StartResult {
+  std::string address;  ///< the new process
+  /// (procedure name, export signature text) pairs it registered.
+  std::vector<std::pair<std::string, std::string>> exports;
+};
+
+class SchoonerClient {
+ public:
+  /// Registers a new line with the Manager at `manager_address`.
+  /// `endpoint` is this participant's mailbox (typically on the AVS
+  /// workstation machine).
+  SchoonerClient(sim::Cluster& cluster, sim::EndpointPtr endpoint,
+                 std::string manager_address, std::string description);
+
+  ~SchoonerClient();
+  SchoonerClient(const SchoonerClient&) = delete;
+  SchoonerClient& operator=(const SchoonerClient&) = delete;
+
+  LineId line() const { return line_; }
+  MessageIo& io() { return io_; }
+  const std::string& manager_address() const { return manager_; }
+  const arch::ArchDescriptor& arch() const;
+
+  /// sch_contact_schx: ask the Manager to start the executable at `path`
+  /// on `machine` as part of this line (or as a shared procedure).
+  StartResult contact_schx(const std::string& machine,
+                           const std::string& path, bool shared = false);
+
+  /// Build a stub from an import declaration. `import_spec_text` must hold
+  /// exactly one import declaration for `name` (or pass the whole text of
+  /// a spec file plus the name to select).
+  std::unique_ptr<RemoteProc> import_proc(const std::string& name,
+                                          const std::string& import_spec_text);
+
+  /// sch_move: migrate the named procedure's process to another machine.
+  /// Returns the new process address. When `transfer_state` is set the
+  /// Manager captures and re-installs the procedure's declared state.
+  std::string move_proc(const std::string& name, const std::string& machine,
+                        const std::string& path = "",
+                        bool transfer_state = false);
+
+  /// sch_i_quit: tear down this line; the Manager shuts down exactly the
+  /// remote procedures belonging to it. Idempotent.
+  void quit();
+
+  bool active() const { return line_ != kNoLine; }
+
+ private:
+  friend class RemoteProc;
+  uts::ValueList invoke(RemoteProc& proc, uts::ValueList args);
+
+  sim::Cluster* cluster_;
+  sim::EndpointPtr endpoint_;
+  MessageIo io_;
+  std::string manager_;
+  LineId line_ = kNoLine;
+};
+
+}  // namespace npss::rpc

@@ -1,0 +1,296 @@
+#include "rpc/host.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "rpc/calling.hpp"
+#include "rpc/manager.hpp"
+#include "util/log.hpp"
+
+namespace npss::rpc {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string table_get(const std::vector<std::string>& argv,
+                      const std::string& key, const std::string& fallback) {
+  for (std::size_t i = 0; i + 1 < argv.size(); i += 2) {
+    if (argv[i] == key) return argv[i + 1];
+  }
+  return fallback;
+}
+
+}  // namespace
+
+class HostRuntime {
+ public:
+  HostRuntime(sim::ProcessContext& ctx, const std::string& spec_text,
+              const std::vector<ProcedureDef>& procs,
+              const ProcedureImageOptions& options)
+      : ctx_(ctx),
+        io_(ctx.cluster(), ctx.self_ptr()),
+        options_(options),
+        exports_(uts::parse_spec(spec_text)) {
+    manager_ = table_get(ctx.args(), "manager", "");
+    line_ = std::stoll(table_get(ctx.args(), "line", "-1"));
+    shared_ = table_get(ctx.args(), "shared", "0") == "1";
+    path_ = table_get(ctx.args(), "path", "?");
+    for (const ProcedureDef& def : procs) {
+      const uts::ProcDecl& decl = exports_.find(def.name);
+      if (decl.kind != uts::DeclKind::kExport) {
+        throw util::ModelError("declaration for '" + def.name +
+                               "' is not an export");
+      }
+      handlers_[lower(def.name)] = HandlerEntry{&decl, def.handler};
+    }
+  }
+
+  void run() {
+    register_exports();
+    serve();
+  }
+
+  void compute(double microseconds) { ctx_.compute(microseconds); }
+
+  uts::ValueList call_remote(const std::string& name,
+                             const std::string& import_text,
+                             uts::ValueList args) {
+    uts::ProcDecl decl = parse_signature_text(import_text);
+    CallCore core;
+    core.io = &io_;
+    core.manager = manager_;
+    core.line = line_;
+    core.arch = &ctx_.self().arch();
+    core.compute = [this](double us) { compute(us); };
+    BindingCache& cache = nested_cache_[name];
+    return core.invoke(name, decl, import_text, std::move(args), cache);
+  }
+
+ private:
+  struct HandlerEntry {
+    const uts::ProcDecl* decl;
+    ProcHandler handler;
+  };
+
+  void register_exports() {
+    const arch::ArchDescriptor& arch = ctx_.self().arch();
+    Message msg;
+    msg.kind = MessageKind::kExport;
+    msg.line = line_;
+    msg.a = path_;
+    msg.b = ctx_.self().machine().name;
+    msg.n = shared_ ? 1 : 0;
+    for (const auto& [key, entry] : handlers_) {
+      // Export under the name the machine's compiler would emit: the
+      // Cray's Fortran compiler upper-cases external names (§4.1).
+      std::string external = entry.decl->name;
+      if (options_.language == SourceLanguage::kFortran) {
+        external = arch::fortran_external_name(arch, external);
+      }
+      msg.table.emplace_back(
+          external, signature_text(uts::DeclKind::kExport, external,
+                                   entry.decl->signature));
+    }
+    io_.call(manager_, std::move(msg));
+    NPSS_LOG_DEBUG("host", io_.address(), " exported ", handlers_.size(),
+                   " procedure(s) for line ", line_);
+  }
+
+  void serve() {
+    while (auto in = io_.receive()) {
+      const Message& msg = in->msg;
+      switch (msg.kind) {
+        case MessageKind::kCall:
+          on_call(*in);
+          break;
+        case MessageKind::kStateRequest: {
+          Message rep;
+          rep.kind = MessageKind::kStateReply;
+          rep.seq = msg.seq;
+          if (options_.save_state) rep.blob = options_.save_state();
+          io_.send(in->from, std::move(rep));
+          break;
+        }
+        case MessageKind::kStateInstall: {
+          Message rep;
+          rep.kind = MessageKind::kStateAck;
+          rep.seq = msg.seq;
+          if (options_.restore_state) {
+            options_.restore_state(msg.blob);
+          }
+          io_.send(in->from, std::move(rep));
+          break;
+        }
+        case MessageKind::kPing:
+          io_.send(in->from,
+                   Message{.kind = MessageKind::kPong, .seq = msg.seq});
+          break;
+        case MessageKind::kShutdownProc:
+          drain_and_exit(msg.a);
+          return;
+        default:
+          io_.send(in->from,
+                   Message::error_reply(msg, util::ErrorCode::kProtocolError,
+                                        "procedure host: unexpected " +
+                                            std::string(message_kind_name(
+                                                msg.kind))));
+      }
+    }
+  }
+
+  void on_call(const Incoming& in) {
+    const Message& msg = in.msg;
+    try {
+      auto it = handlers_.find(lower(msg.a));
+      if (it == handlers_.end()) {
+        throw util::LookupError("no procedure '" + msg.a +
+                                "' in this process");
+      }
+      const HandlerEntry& entry = it->second;
+      const uts::Signature& export_sig = entry.decl->signature;
+
+      // The wire layout follows the caller's import signature, which may
+      // be a subsequence of the export (footnote 1). Unmarshal per the
+      // import, then scatter by name into export-parallel slots.
+      uts::ProcDecl import_decl = parse_signature_text(msg.b);
+      const uts::Signature& import_sig = import_decl.signature;
+      std::string why =
+          uts::signature_compatibility_error(import_sig, export_sig);
+      if (!why.empty()) {
+        throw util::TypeMismatchError("call to '" + msg.a + "': " + why);
+      }
+      const arch::ArchDescriptor& arch = ctx_.self().arch();
+      compute(static_cast<double>(msg.blob.size()) * kMarshalUsPerByte);
+      uts::ValueList import_values =
+          uts::unmarshal(arch, import_sig, msg.blob,
+                         uts::Direction::kRequest);
+
+      uts::ValueList values;
+      values.reserve(export_sig.size());
+      for (const uts::Param& p : export_sig) {
+        values.push_back(uts::default_value(p.type));
+      }
+      std::vector<std::size_t> slot_of_import(import_sig.size());
+      {
+        std::size_t epos = 0;
+        for (std::size_t i = 0; i < import_sig.size(); ++i) {
+          while (export_sig[epos].name != import_sig[i].name) ++epos;
+          slot_of_import[i] = epos;
+          ++epos;
+        }
+      }
+      for (std::size_t i = 0; i < import_sig.size(); ++i) {
+        if (uts::param_travels(import_sig[i].mode, uts::Direction::kRequest)) {
+          values[slot_of_import[i]] = std::move(import_values[i]);
+        }
+      }
+
+      ProcCall call(export_sig, std::move(values), this);
+      if (options_.compute_us_per_call > 0) {
+        compute(options_.compute_us_per_call);
+      }
+      entry.handler(call);
+
+      // Gather reply values back into import order and marshal.
+      uts::ValueList reply_values;
+      reply_values.reserve(import_sig.size());
+      for (std::size_t i = 0; i < import_sig.size(); ++i) {
+        reply_values.push_back(call.values()[slot_of_import[i]]);
+      }
+      util::Bytes blob = uts::marshal(arch, import_sig, reply_values,
+                                      uts::Direction::kReply);
+      compute(static_cast<double>(blob.size()) * kMarshalUsPerByte);
+      Message rep;
+      rep.kind = MessageKind::kReply;
+      rep.seq = msg.seq;
+      rep.blob = std::move(blob);
+      io_.send(in.from, std::move(rep));
+    } catch (const util::Error& e) {
+      io_.send(in.from, Message::error_reply(msg, e.code(), e.what()));
+    }
+  }
+
+  /// On shutdown, close the mailbox, then answer any queued calls with a
+  /// stale-binding error so blocked callers re-bind instead of hanging.
+  void drain_and_exit(const std::string& reason) {
+    ctx_.self().close();
+    while (auto in = io_.try_receive()) {
+      if (in->msg.kind == MessageKind::kCall ||
+          in->msg.kind == MessageKind::kStateRequest) {
+        try {
+          io_.send(in->from,
+                   Message::error_reply(in->msg,
+                                        util::ErrorCode::kStaleBinding,
+                                        "procedure shut down: " + reason));
+        } catch (const util::NoRouteError&) {
+        }
+      }
+    }
+    NPSS_LOG_DEBUG("host", io_.address(), " exiting: ", reason);
+  }
+
+  sim::ProcessContext& ctx_;
+  MessageIo io_;
+  ProcedureImageOptions options_;
+  uts::SpecFile exports_;
+  std::string manager_;
+  LineId line_ = kNoLine;
+  bool shared_ = false;
+  std::string path_;
+  std::map<std::string, HandlerEntry> handlers_;
+  std::map<std::string, BindingCache> nested_cache_;
+};
+
+const uts::Value& ProcCall::arg(std::size_t index) const {
+  if (index >= values_.size()) {
+    throw util::TypeMismatchError("argument index out of range");
+  }
+  return values_[index];
+}
+
+std::size_t ProcCall::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < signature_->size(); ++i) {
+    if ((*signature_)[i].name == name) return i;
+  }
+  throw util::TypeMismatchError("no parameter named '" + std::string(name) +
+                                "'");
+}
+
+const uts::Value& ProcCall::arg(std::string_view name) const {
+  return values_[index_of(name)];
+}
+
+void ProcCall::set(std::string_view name, uts::Value value) {
+  values_[index_of(name)] = std::move(value);
+}
+
+void ProcCall::compute(double microseconds) {
+  if (host_) host_->compute(microseconds);
+}
+
+uts::ValueList ProcCall::call_remote(const std::string& name,
+                                     const std::string& import_spec_text,
+                                     uts::ValueList args) {
+  if (!host_) {
+    throw util::ModelError(
+        "nested remote calls need the Schooner cluster runtime");
+  }
+  return host_->call_remote(name, import_spec_text, std::move(args));
+}
+
+sim::ProgramImage make_procedure_image(std::string spec_text,
+                                       std::vector<ProcedureDef> procs,
+                                       ProcedureImageOptions options) {
+  return [spec_text = std::move(spec_text), procs = std::move(procs),
+          options = std::move(options)](sim::ProcessContext& ctx) {
+    HostRuntime runtime(ctx, spec_text, procs, options);
+    runtime.run();
+  };
+}
+
+}  // namespace npss::rpc

@@ -1,0 +1,108 @@
+// The remote-procedure host runtime: what the Schooner stub compiler's
+// server-side output plus the runtime library amount to. An application
+// wraps its procedures with make_procedure_image() and installs the result
+// on a machine under a path; the Manager starts it on demand (§3.3).
+//
+// The host loop:
+//   * registers its exports with the Manager (name-cased per the machine's
+//     Fortran convention when the source language is Fortran, §4.1),
+//   * serves kCall requests — unmarshaling through the machine's native
+//     data formats, invoking the handler, marshaling results back,
+//   * supports nested calls to other procedures in the same line
+//     (ProcCall::call_remote), the Figure 1 control-flow chain,
+//   * answers state save/restore messages for migration, and
+//   * on kShutdownProc drains and error-answers queued calls, then exits.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rpc/calling.hpp"
+#include "rpc/io.hpp"
+#include "rpc/message.hpp"
+#include "sim/cluster.hpp"
+#include "uts/canonical.hpp"
+#include "uts/spec.hpp"
+
+namespace npss::rpc {
+
+class HostRuntime;
+
+/// One in-flight invocation, as seen by a procedure handler.
+/// `host` may be null for transports without a cluster runtime (the TCP
+/// direct-connection host); compute() is then a no-op and nested
+/// call_remote() is unavailable.
+class ProcCall {
+ public:
+  ProcCall(const uts::Signature& signature, uts::ValueList values,
+           HostRuntime* host)
+      : signature_(&signature), values_(std::move(values)), host_(host) {}
+
+  const uts::Signature& signature() const { return *signature_; }
+  uts::ValueList& values() { return values_; }
+
+  /// Indexed and named access to parameter slots.
+  const uts::Value& arg(std::size_t index) const;
+  const uts::Value& arg(std::string_view name) const;
+  double real(std::string_view name) const { return arg(name).as_real(); }
+  std::int64_t integer(std::string_view name) const {
+    return arg(name).as_integer();
+  }
+  std::vector<double> reals(std::string_view name) const {
+    return arg(name).as_real_vector();
+  }
+
+  /// Store a result (res/var) slot.
+  void set(std::string_view name, uts::Value value);
+  void set_real(std::string_view name, double value) {
+    set(name, uts::Value::real(value));
+  }
+
+  /// Account simulated compute time for this invocation.
+  void compute(double microseconds);
+
+  /// Invoke another remote procedure in this process's line — the nested
+  /// sequential call of Figure 1. `import_spec_text` is a full import
+  /// declaration; `args` is parallel to its signature.
+  uts::ValueList call_remote(const std::string& name,
+                             const std::string& import_spec_text,
+                             uts::ValueList args);
+
+ private:
+  std::size_t index_of(std::string_view name) const;
+
+  const uts::Signature* signature_;
+  uts::ValueList values_;
+  HostRuntime* host_;
+};
+
+using ProcHandler = std::function<void(ProcCall&)>;
+
+struct ProcedureDef {
+  std::string name;  ///< as written in the export spec
+  ProcHandler handler;
+};
+
+enum class SourceLanguage : std::uint8_t { kC = 0, kFortran };
+
+struct ProcedureImageOptions {
+  SourceLanguage language = SourceLanguage::kFortran;
+  /// Fixed simulated compute cost added to every call (reference-CPU us);
+  /// handlers can add more via ProcCall::compute.
+  double compute_us_per_call = 0.0;
+  /// Migration state hooks (the planned UTS state-list extension, §4.2).
+  /// A procedure with neither hook is stateless and freely movable.
+  std::function<util::Bytes()> save_state;
+  std::function<void(std::span<const std::uint8_t>)> restore_state;
+};
+
+/// Build a program image exporting `procs` per `spec_text` (which must hold
+/// one export declaration per procedure). Install the result into a
+/// sim::Cluster under a path; the Manager/Server machinery does the rest.
+sim::ProgramImage make_procedure_image(std::string spec_text,
+                                       std::vector<ProcedureDef> procs,
+                                       ProcedureImageOptions options = {});
+
+}  // namespace npss::rpc

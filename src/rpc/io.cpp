@@ -1,0 +1,80 @@
+#include "rpc/io.hpp"
+
+#include "util/log.hpp"
+
+namespace npss::rpc {
+
+void MessageIo::send(const std::string& to, Message msg) {
+  NPSS_LOG_TRACE("rpc.io", address(), " send ", message_kind_name(msg.kind),
+                 " seq=", msg.seq, " -> ", to);
+  cluster_->send(*endpoint_, to, encode_message(msg));
+}
+
+std::optional<Incoming> MessageIo::receive() {
+  if (!stash_.empty()) {
+    Incoming front = std::move(stash_.front());
+    stash_.pop_front();
+    return front;
+  }
+  auto env = endpoint_->receive();
+  if (!env) return std::nullopt;
+  return Incoming{env->from, decode_message(env->payload)};
+}
+
+std::optional<Incoming> MessageIo::try_receive() {
+  if (!stash_.empty()) {
+    Incoming front = std::move(stash_.front());
+    stash_.pop_front();
+    return front;
+  }
+  auto env = endpoint_->try_receive();
+  if (!env) return std::nullopt;
+  return Incoming{env->from, decode_message(env->payload)};
+}
+
+Message MessageIo::call(const std::string& to, Message request,
+                        bool raise_errors) {
+  request.seq = next_seq();
+  const std::uint64_t want = request.seq;
+  send(to, std::move(request));
+  while (true) {
+    auto env = endpoint_->receive();
+    if (!env) {
+      throw util::ShutdownError("endpoint " + address() +
+                                " closed while awaiting reply");
+    }
+    Message msg = decode_message(env->payload);
+    if (msg.seq == want &&
+        (msg.kind == MessageKind::kError || env->from == to ||
+         msg.kind != MessageKind::kCall)) {
+      // Replies echo the request seq. A concurrent *request* from a peer
+      // could coincidentally carry the same seq, so requests that we could
+      // be asked to serve (kCall and friends) are stashed, never consumed
+      // as replies.
+      switch (msg.kind) {
+        case MessageKind::kCall:
+        case MessageKind::kSpawn:
+        case MessageKind::kLookup:
+        case MessageKind::kStartRequest:
+        case MessageKind::kRegisterLine:
+        case MessageKind::kExport:
+        case MessageKind::kQuit:
+        case MessageKind::kMove:
+        case MessageKind::kStateRequest:
+        case MessageKind::kStateInstall:
+        case MessageKind::kPing:
+          break;  // a request; stash below
+        default: {
+          if (raise_errors) msg.raise_if_error();
+          return msg;
+        }
+      }
+    }
+    NPSS_LOG_TRACE("rpc.io", address(), " stash ",
+                   message_kind_name(msg.kind), " seq=", msg.seq, " from ",
+                   env->from);
+    stash_.push_back(Incoming{env->from, std::move(msg)});
+  }
+}
+
+}  // namespace npss::rpc

@@ -1,0 +1,58 @@
+// MessageIo — the per-process communication layer linked "with every
+// procedure to handle the sending and receiving of messages implicit in
+// RPC" (§3.1). It frames Messages onto the virtual fabric, matches replies
+// to outstanding requests by sequence number, and stashes unrelated
+// traffic (e.g. a shutdown order arriving while a call is outstanding) for
+// the owner's main loop.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "rpc/message.hpp"
+#include "sim/cluster.hpp"
+
+namespace npss::rpc {
+
+struct Incoming {
+  std::string from;
+  Message msg;
+};
+
+class MessageIo {
+ public:
+  MessageIo(sim::Cluster& cluster, sim::EndpointPtr endpoint)
+      : cluster_(&cluster), endpoint_(std::move(endpoint)) {}
+
+  const std::string& address() const { return endpoint_->address(); }
+  sim::Endpoint& endpoint() { return *endpoint_; }
+  sim::Cluster& cluster() { return *cluster_; }
+
+  std::uint64_t next_seq() { return ++seq_; }
+
+  /// One-way send. Propagates util::NoRouteError from the fabric.
+  void send(const std::string& to, Message msg);
+
+  /// Blocking receive of the next message for the owner's main loop:
+  /// drains the stash first. Returns nullopt once the endpoint closes.
+  std::optional<Incoming> receive();
+
+  /// Non-blocking variant.
+  std::optional<Incoming> try_receive();
+
+  /// Request/response: sends `request` (stamping a fresh seq) and blocks
+  /// until the matching reply arrives; any other traffic received while
+  /// waiting is stashed for receive(). Throws util::ShutdownError if the
+  /// endpoint closes first, and re-raises kError replies as exceptions
+  /// unless `raise_errors` is false.
+  Message call(const std::string& to, Message request,
+               bool raise_errors = true);
+
+ private:
+  sim::Cluster* cluster_;
+  sim::EndpointPtr endpoint_;
+  std::deque<Incoming> stash_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace npss::rpc

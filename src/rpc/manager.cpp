@@ -1,0 +1,489 @@
+#include "rpc/manager.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+
+#include "util/log.hpp"
+
+namespace npss::rpc {
+
+namespace {
+
+using util::ErrorCode;
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+using BindingPtr = std::shared_ptr<Binding>;
+
+/// A name database: exact names plus upper/lower case synonyms (§4.1).
+class NameDb {
+ public:
+  /// Register a binding under its canonical name and case synonyms.
+  /// Throws DuplicateNameError if any synonym is already taken.
+  void insert(BindingPtr binding) {
+    std::vector<std::string> keys = synonyms(binding->canonical_name);
+    for (const std::string& key : keys) {
+      if (names_.contains(key)) {
+        throw util::DuplicateNameError(
+            "procedure '" + binding->canonical_name +
+            "' conflicts with existing name '" + key + "'");
+      }
+    }
+    for (const std::string& key : keys) names_[key] = binding;
+    all_.push_back(std::move(binding));
+  }
+
+  BindingPtr find(const std::string& name) const {
+    for (const std::string& key : synonyms(name)) {
+      auto it = names_.find(key);
+      if (it != names_.end()) return it->second;
+    }
+    return nullptr;
+  }
+
+  void erase(const BindingPtr& binding) {
+    for (const std::string& key : synonyms(binding->canonical_name)) {
+      auto it = names_.find(key);
+      if (it != names_.end() && it->second == binding) names_.erase(it);
+    }
+    std::erase(all_, binding);
+  }
+
+  const std::vector<BindingPtr>& all() const { return all_; }
+
+ private:
+  static std::vector<std::string> synonyms(const std::string& name) {
+    std::vector<std::string> keys{name};
+    std::string lo = lower(name), up = upper(name);
+    if (lo != name) keys.push_back(lo);
+    if (up != name && up != lo) keys.push_back(up);
+    return keys;
+  }
+
+  std::map<std::string, BindingPtr> names_;
+  std::vector<BindingPtr> all_;
+};
+
+struct Line {
+  LineId id = kNoLine;
+  std::string description;
+  NameDb db;
+};
+
+/// A start or move in flight: the Server has spawned the process and the
+/// Manager is waiting for its kExport before answering the requester.
+struct PendingStart {
+  std::string requester;
+  std::uint64_t requester_seq = 0;
+  MessageKind ack_kind = MessageKind::kStartAck;
+  LineId line = kNoLine;
+  bool shared = false;
+  std::string spawned_address;
+  std::string machine;
+  std::string path;
+  // Move bookkeeping.
+  BindingPtr moved_binding;
+  std::optional<util::Bytes> state_blob;
+};
+
+class ManagerState {
+ public:
+  ManagerState(MessageIo& io, const ManagerConfig& config,
+               std::shared_ptr<ManagerStats> stats)
+      : io_(io), config_(config), stats_(std::move(stats)) {}
+
+  /// Returns false when the manager should exit.
+  bool handle(const Incoming& in) {
+    const Message& msg = in.msg;
+    try {
+      switch (msg.kind) {
+        case MessageKind::kRegisterLine: on_register_line(in); break;
+        case MessageKind::kStartRequest: on_start_request(in); break;
+        case MessageKind::kExport: on_export(in); break;
+        case MessageKind::kLookup: on_lookup(in); break;
+        case MessageKind::kQuit: on_quit(in); break;
+        case MessageKind::kMove: on_move(in); break;
+        case MessageKind::kPing:
+          reply(in, Message{.kind = MessageKind::kPong, .seq = msg.seq});
+          break;
+        case MessageKind::kManagerStop:
+          on_stop(in);
+          return false;
+        default:
+          reply(in, Message::error_reply(msg, ErrorCode::kProtocolError,
+                                         "manager: unexpected " +
+                                             std::string(message_kind_name(
+                                                 msg.kind))));
+      }
+    } catch (const util::Error& e) {
+      reply(in, Message::error_reply(msg, e.code(), e.what()));
+    }
+    return true;
+  }
+
+ private:
+  void reply(const Incoming& in, Message msg) { io_.send(in.from, msg); }
+
+  Line& line_or_throw(LineId id) {
+    auto it = lines_.find(id);
+    if (it == lines_.end()) {
+      throw util::ProtocolError("unknown line " + std::to_string(id));
+    }
+    return it->second;
+  }
+
+  void on_register_line(const Incoming& in) {
+    Line line;
+    line.id = next_line_++;
+    line.description = in.msg.a;
+    ++stats_->lines_created;
+    NPSS_LOG_DEBUG("manager", "line ", line.id, " registered for '",
+                   in.msg.a, "' (", in.from, ")");
+    LineId id = line.id;
+    lines_.emplace(id, std::move(line));
+    reply(in, Message{.kind = MessageKind::kLineAck, .seq = in.msg.seq,
+                      .line = id});
+  }
+
+  /// Spawn `path` on `machine` through its Server; returns the new address.
+  std::string spawn_process(const std::string& machine,
+                            const std::string& path, LineId line,
+                            bool shared) {
+    auto server = config_.servers.find(machine);
+    if (server == config_.servers.end()) {
+      throw util::NoSuchMachineError("no Schooner server on machine '" +
+                                     machine + "'");
+    }
+    Message spawn;
+    spawn.kind = MessageKind::kSpawn;
+    spawn.a = path;
+    spawn.b = "schx-proc";
+    spawn.table = {{"manager", io_.address()},
+                   {"line", std::to_string(line)},
+                   {"shared", shared ? "1" : "0"},
+                   {"path", path}};
+    Message ack = io_.call(server->second, std::move(spawn));
+    ++stats_->processes_started;
+    return ack.a;
+  }
+
+  void on_start_request(const Incoming& in) {
+    const Message& msg = in.msg;
+    const bool shared = (msg.n & 1) != 0;
+    if (!shared) line_or_throw(msg.line);
+    std::string address = spawn_process(msg.a, msg.b, msg.line, shared);
+    PendingStart pending;
+    pending.requester = in.from;
+    pending.requester_seq = msg.seq;
+    pending.ack_kind = MessageKind::kStartAck;
+    pending.line = shared ? kNoLine : msg.line;
+    pending.shared = shared;
+    pending.spawned_address = address;
+    pending.machine = msg.a;
+    pending.path = msg.b;
+    pending_.push_back(std::move(pending));
+    NPSS_LOG_DEBUG("manager", "start request: line ", msg.line, " path ",
+                   msg.b, " on ", msg.a, " -> ", address);
+  }
+
+  void on_export(const Incoming& in) {
+    const Message& msg = in.msg;
+    // Find the pending start this export answers, if any. Exports may also
+    // arrive unsolicited (a statically-started program, A3's "command
+    // line" mode) in which case they are registered directly.
+    auto pending_it =
+        std::find_if(pending_.begin(), pending_.end(), [&](const auto& p) {
+          return p.spawned_address == in.from;
+        });
+    const bool shared =
+        (msg.n & 1) != 0 ||
+        (pending_it != pending_.end() && pending_it->shared);
+    NameDb* db = nullptr;
+    LineId line = msg.line;
+    if (shared) {
+      db = &shared_db_;
+      line = kNoLine;
+    } else {
+      db = &line_or_throw(line).db;
+    }
+
+    std::vector<BindingPtr> registered;
+    try {
+      for (const auto& [name, sig_text] : msg.table) {
+        uts::ProcDecl decl = parse_signature_text(sig_text);
+        auto binding = std::make_shared<Binding>();
+        binding->canonical_name = name;
+        binding->signature_text = sig_text;
+        binding->signature = decl.signature;
+        binding->address = in.from;
+        binding->machine =
+            pending_it != pending_.end() ? pending_it->machine : msg.b;
+        binding->path = msg.a;
+        binding->line = line;
+        binding->shared = shared;
+        db->insert(binding);
+        registered.push_back(std::move(binding));
+      }
+    } catch (const util::Error& e) {
+      // Roll back, dismiss the new process, and fail the start/move
+      // request that caused it — *not* just the exporter, or the original
+      // requester would wait forever.
+      for (const BindingPtr& b : registered) db->erase(b);
+      Message stop;
+      stop.kind = MessageKind::kShutdownProc;
+      stop.seq = io_.next_seq();
+      stop.a = std::string("export rejected: ") + e.what();
+      try {
+        io_.send(in.from, std::move(stop));
+      } catch (const util::NoRouteError&) {
+      }
+      if (pending_it != pending_.end()) {
+        Message original;
+        original.seq = pending_it->requester_seq;
+        original.line = pending_it->line;
+        io_.send(pending_it->requester,
+                 Message::error_reply(original, e.code(), e.what()));
+        pending_.erase(pending_it);
+      }
+      reply(in, Message::error_reply(msg, e.code(), e.what()));
+      return;
+    }
+
+    reply(in, Message{.kind = MessageKind::kExportAck, .seq = msg.seq});
+
+    if (pending_it == pending_.end()) return;
+    PendingStart pending = std::move(*pending_it);
+    pending_.erase(pending_it);
+    finish_pending(pending, registered);
+  }
+
+  void finish_pending(PendingStart& pending,
+                      const std::vector<BindingPtr>& registered) {
+    if (pending.ack_kind == MessageKind::kMoveAck) {
+      // Install transferred state in the new process before exposing it.
+      if (pending.state_blob) {
+        Message install;
+        install.kind = MessageKind::kStateInstall;
+        install.blob = *pending.state_blob;
+        io_.call(pending.spawned_address, std::move(install));
+      }
+    }
+    Message ack;
+    ack.kind = pending.ack_kind;
+    ack.seq = pending.requester_seq;
+    ack.line = pending.line;
+    ack.a = pending.spawned_address;
+    for (const BindingPtr& b : registered) {
+      ack.table.emplace_back(b->canonical_name, b->signature_text);
+    }
+    io_.send(pending.requester, std::move(ack));
+  }
+
+  BindingPtr resolve(LineId line, const std::string& name) {
+    // The caller's line first, then the shared database (§4.2).
+    if (line != kNoLine) {
+      auto it = lines_.find(line);
+      if (it != lines_.end()) {
+        if (BindingPtr b = it->second.db.find(name)) return b;
+      }
+    }
+    return shared_db_.find(name);
+  }
+
+  void on_lookup(const Incoming& in) {
+    const Message& msg = in.msg;
+    ++stats_->lookups;
+    BindingPtr binding = resolve(msg.line, msg.a);
+    if (!binding) {
+      reply(in, Message::error_reply(msg, ErrorCode::kLookupFailure,
+                                     "no procedure '" + msg.a + "' in line " +
+                                         std::to_string(msg.line) +
+                                         " or shared database"));
+      return;
+    }
+    if (!msg.b.empty()) {
+      uts::ProcDecl import_decl = parse_signature_text(msg.b);
+      std::string why = uts::signature_compatibility_error(
+          import_decl.signature, binding->signature);
+      if (!why.empty()) {
+        ++stats_->type_check_failures;
+        reply(in,
+              Message::error_reply(
+                  msg, ErrorCode::kTypeMismatch,
+                  "import of '" + msg.a + "' incompatible with export: " +
+                      why));
+        return;
+      }
+    }
+    Message ack;
+    ack.kind = MessageKind::kLookupAck;
+    ack.seq = msg.seq;
+    ack.line = msg.line;
+    ack.a = binding->address;
+    ack.b = binding->canonical_name;
+    ack.c = binding->signature_text;
+    reply(in, ack);
+  }
+
+  void shutdown_line_procs(Line& line, const std::string& reason) {
+    // One process may export several procedures; shut each address down
+    // exactly once.
+    std::vector<std::string> addresses;
+    for (const BindingPtr& b : line.db.all()) {
+      if (std::find(addresses.begin(), addresses.end(), b->address) ==
+          addresses.end()) {
+        addresses.push_back(b->address);
+      }
+    }
+    for (const std::string& addr : addresses) {
+      Message stop;
+      stop.kind = MessageKind::kShutdownProc;
+      stop.seq = io_.next_seq();
+      stop.a = reason;
+      try {
+        io_.send(addr, std::move(stop));
+      } catch (const util::NoRouteError&) {
+        // Process already gone; shutdown is idempotent.
+      }
+    }
+  }
+
+  void on_quit(const Incoming& in) {
+    const Message& msg = in.msg;
+    auto it = lines_.find(msg.line);
+    if (it != lines_.end()) {
+      NPSS_LOG_DEBUG("manager", "line ", msg.line, " quitting (",
+                     it->second.db.all().size(), " bindings)");
+      shutdown_line_procs(it->second, "line quit");
+      lines_.erase(it);
+      ++stats_->lines_shut_down;
+    }
+    reply(in, Message{.kind = MessageKind::kQuitAck, .seq = msg.seq,
+                      .line = msg.line});
+  }
+
+  void on_move(const Incoming& in) {
+    const Message& msg = in.msg;
+    const bool transfer_state = (msg.n & 1) != 0;
+    BindingPtr binding = resolve(msg.line, msg.a);
+    if (!binding) {
+      throw util::LookupError("move: no procedure '" + msg.a + "' in line " +
+                              std::to_string(msg.line));
+    }
+    ++stats_->moves;
+    const std::string old_address = binding->address;
+
+    // 1. Capture state if requested (the planned UTS state-list extension).
+    std::optional<util::Bytes> state;
+    if (transfer_state) {
+      Message req;
+      req.kind = MessageKind::kStateRequest;
+      Message rep = io_.call(old_address, std::move(req));
+      state = rep.blob;
+    }
+
+    // 2. Shut down the original process.
+    Message stop;
+    stop.kind = MessageKind::kShutdownProc;
+    stop.seq = io_.next_seq();
+    stop.a = "moved to " + msg.b;
+    try {
+      io_.send(old_address, std::move(stop));
+    } catch (const util::NoRouteError&) {
+    }
+
+    // 3. Remove every binding that lived in that process: the whole
+    //    process moves, so sibling procedures move with it.
+    NameDb& db = binding->shared ? shared_db_ : line_or_throw(msg.line).db;
+    std::vector<BindingPtr> moved;
+    for (const BindingPtr& b : db.all()) {
+      if (b->address == old_address) moved.push_back(b);
+    }
+    for (const BindingPtr& b : moved) db.erase(b);
+
+    // 4. Start the replacement and wait for its export.
+    const std::string path = msg.c.empty() ? binding->path : msg.c;
+    std::string address =
+        spawn_process(msg.b, path, binding->line, binding->shared);
+    PendingStart pending;
+    pending.requester = in.from;
+    pending.requester_seq = msg.seq;
+    pending.ack_kind = MessageKind::kMoveAck;
+    pending.line = binding->line;
+    pending.shared = binding->shared;
+    pending.spawned_address = address;
+    pending.machine = msg.b;
+    pending.path = path;
+    pending.moved_binding = binding;
+    pending.state_blob = std::move(state);
+    pending_.push_back(std::move(pending));
+    NPSS_LOG_DEBUG("manager", "moving '", msg.a, "' ", old_address, " -> ",
+                   address);
+  }
+
+  void on_stop(const Incoming& in) {
+    for (auto& [id, line] : lines_) {
+      shutdown_line_procs(line, "manager stopping");
+    }
+    lines_.clear();
+    for (const BindingPtr& b : shared_db_.all()) {
+      Message stop;
+      stop.kind = MessageKind::kShutdownProc;
+      stop.seq = io_.next_seq();
+      stop.a = "manager stopping";
+      try {
+        io_.send(b->address, std::move(stop));
+      } catch (const util::NoRouteError&) {
+      }
+    }
+    reply(in, Message{.kind = MessageKind::kQuitAck, .seq = in.msg.seq});
+  }
+
+  MessageIo& io_;
+  const ManagerConfig& config_;
+  std::shared_ptr<ManagerStats> stats_;
+  std::map<LineId, Line> lines_;
+  NameDb shared_db_;
+  std::vector<PendingStart> pending_;
+  LineId next_line_ = 1;
+};
+
+}  // namespace
+
+std::string signature_text(uts::DeclKind kind, const std::string& name,
+                           const uts::Signature& sig) {
+  return uts::decl_to_string(uts::ProcDecl{kind, name, sig});
+}
+
+uts::ProcDecl parse_signature_text(const std::string& text) {
+  uts::SpecFile file = uts::parse_spec(text);
+  if (file.decls.size() != 1) {
+    throw util::ParseError("expected exactly one declaration in '" + text +
+                           "'");
+  }
+  return file.decls.front();
+}
+
+void manager_main(sim::ProcessContext& ctx, const ManagerConfig& config,
+                  std::shared_ptr<ManagerStats> stats) {
+  MessageIo io(ctx.cluster(), ctx.self_ptr());
+  ManagerState state(io, config, std::move(stats));
+  NPSS_LOG_INFO("manager", "up at ", io.address());
+  while (auto in = io.receive()) {
+    if (!state.handle(*in)) break;
+  }
+  NPSS_LOG_INFO("manager", "stopped");
+}
+
+}  // namespace npss::rpc

@@ -1,0 +1,73 @@
+// The Schooner Manager.
+//
+// One Manager serves a whole (multi-line) Schooner program: it starts and
+// stops remote processes through the per-machine Servers, keeps the
+// exported-procedure mapping tables, and performs runtime type checking of
+// imports against exports (§3.1). This is the *extended* Manager of §4.2:
+//
+//  * it is persistent — explicitly started and stopped, surviving any
+//    number of simulation runs;
+//  * it manages multiple lines, each a sequential thread of control with
+//    its own procedure name database, so duplicate procedure names may
+//    exist across lines (the F100 network needs this, Figure 2);
+//  * shutdown is line-scoped: a quit (or error) tears down only the
+//    procedures of the affected line;
+//  * Fortran name-case synonyms (§4.1): each binding is reachable through
+//    its exact, lower-, and upper-case names;
+//  * procedures can be moved between machines during execution, with an
+//    optional state transfer, and clients recover through the
+//    stale-cache/lookup path;
+//  * shared procedures live in a separate database consulted after the
+//    caller's line.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/io.hpp"
+#include "rpc/message.hpp"
+#include "uts/spec.hpp"
+
+namespace npss::rpc {
+
+/// Serialize a signature as a parseable declaration ("export name prog(...)").
+std::string signature_text(uts::DeclKind kind, const std::string& name,
+                           const uts::Signature& sig);
+
+/// Parse the single declaration in `text`.
+uts::ProcDecl parse_signature_text(const std::string& text);
+
+/// One exported procedure as the Manager tracks it.
+struct Binding {
+  std::string canonical_name;   ///< name as registered by the exporter
+  std::string signature_text;   ///< export declaration text
+  uts::Signature signature;
+  std::string address;          ///< current process address
+  std::string machine;
+  std::string path;
+  LineId line = kNoLine;        ///< kNoLine for shared procedures
+  bool shared = false;
+};
+
+struct ManagerConfig {
+  /// machine name -> Server address (SchoonerSystem fills this in).
+  std::map<std::string, std::string> servers;
+};
+
+/// Counters the benches read after a run (exposed through ManagerHandle).
+struct ManagerStats {
+  std::uint64_t lines_created = 0;
+  std::uint64_t processes_started = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t type_check_failures = 0;
+  std::uint64_t moves = 0;
+  std::uint64_t lines_shut_down = 0;
+};
+
+/// The Manager's process body; spawned by SchoonerSystem.
+void manager_main(sim::ProcessContext& ctx, const ManagerConfig& config,
+                  std::shared_ptr<ManagerStats> stats);
+
+}  // namespace npss::rpc

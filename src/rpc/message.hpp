@@ -1,0 +1,97 @@
+// The Schooner wire protocol.
+//
+// All Manager/Server/procedure traffic is carried by one self-describing
+// message frame, byte-encoded (big-endian) onto the virtual fabric. Field
+// usage per kind:
+//
+//   kRegisterLine   a=requester description            -> kLineAck line=id
+//   kStartRequest   line, a=machine, b=path,
+//                   n bit0 = shared procedure          -> kStartAck a=addr
+//   kSpawn          a=path, b=label, table=argv        -> kSpawnAck a=addr
+//   kExport         line, a=origin path,
+//                   table=(proc name, signature text),
+//                   n bit0 = shared                    -> kExportAck
+//   kLookup         line, a=proc name,
+//                   b=import signature text            -> kLookupAck a=addr,
+//                                                         b=resolved name,
+//                                                         c=export sig text
+//   kCall           a=proc name,
+//                   b=import signature text, blob=args -> kReply blob=results
+//   kQuit           line                               -> kQuitAck
+//   kMove           line, a=proc name, b=target
+//                   machine, c=path,
+//                   n bit0 = transfer state            -> kMoveAck a=new addr
+//   kStateRequest                                      -> kStateReply blob
+//   kStateInstall   blob                               -> kStateAck
+//   kShutdownProc   a=reason (one-way)
+//   kPing                                              -> kPong
+//   kManagerStop                                       -> (manager exits)
+//   kError          n=ErrorCode, a=message (any reply position)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace npss::rpc {
+
+enum class MessageKind : std::uint8_t {
+  kRegisterLine = 1,
+  kLineAck,
+  kStartRequest,
+  kStartAck,
+  kSpawn,
+  kSpawnAck,
+  kExport,
+  kExportAck,
+  kLookup,
+  kLookupAck,
+  kCall,
+  kReply,
+  kQuit,
+  kQuitAck,
+  kMove,
+  kMoveAck,
+  kStateRequest,
+  kStateReply,
+  kStateInstall,
+  kStateAck,
+  kShutdownProc,
+  kPing,
+  kPong,
+  kManagerStop,
+  kError,
+};
+
+std::string_view message_kind_name(MessageKind kind);
+
+using LineId = std::int64_t;
+constexpr LineId kNoLine = -1;
+
+struct Message {
+  MessageKind kind = MessageKind::kError;
+  std::uint64_t seq = 0;
+  LineId line = kNoLine;
+  std::string a, b, c;
+  std::int64_t n = 0;
+  util::Bytes blob;
+  std::vector<std::pair<std::string, std::string>> table;
+
+  /// Construct the standard error reply for a request.
+  static Message error_reply(const Message& request, util::ErrorCode code,
+                             const std::string& text);
+
+  bool is_error() const { return kind == MessageKind::kError; }
+
+  /// If this is an error message, throw it as the corresponding exception.
+  void raise_if_error() const;
+};
+
+util::Bytes encode_message(const Message& msg);
+Message decode_message(std::span<const std::uint8_t> bytes);
+
+}  // namespace npss::rpc

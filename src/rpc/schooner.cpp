@@ -1,0 +1,71 @@
+#include "rpc/schooner.hpp"
+
+#include "util/log.hpp"
+
+namespace npss::rpc {
+
+SchoonerSystem::SchoonerSystem(sim::Cluster& cluster,
+                               const std::string& manager_machine)
+    : cluster_(&cluster) {
+  ManagerConfig config;
+  for (const std::string& machine : cluster.machine_names()) {
+    sim::EndpointPtr ep = cluster.spawn(machine, "schx-server", server_main);
+    config.servers[machine] = ep->address();
+    server_addresses_[machine] = ep->address();
+  }
+  stats_ = std::make_shared<ManagerStats>();
+  sim::EndpointPtr manager_ep = cluster.spawn(
+      manager_machine, "schx-manager",
+      [config = std::move(config), stats = stats_](sim::ProcessContext& ctx) {
+        manager_main(ctx, config, stats);
+      });
+  manager_address_ = manager_ep->address();
+  running_ = true;
+}
+
+SchoonerSystem::~SchoonerSystem() {
+  try {
+    stop();
+  } catch (...) {
+  }
+}
+
+std::unique_ptr<SchoonerClient> SchoonerSystem::make_client(
+    const std::string& machine, const std::string& description) {
+  sim::EndpointPtr ep = cluster_->create_endpoint(machine, "schx-client");
+  return std::make_unique<SchoonerClient>(*cluster_, std::move(ep),
+                                          manager_address_, description);
+}
+
+void SchoonerSystem::stop() {
+  if (!running_) return;
+  running_ = false;
+  // Stop the Manager through a throwaway endpoint on its own machine.
+  try {
+    std::string machine = manager_address_.substr(0, manager_address_.find('/'));
+    sim::EndpointPtr ep = cluster_->create_endpoint(machine, "schx-stopper");
+    MessageIo io(*cluster_, ep);
+    io.call(manager_address_, Message{.kind = MessageKind::kManagerStop});
+    cluster_->retire_endpoint(ep->address());
+  } catch (const util::Error& e) {
+    NPSS_LOG_WARN("schooner", "manager stop failed: ", e.what());
+  }
+  for (const auto& [machine, address] : server_addresses_) {
+    try {
+      std::string mgr_machine = machine;
+      sim::EndpointPtr ep =
+          cluster_->create_endpoint(machine, "schx-stopper");
+      MessageIo io(*cluster_, ep);
+      Message stop;
+      stop.kind = MessageKind::kShutdownProc;
+      stop.seq = io.next_seq();
+      stop.a = "system stop";
+      io.send(address, std::move(stop));
+      cluster_->retire_endpoint(ep->address());
+    } catch (const util::Error&) {
+      // Server already gone.
+    }
+  }
+}
+
+}  // namespace npss::rpc

@@ -1,0 +1,53 @@
+// SchoonerSystem: boots the runtime onto a virtual cluster — one Server
+// per machine, then the persistent Manager — and tears it down again. This
+// is the umbrella header for the Schooner core; most applications need
+// only this plus host.hpp (to define procedure images) and client.hpp.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "rpc/client.hpp"
+#include "rpc/host.hpp"
+#include "rpc/manager.hpp"
+#include "rpc/message.hpp"
+#include "rpc/server.hpp"
+#include "sim/cluster.hpp"
+
+namespace npss::rpc {
+
+class SchoonerSystem {
+ public:
+  /// Start one Server on every machine currently in `cluster`, then the
+  /// Manager on `manager_machine`.
+  SchoonerSystem(sim::Cluster& cluster, const std::string& manager_machine);
+
+  ~SchoonerSystem();
+  SchoonerSystem(const SchoonerSystem&) = delete;
+  SchoonerSystem& operator=(const SchoonerSystem&) = delete;
+
+  sim::Cluster& cluster() { return *cluster_; }
+  const std::string& manager_address() const { return manager_address_; }
+
+  /// Make a client (== open a new line) whose endpoint lives on `machine`.
+  std::unique_ptr<SchoonerClient> make_client(const std::string& machine,
+                                              const std::string& description);
+
+  /// Runtime counters accumulated by the Manager.
+  ManagerStats stats() const { return *stats_; }
+
+  /// Stop the Manager (and through it every remaining line) and the
+  /// Servers. Idempotent; also run by the destructor.
+  void stop();
+
+  bool running() const { return running_; }
+
+ private:
+  sim::Cluster* cluster_;
+  std::string manager_address_;
+  std::map<std::string, std::string> server_addresses_;
+  std::shared_ptr<ManagerStats> stats_;
+  bool running_ = false;
+};
+
+}  // namespace npss::rpc

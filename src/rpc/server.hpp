@@ -1,0 +1,14 @@
+// The Schooner Server: one per machine involved in a computation (§3.1).
+// It receives kSpawn orders from the Manager and instantiates the named
+// program image as a process on its machine.
+#pragma once
+
+#include "rpc/message.hpp"
+#include "sim/cluster.hpp"
+
+namespace npss::rpc {
+
+/// The Server's process body; spawned by SchoonerSystem on each machine.
+void server_main(sim::ProcessContext& ctx);
+
+}  // namespace npss::rpc

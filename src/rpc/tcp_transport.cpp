@@ -1,0 +1,284 @@
+#include "rpc/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+#include "rpc/manager.hpp"
+#include "util/log.hpp"
+
+namespace npss::rpc {
+
+using util::CallError;
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+// --- TcpConnection ----------------------------------------------------------------
+
+TcpConnection::~TcpConnection() { close(); }
+
+std::unique_ptr<TcpConnection> TcpConnection::connect(const std::string& host,
+                                                      int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw CallError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw CallError("bad address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw CallError("connect to " + host + ":" + std::to_string(port) +
+                    " failed: " + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return std::make_unique<TcpConnection>(fd);
+}
+
+void TcpConnection::write_all(const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) throw CallError("tcp send failed");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool TcpConnection::read_all(std::uint8_t* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::recv(fd_, data + got, size - got, 0);
+    if (n == 0) return false;  // orderly close
+    if (n < 0) throw CallError("tcp recv failed");
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void TcpConnection::send(const Message& msg) {
+  util::Bytes frame = encode_message(msg);
+  std::uint8_t prefix[4];
+  const std::uint32_t len = static_cast<std::uint32_t>(frame.size());
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<std::uint8_t>(len >> (8 * (3 - i)));
+  }
+  write_all(prefix, 4);
+  write_all(frame.data(), frame.size());
+}
+
+bool TcpConnection::receive(Message& msg) {
+  std::uint8_t prefix[4];
+  if (!read_all(prefix, 4)) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len = (len << 8) | prefix[i];
+  if (len > (64u << 20)) {
+    throw util::EncodingError("tcp frame length " + std::to_string(len) +
+                              " exceeds the 64 MiB sanity cap");
+  }
+  util::Bytes frame(len);
+  if (!read_all(frame.data(), len)) return false;
+  msg = decode_message(frame);
+  return true;
+}
+
+void TcpConnection::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// --- TcpProcedureHost --------------------------------------------------------------
+
+TcpProcedureHost::TcpProcedureHost(const std::string& spec_text,
+                                   std::vector<ProcedureDef> procs,
+                                   const std::string& arch_key, int port)
+    : arch_(&arch::arch_catalog(arch_key)) {
+  uts::SpecFile spec = uts::parse_spec(spec_text);
+  for (ProcedureDef& def : procs) {
+    const uts::ProcDecl& decl = spec.find(def.name);
+    handlers_[lower(def.name)] = Entry{decl, std::move(def.handler)};
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw CallError("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    throw CallError("bind failed: " + std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) != 0) throw CallError("listen failed");
+  acceptor_ = std::jthread([this] { accept_loop(); });
+}
+
+TcpProcedureHost::~TcpProcedureHost() { stop(); }
+
+void TcpProcedureHost::stop() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // jthread members join on destruction; workers see closed sockets.
+}
+
+void TcpProcedureHost::accept_loop() {
+  while (!stopping_) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // listener closed
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_unique<TcpConnection>(fd);
+    std::lock_guard lock(workers_mu_);
+    workers_.emplace_back(
+        [this, conn = std::move(conn)]() mutable { serve(std::move(conn)); });
+  }
+}
+
+void TcpProcedureHost::serve(std::unique_ptr<TcpConnection> conn) {
+  Message msg;
+  try {
+    while (conn->receive(msg)) {
+      if (msg.kind == MessageKind::kPing) {
+        Message pong;
+        pong.kind = MessageKind::kPong;
+        pong.seq = msg.seq;
+        conn->send(pong);
+        continue;
+      }
+      if (msg.kind != MessageKind::kCall) {
+        conn->send(Message::error_reply(msg, util::ErrorCode::kProtocolError,
+                                        "tcp host: unexpected message"));
+        continue;
+      }
+      try {
+        auto it = handlers_.find(lower(msg.a));
+        if (it == handlers_.end()) {
+          throw util::LookupError("no procedure '" + msg.a + "'");
+        }
+        const Entry& entry = it->second;
+        uts::ProcDecl import_decl = parse_signature_text(msg.b);
+        std::string why = uts::signature_compatibility_error(
+            import_decl.signature, entry.decl.signature);
+        if (!why.empty()) throw util::TypeMismatchError(why);
+        uts::ValueList import_values = uts::unmarshal(
+            *arch_, import_decl.signature, msg.blob, uts::Direction::kRequest);
+
+        // Scatter import slots onto the export signature by name.
+        uts::ValueList values;
+        values.reserve(entry.decl.signature.size());
+        for (const uts::Param& p : entry.decl.signature) {
+          values.push_back(uts::default_value(p.type));
+        }
+        std::vector<std::size_t> slot(import_decl.signature.size());
+        std::size_t epos = 0;
+        for (std::size_t i = 0; i < import_decl.signature.size(); ++i) {
+          while (entry.decl.signature[epos].name !=
+                 import_decl.signature[i].name) {
+            ++epos;
+          }
+          slot[i] = epos++;
+        }
+        for (std::size_t i = 0; i < import_decl.signature.size(); ++i) {
+          if (uts::param_travels(import_decl.signature[i].mode,
+                                 uts::Direction::kRequest)) {
+            values[slot[i]] = std::move(import_values[i]);
+          }
+        }
+
+        // No cluster runtime behind a TCP host: compute() is a no-op
+        // and nested calls are unavailable.
+        ProcCall call(entry.decl.signature, std::move(values), nullptr);
+        entry.handler(call);
+
+        uts::ValueList reply_values;
+        reply_values.reserve(import_decl.signature.size());
+        for (std::size_t i = 0; i < import_decl.signature.size(); ++i) {
+          reply_values.push_back(call.values()[slot[i]]);
+        }
+        Message rep;
+        rep.kind = MessageKind::kReply;
+        rep.seq = msg.seq;
+        rep.blob = uts::marshal(*arch_, import_decl.signature, reply_values,
+                                uts::Direction::kReply);
+        ++calls_;  // count before the reply leaves, so a client that has
+                   // seen its reply also sees the updated counter
+        conn->send(rep);
+      } catch (const util::Error& e) {
+        conn->send(Message::error_reply(msg, e.code(), e.what()));
+      }
+    }
+  } catch (const util::Error& e) {
+    NPSS_LOG_WARN("tcp-host", "connection dropped: ", e.what());
+  }
+}
+
+// --- TcpRemoteProc ------------------------------------------------------------------
+
+TcpRemoteProc::TcpRemoteProc(const std::string& host, int port,
+                             const std::string& name,
+                             const std::string& import_spec_text,
+                             const std::string& arch_key)
+    : conn_(TcpConnection::connect(host, port)),
+      name_(name),
+      arch_(&arch::arch_catalog(arch_key)) {
+  uts::SpecFile spec = uts::parse_spec(import_spec_text);
+  decl_ = spec.find(name);
+  import_text_ = uts::decl_to_string(decl_);
+}
+
+uts::ValueList TcpRemoteProc::call(uts::ValueList args) {
+  const uts::Signature& sig = decl_.signature;
+  if (args.size() != sig.size()) {
+    throw util::TypeMismatchError("tcp call: argument count mismatch");
+  }
+  Message msg;
+  msg.kind = MessageKind::kCall;
+  msg.seq = ++seq_;
+  msg.a = name_;
+  msg.b = import_text_;
+  msg.blob = uts::marshal(*arch_, sig, args, uts::Direction::kRequest);
+  conn_->send(msg);
+  Message reply;
+  if (!conn_->receive(reply)) {
+    throw CallError("tcp peer closed during call to '" + name_ + "'");
+  }
+  reply.raise_if_error();
+  uts::ValueList results =
+      uts::unmarshal(*arch_, sig, reply.blob, uts::Direction::kReply);
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    if (!uts::param_travels(sig[i].mode, uts::Direction::kReply)) {
+      results[i] = std::move(args[i]);
+    }
+  }
+  return results;
+}
+
+}  // namespace npss::rpc

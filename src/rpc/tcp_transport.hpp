@@ -1,0 +1,115 @@
+// Real-socket transport.
+//
+// The virtual cluster reproduces the paper's *testbed*; this module is the
+// transport the system would use on a real network today: Schooner wire
+// Messages framed over TCP (4-byte big-endian length prefix + the standard
+// frame). It provides a direct-connection subset of the protocol — a
+// TcpProcedureHost serves kCall/kPing for a set of procedures, and a
+// TcpRemoteProc is the matching client stub — enough to run the marshaling
+// stack between genuinely separate processes (see examples/tcp_demo.cpp).
+// Heterogeneity still applies: both ends declare the architecture whose
+// native formats their values pass through.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "rpc/host.hpp"
+#include "rpc/message.hpp"
+
+namespace npss::rpc {
+
+/// Blocking, length-prefixed Message stream over a connected socket.
+class TcpConnection {
+ public:
+  /// Adopt an already-connected socket descriptor.
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection();
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Connect to host:port. Throws util::CallError on failure.
+  static std::unique_ptr<TcpConnection> connect(const std::string& host,
+                                                int port);
+
+  void send(const Message& msg);
+  /// Blocking receive; returns false on orderly peer close.
+  bool receive(Message& msg);
+
+  void close();
+  int fd() const { return fd_; }
+
+ private:
+  void write_all(const std::uint8_t* data, std::size_t size);
+  bool read_all(std::uint8_t* data, std::size_t size);
+
+  int fd_ = -1;
+};
+
+/// Serves a set of procedures over TCP. One thread per connection;
+/// stateless dispatch identical to the in-cluster host runtime's kCall
+/// handling (same subset-import semantics, same error mapping).
+class TcpProcedureHost {
+ public:
+  /// Listen on `port` (0 = ephemeral; see port()). `arch_key` names the
+  /// architecture whose native formats this host's values pass through.
+  TcpProcedureHost(const std::string& spec_text,
+                   std::vector<ProcedureDef> procs, const std::string& arch_key,
+                   int port = 0);
+  ~TcpProcedureHost();
+  TcpProcedureHost(const TcpProcedureHost&) = delete;
+  TcpProcedureHost& operator=(const TcpProcedureHost&) = delete;
+
+  int port() const { return port_; }
+  /// Calls served so far.
+  long calls() const { return calls_.load(); }
+
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve(std::unique_ptr<TcpConnection> conn);
+
+  struct Entry {
+    uts::ProcDecl decl;
+    ProcHandler handler;
+  };
+
+  const arch::ArchDescriptor* arch_;
+  std::map<std::string, Entry> handlers_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<long> calls_{0};
+  std::jthread acceptor_;
+  std::mutex workers_mu_;
+  std::vector<std::jthread> workers_;
+};
+
+/// Client stub calling one procedure on a TcpProcedureHost.
+class TcpRemoteProc {
+ public:
+  /// `import_spec_text` holds the import declaration for `name`.
+  TcpRemoteProc(const std::string& host, int port, const std::string& name,
+                const std::string& import_spec_text,
+                const std::string& arch_key);
+
+  /// Same contract as RemoteProc::call.
+  uts::ValueList call(uts::ValueList args);
+
+  const uts::Signature& signature() const { return decl_.signature; }
+
+ private:
+  std::unique_ptr<TcpConnection> conn_;
+  std::string name_;
+  uts::ProcDecl decl_;
+  std::string import_text_;
+  const arch::ArchDescriptor* arch_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace npss::rpc

@@ -1,0 +1,257 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace npss::sim {
+
+using util::NoRouteError;
+using util::NoSuchImageError;
+using util::NoSuchMachineError;
+
+void ProcessContext::compute(double microseconds) {
+  const double speed = self_->arch().cpu_speed;
+  self_->clock().advance(
+      static_cast<util::SimTime>(microseconds / std::max(speed, 1e-6)));
+}
+
+void ProcessContext::send(const std::string& to, util::Bytes payload) {
+  cluster_->send(*self_, to, std::move(payload));
+}
+
+Cluster::Cluster()
+    : intra_site_(link_profile("ethernet-lan")),
+      intra_machine_(link_profile("loopback")) {}
+
+Cluster::~Cluster() { shutdown(); }
+
+Machine& Cluster::add_machine(const std::string& name,
+                              const std::string& arch_key,
+                              const std::string& site) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = machines_.try_emplace(
+      name, Machine{name, &arch::arch_catalog(arch_key), site});
+  if (!inserted) {
+    throw NoSuchMachineError("machine '" + name + "' already exists");
+  }
+  return it->second;
+}
+
+const Machine& Cluster::machine(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = machines_.find(name);
+  if (it == machines_.end()) {
+    throw NoSuchMachineError("unknown machine '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Cluster::has_machine(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return machines_.contains(name);
+}
+
+std::vector<std::string> Cluster::machine_names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(machines_.size());
+  for (const auto& [name, m] : machines_) names.push_back(name);
+  return names;
+}
+
+void Cluster::set_site_link(const std::string& site_a,
+                            const std::string& site_b,
+                            const LinkProfile& profile) {
+  std::lock_guard lock(mu_);
+  site_links_[{std::min(site_a, site_b), std::max(site_a, site_b)}] = profile;
+}
+
+void Cluster::set_link_up(const std::string& site_a,
+                          const std::string& site_b, bool up) {
+  std::lock_guard lock(mu_);
+  auto key = std::make_pair(std::min(site_a, site_b),
+                            std::max(site_a, site_b));
+  if (up) {
+    links_down_.erase(key);
+  } else {
+    links_down_.insert(key);
+  }
+}
+
+void Cluster::set_intra_site_link(const LinkProfile& profile) {
+  std::lock_guard lock(mu_);
+  intra_site_ = profile;
+}
+
+void Cluster::set_intra_machine_link(const LinkProfile& profile) {
+  std::lock_guard lock(mu_);
+  intra_machine_ = profile;
+}
+
+const LinkProfile& Cluster::route(const Machine& from,
+                                  const Machine& to) const {
+  std::lock_guard lock(mu_);
+  if (from.name == to.name) return intra_machine_;
+  if (from.site == to.site) return intra_site_;
+  auto key = std::make_pair(std::min(from.site, to.site),
+                            std::max(from.site, to.site));
+  if (links_down_.contains(key)) {
+    throw NoRouteError("link between sites '" + from.site + "' and '" +
+                       to.site + "' is down");
+  }
+  auto it = site_links_.find(key);
+  if (it == site_links_.end()) {
+    throw NoRouteError("no link configured between sites '" + from.site +
+                       "' and '" + to.site + "'");
+  }
+  return it->second;
+}
+
+void Cluster::install_image(const std::string& machine,
+                            const std::string& path, ProgramImage image) {
+  std::lock_guard lock(mu_);
+  if (!machines_.contains(machine)) {
+    throw NoSuchMachineError("install_image: unknown machine '" + machine +
+                             "'");
+  }
+  images_[{machine, path}] = std::move(image);
+}
+
+bool Cluster::has_image(const std::string& machine,
+                        const std::string& path) const {
+  std::lock_guard lock(mu_);
+  return images_.contains({machine, path});
+}
+
+EndpointPtr Cluster::create_endpoint(const std::string& machine,
+                                     const std::string& label) {
+  std::lock_guard lock(mu_);
+  auto it = machines_.find(machine);
+  if (it == machines_.end()) {
+    throw NoSuchMachineError("create_endpoint: unknown machine '" + machine +
+                             "'");
+  }
+  std::string address =
+      machine + "/" + label + "#" + std::to_string(next_pid_++);
+  auto ep = std::make_shared<Endpoint>(it->second, address);
+  endpoints_[address] = ep;
+  return ep;
+}
+
+EndpointPtr Cluster::spawn(const std::string& machine,
+                           const std::string& label, ProgramImage image,
+                           std::vector<std::string> args) {
+  EndpointPtr ep = create_endpoint(machine, label);
+  {
+    std::lock_guard lock(mu_);
+    threads_.emplace_back([this, ep, image = std::move(image),
+                           args = std::move(args)]() mutable {
+      ProcessContext ctx(*this, ep, std::move(args));
+      try {
+        image(ctx);
+      } catch (const std::exception& e) {
+        NPSS_LOG_ERROR("sim", "process ", ep->address(),
+                       " died with exception: ", e.what());
+      }
+      retire_endpoint(ep->address());
+    });
+  }
+  return ep;
+}
+
+EndpointPtr Cluster::spawn_image(const std::string& machine,
+                                 const std::string& path,
+                                 const std::string& label,
+                                 std::vector<std::string> args) {
+  ProgramImage image;
+  {
+    std::lock_guard lock(mu_);
+    auto it = images_.find({machine, path});
+    if (it == images_.end()) {
+      throw NoSuchImageError("no executable '" + path + "' on machine '" +
+                             machine + "'");
+    }
+    image = it->second;
+  }
+  return spawn(machine, label, std::move(image), std::move(args));
+}
+
+void Cluster::retire_endpoint(const std::string& address) {
+  EndpointPtr ep;
+  {
+    std::lock_guard lock(mu_);
+    auto it = endpoints_.find(address);
+    if (it == endpoints_.end()) return;
+    ep = it->second;
+    endpoints_.erase(it);
+  }
+  ep->close();
+}
+
+bool Cluster::endpoint_alive(const std::string& address) const {
+  std::lock_guard lock(mu_);
+  return endpoints_.contains(address);
+}
+
+void Cluster::send(Endpoint& from, const std::string& to,
+                   util::Bytes payload) {
+  EndpointPtr dest;
+  const LinkProfile* link = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) {
+      throw NoRouteError("no endpoint at address '" + to + "'");
+    }
+    dest = it->second;
+  }
+  link = &route(from.machine(), dest->machine());
+  const std::size_t size = payload.size();
+  const util::SimTime stamp =
+      from.clock().now() + link->transfer_time(size);
+  {
+    std::lock_guard lock(mu_);
+    ++traffic_.messages;
+    traffic_.bytes += size;
+    Traffic& per_link = traffic_by_link_[link->name];
+    ++per_link.messages;
+    per_link.bytes += size;
+  }
+  NPSS_LOG_TRACE("sim", from.address(), " -> ", to, " (", size, " bytes via ",
+                 link->name, ")");
+  if (!dest->inbox_.push(
+          Envelope{from.address(), to, stamp, std::move(payload)})) {
+    throw NoRouteError("endpoint '" + to + "' is closed");
+  }
+}
+
+void Cluster::shutdown() {
+  std::unordered_map<std::string, EndpointPtr> eps;
+  std::vector<std::jthread> threads;
+  {
+    std::lock_guard lock(mu_);
+    eps.swap(endpoints_);
+    threads.swap(threads_);
+  }
+  for (auto& [addr, ep] : eps) ep->close();
+  threads.clear();  // jthread joins on destruction
+}
+
+Cluster::Traffic Cluster::traffic() const {
+  std::lock_guard lock(mu_);
+  return traffic_;
+}
+
+std::map<std::string, Cluster::Traffic> Cluster::traffic_by_link() const {
+  std::lock_guard lock(mu_);
+  return traffic_by_link_;
+}
+
+void Cluster::reset_traffic() {
+  std::lock_guard lock(mu_);
+  traffic_ = {};
+  traffic_by_link_.clear();
+}
+
+}  // namespace npss::sim

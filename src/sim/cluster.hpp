@@ -1,0 +1,205 @@
+// The virtual heterogeneous cluster.
+//
+// A Cluster owns named Machines (each with an arch::ArchDescriptor and a
+// site), a routing table of LinkProfiles keyed by site pair, a registry of
+// installed "program images" (the simulated executables the user's pathname
+// widget points at, §3.3), and the live processes. A process is a host
+// thread bound to an Endpoint: a mailbox plus a virtual clock on some
+// machine. Message delivery stamps envelopes with
+//   sender_clock + link.transfer_time(bytes)
+// and receivers join their clock with the stamp on receipt, so elapsed
+// virtual time along any sequential call chain is deterministic regardless
+// of host scheduling.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "sim/network.hpp"
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+#include "util/queue.hpp"
+#include "util/status.hpp"
+
+namespace npss::sim {
+
+struct Machine {
+  std::string name;
+  const arch::ArchDescriptor* arch = nullptr;
+  std::string site;
+};
+
+struct Envelope {
+  std::string from;
+  std::string to;
+  util::SimTime stamp = 0;
+  util::Bytes payload;
+};
+
+class Cluster;
+
+/// A process's communication end: mailbox + virtual clock on a machine.
+class Endpoint {
+ public:
+  Endpoint(const Machine& machine, std::string address)
+      : machine_(&machine), address_(std::move(address)) {}
+
+  const std::string& address() const { return address_; }
+  const Machine& machine() const { return *machine_; }
+  const arch::ArchDescriptor& arch() const { return *machine_->arch; }
+  util::VirtualClock& clock() { return clock_; }
+
+  /// Blocking receive; joins the clock with the envelope stamp.
+  /// Returns nullopt once the endpoint is closed and drained.
+  std::optional<Envelope> receive() {
+    auto env = inbox_.pop();
+    if (env) clock_.join(env->stamp);
+    return env;
+  }
+
+  std::optional<Envelope> try_receive() {
+    auto env = inbox_.try_pop();
+    if (env) clock_.join(env->stamp);
+    return env;
+  }
+
+  void close() { inbox_.close(); }
+  bool closed() const { return inbox_.closed(); }
+
+ private:
+  friend class Cluster;
+  const Machine* machine_;
+  std::string address_;
+  util::VirtualClock clock_;
+  util::BlockingQueue<Envelope> inbox_;
+};
+
+using EndpointPtr = std::shared_ptr<Endpoint>;
+
+/// Execution context handed to a spawned program image.
+class ProcessContext {
+ public:
+  ProcessContext(Cluster& cluster, EndpointPtr self,
+                 std::vector<std::string> args)
+      : cluster_(&cluster), self_(std::move(self)), args_(std::move(args)) {}
+
+  Cluster& cluster() { return *cluster_; }
+  Endpoint& self() { return *self_; }
+  EndpointPtr self_ptr() { return self_; }
+  const std::vector<std::string>& args() const { return args_; }
+
+  /// Account `microseconds` of work at a reference machine's speed; the
+  /// clock advances scaled by this machine's relative CPU speed.
+  void compute(double microseconds);
+
+  void send(const std::string& to, util::Bytes payload);
+
+ private:
+  Cluster* cluster_;
+  EndpointPtr self_;
+  std::vector<std::string> args_;
+};
+
+using ProgramImage = std::function<void(ProcessContext&)>;
+
+class Cluster {
+ public:
+  Cluster();
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- Topology ---------------------------------------------------------
+  Machine& add_machine(const std::string& name, const std::string& arch_key,
+                       const std::string& site);
+  const Machine& machine(const std::string& name) const;
+  bool has_machine(const std::string& name) const;
+  std::vector<std::string> machine_names() const;
+
+  /// Route between two sites (both directions).
+  void set_site_link(const std::string& site_a, const std::string& site_b,
+                     const LinkProfile& profile);
+
+  /// Take a site pair's link down (sends fail with NoRouteError) or bring
+  /// it back up — WAN outages were a fact of life on the 1993 Internet.
+  void set_link_up(const std::string& site_a, const std::string& site_b,
+                   bool up);
+  /// Link used between distinct machines of the same site.
+  void set_intra_site_link(const LinkProfile& profile);
+  /// Link used between processes on the same machine.
+  void set_intra_machine_link(const LinkProfile& profile);
+
+  const LinkProfile& route(const Machine& from, const Machine& to) const;
+
+  // --- Program images (simulated executables) ----------------------------
+  void install_image(const std::string& machine, const std::string& path,
+                     ProgramImage image);
+  bool has_image(const std::string& machine, const std::string& path) const;
+
+  // --- Processes ----------------------------------------------------------
+  /// A mailbox for a caller-driven participant (no thread is spawned); the
+  /// caller runs its own logic and receives on the returned endpoint.
+  EndpointPtr create_endpoint(const std::string& machine,
+                              const std::string& label);
+
+  /// Spawn `image` as a process (host thread) on `machine`.
+  EndpointPtr spawn(const std::string& machine, const std::string& label,
+                    ProgramImage image, std::vector<std::string> args = {});
+
+  /// Spawn an installed image by path. Throws util::NoSuchImageError if the
+  /// path is not installed on that machine.
+  EndpointPtr spawn_image(const std::string& machine, const std::string& path,
+                          const std::string& label,
+                          std::vector<std::string> args = {});
+
+  /// Remove an endpoint from the address space (its queue is closed; late
+  /// sends to the address fail). Idempotent.
+  void retire_endpoint(const std::string& address);
+
+  bool endpoint_alive(const std::string& address) const;
+
+  // --- Messaging ----------------------------------------------------------
+  /// Deliver `payload` from `from` to the endpoint at `to`. Throws
+  /// util::NoRouteError if the destination does not exist (any more) —
+  /// the signal the Schooner client runtime turns into stale-binding
+  /// recovery. Also advances the sender's clock by the send overhead.
+  void send(Endpoint& from, const std::string& to, util::Bytes payload);
+
+  /// Close every endpoint and join all process threads.
+  void shutdown();
+
+  // --- Accounting ---------------------------------------------------------
+  struct Traffic {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+  /// Total traffic, and per link-profile-name traffic.
+  Traffic traffic() const;
+  std::map<std::string, Traffic> traffic_by_link() const;
+  void reset_traffic();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Machine> machines_;
+  std::map<std::pair<std::string, std::string>, LinkProfile> site_links_;
+  std::set<std::pair<std::string, std::string>> links_down_;
+  LinkProfile intra_site_;
+  LinkProfile intra_machine_;
+  std::unordered_map<std::string, EndpointPtr> endpoints_;
+  std::map<std::pair<std::string, std::string>, ProgramImage> images_;
+  std::vector<std::jthread> threads_;
+  std::uint64_t next_pid_ = 1;
+  Traffic traffic_;
+  std::map<std::string, Traffic> traffic_by_link_;
+};
+
+}  // namespace npss::sim

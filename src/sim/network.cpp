@@ -1,0 +1,40 @@
+#include "sim/network.hpp"
+
+#include <array>
+
+namespace npss::sim {
+
+namespace {
+
+const std::array<LinkProfile, 4>& catalog() {
+  static const std::array<LinkProfile, 4> profiles = {{
+      // Same machine: kernel loopback.
+      {"loopback", 50, 40.0, 0, 0},
+      // Shared 10 Mbit Ethernet segment, early-90s UDP/TCP stacks.
+      {"ethernet-lan", 700, 1.25, 0, 0},
+      // "Same building, multiple gateways" (Table 1): campus backbone
+      // crossing several routers at 4 Mbit effective.
+      {"campus-multigateway", 2500, 0.5, 3, 400},
+      // NSFNET-era WAN path, LeRC (Cleveland) <-> U. Arizona (Tucson):
+      // tens of ms propagation, sub-T1 effective throughput, many hops.
+      {"internet-wan", 35000, 0.04, 8, 1000},
+  }};
+  return profiles;
+}
+
+}  // namespace
+
+const LinkProfile& link_profile(std::string_view key) {
+  for (const LinkProfile& p : catalog()) {
+    if (p.name == key) return p;
+  }
+  throw util::NoRouteError("unknown link profile '" + std::string(key) + "'");
+}
+
+std::vector<std::string> link_profile_keys() {
+  std::vector<std::string> keys;
+  for (const LinkProfile& p : catalog()) keys.push_back(p.name);
+  return keys;
+}
+
+}  // namespace npss::sim

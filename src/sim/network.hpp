@@ -1,0 +1,43 @@
+// Network link models for the virtual cluster.
+//
+// Table 1's three connectivity classes are modeled as link profiles with
+// one-way latency, bandwidth, and gateway hop cost. The absolute numbers
+// are calibrated to early-1990s practice (10 Mbit shared Ethernet; campus
+// backbones crossing several routers; NSFNET-era WAN paths between Ohio and
+// Arizona); the *ordering* — lan << campus << wan, with WAN cost dominated
+// by latency for TESS-sized payloads — is what the T1/A7 benches must
+// reproduce.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace npss::sim {
+
+struct LinkProfile {
+  std::string name;
+  util::SimTime latency_us = 0;     ///< one-way propagation + stack latency
+  double bytes_per_us = 1.0;        ///< effective bandwidth
+  int gateways = 0;                 ///< store-and-forward hops
+  util::SimTime per_gateway_us = 0; ///< added per hop
+
+  /// One-way transfer time for a payload of `bytes`.
+  util::SimTime transfer_time(std::size_t bytes) const {
+    return latency_us +
+           static_cast<util::SimTime>(gateways) * per_gateway_us +
+           static_cast<util::SimTime>(static_cast<double>(bytes) /
+                                      bytes_per_us);
+  }
+};
+
+/// Profile catalog. Keys: "loopback", "ethernet-lan",
+/// "campus-multigateway", "internet-wan". Throws util::NoRouteError on
+/// unknown keys.
+const LinkProfile& link_profile(std::string_view key);
+
+std::vector<std::string> link_profile_keys();
+
+}  // namespace npss::sim

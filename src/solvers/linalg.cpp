@@ -1,0 +1,98 @@
+#include "solvers/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace npss::solvers {
+
+using util::ConvergenceError;
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double>& x) const {
+  if (x.size() != cols_) {
+    throw util::ModelError("matrix-vector size mismatch");
+  }
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      y[r] += (*this)(r, c) * x[c];
+    }
+  }
+  return y;
+}
+
+LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
+  const std::size_t n = lu_.rows();
+  if (lu_.cols() != n) {
+    throw util::ModelError("LU requires a square matrix");
+  }
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at/below the diagonal.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      if (std::abs(lu_(r, k)) > best) {
+        best = std::abs(lu_(r, k));
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) {
+      throw ConvergenceError("singular matrix in LU at column " +
+                             std::to_string(k));
+    }
+    if (pivot != k) {
+      std::swap(perm_[pivot], perm_[k]);
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(pivot, c), lu_(k, c));
+      }
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      lu_(r, k) /= lu_(k, k);
+      const double factor = lu_(r, k);
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+}
+
+std::vector<double> LuFactorization::solve(const std::vector<double>& b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) {
+    throw util::ModelError("LU solve: rhs size mismatch");
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  // Forward substitution (unit lower triangle).
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) x[i] -= lu_(i, j) * x[j];
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n; ++j) x[ii] -= lu_(ii, j) * x[j];
+    x[ii] /= lu_(ii, ii);
+  }
+  return x;
+}
+
+double LuFactorization::abs_determinant() const {
+  double det = 1.0;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= std::abs(lu_(i, i));
+  return det;
+}
+
+double inf_norm(const std::vector<double>& v) {
+  double best = 0.0;
+  for (double x : v) best = std::max(best, std::abs(x));
+  return best;
+}
+
+}  // namespace npss::solvers

@@ -1,0 +1,58 @@
+// Small dense linear algebra for the TESS balance solvers: a column-major
+// matrix, LU factorization with partial pivoting, and solve. Sizes are tiny
+// (the F100 balance is < 10 unknowns) so simplicity beats blocking.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace npss::solvers {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[c * rows_ + r];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[c * rows_ + r];
+  }
+
+  std::vector<double> multiply(const std::vector<double>& x) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting. Throws util::ConvergenceError on
+/// a (numerically) singular matrix.
+class LuFactorization {
+ public:
+  explicit LuFactorization(Matrix a);
+
+  /// Solve A x = b.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// |det A| estimate from the pivots (used for conditioning diagnostics).
+  double abs_determinant() const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+/// Infinity norm of a vector.
+double inf_norm(const std::vector<double>& v);
+
+}  // namespace npss::solvers

@@ -1,0 +1,114 @@
+#include "solvers/newton.hpp"
+
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace npss::solvers {
+
+namespace {
+
+NewtonResult run(const ResidualFn& residual, std::vector<double> x,
+                 const NewtonOptions& opt) {
+  NewtonResult result;
+  const std::size_t n = x.size();
+  std::vector<double> fx = residual(x);
+  ++result.function_evaluations;
+  if (fx.size() != n) {
+    throw util::ModelError("newton: residual dimension " +
+                           std::to_string(fx.size()) + " != unknowns " +
+                           std::to_string(n));
+  }
+  double norm = inf_norm(fx);
+
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    if (norm <= opt.tolerance) {
+      result.solution = std::move(x);
+      result.residual_norm = norm;
+      result.iterations = iter;
+      result.converged = true;
+      return result;
+    }
+    // Finite-difference Jacobian, one column per unknown.
+    Matrix jac(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double h = opt.fd_step * std::max(1.0, std::abs(x[j]));
+      std::vector<double> xp = x;
+      xp[j] += h;
+      std::vector<double> fp = residual(xp);
+      ++result.function_evaluations;
+      for (std::size_t i = 0; i < n; ++i) {
+        jac(i, j) = (fp[i] - fx[i]) / h;
+      }
+    }
+    std::vector<double> rhs(n);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = -fx[i];
+    std::vector<double> step;
+    try {
+      step = LuFactorization(jac).solve(rhs);
+    } catch (const util::ConvergenceError&) {
+      // Singular Jacobian — typically an unknown pinned at a model clamp
+      // so its finite-difference column vanished. Regularize the diagonal
+      // (Levenberg-style) and move in the remaining directions.
+      double scale = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          scale = std::max(scale, std::abs(jac(i, j)));
+        }
+      }
+      for (std::size_t k = 0; k < n; ++k) {
+        jac(k, k) += 1e-4 * scale + 1e-10;
+      }
+      step = LuFactorization(jac).solve(rhs);
+    }
+
+    // Backtracking line search on ||F||_inf.
+    double lambda = 1.0;
+    std::vector<double> x_new(n);
+    std::vector<double> f_new;
+    double norm_new = norm;
+    while (true) {
+      for (std::size_t i = 0; i < n; ++i) x_new[i] = x[i] + lambda * step[i];
+      f_new = residual(x_new);
+      ++result.function_evaluations;
+      norm_new = inf_norm(f_new);
+      if (!opt.require_reduction || norm_new < norm ||
+          lambda <= opt.min_damping) {
+        break;
+      }
+      lambda *= 0.5;
+    }
+    x = std::move(x_new);
+    fx = std::move(f_new);
+    norm = norm_new;
+  }
+
+  result.solution = std::move(x);
+  result.residual_norm = norm;
+  result.iterations = opt.max_iterations;
+  result.converged = norm <= opt.tolerance;
+  return result;
+}
+
+}  // namespace
+
+NewtonResult newton_solve(const ResidualFn& residual,
+                          std::vector<double> initial,
+                          const NewtonOptions& options) {
+  NewtonResult result = run(residual, std::move(initial), options);
+  if (!result.converged) {
+    throw util::ConvergenceError(
+        "Newton-Raphson failed: residual " +
+        std::to_string(result.residual_norm) + " after " +
+        std::to_string(result.iterations) + " iterations");
+  }
+  return result;
+}
+
+NewtonResult newton_try_solve(const ResidualFn& residual,
+                              std::vector<double> initial,
+                              const NewtonOptions& options) {
+  return run(residual, std::move(initial), options);
+}
+
+}  // namespace npss::solvers

@@ -1,0 +1,48 @@
+// Damped Newton-Raphson with finite-difference Jacobian — the steady-state
+// balance method TESS offers (§3.2). The residual callback is deliberately a
+// std::function over plain vectors so the same solver drives both the
+// in-process engine model and the Schooner-remote one (where each residual
+// evaluation fans out RPCs).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "solvers/linalg.hpp"
+
+namespace npss::solvers {
+
+struct NewtonOptions {
+  double tolerance = 1e-9;        ///< convergence: ||F||_inf below this
+  int max_iterations = 50;
+  double fd_step = 1e-6;          ///< relative finite-difference step
+  double min_damping = 1.0 / 64;  ///< smallest backtracking factor tried
+  bool require_reduction = true;  ///< backtrack until ||F|| decreases
+};
+
+struct NewtonResult {
+  std::vector<double> solution;
+  double residual_norm = 0.0;
+  int iterations = 0;
+  int function_evaluations = 0;
+  bool converged = false;
+};
+
+using ResidualFn =
+    std::function<std::vector<double>(const std::vector<double>&)>;
+
+/// Solve F(x) = 0 starting from `initial`. Throws util::ConvergenceError if
+/// the iteration limit is reached without meeting the tolerance, with the
+/// best iterate recorded in the message.
+NewtonResult newton_solve(const ResidualFn& residual,
+                          std::vector<double> initial,
+                          const NewtonOptions& options = {});
+
+/// Same, but returns the (non-converged) result instead of throwing; used
+/// by benches that record failure modes.
+NewtonResult newton_try_solve(const ResidualFn& residual,
+                              std::vector<double> initial,
+                              const NewtonOptions& options = {});
+
+}  // namespace npss::solvers

@@ -1,0 +1,234 @@
+#include "solvers/ode.hpp"
+
+#include <cmath>
+
+#include "solvers/linalg.hpp"
+#include "util/status.hpp"
+
+namespace npss::solvers {
+
+namespace {
+
+using Vec = std::vector<double>;
+
+Vec axpy(const Vec& y, double a, const Vec& x) {
+  Vec out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) out[i] = y[i] + a * x[i];
+  return out;
+}
+
+class ModifiedEuler final : public Integrator {
+ public:
+  IntegratorKind kind() const override {
+    return IntegratorKind::kModifiedEuler;
+  }
+  int order() const override { return 2; }
+
+  Vec step(const OdeFn& f, double t, const Vec& y, double h) override {
+    // Heun: predictor full Euler step, corrector trapezoidal average.
+    Vec k1 = eval(f, t, y);
+    Vec predict = axpy(y, h, k1);
+    Vec k2 = eval(f, t + h, predict);
+    Vec out(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      out[i] = y[i] + 0.5 * h * (k1[i] + k2[i]);
+    }
+    return out;
+  }
+};
+
+class RungeKutta4 final : public Integrator {
+ public:
+  IntegratorKind kind() const override { return IntegratorKind::kRungeKutta4; }
+  int order() const override { return 4; }
+
+  Vec step(const OdeFn& f, double t, const Vec& y, double h) override {
+    Vec k1 = eval(f, t, y);
+    Vec k2 = eval(f, t + 0.5 * h, axpy(y, 0.5 * h, k1));
+    Vec k3 = eval(f, t + 0.5 * h, axpy(y, 0.5 * h, k2));
+    Vec k4 = eval(f, t + h, axpy(y, h, k3));
+    Vec out(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      out[i] = y[i] + h / 6.0 * (k1[i] + 2 * k2[i] + 2 * k3[i] + k4[i]);
+    }
+    return out;
+  }
+};
+
+class AdamsPc final : public Integrator {
+ public:
+  IntegratorKind kind() const override { return IntegratorKind::kAdams; }
+  int order() const override { return 2; }
+
+  Vec step(const OdeFn& f, double t, const Vec& y, double h) override {
+    Vec fn = eval(f, t, y);
+    Vec predicted;
+    if (!have_history_ || std::abs(h - last_h_) > 1e-14 * std::abs(h)) {
+      // No usable history (first step or step-size change): RK2 start.
+      predicted = axpy(y, h, fn);
+    } else {
+      // AB2 predictor: y + h/2 (3 f_n - f_{n-1}).
+      predicted.resize(y.size());
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        predicted[i] = y[i] + 0.5 * h * (3.0 * fn[i] - f_prev_[i]);
+      }
+    }
+    // AM2 (trapezoid) corrector.
+    Vec f_pred = eval(f, t + h, predicted);
+    Vec out(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      out[i] = y[i] + 0.5 * h * (fn[i] + f_pred[i]);
+    }
+    f_prev_ = std::move(fn);
+    have_history_ = true;
+    last_h_ = h;
+    return out;
+  }
+
+  void reset() override {
+    have_history_ = false;
+    f_prev_.clear();
+  }
+
+ private:
+  bool have_history_ = false;
+  double last_h_ = 0.0;
+  Vec f_prev_;
+};
+
+class GearBdf final : public Integrator {
+ public:
+  IntegratorKind kind() const override { return IntegratorKind::kGear; }
+  int order() const override { return 2; }
+
+  Vec step(const OdeFn& f, double t, const Vec& y, double h) override {
+    const bool bdf2 =
+        have_history_ && std::abs(h - last_h_) <= 1e-14 * std::abs(h);
+    // Implicit equation G(x) = x - base - gain f(t+h, x) = 0 where
+    //   startup: implicit trapezoid (A-stable, 2nd order, so the first
+    //            step does not degrade the method's observed order)
+    //   BDF2:    x = (4 y - y_prev)/3 + (2h/3) f(t+h, x)
+    Vec base(y.size());
+    double gain;
+    if (bdf2) {
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        base[i] = (4.0 * y[i] - y_prev_[i]) / 3.0;
+      }
+      gain = 2.0 * h / 3.0;
+    } else {
+      Vec f0 = eval(f, t, y);
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        base[i] = y[i] + 0.5 * h * f0[i];
+      }
+      gain = 0.5 * h;
+    }
+    // Newton-correct the implicit equation with a full finite-difference
+    // Jacobian (I - gain dF/dx); the spool dynamics couple the states, so
+    // a diagonal approximation can diverge at large steps.
+    const std::size_t n = y.size();
+    // Predictor by state extrapolation (never by an explicit f step — on
+    // a stiff system h*f can overshoot into unphysical states).
+    Vec x = y;
+    if (bdf2) {
+      for (std::size_t i = 0; i < n; ++i) x[i] = 2.0 * y[i] - y_prev_[i];
+    }
+    double prev_norm = std::numeric_limits<double>::infinity();
+    for (int it = 0; it < 25; ++it) {
+      Vec fx = eval(f, t + h, x);
+      Vec g(n);
+      double norm = 0.0, xscale = 1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        g[i] = x[i] - base[i] - gain * fx[i];
+        norm = std::max(norm, std::abs(g[i]));
+        xscale = std::max(xscale, std::abs(x[i]));
+      }
+      // Converged, or stalled at the RHS evaluation noise floor (the RHS
+      // may itself come from an inner iterative solve).
+      if (norm < 1e-10 * xscale || (it > 2 && norm > 0.5 * prev_norm)) {
+        break;
+      }
+      prev_norm = norm;
+      Matrix jac(n, n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const double eps = 1e-6 * std::max(1.0, std::abs(x[j]));
+        Vec xp = x;
+        xp[j] += eps;
+        Vec fp = eval(f, t + h, xp);
+        for (std::size_t i = 0; i < n; ++i) {
+          jac(i, j) = (i == j ? 1.0 : 0.0) - gain * (fp[i] - fx[i]) / eps;
+        }
+      }
+      Vec rhs(n);
+      for (std::size_t i = 0; i < n; ++i) rhs[i] = -g[i];
+      Vec dx = LuFactorization(jac).solve(rhs);
+      for (std::size_t i = 0; i < n; ++i) {
+        // Trust region: never move a component more than 20% (+1 abs) per
+        // corrector iteration — wild probes can leave the model's domain.
+        const double limit = 0.2 * std::abs(x[i]) + 1.0;
+        x[i] += std::clamp(dx[i], -limit, limit);
+      }
+    }
+    y_prev_ = y;
+    have_history_ = true;
+    last_h_ = h;
+    return x;
+  }
+
+  void reset() override {
+    have_history_ = false;
+    y_prev_.clear();
+  }
+
+ private:
+  bool have_history_ = false;
+  double last_h_ = 0.0;
+  Vec y_prev_;
+};
+
+}  // namespace
+
+std::string_view integrator_name(IntegratorKind kind) {
+  switch (kind) {
+    case IntegratorKind::kModifiedEuler: return "modified-euler";
+    case IntegratorKind::kRungeKutta4: return "runge-kutta-4";
+    case IntegratorKind::kAdams: return "adams";
+    case IntegratorKind::kGear: return "gear";
+  }
+  return "?";
+}
+
+const std::vector<IntegratorKind>& all_integrators() {
+  static const std::vector<IntegratorKind> kinds = {
+      IntegratorKind::kModifiedEuler, IntegratorKind::kRungeKutta4,
+      IntegratorKind::kAdams, IntegratorKind::kGear};
+  return kinds;
+}
+
+std::unique_ptr<Integrator> make_integrator(IntegratorKind kind) {
+  switch (kind) {
+    case IntegratorKind::kModifiedEuler:
+      return std::make_unique<ModifiedEuler>();
+    case IntegratorKind::kRungeKutta4: return std::make_unique<RungeKutta4>();
+    case IntegratorKind::kAdams: return std::make_unique<AdamsPc>();
+    case IntegratorKind::kGear: return std::make_unique<GearBdf>();
+  }
+  throw util::ModelError("unknown integrator kind");
+}
+
+std::vector<double> integrate(
+    Integrator& integrator, const OdeFn& f, double t0, double t1, double h,
+    std::vector<double> y0,
+    const std::function<void(double, const std::vector<double>&)>& observer) {
+  if (h <= 0.0) throw util::ModelError("integrate: step must be positive");
+  double t = t0;
+  std::vector<double> y = std::move(y0);
+  while (t < t1 - 1e-12) {
+    const double step = std::min(h, t1 - t);
+    y = integrator.step(f, t, y, step);
+    t += step;
+    if (observer) observer(t, y);
+  }
+  return y;
+}
+
+}  // namespace npss::solvers

@@ -1,0 +1,71 @@
+// ODE integrators for TESS transients (§3.2): Modified (Improved) Euler,
+// classic fourth-order Runge-Kutta, an Adams-Bashforth-Moulton
+// predictor-corrector, and a Gear (BDF) method for stiff volume dynamics.
+// Multistep methods keep history, so an Integrator instance is stateful and
+// must be reset() between independent transients.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace npss::solvers {
+
+/// Right-hand side of y' = f(t, y).
+using OdeFn = std::function<std::vector<double>(double, const std::vector<double>&)>;
+
+enum class IntegratorKind : std::uint8_t {
+  kModifiedEuler = 0,  ///< Heun's method (TESS "Modified/Improved Euler")
+  kRungeKutta4,
+  kAdams,              ///< AB2 predictor / AM2 corrector, RK4 start
+  kGear,               ///< BDF2, Newton-corrected, BDF1 start
+};
+
+std::string_view integrator_name(IntegratorKind kind);
+
+/// All kinds in the order the TESS system-module widget lists them.
+const std::vector<IntegratorKind>& all_integrators();
+
+class Integrator {
+ public:
+  virtual ~Integrator() = default;
+
+  virtual IntegratorKind kind() const = 0;
+
+  /// Nominal order of accuracy (observed order is tested against this).
+  virtual int order() const = 0;
+
+  /// Advance one step from (t, y) with step h; returns y(t + h).
+  virtual std::vector<double> step(const OdeFn& f, double t,
+                                   const std::vector<double>& y,
+                                   double h) = 0;
+
+  /// Drop multistep history (call when state jumps discontinuously).
+  virtual void reset() {}
+
+  /// RHS evaluations consumed so far (the cost metric for A6).
+  long evaluations() const { return evaluations_; }
+
+ protected:
+  std::vector<double> eval(const OdeFn& f, double t,
+                           const std::vector<double>& y) {
+    ++evaluations_;
+    return f(t, y);
+  }
+
+ private:
+  long evaluations_ = 0;
+};
+
+std::unique_ptr<Integrator> make_integrator(IntegratorKind kind);
+
+/// Fixed-step integration from t0 to t1 (h is clipped on the final step).
+/// `observer`, if provided, is called after every accepted step.
+std::vector<double> integrate(
+    Integrator& integrator, const OdeFn& f, double t0, double t1, double h,
+    std::vector<double> y0,
+    const std::function<void(double, const std::vector<double>&)>& observer =
+        nullptr);
+
+}  // namespace npss::solvers

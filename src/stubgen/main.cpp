@@ -1,0 +1,59 @@
+// schooner-stubgen — the stub compiler CLI.
+//
+//   schooner-stubgen <spec-file> [-o <header-out>]
+//
+// Reads a UTS specification file and writes a C++ header with client stubs
+// for each import declaration and server dispatch skeletons for each
+// export declaration. With no -o, the header goes to stdout.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "stubgen/stubgen.hpp"
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << "usage: schooner-stubgen <spec-file> [-o <header-out>]\n";
+      return 0;
+    } else {
+      spec_path = arg;
+    }
+  }
+  if (spec_path.empty()) {
+    std::cerr << "schooner-stubgen: no specification file given\n";
+    return 2;
+  }
+  std::ifstream in(spec_path);
+  if (!in) {
+    std::cerr << "schooner-stubgen: cannot open '" << spec_path << "'\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  try {
+    npss::uts::SpecFile spec = npss::uts::parse_spec(text.str());
+    npss::stubgen::GeneratedStub out =
+        npss::stubgen::generate_all(spec, spec_path);
+    if (out_path.empty()) {
+      std::cout << out.header;
+    } else {
+      std::ofstream of(out_path);
+      of << out.header;
+      if (!of) {
+        std::cerr << "schooner-stubgen: cannot write '" << out_path << "'\n";
+        return 2;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "schooner-stubgen: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

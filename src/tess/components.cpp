@@ -1,0 +1,204 @@
+#include "tess/components.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace npss::tess {
+
+InletResult inlet(const FlightCondition& flight, double mass_flow) {
+  InletResult r;
+  const double mach = flight.mach;
+  // MIL-E-5008B ram recovery: 1.0 subsonic, degrading supersonically.
+  double recovery = 1.0;
+  if (mach > 1.0) {
+    recovery = 1.0 - 0.075 * std::pow(mach - 1.0, 1.35);
+  }
+  r.out.W = mass_flow;
+  r.out.Tt = flight.total_temperature();
+  r.out.Pt = flight.total_pressure() * recovery;
+  r.out.far = 0.0;
+  const double a0 =
+      std::sqrt(gamma(flight.ambient_temperature()) * kGasConstant *
+                flight.ambient_temperature());
+  r.ram_drag = mass_flow * mach * a0;
+  return r;
+}
+
+GasState duct(const GasState& in, double dp_fraction) {
+  GasState out = in;
+  out.Pt = in.Pt * (1.0 - dp_fraction);
+  return out;
+}
+
+BleedResult bleed(const GasState& in, double fraction) {
+  if (fraction < 0.0 || fraction >= 1.0) {
+    throw util::ModelError("bleed fraction out of [0,1)");
+  }
+  BleedResult r;
+  r.out = in;
+  r.out.W = in.W * (1.0 - fraction);
+  r.bleed = in;
+  r.bleed.W = in.W * fraction;
+  return r;
+}
+
+CompressorResult compressor(const GasState& in, const CompressorMap& map,
+                            double n_rpm, double n_design_rpm) {
+  CompressorResult r;
+  const double nc_rel =
+      (n_rpm / std::sqrt(in.theta())) / n_design_rpm;
+  r.point = map.at_flow(nc_rel, in.corrected_flow());
+  const double g = gamma(in.Tt, in.far);
+  const double pr = std::max(r.point.pr, 1.0 + 1e-9);
+  const double t_ratio_ideal = std::pow(pr, (g - 1.0) / g);
+  const double dT_ideal = in.Tt * (t_ratio_ideal - 1.0);
+  const double dT = dT_ideal / std::max(r.point.eff, 1e-3);
+  r.out = in;
+  r.out.Tt = in.Tt + dT;
+  r.out.Pt = in.Pt * pr;
+  const double dh = enthalpy(r.out.Tt, in.far) - enthalpy(in.Tt, in.far);
+  r.power = in.W * dh;
+  const double omega = std::max(n_rpm, 1.0) * kRpmToRad;
+  r.torque = r.power / omega;
+  r.surge_margin = map.surge_margin(r.point, nc_rel);
+  return r;
+}
+
+CombustorResult combustor(const GasState& in, double fuel_flow, double eff,
+                          double dp_fraction) {
+  CombustorResult r;
+  r.fuel_flow = fuel_flow;
+  const double w_out = in.W + fuel_flow;
+  const double far_out = (in.W * in.far + fuel_flow) / std::max(in.W, 1e-9);
+  // Energy balance: W_out h(T4) = W_in h(T3) + eff Wf LHV.
+  const double h_out =
+      (in.W * enthalpy(in.Tt, in.far) + eff * fuel_flow * kFuelLhv) / w_out;
+  r.out.W = w_out;
+  r.out.far = far_out;
+  r.out.Tt = temperature_from_enthalpy(h_out, far_out);
+  r.out.Pt = in.Pt * (1.0 - dp_fraction);
+  return r;
+}
+
+CombustorResult combustor_to_temperature(const GasState& in, double t4,
+                                         double eff, double dp_fraction) {
+  // Solve for Wf: W_out h(T4,far') = W_in h(T3) + eff Wf LHV, two fixed
+  // point sweeps suffice since far' barely moves h.
+  double wf = in.W * 0.02;
+  for (int i = 0; i < 20; ++i) {
+    const double w_out = in.W + wf;
+    const double far_out = (in.W * in.far + wf) / in.W;
+    const double need =
+        w_out * enthalpy(t4, far_out) - in.W * enthalpy(in.Tt, in.far);
+    const double wf_new = need / (eff * kFuelLhv);
+    if (std::abs(wf_new - wf) < 1e-12 * std::max(1.0, wf)) {
+      wf = wf_new;
+      break;
+    }
+    wf = wf_new;
+  }
+  return combustor(in, std::max(wf, 0.0), eff, dp_fraction);
+}
+
+TurbineResult turbine(const GasState& in, const TurbineMap& map, double pr,
+                      double n_rpm, double n_design_rpm) {
+  TurbineResult r;
+  pr = std::max(pr, 1.0 + 1e-6);
+  const double nc_rel = (n_rpm / std::sqrt(in.theta())) / n_design_rpm;
+  r.point = map.at(nc_rel, pr);
+  const double g = gamma(in.Tt, in.far);
+  const double t_ratio_ideal = std::pow(pr, -(g - 1.0) / g);
+  const double dT = in.Tt * (1.0 - t_ratio_ideal) * r.point.eff;
+  r.out = in;
+  r.out.Tt = in.Tt - dT;
+  r.out.Pt = in.Pt / pr;
+  const double dh = enthalpy(in.Tt, in.far) - enthalpy(r.out.Tt, in.far);
+  r.power = in.W * dh;
+  const double omega = std::max(n_rpm, 1.0) * kRpmToRad;
+  r.torque = r.power / omega;
+  // Map flow demand back to physical corrected flow at the inlet station:
+  // FP = W sqrt(Tt)/Pt with Pt in kPa.
+  r.flow_demand = r.point.flow_parameter * (in.Pt / 1000.0) / std::sqrt(in.Tt);
+  return r;
+}
+
+MixerResult mix(const GasState& a, const GasState& b, double dp_fraction) {
+  MixerResult r;
+  const double w = a.W + b.W;
+  const double h =
+      (a.W * enthalpy(a.Tt, a.far) + b.W * enthalpy(b.Tt, b.far)) / w;
+  const double far = (a.W * a.far + b.W * b.far) / w;
+  r.out.W = w;
+  r.out.far = far;
+  r.out.Tt = temperature_from_enthalpy(h, far);
+  // Mass-flow-weighted total pressure, then the mixer duct loss.
+  const double pt = (a.W * a.Pt + b.W * b.Pt) / w;
+  r.out.Pt = pt * (1.0 - dp_fraction);
+  r.pressure_imbalance = (a.Pt - b.Pt) / a.Pt;
+  return r;
+}
+
+double volume_dpdt(const GasState& state, double volume_m3, double w_in,
+                   double w_out) {
+  const double g = gamma(state.Tt, state.far);
+  return g * kGasConstant * state.Tt * (w_in - w_out) / volume_m3;
+}
+
+NozzleResult nozzle(const GasState& in, double area_m2, double p_ambient) {
+  NozzleResult r;
+  const double g = gamma(in.Tt, in.far);
+  const double crit = std::pow((g + 1.0) / 2.0, g / (g - 1.0));
+  const double pr = in.Pt / p_ambient;
+  const double gm1 = g - 1.0;
+  if (pr >= crit) {
+    r.choked = true;
+    // Choked mass flow: W = A Pt sqrt(g/(R Tt)) (2/(g+1))^((g+1)/(2(g-1)))
+    r.w_required = area_m2 * in.Pt *
+                   std::sqrt(g / (kGasConstant * in.Tt)) *
+                   std::pow(2.0 / (g + 1.0), (g + 1.0) / (2.0 * gm1));
+    const double t_throat = in.Tt * 2.0 / (g + 1.0);
+    r.exit_velocity = std::sqrt(g * kGasConstant * t_throat);
+    const double p_throat = in.Pt / crit;
+    r.thrust = r.w_required * r.exit_velocity +
+               (p_throat - p_ambient) * area_m2;
+  } else {
+    r.choked = false;
+    const double m2 =
+        2.0 / gm1 * (std::pow(pr, gm1 / g) - 1.0);
+    const double mach = std::sqrt(std::max(m2, 0.0));
+    const double t_exit = in.Tt / (1.0 + 0.5 * gm1 * m2);
+    const double p_exit = p_ambient;
+    const double rho = p_exit / (kGasConstant * t_exit);
+    r.exit_velocity = mach * std::sqrt(g * kGasConstant * t_exit);
+    r.w_required = rho * area_m2 * r.exit_velocity;
+    r.thrust = r.w_required * r.exit_velocity;
+  }
+  return r;
+}
+
+double setshaft(const double ecom[4], int incom, const double etur[4],
+                int intur) {
+  // Power-correction (mechanical efficiency) factor: a small loss per
+  // attached component, the original's bookkeeping for bearing/windage
+  // losses discovered during steady balance.
+  (void)ecom;
+  (void)etur;
+  const double loss = 0.005 * (incom + intur);
+  return 1.0 - std::min(loss, 0.05);
+}
+
+double shaft(const double ecom[4], int incom, const double etur[4], int intur,
+             double ecorr, double xspool, double xmyi) {
+  (void)incom;
+  (void)intur;
+  const double p_absorbed = ecom[0];
+  const double p_delivered = etur[0];
+  const double net = p_delivered * ecorr - p_absorbed;
+  const double omega = std::max(xspool, 1.0) * kRpmToRad;
+  // I omega domega/dt = P_net  ->  dN/dt in rpm/s.
+  return net / (xmyi * omega) / kRpmToRad;
+}
+
+}  // namespace npss::tess

@@ -1,0 +1,130 @@
+// TESS engine component calculations.
+//
+// Each component is a pure function from upstream state + parameters to
+// downstream state. The four components the paper adapted for remote
+// execution — shaft, duct, combustor, nozzle (§3.3) — additionally have
+// "procedure" wrappers with the paper's argument shape (flat arrays and
+// scalars, Fortran-style), which is exactly what crosses Schooner in the
+// T1/T2 experiments; see tess/remote_seam.hpp.
+#pragma once
+
+#include "tess/gas.hpp"
+#include "tess/maps.hpp"
+
+namespace npss::tess {
+
+/// Convert spool speed [rpm] and moment of inertia [kg m^2] bookkeeping.
+constexpr double kRpmToRad = 2.0 * 3.14159265358979323846 / 60.0;
+
+// --- Inlet -----------------------------------------------------------------
+
+struct InletResult {
+  GasState out;
+  double ram_drag = 0.0;  ///< [N]
+};
+
+/// MIL-E-5008B-style ram recovery applied to free-stream total conditions.
+InletResult inlet(const FlightCondition& flight, double mass_flow);
+
+// --- Duct (adapted module) ---------------------------------------------------
+
+/// Total-pressure-loss duct (also used for the bypass and the tailpipe).
+GasState duct(const GasState& in, double dp_fraction);
+
+// --- Bleed -----------------------------------------------------------------
+
+struct BleedResult {
+  GasState out;       ///< main stream after extraction
+  GasState bleed;     ///< extracted stream
+};
+
+BleedResult bleed(const GasState& in, double fraction);
+
+// --- Compressor --------------------------------------------------------------
+
+struct CompressorResult {
+  GasState out;
+  double power = 0.0;        ///< absorbed shaft power [W]
+  double torque = 0.0;       ///< [N m] at the given speed
+  CompressorPoint point;     ///< map operating point
+  double surge_margin = 0.0;
+};
+
+/// Operate a compressor at spool speed N [rpm] passing mass flow in.W;
+/// the map supplies PR and efficiency at that (corrected speed, flow).
+CompressorResult compressor(const GasState& in, const CompressorMap& map,
+                            double n_rpm, double n_design_rpm);
+
+// --- Combustor (adapted module) ----------------------------------------------
+
+struct CombustorResult {
+  GasState out;
+  double fuel_flow = 0.0;  ///< [kg/s]
+};
+
+/// Burn `fuel_flow` kg/s at efficiency `eff` with total-pressure loss
+/// `dp_fraction`; exit temperature from the energy balance.
+CombustorResult combustor(const GasState& in, double fuel_flow, double eff,
+                          double dp_fraction);
+
+/// Inverse mode: find the fuel flow reaching exit temperature `t4`.
+CombustorResult combustor_to_temperature(const GasState& in, double t4,
+                                         double eff, double dp_fraction);
+
+// --- Turbine ----------------------------------------------------------------
+
+struct TurbineResult {
+  GasState out;
+  double power = 0.0;         ///< delivered shaft power [W]
+  double torque = 0.0;        ///< [N m]
+  TurbinePoint point;
+  double flow_demand = 0.0;   ///< corrected flow the map wants [kg/s]
+};
+
+/// Expand through pressure ratio `pr` (>1) at spool speed N [rpm].
+TurbineResult turbine(const GasState& in, const TurbineMap& map, double pr,
+                      double n_rpm, double n_design_rpm);
+
+// --- Mixing volume -------------------------------------------------------------
+
+struct MixerResult {
+  GasState out;
+  double pressure_imbalance = 0.0;  ///< (Pt_a - Pt_b)/Pt_a; 0 when matched
+};
+
+/// Constant-area-style mixer: enthalpy/mass balance for the outlet state,
+/// with the total-pressure imbalance reported as a solver residual (the
+/// streams must arrive pressure-matched).
+MixerResult mix(const GasState& a, const GasState& b, double dp_fraction);
+
+/// Intercomponent volume pressure dynamics: dPt/dt from mass imbalance.
+double volume_dpdt(const GasState& state, double volume_m3, double w_in,
+                   double w_out);
+
+// --- Nozzle (adapted module) --------------------------------------------------
+
+struct NozzleResult {
+  double w_required = 0.0;    ///< mass flow the nozzle passes [kg/s]
+  double thrust = 0.0;        ///< gross thrust [N]
+  double exit_velocity = 0.0; ///< [m/s]
+  bool choked = false;
+};
+
+/// Convergent nozzle of throat area `area_m2` exhausting to `p_ambient`.
+NozzleResult nozzle(const GasState& in, double area_m2, double p_ambient);
+
+// --- Shaft (adapted module) -----------------------------------------------------
+
+/// The paper's setshaft: called once at the start of a steady-state
+/// computation. Derives the power-correction factor from the compressor
+/// and turbine energy terms (mechanical/windage losses).
+///   ecom/etur: [power W, mass flow, dh, efficiency] per the glue layer.
+double setshaft(const double ecom[4], int incom, const double etur[4],
+                int intur);
+
+/// The paper's shaft: spool acceleration [rpm/s] from the energy terms.
+///   xspool: spool speed [rpm]; xmyi: polar moment of inertia [kg m^2].
+double shaft(const double ecom[4], int incom, const double etur[4], int intur,
+             double ecorr, double xspool, double xmyi);
+
+}  // namespace npss::tess

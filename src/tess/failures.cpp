@@ -1,0 +1,62 @@
+#include "tess/failures.hpp"
+
+#include <algorithm>
+
+namespace npss::tess {
+
+ComponentHooks FailureInjector::hooks() {
+  ComponentHooks wrapped;
+  FailureInjector* self = this;
+  const ComponentHooks base = base_;
+
+  wrapped.duct = [self, base](int instance, const StationArray& in,
+                              double dp) {
+    auto it = self->duct_extra_loss_.find(instance);
+    if (it != self->duct_extra_loss_.end()) {
+      // Losses compound: (1 - dp_total) = (1 - dp)(1 - dp_extra).
+      dp = 1.0 - (1.0 - dp) * (1.0 - it->second);
+    }
+    return base.duct(instance, in, dp);
+  };
+
+  wrapped.combustor = [self, base](int instance, const StationArray& in,
+                                   double wf, double eff, double dp) {
+    return base.combustor(instance, in,
+                          wf, eff * self->combustor_eff_factor_, dp);
+  };
+
+  wrapped.nozzle = [self, base](int instance, const StationArray& in,
+                                double area, double pamb) {
+    return base.nozzle(instance, in, area * self->nozzle_area_factor_, pamb);
+  };
+
+  wrapped.setshaft = base.setshaft;
+
+  wrapped.shaft = [self, base](int spool, const StationArray& ecom,
+                               int incom, const StationArray& etur,
+                               int intur, double ecorr, double xspool,
+                               double xmyi) {
+    auto it = self->shaft_friction_.find(spool);
+    if (it == self->shaft_friction_.end() || it->second == 0.0) {
+      return base.shaft(spool, ecom, incom, etur, intur, ecorr, xspool,
+                        xmyi);
+    }
+    // Bearing drag absorbs delivered turbine power before it reaches the
+    // compressor.
+    StationArray degraded = etur;
+    degraded[0] = std::max(degraded[0] - it->second, 0.0);
+    return base.shaft(spool, ecom, incom, degraded, intur, ecorr, xspool,
+                      xmyi);
+  };
+
+  return wrapped;
+}
+
+void FailureInjector::clear() {
+  combustor_eff_factor_ = 1.0;
+  nozzle_area_factor_ = 1.0;
+  duct_extra_loss_.clear();
+  shaft_friction_.clear();
+}
+
+}  // namespace npss::tess

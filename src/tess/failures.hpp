@@ -1,0 +1,60 @@
+// Failure injection — §2.4's "test operation of the engine in the
+// presence of failures".
+//
+// A FailureInjector wraps a ComponentHooks set and degrades selected
+// components; knobs can be flipped at any moment (e.g. between transient
+// steps) so failures can strike mid-run. The wrapper composes with the
+// remote backends: failures can be injected into a simulation whose
+// components execute across the virtual network.
+#pragma once
+
+#include <map>
+
+#include "tess/remote_seam.hpp"
+
+namespace npss::tess {
+
+class FailureInjector {
+ public:
+  explicit FailureInjector(ComponentHooks base) : base_(std::move(base)) {}
+
+  /// Hooks with the current failure state applied (reads the injector's
+  /// live knobs on every call, so later set_* calls affect in-flight
+  /// simulations immediately).
+  ComponentHooks hooks();
+
+  /// Combustion efficiency multiplier (1 = healthy, 0.7 = degraded burn,
+  /// 0 = flameout).
+  void set_combustor_efficiency_factor(double factor) {
+    combustor_eff_factor_ = factor;
+  }
+
+  /// Additional fractional total-pressure loss in a duct instance
+  /// (damage / partial blockage).
+  void set_duct_extra_loss(int instance, double dp_extra) {
+    duct_extra_loss_[instance] = dp_extra;
+  }
+
+  /// Effective nozzle area multiplier (stuck or damaged nozzle).
+  void set_nozzle_area_factor(double factor) { nozzle_area_factor_ = factor; }
+
+  /// Parasitic friction power [W] on a spool (bearing failure).
+  void set_shaft_friction_power(int spool, double watts) {
+    shaft_friction_[spool] = watts;
+  }
+
+  /// Restore everything to healthy.
+  void clear();
+
+  double combustor_efficiency_factor() const { return combustor_eff_factor_; }
+  double nozzle_area_factor() const { return nozzle_area_factor_; }
+
+ private:
+  ComponentHooks base_;
+  double combustor_eff_factor_ = 1.0;
+  double nozzle_area_factor_ = 1.0;
+  std::map<int, double> duct_extra_loss_;
+  std::map<int, double> shaft_friction_;
+};
+
+}  // namespace npss::tess

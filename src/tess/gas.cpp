@@ -1,0 +1,81 @@
+#include "tess/gas.hpp"
+
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace npss::tess {
+
+namespace {
+// cp(T) = kCpBase + kCpSlope * (T - kTref), scaled up with fuel-air ratio.
+constexpr double kCpBase = 1004.7;
+constexpr double kCpSlope = 0.118;
+constexpr double kFarGain = 2.5;
+
+double far_factor(double far) { return 1.0 + kFarGain * far; }
+}  // namespace
+
+double cp(double Tt, double far) {
+  return (kCpBase + kCpSlope * (Tt - kTref)) * far_factor(far);
+}
+
+double gamma(double Tt, double far) {
+  const double c = cp(Tt, far);
+  return c / (c - kGasConstant);
+}
+
+double enthalpy(double Tt, double far) {
+  const double dT = Tt - kTref;
+  return (kCpBase * dT + 0.5 * kCpSlope * dT * dT) * far_factor(far);
+}
+
+double temperature_from_enthalpy(double h, double far) {
+  // Solve the quadratic in dT directly: 0.5 s dT^2 + c dT - h/f = 0.
+  const double target = h / far_factor(far);
+  const double disc = kCpBase * kCpBase + 2.0 * kCpSlope * target;
+  if (disc < 0.0) {
+    throw util::ModelError("enthalpy below representable range");
+  }
+  return kTref + (-kCpBase + std::sqrt(disc)) / kCpSlope;
+}
+
+double GasState::corrected_flow() const {
+  return W * std::sqrt(theta()) / delta();
+}
+
+double isa_temperature(double altitude_m) {
+  if (altitude_m <= 11000.0) return kTref - 0.0065 * altitude_m;
+  return 216.65;
+}
+
+double isa_pressure(double altitude_m) {
+  if (altitude_m <= 11000.0) {
+    return kPref * std::pow(1.0 - 0.0065 * altitude_m / kTref, 5.2561);
+  }
+  const double p11 = kPref * std::pow(1.0 - 0.0065 * 11000.0 / kTref, 5.2561);
+  return p11 * std::exp(-9.80665 * (altitude_m - 11000.0) /
+                        (kGasConstant * 216.65));
+}
+
+double FlightCondition::ambient_pressure() const {
+  return isa_pressure(altitude_m);
+}
+
+double FlightCondition::ambient_temperature() const {
+  return isa_temperature(altitude_m) + dT_isa;
+}
+
+double FlightCondition::total_temperature() const {
+  const double T = ambient_temperature();
+  const double g = gamma(T);
+  return T * (1.0 + 0.5 * (g - 1.0) * mach * mach);
+}
+
+double FlightCondition::total_pressure() const {
+  const double T = ambient_temperature();
+  const double g = gamma(T);
+  return ambient_pressure() *
+         std::pow(1.0 + 0.5 * (g - 1.0) * mach * mach, g / (g - 1.0));
+}
+
+}  // namespace npss::tess

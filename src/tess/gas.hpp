@@ -1,0 +1,61 @@
+// Gas thermodynamics for the 1-D engine model: a calorically-imperfect
+// perfect gas with temperature- and fuel-air-ratio-dependent specific heat,
+// plus the standard-atmosphere flight conditions the executive's
+// "operating conditions" selection needs (§2.4: high/low altitude, etc.).
+#pragma once
+
+namespace npss::tess {
+
+/// Gas constant for air / lean combustion products [J/(kg K)].
+constexpr double kGasConstant = 287.05;
+/// Lower heating value of jet fuel [J/kg].
+constexpr double kFuelLhv = 43.1e6;
+/// Sea-level static reference conditions.
+constexpr double kTref = 288.15;   // K
+constexpr double kPref = 101325.0; // Pa
+
+/// Specific heat at constant pressure [J/(kg K)] as a function of total
+/// temperature and fuel-air ratio. Linear-in-T fit adequate for a level-1
+/// thermodynamic model (the paper's fidelity level 1, §2.1).
+double cp(double Tt, double far = 0.0);
+
+/// Ratio of specific heats.
+double gamma(double Tt, double far = 0.0);
+
+/// Specific enthalpy relative to kTref [J/kg] (analytic integral of cp).
+double enthalpy(double Tt, double far = 0.0);
+
+/// Invert enthalpy(T) = h for T (Newton; exact to 1e-9 relative).
+double temperature_from_enthalpy(double h, double far = 0.0);
+
+/// Total state of a gas stream at a station.
+struct GasState {
+  double W = 0.0;    ///< mass flow [kg/s]
+  double Tt = kTref; ///< total temperature [K]
+  double Pt = kPref; ///< total pressure [Pa]
+  double far = 0.0;  ///< fuel-air ratio
+
+  double theta() const { return Tt / kTref; }
+  double delta() const { return Pt / kPref; }
+  /// Corrected mass flow [kg/s].
+  double corrected_flow() const;
+};
+
+/// Ambient/flight conditions feeding the inlet.
+struct FlightCondition {
+  double altitude_m = 0.0;
+  double mach = 0.0;
+  double dT_isa = 0.0;  ///< temperature offset from standard day
+
+  double ambient_pressure() const;
+  double ambient_temperature() const;
+  /// Free-stream total state per compressible relations.
+  double total_pressure() const;
+  double total_temperature() const;
+};
+
+/// 1976 standard atmosphere (troposphere + lower stratosphere).
+double isa_pressure(double altitude_m);
+double isa_temperature(double altitude_m);
+
+}  // namespace npss::tess

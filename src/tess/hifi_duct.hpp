@@ -1,0 +1,55 @@
+// A higher-fidelity duct component — the zooming substrate (§2.3).
+//
+// The level-1 duct is a constant fractional total-pressure loss. This
+// component computes the loss from the flow itself: a 2-D incompressible
+// core-flow model of a duct with a wall contour, solved by Jacobi/SOR
+// relaxation of the stream-function Laplacian on a structured grid, with
+// the loss derived from the wall-velocity distribution (skin friction ~
+// integral of V_wall^2, plus a diffusion penalty when the contour
+// decelerates the flow). The relaxation sweeps run data-parallel — the
+// "parallel algorithm encapsulated within a procedure" of Figure 1 when
+// this component is exported through Schooner from a parallel machine.
+//
+// The absolute loss levels are calibrated so a straight duct at design
+// flow reproduces the level-1 model's default loss, making the two
+// fidelity levels substitutable in a zooming experiment.
+#pragma once
+
+#include <vector>
+
+#include "tess/components.hpp"
+#include "tess/gas.hpp"
+
+namespace npss::tess {
+
+struct HifiDuctConfig {
+  int nx = 48;              ///< grid cells along the duct
+  int ny = 16;              ///< grid cells across
+  double length_m = 1.2;
+  double radius_m = 0.35;   ///< inlet half-height
+  /// Wall contour: fractional half-height change from inlet to exit
+  /// (negative = contraction, positive = diffusion). 0 = straight.
+  double contour = 0.0;
+  /// Calibration: loss fraction of a straight duct at design flow.
+  double design_dp = 0.02;
+  double design_flow = 100.0;  ///< kg/s
+  int relaxation_sweeps = 400;
+  int threads = 0;          ///< workers for the parallel sweeps (0 = auto)
+};
+
+struct HifiDuctResult {
+  GasState out;
+  double dp_fraction = 0.0;      ///< computed total-pressure loss
+  double max_wall_velocity = 0.0;///< of the normalized solution
+  int sweeps = 0;
+  double residual = 0.0;         ///< final relaxation residual
+};
+
+/// Solve the duct at the given inflow and return the downstream state.
+HifiDuctResult hifi_duct(const GasState& in, const HifiDuctConfig& config);
+
+/// The normalized stream-function solution (for tests/visualization):
+/// row-major (ny+1) x (nx+1).
+std::vector<double> hifi_duct_streamfunction(const HifiDuctConfig& config);
+
+}  // namespace npss::tess

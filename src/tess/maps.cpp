@@ -1,0 +1,131 @@
+#include "tess/maps.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace npss::tess {
+
+namespace {
+constexpr double kFlowExp = 0.85;    // Wc ~ Ncrel^b
+constexpr double kPrExp = 1.80;      // PR-1 ~ Ncrel^a
+constexpr double kEffSpeedLoss = 0.35;
+constexpr double kEffRlineLoss = 0.12;
+constexpr double kWcSlope = 0.12;    // flow drop choke -> surge
+constexpr double kPrSlope = 0.20;    // PR rise choke -> surge
+}  // namespace
+
+CompressorPoint CompressorMap::at(double nc_rel, double r_line) const {
+  nc_rel = std::clamp(nc_rel, 0.2, 1.3);
+  const double r = std::clamp(r_line, 0.8, 2.2);
+  CompressorPoint pt;
+  pt.r = r;
+  pt.wc = wc_d_ * std::pow(nc_rel, kFlowExp) * (1.12 - kWcSlope * r);
+  pt.pr = 1.0 + (pr_d_ - 1.0) * std::pow(nc_rel, kPrExp) *
+                    (0.70 + kPrSlope * r);
+  const double speed_term = 1.0 - kEffSpeedLoss * (nc_rel - 1.0) * (nc_rel - 1.0);
+  const double r_term = 1.0 - kEffRlineLoss * (r - 1.5) * (r - 1.5);
+  pt.eff = std::clamp(eff_d_ * speed_term * r_term, 0.30, 0.92);
+  return pt;
+}
+
+CompressorPoint CompressorMap::at_flow(double nc_rel, double wc) const {
+  nc_rel = std::clamp(nc_rel, 0.2, 1.3);
+  // Wc = wc_d * nc^b * (1.12 - s r)  =>  r = (1.12 - Wc/(wc_d nc^b)) / s
+  const double base = wc_d_ * std::pow(nc_rel, kFlowExp);
+  double r = (1.12 - wc / base) / kWcSlope;
+  return at(nc_rel, r);
+}
+
+CompressorPoint CompressorMap::at_pr(double nc_rel, double pr) const {
+  nc_rel = std::clamp(nc_rel, 0.2, 1.3);
+  // PR = 1 + (PR_d - 1) nc^a (0.70 + s r)  =>  r from PR.
+  const double base = (pr_d_ - 1.0) * std::pow(nc_rel, kPrExp);
+  double r = ((pr - 1.0) / base - 0.70) / kPrSlope;
+  return at(nc_rel, r);
+}
+
+std::pair<double, double> CompressorMap::flow_range(double nc_rel) const {
+  return {at(nc_rel, 2.2).wc, at(nc_rel, 0.8).wc};
+}
+
+double CompressorMap::surge_margin(const CompressorPoint& pt,
+                                   double nc_rel) const {
+  const CompressorPoint surge = at(nc_rel, 2.2);
+  return surge.pr / pt.pr - 1.0;
+}
+
+TurbinePoint TurbineMap::at(double nc_rel, double pr) const {
+  nc_rel = std::clamp(nc_rel, 0.2, 1.3);
+  pr = std::max(pr, 1.0 + 1e-9);
+  TurbinePoint pt;
+  // Choking flow parameter: rises with PR, saturating at the design value
+  // once the nozzle guide vanes choke.
+  const double shape = [](double x) {
+    return std::sqrt(std::max(0.0, 1.0 - std::pow(x, -1.8)));
+  }(pr);
+  const double shape_d = std::sqrt(1.0 - std::pow(pr_d_, -1.8));
+  pt.flow_parameter = fp_d_ * shape / shape_d;
+  const double speed_term =
+      1.0 - 0.20 * (nc_rel - 1.0) * (nc_rel - 1.0);
+  const double pr_term = 1.0 - 0.08 * std::pow(pr / pr_d_ - 1.0, 2);
+  pt.eff = std::clamp(eff_d_ * speed_term * pr_term, 0.30, 0.93);
+  return pt;
+}
+
+namespace {
+
+const std::map<std::string, CompressorMap>& compressor_catalog() {
+  static const std::map<std::string, CompressorMap> maps = {
+      // F100-class components (approximate cycle: 100 kg/s class, OPR ~24).
+      {"f100_fan.map", {"f100_fan.map", 102.0, 3.06, 0.86}},
+      {"f100_hpc.map", {"f100_hpc.map", 24.5, 8.0, 0.85}},
+      // Single-spool turbojet (J79-ish).
+      {"turbojet_compressor.map", {"turbojet_compressor.map", 77.0, 13.5, 0.84}},
+      // A small auxiliary compressor for tests.
+      {"test_small.map", {"test_small.map", 10.0, 4.0, 0.82}},
+  };
+  return maps;
+}
+
+const std::map<std::string, TurbineMap>& turbine_catalog() {
+  static const std::map<std::string, TurbineMap> maps = {
+      {"f100_hpt.map", {"f100_hpt.map", 1.03, 3.1, 0.89}},
+      {"f100_lpt.map", {"f100_lpt.map", 2.89, 2.3, 0.90}},
+      {"turbojet_turbine.map", {"turbojet_turbine.map", 2.13, 4.4, 0.88}},
+      {"test_small_turbine.map", {"test_small_turbine.map", 2.2, 2.5, 0.87}},
+  };
+  return maps;
+}
+
+}  // namespace
+
+const CompressorMap& compressor_map(const std::string& file_name) {
+  auto it = compressor_catalog().find(file_name);
+  if (it == compressor_catalog().end()) {
+    throw util::ModelError("no compressor map '" + file_name + "'");
+  }
+  return it->second;
+}
+
+const TurbineMap& turbine_map(const std::string& file_name) {
+  auto it = turbine_catalog().find(file_name);
+  if (it == turbine_catalog().end()) {
+    throw util::ModelError("no turbine map '" + file_name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> compressor_map_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, map] : compressor_catalog()) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> turbine_map_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, map] : turbine_catalog()) names.push_back(name);
+  return names;
+}
+
+}  // namespace npss::tess

@@ -1,0 +1,106 @@
+// Component performance maps. In TESS the compressor and turbine modules
+// load performance maps through an AVS browser widget (§3.2); here maps are
+// analytic, scalable representations registered in a named catalog so the
+// browser widget path ("f100_fan.map", ...) selects among them.
+//
+// Compressor map: speed lines parameterized by an R-line coordinate
+// r in [1 (choke) .. 2 (surge)], the classic NASA representation:
+//   Wc(Ncrel, r)  = Wc_d * Ncrel^b * (1.12 - 0.12 r)
+//   PR(Ncrel, r)  = 1 + (PR_d - 1) * Ncrel^a * (0.70 + 0.20 r)
+//   eff(Ncrel, r) = eff_d * (1 - c1 (Ncrel-1)^2) * (1 - c2 (r - 1.5)^2)
+//
+// Turbine map: a choking flow parameter vs pressure ratio plus an
+// efficiency dome in (speed, PR).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace npss::tess {
+
+struct CompressorPoint {
+  double wc = 0.0;   ///< corrected flow [kg/s]
+  double pr = 1.0;   ///< total pressure ratio
+  double eff = 1.0;  ///< adiabatic efficiency
+  double r = 1.5;    ///< R-line coordinate actually used
+};
+
+class CompressorMap {
+ public:
+  CompressorMap() = default;
+  CompressorMap(std::string name, double wc_design, double pr_design,
+                double eff_design)
+      : name_(std::move(name)),
+        wc_d_(wc_design),
+        pr_d_(pr_design),
+        eff_d_(eff_design) {}
+
+  const std::string& name() const { return name_; }
+  double design_corrected_flow() const { return wc_d_; }
+  double design_pr() const { return pr_d_; }
+
+  /// Evaluate at relative corrected speed and R-line.
+  CompressorPoint at(double nc_rel, double r_line) const;
+
+  /// Invert the speed line: find the R-line carrying corrected flow `wc`
+  /// at relative speed `nc_rel`. Values beyond choke/surge clamp to the
+  /// line ends (the solver residuals then push the operating point back).
+  CompressorPoint at_flow(double nc_rel, double wc) const;
+
+  /// Invert the speed line by pressure ratio: find the R-line delivering
+  /// `pr` at relative speed `nc_rel` (clamped to the line ends). Used by
+  /// the intercomponent-volume formulation, where a plenum pressure
+  /// dictates the compressor's back-pressure.
+  CompressorPoint at_pr(double nc_rel, double pr) const;
+
+  /// Corrected-flow range of a speed line [choke end, surge end].
+  std::pair<double, double> flow_range(double nc_rel) const;
+
+  /// Surge margin at a point, (Wc_surgeline_PR / PR - 1) style.
+  double surge_margin(const CompressorPoint& pt, double nc_rel) const;
+
+ private:
+  std::string name_ = "generic";
+  double wc_d_ = 100.0;
+  double pr_d_ = 10.0;
+  double eff_d_ = 0.85;
+};
+
+struct TurbinePoint {
+  double flow_parameter = 0.0;  ///< W sqrt(Tt)/Pt [kg sqrt(K)/(s kPa)]
+  double eff = 1.0;
+};
+
+class TurbineMap {
+ public:
+  TurbineMap() = default;
+  TurbineMap(std::string name, double fp_design, double pr_design,
+             double eff_design)
+      : name_(std::move(name)),
+        fp_d_(fp_design),
+        pr_d_(pr_design),
+        eff_d_(eff_design) {}
+
+  const std::string& name() const { return name_; }
+  double design_flow_parameter() const { return fp_d_; }
+  double design_pr() const { return pr_d_; }
+
+  /// Evaluate at relative corrected speed and expansion ratio (>1).
+  TurbinePoint at(double nc_rel, double pr) const;
+
+ private:
+  std::string name_ = "generic";
+  double fp_d_ = 1.0;
+  double pr_d_ = 3.0;
+  double eff_d_ = 0.88;
+};
+
+/// Named map catalog (what the browser widget's file names resolve to).
+const CompressorMap& compressor_map(const std::string& file_name);
+const TurbineMap& turbine_map(const std::string& file_name);
+std::vector<std::string> compressor_map_names();
+std::vector<std::string> turbine_map_names();
+
+}  // namespace npss::tess

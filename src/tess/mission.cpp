@@ -1,0 +1,77 @@
+#include "tess/mission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace npss::tess {
+
+double FuelGovernor::update(double n2_target, double n2_actual, double dt,
+                            double p3_pa) {
+  const double error = n2_target - n2_actual;
+  // PI with freeze-on-limit anti-windup: the integrator only advances
+  // while neither the rate limiter nor the saturator is clipping, the
+  // role a real fuel control's acceleration schedule plays.
+  const double tentative = integral_ + error * dt;
+  const double command = config_.kp * error + config_.ki * tentative;
+  const double desired_step = command - wf_;
+  const double limited_step = std::clamp(
+      desired_step, -config_.rate_limit * dt, config_.rate_limit * dt);
+  const double accel_ceiling =
+      std::max(config_.wf_min, config_.accel_wf_per_p3 * p3_pa / 1e6);
+  const double wf_new =
+      std::clamp(wf_ + limited_step, config_.wf_min,
+                 std::min(config_.wf_max, accel_ceiling));
+  if (limited_step == desired_step && wf_new == wf_ + limited_step) {
+    integral_ = tentative;
+  }
+  wf_ = wf_new;
+  return wf_;
+}
+
+MissionResult fly_mission(EngineModel& engine,
+                          const std::vector<MissionLeg>& legs,
+                          std::vector<double> initial_states,
+                          double initial_wf, const GovernorConfig& governor,
+                          double dt, solvers::IntegratorKind kind) {
+  if (legs.empty()) {
+    throw util::ModelError("fly_mission: no legs");
+  }
+  MissionResult result;
+  FuelGovernor fuel(governor, initial_wf);
+  auto integrator = solvers::make_integrator(kind);
+  std::vector<double> states = std::move(initial_states);
+  double t = 0.0;
+
+  for (std::size_t leg_index = 0; leg_index < legs.size(); ++leg_index) {
+    const MissionLeg& leg = legs[leg_index];
+    // Flight conditions step at leg boundaries: drop integrator history.
+    integrator->reset();
+    const double leg_end = t + leg.duration_s;
+    while (t < leg_end - 1e-9) {
+      const double step = std::min(dt, leg_end - t);
+      Performance now = engine.evaluate(states, fuel.fuel_flow(), leg.flight);
+      const double wf = fuel.update(leg.n2_target, now.speeds[1], step,
+                                    now.stations.at("st3").Pt);
+      result.history.push_back(MissionSample{t, leg_index, wf, now});
+      result.fuel_burned_kg += wf * step;
+      result.min_surge_margin = std::min(
+          {result.min_surge_margin, now.surge_margins[0],
+           now.surge_margins[1]});
+      // Zero-order hold on the governor output across the step.
+      solvers::OdeFn rhs = [&](double, const std::vector<double>& y) {
+        return engine.evaluate(y, wf, leg.flight).accelerations;
+      };
+      states = integrator->step(rhs, t, states, step);
+      t += step;
+    }
+  }
+  Performance final_perf =
+      engine.evaluate(states, fuel.fuel_flow(), legs.back().flight);
+  result.history.push_back(
+      MissionSample{t, legs.size() - 1, fuel.fuel_flow(), final_perf});
+  return result;
+}
+
+}  // namespace npss::tess

@@ -1,0 +1,82 @@
+// Mission flying — §2.4: "being able to 'start' the engine and 'fly' it
+// through a flight profile".
+//
+// A FuelGovernor closes the loop the TESS user closed by hand through the
+// fuel-flow widget: a rate-limited PI controller holding an HP-spool
+// speed target. fly_mission() chains profile legs (each with its own
+// flight condition and spool target), integrating the engine states with
+// a zero-order-hold on the governor output — including the initial
+// spool-up from sub-idle ("starting" the engine).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tess/engine.hpp"
+
+namespace npss::tess {
+
+struct GovernorConfig {
+  double kp = 4e-4;        ///< kg/s per rpm of error
+  double ki = 8e-4;        ///< kg/s per rpm-second of integrated error
+  double wf_min = 0.08;    ///< flight-idle fuel flow [kg/s]
+  double wf_max = 1.6;     ///< max fuel flow [kg/s]
+  double rate_limit = 0.25; ///< max |dwf/dt| [kg/s per s]
+  /// Acceleration schedule: fuel ceiling proportional to compressor
+  /// discharge pressure (Wf/P3 limiting, the classic surge protection).
+  double accel_wf_per_p3 = 0.55;  ///< kg/s per MPa of P3
+};
+
+/// Rate-limited PI governor on HP spool speed.
+class FuelGovernor {
+ public:
+  FuelGovernor(GovernorConfig config, double initial_wf)
+      : config_(config), wf_(initial_wf) {}
+
+  /// One control update: returns the commanded fuel flow. `p3_pa` is the
+  /// compressor discharge pressure feeding the acceleration schedule.
+  double update(double n2_target, double n2_actual, double dt,
+                double p3_pa);
+
+  double fuel_flow() const { return wf_; }
+  void reset(double wf) {
+    wf_ = wf;
+    integral_ = 0.0;
+  }
+
+ private:
+  GovernorConfig config_;
+  double wf_;
+  double integral_ = 0.0;
+};
+
+struct MissionLeg {
+  std::string name;
+  double duration_s = 0.0;
+  FlightCondition flight;
+  double n2_target = 0.0;  ///< HP spool speed to hold [rpm]
+};
+
+struct MissionSample {
+  double t = 0.0;
+  std::size_t leg = 0;
+  double wf = 0.0;
+  Performance performance;
+};
+
+struct MissionResult {
+  std::vector<MissionSample> history;
+  double fuel_burned_kg = 0.0;
+  double min_surge_margin = 1.0;
+};
+
+/// Fly `legs` in sequence starting from `initial_states` (e.g. a sub-idle
+/// "engine start" condition). States carry across leg boundaries; flight
+/// conditions step at them.
+MissionResult fly_mission(EngineModel& engine,
+                          const std::vector<MissionLeg>& legs,
+                          std::vector<double> initial_states,
+                          double initial_wf, const GovernorConfig& governor,
+                          double dt, solvers::IntegratorKind integrator);
+
+}  // namespace npss::tess

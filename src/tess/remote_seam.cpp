@@ -1,0 +1,32 @@
+#include "tess/remote_seam.hpp"
+
+namespace npss::tess {
+
+ComponentHooks ComponentHooks::local() {
+  ComponentHooks hooks;
+  hooks.duct = [](int, const StationArray& in, double dp) {
+    return to_array(tess::duct(from_array(in), dp));
+  };
+  hooks.combustor = [](int, const StationArray& in, double wf, double eff,
+                       double dp) {
+    return to_array(tess::combustor(from_array(in), wf, eff, dp).out);
+  };
+  hooks.nozzle = [](int, const StationArray& in, double area, double pamb) {
+    NozzleResult r = tess::nozzle(from_array(in), area, pamb);
+    return StationArray{r.w_required, r.thrust, r.exit_velocity,
+                        r.choked ? 1.0 : 0.0};
+  };
+  hooks.setshaft = [](int, const StationArray& ecom, int incom,
+                      const StationArray& etur, int intur) {
+    return tess::setshaft(ecom.data(), incom, etur.data(), intur);
+  };
+  hooks.shaft = [](int, const StationArray& ecom, int incom,
+                   const StationArray& etur, int intur, double ecorr,
+                   double xspool, double xmyi) {
+    return tess::shaft(ecom.data(), incom, etur.data(), intur, ecorr, xspool,
+                       xmyi);
+  };
+  return hooks;
+}
+
+}  // namespace npss::tess

@@ -1,0 +1,62 @@
+// The remote-computation seam.
+//
+// TESS's four adapted modules — shaft, duct, combustor, nozzle — execute
+// their numeric cores either locally or through Schooner (§3.3). The engine
+// model calls those cores only through ComponentHooks, whose argument
+// shapes are flat arrays and scalars matching the paper's UTS export
+// specifications, so binding them to RPC stubs is mechanical (the npss
+// layer does exactly that). Everything else (compressor, turbine, mixer,
+// inlet) always computes locally, as it did in the prototype.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "tess/components.hpp"
+
+namespace npss::tess {
+
+/// Station state as it crosses the procedure boundary: [W, Tt, Pt, FAR].
+using StationArray = std::array<double, 4>;
+
+inline StationArray to_array(const GasState& s) {
+  return {s.W, s.Tt, s.Pt, s.far};
+}
+inline GasState from_array(const StationArray& a) {
+  return GasState{a[0], a[1], a[2], a[3]};
+}
+
+// An engine model may contain several instances of the same adapted
+// component — the F100 network has two ducts and two shafts (Figure 2) —
+// and in the paper each instance owns its own remote process (which is why
+// Schooner needed lines, §4.2). The leading `instance` argument routes the
+// call to the right one; it is NOT part of the wire signature, exactly as
+// in AVS where the routing was implicit in which module made the call.
+struct ComponentHooks {
+  /// duct(instance, in[4], dp_fraction) -> out[4]
+  std::function<StationArray(int, const StationArray&, double)> duct;
+
+  /// combustor(instance, in[4], wfuel, eff, dp_fraction) -> out[4]
+  std::function<StationArray(int, const StationArray&, double, double, double)>
+      combustor;
+
+  /// nozzle(instance, in[4], area, p_ambient)
+  ///     -> [w_required, thrust, v_exit, choked]
+  std::function<StationArray(int, const StationArray&, double, double)> nozzle;
+
+  /// setshaft(spool, ecom[4], incom, etur[4], intur) -> ecorr   (§3.3)
+  std::function<double(int, const StationArray&, int, const StationArray&,
+                       int)>
+      setshaft;
+
+  /// shaft(spool, ecom[4], incom, etur[4], intur, ecorr, xspool, xmyi)
+  ///     -> dxspl
+  std::function<double(int, const StationArray&, int, const StationArray&,
+                       int, double, double, double)>
+      shaft;
+
+  /// All-local hooks (the unadapted TESS).
+  static ComponentHooks local();
+};
+
+}  // namespace npss::tess

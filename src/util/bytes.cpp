@@ -1,0 +1,23 @@
+#include "util/bytes.hpp"
+
+namespace npss::util {
+
+void ByteReader::underflow(std::size_t need_bytes) const {
+  throw EncodingError("byte stream underflow: need " +
+                      std::to_string(need_bytes) + " bytes, have " +
+                      std::to_string(remaining()));
+}
+
+std::string hex_dump(std::span<const std::uint8_t> data) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 3);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i != 0) out.push_back(' ');
+    out.push_back(digits[data[i] >> 4]);
+    out.push_back(digits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace npss::util

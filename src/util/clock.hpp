@@ -1,0 +1,75 @@
+// Virtual-time primitives for the simulated cluster.
+//
+// Every simulated process carries a VirtualClock measured in microseconds of
+// simulated wall time. Message delivery advances clocks by link latency plus
+// serialization delay; a receiver's clock joins (max) with the message
+// timestamp, the standard conservative virtual-time rule. Because each
+// Schooner line is sequential (callers block on replies), per-line elapsed
+// virtual time is deterministic regardless of host thread scheduling.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace npss::util {
+
+/// Simulated microseconds.
+using SimTime = std::int64_t;
+
+constexpr SimTime sim_us(double us) { return static_cast<SimTime>(us); }
+constexpr SimTime sim_ms(double ms) {
+  return static_cast<SimTime>(ms * 1000.0);
+}
+constexpr double sim_to_ms(SimTime t) {
+  return static_cast<double>(t) / 1000.0;
+}
+
+/// Monotone virtual clock. Thread-safe: a process's clock may be advanced by
+/// the delivery of a message while the owner reads it.
+class VirtualClock {
+ public:
+  explicit VirtualClock(SimTime start = 0) : now_(start) {}
+
+  SimTime now() const noexcept { return now_.load(std::memory_order_acquire); }
+
+  /// Advance by a strictly local delay (compute time, think time).
+  void advance(SimTime delta) noexcept {
+    now_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+
+  /// Join with an external timestamp: now = max(now, t).
+  void join(SimTime t) noexcept {
+    SimTime cur = now_.load(std::memory_order_acquire);
+    while (t > cur &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_acq_rel)) {
+    }
+  }
+
+  void reset(SimTime t = 0) noexcept {
+    now_.store(t, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<SimTime> now_;
+};
+
+/// Real-time stopwatch for the benches that report host CPU/wall time next
+/// to virtual network time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  double elapsed_ms() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace npss::util

@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace npss::util {
+
+namespace {
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  std::lock_guard lock(mu_);
+  std::fprintf(stderr, "[%s] %-10s %s\n", level_tag(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace npss::util

@@ -1,0 +1,61 @@
+// Minimal leveled logger. Off by default so tests and benches stay quiet;
+// examples turn it on to narrate the Manager/Server protocol traffic the
+// paper describes.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace npss::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+  std::mutex mu_;
+  LogLevel level_ = LogLevel::kOff;
+};
+
+namespace detail {
+inline void log_fmt(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void log_fmt(std::ostringstream& os, T&& first, Rest&&... rest) {
+  os << std::forward<T>(first);
+  detail::log_fmt(os, std::forward<Rest>(rest)...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const std::string& component, Args&&... args) {
+  Logger& logger = Logger::instance();
+  if (!logger.enabled(level)) return;
+  std::ostringstream os;
+  detail::log_fmt(os, std::forward<Args>(args)...);
+  logger.write(level, component, os.str());
+}
+
+#define NPSS_LOG_TRACE(component, ...) \
+  ::npss::util::log(::npss::util::LogLevel::kTrace, component, __VA_ARGS__)
+#define NPSS_LOG_DEBUG(component, ...) \
+  ::npss::util::log(::npss::util::LogLevel::kDebug, component, __VA_ARGS__)
+#define NPSS_LOG_INFO(component, ...) \
+  ::npss::util::log(::npss::util::LogLevel::kInfo, component, __VA_ARGS__)
+#define NPSS_LOG_WARN(component, ...) \
+  ::npss::util::log(::npss::util::LogLevel::kWarn, component, __VA_ARGS__)
+#define NPSS_LOG_ERROR(component, ...) \
+  ::npss::util::log(::npss::util::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace npss::util

@@ -1,0 +1,44 @@
+// A minimal fork-join parallel_for. The paper's Figure 1 shows a parallel
+// algorithm encapsulated inside one Schooner procedure (e.g. PVM on a
+// workstation cluster, or a node program on the i860/CM-5); this is the
+// in-process equivalent those simulated "parallel machine" procedures use
+// for their inner loops.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace npss::util {
+
+/// Invoke fn(begin..end) across up to `threads` workers in contiguous
+/// chunks; joins before returning. `threads` <= 0 means hardware
+/// concurrency. Safe for any fn without cross-iteration dependencies.
+inline void parallel_for(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& fn,
+                         int threads = 0) {
+  const std::size_t count = end > begin ? end - begin : 0;
+  if (count == 0) return;
+  std::size_t workers = threads > 0
+                            ? static_cast<std::size_t>(threads)
+                            : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, count);
+  if (workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::vector<std::jthread> pool;
+  pool.reserve(workers);
+  const std::size_t chunk = (count + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+}
+
+}  // namespace npss::util

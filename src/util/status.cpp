@@ -1,0 +1,55 @@
+#include "util/status.hpp"
+
+namespace npss::util {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnknown: return "unknown";
+    case ErrorCode::kTypeMismatch: return "type-mismatch";
+    case ErrorCode::kRangeError: return "range-error";
+    case ErrorCode::kParseError: return "parse-error";
+    case ErrorCode::kEncodingError: return "encoding-error";
+    case ErrorCode::kLookupFailure: return "lookup-failure";
+    case ErrorCode::kStartupFailure: return "startup-failure";
+    case ErrorCode::kCallFailure: return "call-failure";
+    case ErrorCode::kStaleBinding: return "stale-binding";
+    case ErrorCode::kShutdown: return "shutdown";
+    case ErrorCode::kDuplicateName: return "duplicate-name";
+    case ErrorCode::kProtocolError: return "protocol-error";
+    case ErrorCode::kNoSuchMachine: return "no-such-machine";
+    case ErrorCode::kNoRoute: return "no-route";
+    case ErrorCode::kNoSuchImage: return "no-such-image";
+    case ErrorCode::kGraphError: return "graph-error";
+    case ErrorCode::kWidgetError: return "widget-error";
+    case ErrorCode::kConvergenceFailure: return "convergence-failure";
+    case ErrorCode::kModelError: return "model-error";
+  }
+  return "unknown";
+}
+
+void raise_error(ErrorCode code, const std::string& message) {
+  switch (code) {
+    case ErrorCode::kTypeMismatch: throw TypeMismatchError(message);
+    case ErrorCode::kRangeError: throw RangeError(message);
+    case ErrorCode::kParseError: throw ParseError(message);
+    case ErrorCode::kEncodingError: throw EncodingError(message);
+    case ErrorCode::kLookupFailure: throw LookupError(message);
+    case ErrorCode::kStartupFailure: throw StartupError(message);
+    case ErrorCode::kCallFailure: throw CallError(message);
+    case ErrorCode::kStaleBinding: throw StaleBindingError(message);
+    case ErrorCode::kShutdown: throw ShutdownError(message);
+    case ErrorCode::kDuplicateName: throw DuplicateNameError(message);
+    case ErrorCode::kProtocolError: throw ProtocolError(message);
+    case ErrorCode::kNoSuchMachine: throw NoSuchMachineError(message);
+    case ErrorCode::kNoRoute: throw NoRouteError(message);
+    case ErrorCode::kNoSuchImage: throw NoSuchImageError(message);
+    case ErrorCode::kGraphError: throw GraphError(message);
+    case ErrorCode::kWidgetError: throw WidgetError(message);
+    case ErrorCode::kConvergenceFailure: throw ConvergenceError(message);
+    case ErrorCode::kModelError: throw ModelError(message);
+    case ErrorCode::kUnknown: break;
+  }
+  throw Error(code, message);
+}
+
+}  // namespace npss::util

@@ -1,0 +1,95 @@
+// Error and status primitives shared across the NPSS/Schooner reproduction.
+//
+// The original Schooner was C with errno-style returns; here errors that a
+// caller is expected to handle programmatically travel as exceptions derived
+// from npss::util::Error, each carrying a stable ErrorCode so tests can pin
+// the *category* of a failure (e.g. the Cray out-of-range policy) and not
+// just its message text.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace npss::util {
+
+/// Stable machine-readable categories for failures surfaced by the library.
+enum class ErrorCode {
+  kUnknown = 0,
+  // UTS / marshaling
+  kTypeMismatch,     ///< import/export signatures or value/type disagree
+  kRangeError,       ///< value not representable in the target format
+  kParseError,       ///< malformed UTS specification text
+  kEncodingError,    ///< malformed canonical byte stream
+  // Schooner runtime
+  kLookupFailure,    ///< procedure name not bound in the caller's line
+  kStartupFailure,   ///< Server could not instantiate a program image
+  kCallFailure,      ///< transport- or peer-level RPC failure
+  kStaleBinding,     ///< call reached a machine that no longer hosts the proc
+  kShutdown,         ///< the line (or peer) has been terminated
+  kDuplicateName,    ///< second same-named export within one line
+  kProtocolError,    ///< unexpected message sequence
+  // Virtual cluster
+  kNoSuchMachine,
+  kNoRoute,
+  kNoSuchImage,      ///< executable path not present on the target machine
+  // Flow executive
+  kGraphError,       ///< bad module/port wiring
+  kWidgetError,
+  // TESS
+  kConvergenceFailure,
+  kModelError,
+};
+
+/// Human-readable name for an ErrorCode (used in messages and logs).
+std::string_view error_code_name(ErrorCode code);
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(error_code_name(code)) + ": " +
+                           message),
+        code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Convenience subclasses so call sites can catch narrow categories.
+#define NPSS_DEFINE_ERROR(Name, Code)                       \
+  class Name : public Error {                               \
+   public:                                                  \
+    explicit Name(const std::string& message)               \
+        : Error(ErrorCode::Code, message) {}                \
+  }
+
+NPSS_DEFINE_ERROR(TypeMismatchError, kTypeMismatch);
+NPSS_DEFINE_ERROR(RangeError, kRangeError);
+NPSS_DEFINE_ERROR(ParseError, kParseError);
+NPSS_DEFINE_ERROR(EncodingError, kEncodingError);
+NPSS_DEFINE_ERROR(LookupError, kLookupFailure);
+NPSS_DEFINE_ERROR(StartupError, kStartupFailure);
+NPSS_DEFINE_ERROR(CallError, kCallFailure);
+NPSS_DEFINE_ERROR(StaleBindingError, kStaleBinding);
+NPSS_DEFINE_ERROR(ShutdownError, kShutdown);
+NPSS_DEFINE_ERROR(DuplicateNameError, kDuplicateName);
+NPSS_DEFINE_ERROR(ProtocolError, kProtocolError);
+NPSS_DEFINE_ERROR(NoSuchMachineError, kNoSuchMachine);
+NPSS_DEFINE_ERROR(NoRouteError, kNoRoute);
+NPSS_DEFINE_ERROR(NoSuchImageError, kNoSuchImage);
+NPSS_DEFINE_ERROR(GraphError, kGraphError);
+NPSS_DEFINE_ERROR(WidgetError, kWidgetError);
+NPSS_DEFINE_ERROR(ConvergenceError, kConvergenceFailure);
+NPSS_DEFINE_ERROR(ModelError, kModelError);
+
+#undef NPSS_DEFINE_ERROR
+
+/// Throw the concrete Error subclass for `code` (so wire-transported
+/// errors re-raise with their original type and remain catchable by
+/// category on the far side).
+[[noreturn]] void raise_error(ErrorCode code, const std::string& message);
+
+}  // namespace npss::util

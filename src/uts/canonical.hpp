@@ -1,0 +1,70 @@
+// The UTS common data interchange format (canonical / intermediate form).
+//
+// Canonical encoding is big-endian IEEE: `double` -> binary64, `float` ->
+// binary32, `integer` -> 32-bit two's complement, `byte` -> one octet,
+// `string` -> u32 length + octets; arrays and records encode their elements
+// in order with no padding (sizes are known from the Type, as in the
+// original UTS where the specification drove both ends).
+//
+// Conversion is routed *through the source/target machine's native formats*:
+// marshaling a double on the Cray first materializes the 64-bit Cray word
+// (48-bit mantissa — real precision loss) and converting that word into
+// IEEE canonical form raises util::RangeError if its magnitude exceeds
+// binary64 (§4.1's out-of-range policy). Likewise unmarshaling re-quantizes
+// into the destination's native format, so a value received on an IBM
+// hexadecimal-float machine may overflow there even though it was fine in
+// canonical form.
+#pragma once
+
+#include <span>
+
+#include "arch/arch.hpp"
+#include "uts/types.hpp"
+#include "uts/value.hpp"
+#include "util/bytes.hpp"
+
+namespace npss::uts {
+
+/// Which half of a call a parameter batch belongs to: a request carries
+/// val and var parameters, a reply carries var and res parameters (§3.1).
+enum class Direction : std::uint8_t { kRequest = 0, kReply };
+
+/// True if a parameter travels in the given direction.
+bool param_travels(ParamMode mode, Direction direction);
+
+/// Encode one value of one type into canonical bytes, quantizing through
+/// `source`'s native formats. Throws RangeError / TypeMismatchError.
+void encode_canonical(const arch::ArchDescriptor& source, const Type& type,
+                      const Value& value, util::ByteWriter& out);
+
+/// Decode one canonical value, re-quantizing through `target`'s native
+/// formats. Throws RangeError / EncodingError.
+Value decode_canonical(const arch::ArchDescriptor& target, const Type& type,
+                       util::ByteReader& in);
+
+/// Marshal the parameters of `signature` that travel in `direction`.
+/// `values` must be parallel to the *full* signature (one entry per
+/// parameter); non-travelling entries are ignored.
+util::Bytes marshal(const arch::ArchDescriptor& source,
+                    const Signature& signature, const ValueList& values,
+                    Direction direction);
+
+/// Unmarshal a batch produced by `marshal` with the same signature and
+/// direction. Non-travelling slots are filled with default_value().
+ValueList unmarshal(const arch::ArchDescriptor& target,
+                    const Signature& signature,
+                    std::span<const std::uint8_t> bytes, Direction direction);
+
+/// Wire size of one value in canonical form (for the network cost model).
+std::size_t canonical_size(const Type& type, const Value& value);
+
+/// Wire size of a travelling batch.
+std::size_t batch_size(const Signature& signature, const ValueList& values,
+                       Direction direction);
+
+/// Relative quantization error bound for a value that passes host -> source
+/// native -> canonical -> target native (the end-to-end epsilon tests use).
+double conversion_epsilon(const arch::ArchDescriptor& source,
+                          const arch::ArchDescriptor& target, const Type& type);
+
+}  // namespace npss::uts

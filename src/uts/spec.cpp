@@ -1,0 +1,301 @@
+#include "uts/spec.hpp"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+namespace npss::uts {
+
+using util::LookupError;
+using util::ParseError;
+
+namespace {
+
+enum class TokKind : std::uint8_t {
+  kIdent,
+  kString,
+  kInt,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kColon,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  long number = 0;
+  int line = 0;
+  int column = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skip_space_and_comments();
+    const int line = line_, col = col_;
+    if (pos_ >= text_.size()) return {TokKind::kEnd, "", 0, line, col};
+    char c = text_[pos_];
+    if (c == '(') return punct(TokKind::kLParen, line, col);
+    if (c == ')') return punct(TokKind::kRParen, line, col);
+    if (c == '[') return punct(TokKind::kLBracket, line, col);
+    if (c == ']') return punct(TokKind::kRBracket, line, col);
+    if (c == ',') return punct(TokKind::kComma, line, col);
+    if (c == ';') return punct(TokKind::kSemicolon, line, col);
+    if (c == ':') return punct(TokKind::kColon, line, col);
+    if (c == '"') return string_token(line, col);
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return number_token(line, col);
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return ident_token(line, col);
+    }
+    throw ParseError("unexpected character '" + std::string(1, c) +
+                     "' at line " + std::to_string(line) + ":" +
+                     std::to_string(col));
+  }
+
+ private:
+  void advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void skip_space_and_comments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token punct(TokKind kind, int line, int col) {
+    std::string text(1, text_[pos_]);
+    advance();
+    return {kind, text, 0, line, col};
+  }
+
+  Token string_token(int line, int col) {
+    advance();  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\n') {
+        throw ParseError("unterminated string at line " +
+                         std::to_string(line));
+      }
+      out.push_back(text_[pos_]);
+      advance();
+    }
+    if (pos_ >= text_.size()) {
+      throw ParseError("unterminated string at line " + std::to_string(line));
+    }
+    advance();  // closing quote
+    return {TokKind::kString, out, 0, line, col};
+  }
+
+  Token number_token(int line, int col) {
+    std::string out;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      out.push_back(text_[pos_]);
+      advance();
+    }
+    return {TokKind::kInt, out, std::stol(out), line, col};
+  }
+
+  Token ident_token(int line, int col) {
+    std::string out;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-')) {
+      out.push_back(text_[pos_]);
+      advance();
+    }
+    return {TokKind::kIdent, out, 0, line, col};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) { shift(); }
+
+  SpecFile parse() {
+    SpecFile file;
+    while (tok_.kind != TokKind::kEnd) {
+      file.decls.push_back(decl());
+    }
+    return file;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError(what + " at line " + std::to_string(tok_.line) + ":" +
+                     std::to_string(tok_.column) + " (near '" + tok_.text +
+                     "')");
+  }
+
+  void shift() { tok_ = lexer_.next(); }
+
+  Token expect(TokKind kind, const char* what) {
+    if (tok_.kind != kind) fail(std::string("expected ") + what);
+    Token t = tok_;
+    shift();
+    return t;
+  }
+
+  void expect_keyword(const char* kw) {
+    if (tok_.kind != TokKind::kIdent || tok_.text != kw) {
+      fail(std::string("expected keyword '") + kw + "'");
+    }
+    shift();
+  }
+
+  ProcDecl decl() {
+    if (tok_.kind != TokKind::kIdent ||
+        (tok_.text != "export" && tok_.text != "import")) {
+      fail("expected 'export' or 'import'");
+    }
+    DeclKind kind =
+        tok_.text == "export" ? DeclKind::kExport : DeclKind::kImport;
+    shift();
+    Token name = expect(TokKind::kIdent, "procedure name");
+    expect_keyword("prog");
+    expect(TokKind::kLParen, "'('");
+    Signature sig;
+    if (tok_.kind != TokKind::kRParen) {
+      sig.push_back(param());
+      while (tok_.kind == TokKind::kComma) {
+        shift();
+        sig.push_back(param());
+      }
+    }
+    expect(TokKind::kRParen, "')'");
+    return ProcDecl{kind, name.text, std::move(sig)};
+  }
+
+  Param param() {
+    Token name = expect(TokKind::kString, "quoted parameter name");
+    ParamMode mode = param_mode();
+    Type t = type();
+    return Param{name.text, mode, std::move(t)};
+  }
+
+  ParamMode param_mode() {
+    if (tok_.kind != TokKind::kIdent) fail("expected parameter mode");
+    std::optional<ParamMode> mode;
+    if (tok_.text == "val") mode = ParamMode::kVal;
+    if (tok_.text == "res") mode = ParamMode::kRes;
+    if (tok_.text == "var") mode = ParamMode::kVar;
+    if (!mode) fail("expected 'val', 'res' or 'var'");
+    shift();
+    return *mode;
+  }
+
+  Type type() {
+    if (tok_.kind != TokKind::kIdent) fail("expected a type");
+    std::string head = tok_.text;
+    shift();
+    if (head == "float") return Type::floating();
+    if (head == "double") return Type::real_double();
+    if (head == "integer") return Type::integer();
+    if (head == "byte") return Type::byte();
+    if (head == "string") return Type::string();
+    if (head == "array") {
+      expect(TokKind::kLBracket, "'['");
+      Token size = expect(TokKind::kInt, "array size");
+      expect(TokKind::kRBracket, "']'");
+      expect_keyword("of");
+      if (size.number <= 0) fail("array size must be positive");
+      return Type::array(static_cast<std::size_t>(size.number), type());
+    }
+    if (head == "record") {
+      std::vector<std::pair<std::string, Type>> fields;
+      fields.push_back(field());
+      while (tok_.kind == TokKind::kSemicolon) {
+        shift();
+        fields.push_back(field());
+      }
+      expect_keyword("end");
+      return Type::record(std::move(fields));
+    }
+    fail("unknown type '" + head + "'");
+  }
+
+  std::pair<std::string, Type> field() {
+    Token name = expect(TokKind::kString, "quoted field name");
+    expect(TokKind::kColon, "':'");
+    return {name.text, type()};
+  }
+
+  Lexer lexer_;
+  Token tok_{TokKind::kEnd, "", 0, 0, 0};
+};
+
+}  // namespace
+
+const ProcDecl& SpecFile::find(std::string_view name) const {
+  for (const ProcDecl& d : decls) {
+    if (d.name == name) return d;
+  }
+  throw LookupError("no declaration named '" + std::string(name) +
+                    "' in spec file");
+}
+
+bool SpecFile::contains(std::string_view name) const {
+  for (const ProcDecl& d : decls) {
+    if (d.name == name) return true;
+  }
+  return false;
+}
+
+SpecFile parse_spec(std::string_view text) { return Parser(text).parse(); }
+
+std::string decl_to_string(const ProcDecl& decl) {
+  std::ostringstream os;
+  os << (decl.kind == DeclKind::kExport ? "export" : "import") << ' '
+     << decl.name << ' ';
+  os << "prog(";
+  bool first = true;
+  for (const Param& p : decl.signature) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    \"" << p.name << "\" " << param_mode_name(p.mode) << ' '
+       << p.type.to_string();
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string export_to_import_text(const SpecFile& exports) {
+  std::ostringstream os;
+  for (const ProcDecl& d : exports.decls) {
+    if (d.kind != DeclKind::kExport) continue;
+    ProcDecl imported = d;
+    imported.kind = DeclKind::kImport;
+    os << decl_to_string(imported) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace npss::uts

@@ -1,0 +1,56 @@
+// The UTS specification language.
+//
+// Export specifications are co-located with remote procedure sources and
+// import specifications with the invoking code (§3.3). Grammar, matching
+// the paper's examples plus records and comments:
+//
+//   specfile  := { decl }
+//   decl      := ("export" | "import") IDENT "prog" "(" [params] ")"
+//   params    := param { "," param }
+//   param     := STRING mode type
+//   mode      := "val" | "res" | "var"
+//   type      := "float" | "double" | "integer" | "byte" | "string"
+//              | "array" "[" INT "]" "of" type
+//              | "record" field { ";" field } "end"
+//   field     := STRING ":" type
+//
+// Comments run from '#' to end of line. Identifiers are case-preserved here;
+// case folding for Fortran names happens in the Manager (§4.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uts/types.hpp"
+
+namespace npss::uts {
+
+enum class DeclKind : std::uint8_t { kExport = 0, kImport };
+
+struct ProcDecl {
+  DeclKind kind;
+  std::string name;
+  Signature signature;
+};
+
+struct SpecFile {
+  std::vector<ProcDecl> decls;
+
+  /// First declaration with the given name; throws LookupError if absent.
+  const ProcDecl& find(std::string_view name) const;
+  bool contains(std::string_view name) const;
+};
+
+/// Parse specification text. Throws util::ParseError with line/column
+/// positions on malformed input.
+SpecFile parse_spec(std::string_view text);
+
+/// Render a declaration back to specification syntax (stable round-trip
+/// format used by the stub compiler and tests).
+std::string decl_to_string(const ProcDecl& decl);
+
+/// Derive the matching import spec text from an export spec (the "nearly
+/// identical" counterpart file of §3.3).
+std::string export_to_import_text(const SpecFile& exports);
+
+}  // namespace npss::uts

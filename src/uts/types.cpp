@@ -1,0 +1,180 @@
+#include "uts/types.hpp"
+
+#include <sstream>
+
+namespace npss::uts {
+
+using util::TypeMismatchError;
+
+Type Type::floating() { return Type(TypeKind::kFloat); }
+Type Type::real_double() { return Type(TypeKind::kDouble); }
+Type Type::integer() { return Type(TypeKind::kInteger); }
+Type Type::byte() { return Type(TypeKind::kByte); }
+Type Type::string() { return Type(TypeKind::kString); }
+
+Type Type::array(std::size_t size, Type element) {
+  return Type(TypeKind::kArray, size,
+              std::make_shared<const Type>(std::move(element)), {});
+}
+
+Type Type::record(std::vector<std::pair<std::string, Type>> fields) {
+  std::vector<Field> out;
+  out.reserve(fields.size());
+  for (auto& [name, type] : fields) {
+    out.push_back(Field{name, std::make_shared<const Type>(std::move(type))});
+  }
+  return Type(TypeKind::kRecord, 0, nullptr, std::move(out));
+}
+
+std::size_t Type::array_size() const {
+  if (kind_ != TypeKind::kArray) {
+    throw TypeMismatchError("array_size() on non-array type " + to_string());
+  }
+  return array_size_;
+}
+
+const Type& Type::element() const {
+  if (kind_ != TypeKind::kArray) {
+    throw TypeMismatchError("element() on non-array type " + to_string());
+  }
+  return *element_;
+}
+
+const std::vector<Field>& Type::fields() const {
+  if (kind_ != TypeKind::kRecord) {
+    throw TypeMismatchError("fields() on non-record type " + to_string());
+  }
+  return *fields_;
+}
+
+bool Type::operator==(const Type& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case TypeKind::kArray:
+      return array_size_ == other.array_size_ && *element_ == *other.element_;
+    case TypeKind::kRecord: {
+      const auto& a = *fields_;
+      const auto& b = *other.fields_;
+      if (a.size() != b.size()) return false;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].name != b[i].name || !(*a[i].type == *b[i].type)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return true;
+  }
+}
+
+std::string Type::to_string() const {
+  switch (kind_) {
+    case TypeKind::kFloat: return "float";
+    case TypeKind::kDouble: return "double";
+    case TypeKind::kInteger: return "integer";
+    case TypeKind::kByte: return "byte";
+    case TypeKind::kString: return "string";
+    case TypeKind::kArray:
+      return "array[" + std::to_string(array_size_) + "] of " +
+             element_->to_string();
+    case TypeKind::kRecord: {
+      std::ostringstream os;
+      os << "record ";
+      bool first = true;
+      for (const Field& f : *fields_) {
+        if (!first) os << "; ";
+        first = false;
+        os << '"' << f.name << "\": " << f.type->to_string();
+      }
+      os << " end";
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+bool Type::fixed_wire_size(std::size_t& size) const {
+  switch (kind_) {
+    case TypeKind::kFloat: size = 4; return true;
+    case TypeKind::kDouble: size = 8; return true;
+    case TypeKind::kInteger: size = 4; return true;
+    case TypeKind::kByte: size = 1; return true;
+    case TypeKind::kString: return false;
+    case TypeKind::kArray: {
+      std::size_t elem = 0;
+      if (!element_->fixed_wire_size(elem)) return false;
+      size = elem * array_size_;
+      return true;
+    }
+    case TypeKind::kRecord: {
+      std::size_t total = 0;
+      for (const Field& f : *fields_) {
+        std::size_t field_size = 0;
+        if (!f.type->fixed_wire_size(field_size)) return false;
+        total += field_size;
+      }
+      size = total;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view param_mode_name(ParamMode mode) {
+  switch (mode) {
+    case ParamMode::kVal: return "val";
+    case ParamMode::kRes: return "res";
+    case ParamMode::kVar: return "var";
+  }
+  return "?";
+}
+
+std::string signature_to_string(const Signature& sig) {
+  std::ostringstream os;
+  os << "prog(";
+  bool first = true;
+  for (const Param& p : sig) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << p.name << "\" " << param_mode_name(p.mode) << ' '
+       << p.type.to_string();
+  }
+  os << ')';
+  return os.str();
+}
+
+std::string signature_compatibility_error(const Signature& import_sig,
+                                          const Signature& export_sig) {
+  std::size_t export_pos = 0;
+  for (const Param& wanted : import_sig) {
+    // Scan forward in the export for the next parameter with this name;
+    // skipping is what makes the import a *subsequence* of the export.
+    bool found = false;
+    while (export_pos < export_sig.size()) {
+      const Param& offered = export_sig[export_pos];
+      ++export_pos;
+      if (offered.name != wanted.name) continue;
+      if (offered.mode != wanted.mode) {
+        return "parameter \"" + wanted.name + "\": import mode " +
+               std::string(param_mode_name(wanted.mode)) +
+               " != export mode " +
+               std::string(param_mode_name(offered.mode));
+      }
+      if (offered.type != wanted.type) {
+        return "parameter \"" + wanted.name + "\": import type " +
+               wanted.type.to_string() + " != export type " +
+               offered.type.to_string();
+      }
+      found = true;
+      break;
+    }
+    if (!found) {
+      return "import parameter \"" + wanted.name +
+             "\" not found in export (or out of order)";
+    }
+  }
+  return {};
+}
+
+}  // namespace npss::uts

@@ -1,0 +1,122 @@
+// The UTS (Universal Type System) type model.
+//
+// UTS describes procedure parameters with a small Pascal-like type language:
+// simple types float, double, integer, byte and string, plus structured
+// arrays and records (§3.1). `double` was the only floating type in the
+// original system; `float` was added when Fortran joined and the K&R
+// promote-to-double convention stopped being adequate (§4.1) — the A2
+// ablation bench measures exactly that difference.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace npss::uts {
+
+enum class TypeKind : std::uint8_t {
+  kFloat = 0,   ///< single-precision (canonical IEEE binary32)
+  kDouble,      ///< double-precision (canonical IEEE binary64)
+  kInteger,     ///< canonical 32-bit two's complement
+  kByte,        ///< canonical unsigned 8-bit
+  kString,      ///< length-prefixed byte string
+  kArray,       ///< fixed-size homogeneous array
+  kRecord,      ///< named heterogeneous fields
+};
+
+class Type;
+
+struct Field {
+  std::string name;
+  // Defined out-of-line via pointer to keep Field usable before Type is
+  // complete.
+  std::shared_ptr<const Type> type;
+};
+
+/// Immutable structural type. Value-semantic handle over a shared node so
+/// signatures can be copied freely between Manager tables and stubs.
+class Type {
+ public:
+  // Factories for the simple types.
+  static Type floating();
+  static Type real_double();
+  static Type integer();
+  static Type byte();
+  static Type string();
+  static Type array(std::size_t size, Type element);
+  static Type record(std::vector<std::pair<std::string, Type>> fields);
+
+  TypeKind kind() const { return kind_; }
+  bool simple() const { return kind_ < TypeKind::kArray; }
+
+  /// Array accessors; throw TypeMismatchError if not an array.
+  std::size_t array_size() const;
+  const Type& element() const;
+
+  /// Record accessors; throw TypeMismatchError if not a record.
+  const std::vector<Field>& fields() const;
+
+  /// Structural equality.
+  bool operator==(const Type& other) const;
+  bool operator!=(const Type& other) const { return !(*this == other); }
+
+  /// UTS-syntax rendering, e.g. "array[4] of float".
+  std::string to_string() const;
+
+  /// Size in bytes of the canonical encoding; strings and any type
+  /// containing one are variable-length and report nullopt via has value
+  /// fixed_wire_size() < 0 sentinel avoided: returns true + size via out.
+  bool fixed_wire_size(std::size_t& size) const;
+
+ private:
+  Type(TypeKind kind, std::size_t array_size, std::shared_ptr<const Type> elem,
+       std::vector<Field> fields)
+      : kind_(kind),
+        array_size_(array_size),
+        element_(std::move(elem)),
+        fields_(std::make_shared<const std::vector<Field>>(std::move(fields))) {}
+
+  explicit Type(TypeKind kind) : Type(kind, 0, nullptr, {}) {}
+
+  TypeKind kind_;
+  std::size_t array_size_;
+  std::shared_ptr<const Type> element_;
+  std::shared_ptr<const std::vector<Field>> fields_;
+};
+
+/// Parameter passing modes (§3.1: value, result, and var = value/result).
+enum class ParamMode : std::uint8_t { kVal = 0, kRes, kVar };
+
+std::string_view param_mode_name(ParamMode mode);
+
+struct Param {
+  std::string name;
+  ParamMode mode;
+  Type type;
+
+  bool operator==(const Param& other) const {
+    return name == other.name && mode == other.mode && type == other.type;
+  }
+};
+
+/// An ordered parameter list; the unit the Manager type-checks.
+using Signature = std::vector<Param>;
+
+std::string signature_to_string(const Signature& sig);
+
+/// Import/export compatibility per the paper's footnote 1: the import may be
+/// a subsequence of the export — every import parameter must appear in the
+/// export, in order, with identical name, mode, and type. Returns an empty
+/// string when compatible, else a human-readable reason.
+std::string signature_compatibility_error(const Signature& import_sig,
+                                          const Signature& export_sig);
+
+inline bool signatures_compatible(const Signature& import_sig,
+                                  const Signature& export_sig) {
+  return signature_compatibility_error(import_sig, export_sig).empty();
+}
+
+}  // namespace npss::uts

@@ -1,0 +1,163 @@
+#include "uts/value.hpp"
+
+#include <sstream>
+
+namespace npss::uts {
+
+using util::TypeMismatchError;
+
+double Value::as_real() const {
+  if (const double* d = std::get_if<double>(&data_)) return *d;
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&data_)) {
+    return static_cast<double>(*i);
+  }
+  if (const std::uint8_t* b = std::get_if<std::uint8_t>(&data_)) {
+    return static_cast<double>(*b);
+  }
+  throw TypeMismatchError("value " + to_string() + " is not numeric");
+}
+
+std::int64_t Value::as_integer() const {
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&data_)) return *i;
+  if (const std::uint8_t* b = std::get_if<std::uint8_t>(&data_)) return *b;
+  if (const double* d = std::get_if<double>(&data_)) {
+    return static_cast<std::int64_t>(*d);
+  }
+  throw TypeMismatchError("value " + to_string() + " is not numeric");
+}
+
+std::uint8_t Value::as_byte() const {
+  std::int64_t v = as_integer();
+  if (v < 0 || v > 255) {
+    throw TypeMismatchError("value " + std::to_string(v) +
+                            " out of byte range");
+  }
+  return static_cast<std::uint8_t>(v);
+}
+
+const std::string& Value::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&data_)) return *s;
+  throw TypeMismatchError("value " + to_string() + " is not a string");
+}
+
+const ValueList& Value::items() const {
+  if (const ValueList* v = std::get_if<ValueList>(&data_)) return *v;
+  throw TypeMismatchError("value " + to_string() + " is not composite");
+}
+
+ValueList& Value::items() {
+  if (ValueList* v = std::get_if<ValueList>(&data_)) return *v;
+  throw TypeMismatchError("value " + to_string() + " is not composite");
+}
+
+std::vector<double> Value::as_real_vector() const {
+  const ValueList& list = items();
+  std::vector<double> out;
+  out.reserve(list.size());
+  for (const Value& v : list) out.push_back(v.as_real());
+  return out;
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  if (const double* d = std::get_if<double>(&data_)) {
+    os << *d;
+  } else if (const std::int64_t* i = std::get_if<std::int64_t>(&data_)) {
+    os << *i;
+  } else if (const std::uint8_t* b = std::get_if<std::uint8_t>(&data_)) {
+    os << "0x" << std::hex << static_cast<int>(*b);
+  } else if (const std::string* s = std::get_if<std::string>(&data_)) {
+    os << '"' << *s << '"';
+  } else {
+    os << '[';
+    bool first = true;
+    for (const Value& v : std::get<ValueList>(data_)) {
+      if (!first) os << ", ";
+      first = false;
+      os << v.to_string();
+    }
+    os << ']';
+  }
+  return os.str();
+}
+
+Value default_value(const Type& type) {
+  switch (type.kind()) {
+    case TypeKind::kFloat:
+    case TypeKind::kDouble: return Value::real(0.0);
+    case TypeKind::kInteger: return Value::integer(0);
+    case TypeKind::kByte: return Value::byte(0);
+    case TypeKind::kString: return Value::str("");
+    case TypeKind::kArray: {
+      ValueList items(type.array_size(), default_value(type.element()));
+      return Value::array(std::move(items));
+    }
+    case TypeKind::kRecord: {
+      ValueList fields;
+      fields.reserve(type.fields().size());
+      for (const Field& f : type.fields()) {
+        fields.push_back(default_value(*f.type));
+      }
+      return Value::record(std::move(fields));
+    }
+  }
+  return Value::real(0.0);
+}
+
+void check_value(const Type& type, const Value& value,
+                 const std::string& path) {
+  const std::string where = path.empty() ? "<value>" : path;
+  switch (type.kind()) {
+    case TypeKind::kFloat:
+    case TypeKind::kDouble:
+    case TypeKind::kInteger:
+    case TypeKind::kByte:
+      if (!value.is_real() && !value.is_integer() && !value.is_byte()) {
+        throw TypeMismatchError(where + ": expected numeric for " +
+                                type.to_string() + ", got " +
+                                value.to_string());
+      }
+      return;
+    case TypeKind::kString:
+      if (!value.is_string()) {
+        throw TypeMismatchError(where + ": expected string, got " +
+                                value.to_string());
+      }
+      return;
+    case TypeKind::kArray: {
+      if (!value.is_composite()) {
+        throw TypeMismatchError(where + ": expected array, got " +
+                                value.to_string());
+      }
+      if (value.items().size() != type.array_size()) {
+        throw TypeMismatchError(
+            where + ": array size " + std::to_string(value.items().size()) +
+            " != declared " + std::to_string(type.array_size()));
+      }
+      for (std::size_t i = 0; i < value.items().size(); ++i) {
+        check_value(type.element(), value.items()[i],
+                    where + "[" + std::to_string(i) + "]");
+      }
+      return;
+    }
+    case TypeKind::kRecord: {
+      if (!value.is_composite()) {
+        throw TypeMismatchError(where + ": expected record, got " +
+                                value.to_string());
+      }
+      const auto& fields = type.fields();
+      if (value.items().size() != fields.size()) {
+        throw TypeMismatchError(
+            where + ": record has " + std::to_string(value.items().size()) +
+            " fields, declared " + std::to_string(fields.size()));
+      }
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        check_value(*fields[i].type, value.items()[i],
+                    where + "." + fields[i].name);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace npss::uts

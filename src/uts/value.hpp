@@ -1,0 +1,94 @@
+// Runtime values flowing through UTS marshaling.
+//
+// A Value is a dynamically-typed tree mirroring the UTS type language. The
+// host program manipulates Values (or uses the typed convenience accessors);
+// the codecs in canonical.hpp validate them against a Type when encoding.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "uts/types.hpp"
+#include "util/status.hpp"
+
+namespace npss::uts {
+
+class Value;
+using ValueList = std::vector<Value>;
+
+class Value {
+ public:
+  Value() : data_(0.0) {}
+
+  static Value real(double v) { return Value(Data(v)); }
+  static Value integer(std::int64_t v) { return Value(Data(v)); }
+  static Value byte(std::uint8_t v) { return Value(Data(v)); }
+  static Value str(std::string v) { return Value(Data(std::move(v))); }
+  static Value array(ValueList items) { return Value(Data(std::move(items))); }
+  static Value record(ValueList fields) {
+    return Value(Data(std::move(fields)));
+  }
+
+  /// Convenience: a real-valued array from doubles.
+  static Value real_array(std::initializer_list<double> items) {
+    ValueList out;
+    out.reserve(items.size());
+    for (double v : items) out.push_back(real(v));
+    return array(std::move(out));
+  }
+  static Value real_array(const std::vector<double>& items) {
+    ValueList out;
+    out.reserve(items.size());
+    for (double v : items) out.push_back(real(v));
+    return array(std::move(out));
+  }
+
+  bool is_real() const { return std::holds_alternative<double>(data_); }
+  bool is_integer() const {
+    return std::holds_alternative<std::int64_t>(data_);
+  }
+  bool is_byte() const { return std::holds_alternative<std::uint8_t>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_composite() const {
+    return std::holds_alternative<ValueList>(data_);
+  }
+
+  /// Checked accessors. Numeric accessors coerce between real/integer/byte
+  /// (a Fortran REAL argument fed from an integer widget, say); composite
+  /// and string access is strict.
+  double as_real() const;
+  std::int64_t as_integer() const;
+  std::uint8_t as_byte() const;
+  const std::string& as_string() const;
+  const ValueList& items() const;
+  ValueList& items();
+
+  /// Flatten a real-valued array into a vector<double>.
+  std::vector<double> as_real_vector() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+  /// Diagnostic rendering.
+  std::string to_string() const;
+
+ private:
+  using Data =
+      std::variant<double, std::int64_t, std::uint8_t, std::string, ValueList>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+/// A zero/empty value of the given type (used for omitted subset-import
+/// parameters and for initializing res slots).
+Value default_value(const Type& type);
+
+/// Validate a value structurally against a type; throws TypeMismatchError
+/// with a path-qualified message on the first mismatch.
+void check_value(const Type& type, const Value& value,
+                 const std::string& path = "");
+
+}  // namespace npss::uts

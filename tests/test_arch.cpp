@@ -1,0 +1,223 @@
+// Unit and property tests for the simulated architecture layer: byte-exact
+// float formats (IEEE, Cray, IBM hexadecimal), integer images, byte order,
+// and the Fortran name-case conventions behind §4.1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "arch/arch.hpp"
+#include "arch/float_format.hpp"
+
+namespace npss::arch {
+namespace {
+
+using util::RangeError;
+
+// --- Round-trip properties over a value grid ------------------------------------
+
+struct FormatCase {
+  FloatFormatKind kind;
+  double max_rel_error;
+};
+
+class FloatFormatRoundTrip
+    : public ::testing::TestWithParam<std::tuple<FormatCase, double>> {};
+
+const FormatCase kFormats[] = {
+    {FloatFormatKind::kIeee32, 1.2e-7},
+    {FloatFormatKind::kIeee64, 0.0},
+    {FloatFormatKind::kCray64, 7.2e-15},
+    {FloatFormatKind::kIbmHex32, 9.6e-7},
+    {FloatFormatKind::kIbmHex64, 4.5e-16},
+};
+
+const double kValues[] = {
+    0.0,       1.0,         -1.0,       3.14159265358979,
+    -2.5e-3,   6.62607e-34, 1.0e20,     -9.81,
+    288.15,    101325.0,    1.27e7,     0.3048,
+    1.0e-30,   -4.448e4,    65536.0,    1.0 / 3.0,
+};
+
+TEST_P(FloatFormatRoundTrip, EncodeDecodeWithinFormatPrecision) {
+  const auto& [format, value] = GetParam();
+  util::Bytes word = float_encode(format.kind, value);
+  EXPECT_EQ(word.size(), float_format_width(format.kind));
+  double back = float_decode(format.kind, word);
+  if (value == 0.0) {
+    EXPECT_EQ(back, 0.0);
+  } else {
+    EXPECT_LE(std::abs(back - value) / std::abs(value),
+              format.max_rel_error)
+        << float_format_name(format.kind) << " value " << value;
+  }
+}
+
+TEST_P(FloatFormatRoundTrip, EncodingIsDeterministic) {
+  const auto& [format, value] = GetParam();
+  EXPECT_EQ(float_encode(format.kind, value), float_encode(format.kind, value));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FloatFormatRoundTrip,
+    ::testing::Combine(::testing::ValuesIn(kFormats),
+                       ::testing::ValuesIn(kValues)));
+
+// --- Format-specific bit-level checks ------------------------------------------
+
+TEST(FloatFormats, Ieee64IsExactRoundTrip) {
+  for (double v : {1.0e-300, 1.7e308, -0.1, 1234.5678e-12}) {
+    EXPECT_EQ(float_decode(FloatFormatKind::kIeee64,
+                           float_encode(FloatFormatKind::kIeee64, v)),
+              v);
+  }
+}
+
+TEST(FloatFormats, Ieee32KnownBitPattern) {
+  // 1.0f is 0x3f800000 big-endian.
+  util::Bytes w = float_encode(FloatFormatKind::kIeee32, 1.0);
+  EXPECT_EQ(w, (util::Bytes{0x3f, 0x80, 0x00, 0x00}));
+}
+
+TEST(FloatFormats, CrayOneHasDocumentedLayout) {
+  // 1.0 = 0.5 * 2^1: biased exponent 16385, mantissa 2^47.
+  util::Bytes w = float_encode(FloatFormatKind::kCray64, 1.0);
+  std::uint64_t word = 0;
+  for (std::uint8_t b : w) word = (word << 8) | b;
+  EXPECT_EQ(word >> 63, 0u);                       // sign
+  EXPECT_EQ((word >> 48) & 0x7fff, 16385u);        // exponent
+  EXPECT_EQ(word & ((1ull << 48) - 1), 1ull << 47);  // mantissa
+}
+
+TEST(FloatFormats, CrayRepresentsMagnitudesBeyondIeee) {
+  // A value near 2^2000 is fine on the Cray...
+  util::Bytes word = cray_word_from_parts(false, 16384 + 2000, 1ull << 47);
+  // ...and decoding it into binary64 must raise the §4.1 error — never a
+  // quiet infinity (the rejected design alternative).
+  try {
+    (void)float_decode(FloatFormatKind::kCray64, word);
+    FAIL() << "expected RangeError";
+  } catch (const RangeError& e) {
+    EXPECT_NE(std::string(e.what()).find("range"), std::string::npos);
+  }
+}
+
+TEST(FloatFormats, CrayOutOfRangeHelperThrows) {
+  EXPECT_THROW(
+      (void)float_decode(FloatFormatKind::kCray64, cray_out_of_range_word()),
+      RangeError);
+}
+
+TEST(FloatFormats, CrayHasNoInfOrNan) {
+  EXPECT_THROW((void)float_encode(FloatFormatKind::kCray64,
+                                  std::numeric_limits<double>::infinity()),
+               RangeError);
+  EXPECT_THROW((void)float_encode(FloatFormatKind::kCray64,
+                                  std::numeric_limits<double>::quiet_NaN()),
+               RangeError);
+}
+
+TEST(FloatFormats, IbmHexOverflowsBelowIeeeMax) {
+  // IBM hex tops out near 7.2e75; 1e100 fits binary64 but not HFP.
+  EXPECT_THROW((void)float_encode(FloatFormatKind::kIbmHex64, 1e100),
+               RangeError);
+  EXPECT_NO_THROW((void)float_encode(FloatFormatKind::kIbmHex64, 7.0e75));
+}
+
+TEST(FloatFormats, IbmHexUnderflowFlushesToZero) {
+  util::Bytes w = float_encode(FloatFormatKind::kIbmHex32, 1e-100);
+  EXPECT_EQ(float_decode(FloatFormatKind::kIbmHex32, w), 0.0);
+}
+
+TEST(FloatFormats, Ieee32OverflowIsAnError) {
+  EXPECT_THROW((void)float_encode(FloatFormatKind::kIeee32, 1e39),
+               RangeError);
+}
+
+TEST(FloatFormats, RangeSubsumptionMatrix) {
+  using F = FloatFormatKind;
+  EXPECT_TRUE(float_range_subsumes(F::kCray64, F::kIeee64));
+  EXPECT_FALSE(float_range_subsumes(F::kIeee64, F::kCray64));
+  EXPECT_TRUE(float_range_subsumes(F::kIeee64, F::kIbmHex64));
+  EXPECT_FALSE(float_range_subsumes(F::kIbmHex64, F::kIeee64));
+  EXPECT_TRUE(float_range_subsumes(F::kIbmHex32, F::kIeee32));
+  EXPECT_TRUE(float_range_subsumes(F::kIeee64, F::kIeee64));
+}
+
+TEST(FloatFormats, WrongWidthIsEncodingError) {
+  util::Bytes three(3, 0);
+  EXPECT_THROW((void)float_decode(FloatFormatKind::kIeee32, three),
+               util::EncodingError);
+  EXPECT_THROW((void)float_decode(FloatFormatKind::kCray64, three),
+               util::EncodingError);
+}
+
+// --- Architecture descriptors ----------------------------------------------------
+
+TEST(ArchCatalog, ContainsThePapersTestbed) {
+  for (const char* name :
+       {"sun-sparc10", "sgi-4d340", "sgi-4d420", "sgi-4d480", "cray-ymp",
+        "convex-c220", "ibm-rs6000", "intel-i860"}) {
+    EXPECT_NO_THROW((void)arch_catalog(name)) << name;
+  }
+  EXPECT_THROW((void)arch_catalog("vax-11"), util::NoSuchMachineError);
+}
+
+TEST(ArchCatalog, CrayUsesWideFloatsAndUppercaseNames) {
+  const ArchDescriptor& cray = arch_catalog("cray-ymp");
+  EXPECT_EQ(cray.float_single, FloatFormatKind::kCray64);
+  EXPECT_EQ(cray.float_double, FloatFormatKind::kCray64);
+  EXPECT_EQ(cray.int_width, 8u);
+  EXPECT_EQ(cray.fortran_case, NameCase::kUpper);
+  EXPECT_EQ(fortran_external_name(cray, "setshaft"), "SETSHAFT");
+}
+
+TEST(ArchCatalog, WorkstationsUseLowercaseIeee) {
+  const ArchDescriptor& sparc = arch_catalog("sun-sparc10");
+  EXPECT_TRUE(sparc.ieee());
+  EXPECT_EQ(fortran_external_name(sparc, "SetShaft"), "setshaft");
+}
+
+TEST(ArchNative, LittleEndianReversesBytes) {
+  const ArchDescriptor& i860 = arch_catalog("intel-i860");
+  const ArchDescriptor& sparc = arch_catalog("sun-sparc10");
+  util::Bytes le = native_double(i860, 1.0);
+  util::Bytes be = native_double(sparc, 1.0);
+  ASSERT_EQ(le.size(), be.size());
+  for (std::size_t i = 0; i < le.size(); ++i) {
+    EXPECT_EQ(le[i], be[be.size() - 1 - i]);
+  }
+  EXPECT_DOUBLE_EQ(read_native_double(i860, le), 1.0);
+}
+
+TEST(ArchNative, IntegerRoundTripsWithSignExtension) {
+  for (const char* name : {"sun-sparc10", "intel-i860", "cray-ymp"}) {
+    const ArchDescriptor& a = arch_catalog(name);
+    for (std::int64_t v : {0ll, 1ll, -1ll, 123456789ll, -2147483648ll}) {
+      EXPECT_EQ(read_native_integer(a, native_integer(a, v)), v)
+          << name << " " << v;
+    }
+  }
+}
+
+TEST(ArchNative, CrayHolds64BitIntegers) {
+  const ArchDescriptor& cray = arch_catalog("cray-ymp");
+  const std::int64_t big = 1ll << 40;
+  EXPECT_EQ(read_native_integer(cray, native_integer(cray, big)), big);
+  // A 32-bit machine cannot.
+  const ArchDescriptor& sparc = arch_catalog("sun-sparc10");
+  EXPECT_THROW((void)native_integer(sparc, big), RangeError);
+}
+
+TEST(ArchNative, CrayDoubleKeeps48BitPrecision) {
+  const ArchDescriptor& cray = arch_catalog("cray-ymp");
+  const double value = 1.0 + std::ldexp(1.0, -40);
+  double back = read_native_double(cray, native_double(cray, value));
+  EXPECT_NEAR(back, value, std::ldexp(std::abs(value), -47));
+  // ...but not full binary64 precision:
+  const double fine = 1.0 + std::ldexp(1.0, -52);
+  EXPECT_EQ(read_native_double(cray, native_double(cray, fine)), 1.0);
+}
+
+}  // namespace
+}  // namespace npss::arch

@@ -1,0 +1,156 @@
+// Failure-injection tests (§2.4: testing engine operation in the presence
+// of failures), including failures striking a simulation whose components
+// run remotely over Schooner.
+#include <gtest/gtest.h>
+
+#include "npss/procedures.hpp"
+#include "npss/remote_backend.hpp"
+#include "tess/engine.hpp"
+#include "tess/failures.hpp"
+
+namespace npss::tess {
+namespace {
+
+TEST(Failures, CombustorDegradationLowersT4AndThrust) {
+  F100Engine engine;
+  FlightCondition sls;
+  SteadyResult healthy = engine.balance(1.0, sls);
+
+  FailureInjector injector(ComponentHooks::local());
+  injector.set_combustor_efficiency_factor(0.8);
+  engine.set_hooks(injector.hooks());
+  SteadyResult degraded = engine.balance(1.0, sls);
+
+  EXPECT_LT(degraded.performance.t4, healthy.performance.t4);
+  EXPECT_LT(degraded.performance.thrust, healthy.performance.thrust);
+  EXPECT_LT(degraded.performance.speeds[1], healthy.performance.speeds[1]);
+}
+
+TEST(Failures, BearingFrictionSlowsItsOwnSpool) {
+  F100Engine engine;
+  FlightCondition sls;
+  SteadyResult healthy = engine.balance(1.0, sls);
+
+  FailureInjector injector(ComponentHooks::local());
+  injector.set_shaft_friction_power(0, 0.5e6);  // LP bearing drag
+  engine.set_hooks(injector.hooks());
+  SteadyResult dragged = engine.balance(1.0, sls);
+
+  const double lp_drop =
+      1.0 - dragged.performance.speeds[0] / healthy.performance.speeds[0];
+  const double hp_drop =
+      1.0 - dragged.performance.speeds[1] / healthy.performance.speeds[1];
+  EXPECT_GT(lp_drop, 0.005);
+  // The spools are thermodynamically coupled (less LP airflow rebalances
+  // the HP side too), but the failed spool must take the larger hit.
+  EXPECT_GT(lp_drop, std::abs(hp_drop))
+      << "the failure belongs to the LP spool";
+}
+
+TEST(Failures, StuckNozzleBacksUpTheEngine) {
+  F100Engine engine;
+  FlightCondition sls;
+  SteadyResult healthy = engine.balance(1.0, sls);
+
+  FailureInjector injector(ComponentHooks::local());
+  injector.set_nozzle_area_factor(0.85);  // nozzle stuck partially closed
+  engine.set_hooks(injector.hooks());
+  SteadyResult choked = engine.balance(1.0, sls);
+
+  // Less exit area backs pressure up through the machine: airflow falls
+  // and the fan moves toward surge.
+  EXPECT_LT(choked.performance.airflow, healthy.performance.airflow);
+  EXPECT_LT(choked.performance.surge_margins[0],
+            healthy.performance.surge_margins[0]);
+}
+
+TEST(Failures, DuctBlockageCostsThrust) {
+  F100Engine engine;
+  FlightCondition sls;
+  SteadyResult healthy = engine.balance(1.0, sls);
+
+  FailureInjector injector(ComponentHooks::local());
+  injector.set_duct_extra_loss(0, 0.10);  // bypass duct damage
+  engine.set_hooks(injector.hooks());
+  SteadyResult damaged = engine.balance(1.0, sls);
+  EXPECT_LT(damaged.performance.thrust, 0.995 * healthy.performance.thrust);
+}
+
+TEST(Failures, MidTransientFlameoutAndRecovery) {
+  F100Engine engine;
+  FailureInjector injector(ComponentHooks::local());
+  engine.set_hooks(injector.hooks());
+  FlightCondition sls;
+  SteadyResult steady = engine.balance(1.0, sls);
+  FuelSchedule constant = [](double) { return 1.0; };
+
+  // Partial flameout strikes...
+  injector.set_combustor_efficiency_factor(0.6);
+  TransientResult during = engine.transient(
+      steady.performance.speeds, constant, sls, 2.0, 0.02,
+      solvers::IntegratorKind::kModifiedEuler);
+  const double n2_during = during.history.back().performance.speeds[1];
+  EXPECT_LT(n2_during, steady.performance.speeds[1] - 100.0)
+      << "engine must spool down under the failure";
+
+  // ...and clears: the engine recovers toward its healthy point.
+  injector.clear();
+  TransientResult after = engine.transient(
+      during.history.back().performance.speeds, constant, sls, 10.0, 0.02,
+      solvers::IntegratorKind::kModifiedEuler);
+  EXPECT_NEAR(after.history.back().performance.speeds[1] /
+                  steady.performance.speeds[1],
+              1.0, 5e-3);
+}
+
+TEST(Failures, ClearRestoresExactHealthyBehaviour) {
+  F100Engine engine;
+  FlightCondition sls;
+  SteadyResult healthy = engine.balance(1.0, sls);
+
+  FailureInjector injector(ComponentHooks::local());
+  injector.set_combustor_efficiency_factor(0.5);
+  injector.set_nozzle_area_factor(0.9);
+  injector.set_duct_extra_loss(1, 0.05);
+  injector.set_shaft_friction_power(1, 1e5);
+  injector.clear();
+  engine.set_hooks(injector.hooks());
+  SteadyResult restored = engine.balance(1.0, sls);
+  EXPECT_NEAR(restored.performance.thrust / healthy.performance.thrust, 1.0,
+              1e-9);
+}
+
+TEST(Failures, ComposesWithRemoteExecution) {
+  // A failure injected locally wraps hooks that call across the network:
+  // the degraded efficiency parameter travels to the remote combustor.
+  sim::Cluster cluster;
+  cluster.add_machine("ws", "sun-sparc10", "a");
+  cluster.add_machine("cray", "cray-ymp", "a");
+  glue::install_tess_procedures(cluster, "cray");
+  rpc::SchoonerSystem schooner(cluster, "ws");
+  glue::RemoteBackend backend(schooner, "ws");
+  backend.place(glue::AdaptedComponent::kCombustor, 0, {"cray", ""});
+
+  FailureInjector injector(backend.hooks());
+  injector.set_combustor_efficiency_factor(0.8);
+
+  F100Engine engine;
+  engine.set_hooks(injector.hooks());
+  engine.set_solver_tolerances(5e-6, 1e-4);
+  FlightCondition sls;
+  SteadyResult remote_degraded = engine.balance(1.0, sls);
+
+  F100Engine local;
+  FailureInjector local_injector(ComponentHooks::local());
+  local_injector.set_combustor_efficiency_factor(0.8);
+  local.set_hooks(local_injector.hooks());
+  SteadyResult local_degraded = local.balance(1.0, sls);
+
+  EXPECT_NEAR(remote_degraded.performance.thrust /
+                  local_degraded.performance.thrust,
+              1.0, 5e-4);
+  EXPECT_GT(backend.total_calls(), 0);
+}
+
+}  // namespace
+}  // namespace npss::tess

@@ -1,0 +1,269 @@
+// Tests of the flow executive (the AVS stand-in): widget semantics, module
+// lifecycle, network editing (type checks, cycles, removal), scheduling
+// (full and incremental), and the saved-network text format.
+#include <gtest/gtest.h>
+
+#include "flow/basic_modules.hpp"
+#include "flow/network.hpp"
+
+namespace npss::flow {
+namespace {
+
+// --- Widgets ----------------------------------------------------------------------
+
+TEST(Widgets, DialEnforcesBounds) {
+  Widget dial("power", WidgetKind::kDial, uts::Value::real(0.5), {}, 0.0,
+              1.0);
+  dial.set_real(0.75);
+  EXPECT_DOUBLE_EQ(dial.real(), 0.75);
+  EXPECT_THROW(dial.set_real(1.5), util::WidgetError);
+  EXPECT_THROW(dial.set_real(-0.1), util::WidgetError);
+  EXPECT_THROW(dial.set_text("x"), util::WidgetError);
+}
+
+TEST(Widgets, RadioButtonsRestrictToChoices) {
+  Widget radio("machine", WidgetKind::kRadioButtons,
+               uts::Value::str("local"), {"local", "cray", "rs6000"});
+  radio.select("cray");
+  EXPECT_EQ(radio.text(), "cray");
+  EXPECT_THROW(radio.select("vax"), util::WidgetError);
+  EXPECT_THROW(radio.set_real(1.0), util::WidgetError);
+}
+
+TEST(Widgets, ChangeTrackingAndClear) {
+  Widget t("path", WidgetKind::kTypeinString, uts::Value::str("/npss"));
+  EXPECT_TRUE(t.changed());  // initial value counts
+  t.clear_changed();
+  EXPECT_FALSE(t.changed());
+  t.set_text("/other");
+  EXPECT_TRUE(t.changed());
+}
+
+TEST(Widgets, SetFromTextParsesPerKind) {
+  Widget d("d", WidgetKind::kTypeinReal, uts::Value::real(0));
+  d.set_from_text("3.25");
+  EXPECT_DOUBLE_EQ(d.real(), 3.25);
+  Widget i("i", WidgetKind::kTypeinInteger, uts::Value::integer(0));
+  i.set_from_text("-7");
+  EXPECT_EQ(i.integer(), -7);
+  Widget g("g", WidgetKind::kToggle, uts::Value::integer(0));
+  g.set_from_text("on");
+  EXPECT_TRUE(g.on());
+}
+
+// --- Modules and networks --------------------------------------------------------------
+
+class DoublerModule final : public Module {
+ public:
+  std::string type_name() const override { return "doubler"; }
+  void spec(ModuleSpec& spec) override {
+    spec.input("in", uts::Type::real_double());
+    spec.output("out", uts::Type::real_double());
+  }
+  void compute() override {
+    ++computes;
+    out_real("out", has_in("in") ? 2.0 * in_real("in") : 0.0);
+  }
+  int computes = 0;
+};
+
+class StringerModule final : public Module {
+ public:
+  std::string type_name() const override { return "stringer"; }
+  void spec(ModuleSpec& spec) override {
+    spec.output("out", uts::Type::string());
+  }
+  void compute() override { out("out", uts::Value::str("s")); }
+};
+
+TEST(Network, EvaluatePropagatesInTopologicalOrder) {
+  register_basic_modules();
+  Network net;
+  net.add("src", "constant");
+  auto& d1 = static_cast<DoublerModule&>(
+      net.add("d1", std::make_unique<DoublerModule>()));
+  auto& d2 = static_cast<DoublerModule&>(
+      net.add("d2", std::make_unique<DoublerModule>()));
+  net.add("sink", "monitor");
+  net.connect("src", "out", "d1", "in");
+  net.connect("d1", "out", "d2", "in");
+  net.connect("d2", "out", "sink", "in");
+
+  net.module("src").widget("value").set_real(5.0);
+  net.evaluate();
+  auto& monitor = static_cast<MonitorModule&>(net.module("sink"));
+  EXPECT_DOUBLE_EQ(monitor.last(), 20.0);
+  EXPECT_EQ(d1.computes, 1);
+  EXPECT_EQ(d2.computes, 1);
+}
+
+TEST(Network, RunChangedSkipsQuietModules) {
+  register_basic_modules();
+  Network net;
+  net.add("a", "constant");
+  net.add("b", "constant");
+  auto& da = static_cast<DoublerModule&>(
+      net.add("da", std::make_unique<DoublerModule>()));
+  auto& db = static_cast<DoublerModule&>(
+      net.add("db", std::make_unique<DoublerModule>()));
+  net.connect("a", "out", "da", "in");
+  net.connect("b", "out", "db", "in");
+  net.evaluate();
+  da.computes = db.computes = 0;
+
+  // Touch only branch a: branch b must stay quiet.
+  net.module("a").widget("value").set_real(1.0);
+  int executed = net.run_changed();
+  EXPECT_EQ(executed, 2);  // a + da
+  EXPECT_EQ(da.computes, 1);
+  EXPECT_EQ(db.computes, 0);
+
+  // Nothing changed: nothing runs.
+  EXPECT_EQ(net.run_changed(), 0);
+}
+
+TEST(Network, ConnectTypeChecks) {
+  Network net;
+  net.add("s", std::make_unique<StringerModule>());
+  net.add("d", std::make_unique<DoublerModule>());
+  EXPECT_THROW(net.connect("s", "out", "d", "in"), util::GraphError);
+}
+
+TEST(Network, CycleRejected) {
+  Network net;
+  net.add("d1", std::make_unique<DoublerModule>());
+  net.add("d2", std::make_unique<DoublerModule>());
+  net.connect("d1", "out", "d2", "in");
+  EXPECT_THROW(net.connect("d2", "out", "d1", "in"), util::GraphError);
+  EXPECT_THROW(net.connect("d1", "out", "d1", "in"), util::GraphError);
+}
+
+TEST(Network, SingleSourcePerInput) {
+  Network net;
+  net.add("a", std::make_unique<DoublerModule>());
+  net.add("b", std::make_unique<DoublerModule>());
+  net.add("c", std::make_unique<DoublerModule>());
+  net.connect("a", "out", "c", "in");
+  EXPECT_THROW(net.connect("b", "out", "c", "in"), util::GraphError);
+  net.disconnect("c", "in");
+  EXPECT_NO_THROW(net.connect("b", "out", "c", "in"));
+}
+
+TEST(Network, BadNamesDiagnosed) {
+  Network net;
+  net.add("a", std::make_unique<DoublerModule>());
+  EXPECT_THROW(net.connect("a", "nope", "a", "in"), util::GraphError);
+  EXPECT_THROW(net.connect("zz", "out", "a", "in"), util::GraphError);
+  EXPECT_THROW((void)net.module("zz"), util::GraphError);
+  EXPECT_THROW(net.add("a", std::make_unique<DoublerModule>()),
+               util::GraphError);
+  EXPECT_THROW(net.remove("zz"), util::GraphError);
+}
+
+class DestroyProbe final : public Module {
+ public:
+  explicit DestroyProbe(int& counter) : counter_(&counter) {}
+  std::string type_name() const override { return "destroy-probe"; }
+  void spec(ModuleSpec&) override {}
+  void compute() override {}
+  void destroy() override { ++*counter_; }
+
+ private:
+  int* counter_;
+};
+
+TEST(Network, RemoveAndClearRunDestroy) {
+  int destroyed = 0;
+  Network net;
+  net.add("p1", std::make_unique<DestroyProbe>(destroyed));
+  net.add("p2", std::make_unique<DestroyProbe>(destroyed));
+  net.remove("p1");
+  EXPECT_EQ(destroyed, 1);
+  net.clear();
+  EXPECT_EQ(destroyed, 2);
+  EXPECT_FALSE(net.has("p2"));
+}
+
+TEST(Network, RemovingUpstreamDropsDownstreamSources) {
+  register_basic_modules();
+  Network net;
+  net.add("src", "constant");
+  net.add("d", std::make_unique<DoublerModule>());
+  net.connect("src", "out", "d", "in");
+  net.remove("src");
+  EXPECT_TRUE(net.connections().empty());
+  // The downstream input is free to be rewired.
+  net.add("src2", "constant");
+  EXPECT_NO_THROW(net.connect("src2", "out", "d", "in"));
+}
+
+TEST(Network, SaveLoadRoundTrip) {
+  register_basic_modules();
+  Network net;
+  net.add("src", "constant");
+  net.add("sink", "monitor");
+  net.connect("src", "out", "sink", "in");
+  net.module("src").widget("value").set_real(6.5);
+  std::string text = net.save_to_text();
+
+  Network again;
+  again.load_from_text(text);
+  EXPECT_TRUE(again.has("src"));
+  EXPECT_TRUE(again.has("sink"));
+  EXPECT_DOUBLE_EQ(again.module("src").widget("value").real(), 6.5);
+  again.evaluate();
+  EXPECT_DOUBLE_EQ(
+      static_cast<MonitorModule&>(again.module("sink")).last(), 6.5);
+}
+
+TEST(Network, LoadRejectsGarbageAndNonEmpty) {
+  register_basic_modules();
+  Network net;
+  EXPECT_THROW(net.load_from_text("frobnicate x y"), util::GraphError);
+  Network full;
+  full.add("src", "constant");
+  EXPECT_THROW(full.load_from_text("module a constant"), util::GraphError);
+}
+
+TEST(Network, FactoryKnowsRegisteredTypes) {
+  register_basic_modules();
+  ModuleFactory& f = ModuleFactory::instance();
+  EXPECT_TRUE(f.knows("constant"));
+  EXPECT_TRUE(f.knows("monitor"));
+  EXPECT_FALSE(f.knows("frobnicator"));
+  EXPECT_THROW((void)f.make("frobnicator"), util::GraphError);
+}
+
+TEST(Network, CsvTraceCollectsRows) {
+  Network net;
+  auto& trace = static_cast<CsvTraceModule&>(net.add(
+      "trace", std::make_unique<CsvTraceModule>(
+                   std::vector<std::string>{"thrust", "t4"})));
+  register_basic_modules();
+  net.add("c1", "constant");
+  net.add("c2", "constant");
+  net.connect("c1", "out", "trace", "thrust");
+  net.connect("c2", "out", "trace", "t4");
+  net.module("c1").widget("value").set_real(100.0);
+  net.module("c2").widget("value").set_real(1600.0);
+  net.evaluate();
+  net.evaluate();
+  EXPECT_EQ(trace.row_count(), 2u);
+  EXPECT_NE(trace.csv().find("thrust,t4"), std::string::npos);
+  EXPECT_NE(trace.csv().find("100,1600"), std::string::npos);
+}
+
+TEST(Module, PortAccessErrors) {
+  Network net;
+  auto& d = static_cast<DoublerModule&>(
+      net.add("d", std::make_unique<DoublerModule>()));
+  EXPECT_THROW((void)d.in("in"), util::GraphError);     // no value yet
+  EXPECT_THROW((void)d.in("nope"), util::GraphError);   // no such port
+  EXPECT_THROW(d.out("nope", uts::Value::real(1)), util::GraphError);
+  EXPECT_THROW(d.out("out", uts::Value::str("x")),
+               util::TypeMismatchError);  // type-checked output
+  EXPECT_THROW((void)d.widget("w"), util::WidgetError);
+}
+
+}  // namespace
+}  // namespace npss::flow

@@ -1,0 +1,142 @@
+// Tests of the higher-fidelity duct (zooming substrate): relaxation-solver
+// behaviour, physical calibration against the level-1 model, the parallel
+// sweeps' determinism, and the end-to-end zooming experiment — swapping
+// the duct fidelity by pointing the pathname at the level-2 executable.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "npss/procedures.hpp"
+#include "npss/remote_backend.hpp"
+#include "tess/engine.hpp"
+#include "tess/hifi_duct.hpp"
+#include "util/parallel.hpp"
+
+namespace npss::tess {
+namespace {
+
+GasState design_inflow() { return GasState{100.0, 700.0, 3.0e5, 0.0}; }
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  std::vector<int> hits(1000, 0);
+  util::parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; }, 4);
+  for (int h : hits) EXPECT_EQ(h, 1);
+  // Degenerate ranges are fine.
+  util::parallel_for(5, 5, [&](std::size_t) { FAIL(); });
+  util::parallel_for(7, 3, [&](std::size_t) { FAIL(); });
+}
+
+TEST(HifiDuct, StraightDuctReproducesLevel1Calibration) {
+  HifiDuctConfig cfg;
+  cfg.design_dp = 0.02;
+  cfg.design_flow = 100.0;
+  HifiDuctResult r = hifi_duct(design_inflow(), cfg);
+  EXPECT_NEAR(r.dp_fraction, 0.02, 2e-3);
+  // Level-1 equivalence at the calibration point.
+  GasState level1 = duct(design_inflow(), 0.02);
+  EXPECT_NEAR(r.out.Pt / level1.Pt, 1.0, 3e-3);
+  EXPECT_DOUBLE_EQ(r.out.W, level1.W);
+  EXPECT_DOUBLE_EQ(r.out.Tt, level1.Tt);
+}
+
+TEST(HifiDuct, LossScalesWithDynamicHead) {
+  HifiDuctConfig cfg;
+  GasState lo = design_inflow();
+  lo.W = 50.0;
+  GasState hi = design_inflow();
+  hi.W = 100.0;
+  const double dp_lo = hifi_duct(lo, cfg).dp_fraction;
+  const double dp_hi = hifi_duct(hi, cfg).dp_fraction;
+  EXPECT_NEAR(dp_hi / dp_lo, 4.0, 0.1);  // ~W^2
+}
+
+TEST(HifiDuct, DiffuserLosesMoreThanContraction) {
+  HifiDuctConfig straight, diffuser, contraction;
+  diffuser.contour = 0.3;
+  contraction.contour = -0.3;
+  const double dp_straight = hifi_duct(design_inflow(), straight).dp_fraction;
+  const double dp_diff = hifi_duct(design_inflow(), diffuser).dp_fraction;
+  const double dp_con = hifi_duct(design_inflow(), contraction).dp_fraction;
+  EXPECT_GT(dp_diff, dp_straight);
+  EXPECT_GT(dp_con, dp_straight);  // acceleration raises wall friction
+  EXPECT_GT(dp_diff, dp_con);      // but separation dominates diffusion
+}
+
+TEST(HifiDuct, ContractionRaisesWallVelocity) {
+  HifiDuctConfig straight, contraction;
+  contraction.contour = -0.3;
+  const double v_straight =
+      hifi_duct(design_inflow(), straight).max_wall_velocity;
+  const double v_con =
+      hifi_duct(design_inflow(), contraction).max_wall_velocity;
+  EXPECT_NEAR(v_straight, 1.0, 0.05);
+  EXPECT_GT(v_con, 1.3);  // h drops to 0.7 -> v ~ 1/0.7
+}
+
+TEST(HifiDuct, RelaxationConvergesAndIsDeterministicAcrossThreadCounts) {
+  HifiDuctConfig serial;
+  serial.contour = 0.25;
+  serial.threads = 1;
+  HifiDuctConfig parallel = serial;
+  parallel.threads = 4;
+  // Double-buffered Jacobi: bit-identical regardless of worker count.
+  std::vector<double> a = hifi_duct_streamfunction(serial);
+  std::vector<double> b = hifi_duct_streamfunction(parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  EXPECT_LT(hifi_duct(design_inflow(), serial).residual, 1e-5);
+}
+
+TEST(HifiDuct, StreamfunctionMonotoneAcrossTheDuct) {
+  HifiDuctConfig cfg;
+  cfg.contour = 0.2;
+  std::vector<double> psi = hifi_duct_streamfunction(cfg);
+  for (int i = 0; i <= cfg.nx; ++i) {
+    for (int j = 0; j < cfg.ny; ++j) {
+      EXPECT_LE(psi[j * (cfg.nx + 1) + i],
+                psi[(j + 1) * (cfg.nx + 1) + i] + 1e-12);
+    }
+  }
+}
+
+TEST(HifiDuct, TinyGridRejected) {
+  HifiDuctConfig cfg;
+  cfg.nx = 2;
+  EXPECT_THROW((void)hifi_duct(design_inflow(), cfg), util::ModelError);
+}
+
+TEST(HifiDuct, ZoomingViaPathnameWidget) {
+  // §2.3 zooming, end to end: the same F100 model runs with its tailpipe
+  // duct at level 1, then at level 2, by changing nothing but the
+  // executable path the duct instance is contacted at.
+  sim::Cluster cluster;
+  cluster.add_machine("ws", "sun-sparc10", "a");
+  cluster.add_machine("i860", "intel-i860", "a");  // the parallel machine
+  glue::install_tess_procedures(cluster, "i860");
+  rpc::SchoonerSystem schooner(cluster, "ws");
+  FlightCondition sls;
+
+  auto run_with_path = [&](const std::string& path) {
+    glue::RemoteBackend backend(schooner, "ws");
+    backend.place(glue::AdaptedComponent::kDuct, 1, {"i860", path});
+    F100Engine engine;
+    engine.set_hooks(backend.hooks());
+    engine.set_solver_tolerances(5e-6, 1e-4);
+    return engine.balance(1.0, sls);
+  };
+
+  SteadyResult level1 = run_with_path(glue::kDuctPath);
+  SteadyResult level2 = run_with_path(glue::kHifiDuctPath);
+
+  // Same engine, same interface; the level-2 physics computes its own
+  // loss from the actual flow, so the answers are close but not equal.
+  EXPECT_NEAR(level2.performance.thrust / level1.performance.thrust, 1.0,
+              0.05);
+  EXPECT_GT(std::abs(level2.performance.thrust -
+                     level1.performance.thrust),
+            1.0)
+      << "the fidelity levels should be distinguishable";
+}
+
+}  // namespace
+}  // namespace npss::tess

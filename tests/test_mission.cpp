@@ -1,0 +1,136 @@
+// Mission/governor tests — §2.4: starting the engine and flying it
+// through a flight profile, with closed-loop fuel control and the
+// acceleration schedule protecting surge margin.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tess/mission.hpp"
+
+namespace npss::tess {
+namespace {
+
+TEST(Governor, HoldsTargetAtSteadyState) {
+  F100Engine engine;
+  FlightCondition sls;
+  SteadyResult reference = engine.balance(1.0, sls);
+  const double target = reference.performance.speeds[1];
+
+  std::vector<MissionLeg> legs = {{"hold", 25.0, sls, target}};
+  MissionResult r = fly_mission(engine, legs, reference.performance.speeds,
+                                1.0, GovernorConfig{}, 0.05,
+                                solvers::IntegratorKind::kModifiedEuler);
+  const MissionSample& end = r.history.back();
+  EXPECT_NEAR(end.performance.speeds[1], target, 20.0);
+  // The closed-loop trim fuel matches the open-loop balance fuel.
+  EXPECT_NEAR(end.wf, 1.0, 0.02);
+}
+
+TEST(Governor, SpoolUpReachesTargetWithoutSurge) {
+  F100Engine engine;
+  FlightCondition sls;
+  SteadyResult idle = engine.balance(0.45, sls);
+  SteadyResult cruise = engine.balance(1.0, sls);
+
+  std::vector<MissionLeg> legs = {
+      {"accel", 40.0, sls, cruise.performance.speeds[1]}};
+  MissionResult r =
+      fly_mission(engine, legs, idle.performance.speeds, 0.45,
+                  GovernorConfig{}, 0.05,
+                  solvers::IntegratorKind::kModifiedEuler);
+  EXPECT_NEAR(r.history.back().performance.speeds[1],
+              cruise.performance.speeds[1], 30.0);
+  EXPECT_GT(r.min_surge_margin, 0.0)
+      << "the acceleration schedule must keep the HPC off the surge line";
+  EXPECT_GT(r.fuel_burned_kg, 10.0);
+  EXPECT_LT(r.fuel_burned_kg, 80.0);
+}
+
+TEST(Governor, AccelScheduleLimitsFuelDuringTransient) {
+  // Without the Wf/P3 ceiling, the same spool-up drives the HPC to its
+  // surge clamp; the schedule is what preserves margin.
+  F100Engine engine;
+  FlightCondition sls;
+  SteadyResult idle = engine.balance(0.45, sls);
+  SteadyResult cruise = engine.balance(1.0, sls);
+  std::vector<MissionLeg> legs = {
+      {"accel", 40.0, sls, cruise.performance.speeds[1]}};
+
+  GovernorConfig no_schedule;
+  no_schedule.accel_wf_per_p3 = 1e9;  // effectively disabled
+  no_schedule.rate_limit = 1.0;
+  MissionResult raw =
+      fly_mission(engine, legs, idle.performance.speeds, 0.45, no_schedule,
+                  0.05, solvers::IntegratorKind::kModifiedEuler);
+
+  MissionResult scheduled =
+      fly_mission(engine, legs, idle.performance.speeds, 0.45,
+                  GovernorConfig{}, 0.05,
+                  solvers::IntegratorKind::kModifiedEuler);
+  EXPECT_LT(raw.min_surge_margin, 0.005)
+      << "unprotected acceleration should pin the surge line";
+  EXPECT_GT(scheduled.min_surge_margin, raw.min_surge_margin);
+}
+
+TEST(Mission, MultiLegProfileTracksEachTarget) {
+  F100Engine engine;
+  SteadyResult start = engine.balance(0.55, {});
+  std::vector<MissionLeg> legs = {
+      {"takeoff", 30.0, FlightCondition{0, 0, 0}, 13900.0},
+      {"climb", 25.0, FlightCondition{4000, 0.5, 0}, 13900.0},
+      {"cruise", 25.0, FlightCondition{9000, 0.8, 0}, 13300.0},
+  };
+  MissionResult r =
+      fly_mission(engine, legs, start.performance.speeds, 0.55,
+                  GovernorConfig{}, 0.05,
+                  solvers::IntegratorKind::kModifiedEuler);
+  // Sample the end of each leg and check tracking.
+  for (std::size_t li = 0; li < legs.size(); ++li) {
+    const MissionSample* last_of_leg = nullptr;
+    for (const MissionSample& s : r.history) {
+      if (s.leg == li) last_of_leg = &s;
+    }
+    ASSERT_NE(last_of_leg, nullptr) << li;
+    EXPECT_NEAR(last_of_leg->performance.speeds[1], legs[li].n2_target,
+                60.0)
+        << legs[li].name;
+  }
+  EXPECT_GT(r.fuel_burned_kg, 20.0);
+}
+
+TEST(Mission, EmptyProfileRejected) {
+  F100Engine engine;
+  EXPECT_THROW((void)fly_mission(engine, {}, {10000.0, 13000.0}, 1.0,
+                                 GovernorConfig{}, 0.05,
+                                 solvers::IntegratorKind::kModifiedEuler),
+               util::ModelError);
+}
+
+TEST(PartPowerBalance, WholeThrottleRangeConverges) {
+  // The continuation fallback makes deep part power balance reliable from
+  // the design-point initial guess.
+  F100Engine engine;
+  FlightCondition sls;
+  double last_n2 = 0.0;
+  for (double wf : {0.35, 0.45, 0.60, 0.80, 1.0, 1.2}) {
+    SteadyResult r = engine.balance(wf, sls);
+    EXPECT_GT(r.performance.speeds[1], last_n2) << wf;
+    EXPECT_GE(r.performance.surge_margins[1], 0.0) << wf;
+    last_n2 = r.performance.speeds[1];
+  }
+}
+
+TEST(PartPowerBalance, StartBleedHoldsSurgeMarginAtIdle) {
+  FlightCondition sls;
+  F100Config with_bleed;
+  F100Config without;
+  without.start_bleed_max = 0.0;
+  F100Engine a(with_bleed), b(without);
+  SteadyResult idle_with = a.balance(0.40, sls);
+  SteadyResult idle_without = b.balance(0.40, sls);
+  EXPECT_GT(idle_with.performance.surge_margins[1],
+            idle_without.performance.surge_margins[1]);
+}
+
+}  // namespace
+}  // namespace npss::tess

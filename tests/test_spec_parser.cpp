@@ -1,0 +1,168 @@
+// Tests of the UTS specification-language parser: the paper's §3.3 shaft
+// specification verbatim, grammar coverage, comments, round-tripping, and
+// malformed-input diagnostics.
+#include <gtest/gtest.h>
+
+#include "uts/spec.hpp"
+
+namespace npss::uts {
+namespace {
+
+TEST(SpecParser, PaperShaftSpecificationParses) {
+  // Verbatim from §3.3 of the paper.
+  const char* text = R"(
+    export setshaft prog(
+        "ecom" val array[4] of float,
+        "incom" val integer,
+        "etur" val array[4] of float,
+        "intur" val integer,
+        "ecorr" res float)
+
+    export shaft prog(
+        "ecom" val array[4] of float,
+        "incom" val integer,
+        "etur" val array[4] of float,
+        "intur" val integer,
+        "ecorr" val float,
+        "xspool" val float,
+        "xmyi" val float,
+        "dxspl" res float)
+  )";
+  SpecFile file = parse_spec(text);
+  ASSERT_EQ(file.decls.size(), 2u);
+
+  const ProcDecl& setshaft = file.find("setshaft");
+  EXPECT_EQ(setshaft.kind, DeclKind::kExport);
+  ASSERT_EQ(setshaft.signature.size(), 5u);
+  EXPECT_EQ(setshaft.signature[0].name, "ecom");
+  EXPECT_EQ(setshaft.signature[0].mode, ParamMode::kVal);
+  EXPECT_EQ(setshaft.signature[0].type, Type::array(4, Type::floating()));
+  EXPECT_EQ(setshaft.signature[4].mode, ParamMode::kRes);
+
+  const ProcDecl& shaft = file.find("shaft");
+  ASSERT_EQ(shaft.signature.size(), 8u);
+  EXPECT_EQ(shaft.signature[7].name, "dxspl");
+  EXPECT_EQ(shaft.signature[7].mode, ParamMode::kRes);
+  EXPECT_EQ(shaft.signature[7].type, Type::floating());
+}
+
+TEST(SpecParser, AllSimpleTypes) {
+  SpecFile file = parse_spec(R"(
+    import p prog(
+      "a" val float, "b" val double, "c" val integer,
+      "d" val byte, "e" var string)
+  )");
+  const Signature& s = file.find("p").signature;
+  EXPECT_EQ(s[0].type, Type::floating());
+  EXPECT_EQ(s[1].type, Type::real_double());
+  EXPECT_EQ(s[2].type, Type::integer());
+  EXPECT_EQ(s[3].type, Type::byte());
+  EXPECT_EQ(s[4].type, Type::string());
+  EXPECT_EQ(s[4].mode, ParamMode::kVar);
+}
+
+TEST(SpecParser, NestedStructuredTypes) {
+  SpecFile file = parse_spec(R"(
+    export grid prog(
+      "mesh" val array[3] of array[2] of double,
+      "meta" res record "name": string;
+                        "dims" : array[2] of integer end)
+  )");
+  const Signature& s = file.find("grid").signature;
+  EXPECT_EQ(s[0].type,
+            Type::array(3, Type::array(2, Type::real_double())));
+  EXPECT_EQ(s[1].type,
+            Type::record({{"name", Type::string()},
+                          {"dims", Type::array(2, Type::integer())}}));
+}
+
+TEST(SpecParser, CommentsAndEmptyParamList) {
+  SpecFile file = parse_spec(R"(
+    # a procedure with no parameters
+    export tick prog()   # trailing comment
+  )");
+  EXPECT_TRUE(file.find("tick").signature.empty());
+}
+
+TEST(SpecParser, RoundTripThroughDeclToString) {
+  const char* text = R"(
+    export shaft prog(
+      "ecom" val array[4] of float,
+      "meta" res record "n": integer; "s": string end)
+  )";
+  SpecFile file = parse_spec(text);
+  std::string rendered = decl_to_string(file.decls[0]);
+  SpecFile again = parse_spec(rendered);
+  EXPECT_EQ(again.decls[0].name, file.decls[0].name);
+  EXPECT_EQ(again.decls[0].kind, file.decls[0].kind);
+  ASSERT_EQ(again.decls[0].signature.size(), file.decls[0].signature.size());
+  for (std::size_t i = 0; i < file.decls[0].signature.size(); ++i) {
+    EXPECT_EQ(again.decls[0].signature[i], file.decls[0].signature[i]);
+  }
+}
+
+TEST(SpecParser, ExportToImportTextFlipsKind) {
+  SpecFile exports = parse_spec(
+      "export f prog(\"x\" val double)  export g prog(\"y\" res float)");
+  SpecFile imports = parse_spec(export_to_import_text(exports));
+  ASSERT_EQ(imports.decls.size(), 2u);
+  EXPECT_EQ(imports.decls[0].kind, DeclKind::kImport);
+  EXPECT_EQ(imports.decls[1].kind, DeclKind::kImport);
+  EXPECT_EQ(imports.decls[0].signature, exports.decls[0].signature);
+}
+
+struct BadSpec {
+  const char* text;
+  const char* expect_fragment;
+};
+
+class SpecParserErrors : public ::testing::TestWithParam<BadSpec> {};
+
+TEST_P(SpecParserErrors, MalformedInputDiagnosed) {
+  try {
+    (void)parse_spec(GetParam().text);
+    FAIL() << "expected ParseError for: " << GetParam().text;
+  } catch (const util::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(GetParam().expect_fragment),
+              std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SpecParserErrors,
+    ::testing::Values(
+        BadSpec{"exprot f prog()", "expected 'export' or 'import'"},
+        BadSpec{"export prog()", "expected keyword 'prog'"},
+        BadSpec{"export f prog(", "expected quoted parameter name"},
+        BadSpec{"export f prog(\"x\" byval float)", "expected 'val'"},
+        BadSpec{"export f prog(\"x\" val floof)", "unknown type"},
+        BadSpec{"export f prog(\"x\" val array[0] of float)",
+                "array size must be positive"},
+        BadSpec{"export f prog(\"x\" val array[4] float)",
+                "expected keyword 'of'"},
+        BadSpec{"export f prog(\"x\" val record \"a\": float)",
+                "expected keyword 'end'"},
+        BadSpec{"export f prog(\"x val float)", "unterminated string"},
+        BadSpec{"export f prog(\"x\" val float", "expected ')'"},
+        BadSpec{"export f prog() %", "unexpected character"}));
+
+TEST(SpecParser, ErrorsCarryLinePositions) {
+  try {
+    (void)parse_spec("export f prog(\n  \"x\" val\n  floof)");
+    FAIL();
+  } catch (const util::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SpecFileApi, FindAndContains) {
+  SpecFile file = parse_spec("export f prog()");
+  EXPECT_TRUE(file.contains("f"));
+  EXPECT_FALSE(file.contains("g"));
+  EXPECT_THROW((void)file.find("g"), util::LookupError);
+}
+
+}  // namespace
+}  // namespace npss::uts

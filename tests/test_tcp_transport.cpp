@@ -1,0 +1,174 @@
+// Tests of the real-socket transport: Schooner wire frames over actual
+// loopback TCP — the transport a present-day deployment would use where
+// the paper's testbed used 1993 TCP/IP stacks. The marshaling stack is
+// identical to the virtual-cluster path, including heterogeneity (the
+// server can declare a Cray personality) and subset imports.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "rpc/tcp_transport.hpp"
+#include "tess/components.hpp"
+
+namespace npss::rpc {
+namespace {
+
+using uts::Value;
+
+const char* kShaftSpec = R"(
+  export shaft prog(
+      "ecom" val array[4] of float,
+      "incom" val integer,
+      "etur" val array[4] of float,
+      "intur" val integer,
+      "ecorr" val float,
+      "xspool" val float,
+      "xmyi" val float,
+      "dxspl" res float)
+)";
+
+ProcedureDef shaft_def() {
+  return {"shaft", [](ProcCall& call) {
+            std::vector<double> ecom = call.reals("ecom");
+            std::vector<double> etur = call.reals("etur");
+            call.set_real(
+                "dxspl",
+                tess::shaft(ecom.data(),
+                            static_cast<int>(call.integer("incom")),
+                            etur.data(),
+                            static_cast<int>(call.integer("intur")),
+                            call.real("ecorr"), call.real("xspool"),
+                            call.real("xmyi")));
+          }};
+}
+
+TEST(TcpTransport, ShaftCallOverRealSockets) {
+  TcpProcedureHost host(kShaftSpec, {shaft_def()}, "ibm-rs6000");
+  ASSERT_GT(host.port(), 0);
+
+  TcpRemoteProc shaft("127.0.0.1", host.port(), "shaft",
+                      "import shaft prog("
+                      "\"ecom\" val array[4] of float,"
+                      "\"incom\" val integer,"
+                      "\"etur\" val array[4] of float,"
+                      "\"intur\" val integer,"
+                      "\"ecorr\" val float,"
+                      "\"xspool\" val float,"
+                      "\"xmyi\" val float,"
+                      "\"dxspl\" res float)",
+                      "sun-sparc10");
+  uts::ValueList out = shaft.call(
+      {Value::real_array({1.0e6, 100.0, 1.0e4, 0.85}), Value::integer(1),
+       Value::real_array({1.2e6, 100.0, 1.2e4, 0.88}), Value::integer(1),
+       Value::real(1.0), Value::real(10000.0), Value::real(40.0),
+       Value::real(0)});
+
+  const double ecom[4] = {1.0e6, 100.0, 1.0e4, 0.85};
+  const double etur[4] = {1.2e6, 100.0, 1.2e4, 0.88};
+  const double local = tess::shaft(ecom, 1, etur, 1, 1.0, 10000.0, 40.0);
+  EXPECT_NEAR(out[7].as_real() / local, 1.0, 1e-5);
+  EXPECT_EQ(host.calls(), 1);
+}
+
+TEST(TcpTransport, ManySequentialCallsOnOneConnection) {
+  TcpProcedureHost host(
+      "export inc prog(\"x\" val integer, \"y\" res integer)",
+      {{"inc", [](ProcCall& c) {
+          c.set("y", Value::integer(c.integer("x") + 1));
+        }}},
+      "sun-sparc10");
+  TcpRemoteProc inc("127.0.0.1", host.port(), "inc",
+                    "import inc prog(\"x\" val integer, \"y\" res integer)",
+                    "sun-sparc10");
+  for (int i = 0; i < 200; ++i) {
+    uts::ValueList out = inc.call({Value::integer(i), Value::integer(0)});
+    ASSERT_EQ(out[1].as_integer(), i + 1);
+  }
+  EXPECT_EQ(host.calls(), 200);
+}
+
+TEST(TcpTransport, ConcurrentClientsAreServedIndependently) {
+  TcpProcedureHost host(
+      "export square prog(\"x\" val double, \"y\" res double)",
+      {{"square", [](ProcCall& c) {
+          c.set_real("y", c.real("x") * c.real("x"));
+        }}},
+      "sun-sparc10");
+  std::vector<std::thread> clients;
+  std::vector<bool> ok(6, false);
+  for (int t = 0; t < 6; ++t) {
+    clients.emplace_back([&, t] {
+      TcpRemoteProc square(
+          "127.0.0.1", host.port(), "square",
+          "import square prog(\"x\" val double, \"y\" res double)",
+          "sun-sparc10");
+      bool all = true;
+      for (int i = 0; i < 50; ++i) {
+        const double x = t * 100.0 + i;
+        uts::ValueList out = square.call({Value::real(x), Value::real(0)});
+        all = all && out[1].as_real() == x * x;
+      }
+      ok[t] = all;
+    });
+  }
+  for (auto& c : clients) c.join();
+  for (bool b : ok) EXPECT_TRUE(b);
+  EXPECT_EQ(host.calls(), 300);
+}
+
+TEST(TcpTransport, RemoteErrorsArriveTyped) {
+  TcpProcedureHost host(
+      "export root prog(\"x\" val double, \"y\" res double)",
+      {{"root", [](ProcCall& c) {
+          if (c.real("x") < 0) throw util::ModelError("negative");
+          c.set_real("y", std::sqrt(c.real("x")));
+        }}},
+      "sun-sparc10");
+  TcpRemoteProc root("127.0.0.1", host.port(), "root",
+                     "import root prog(\"x\" val double, \"y\" res double)",
+                     "sun-sparc10");
+  EXPECT_DOUBLE_EQ(root.call({Value::real(9), Value::real(0)})[1].as_real(),
+                   3.0);
+  EXPECT_THROW(root.call({Value::real(-4), Value::real(0)}),
+               util::ModelError);
+  // The connection survives an application error.
+  EXPECT_DOUBLE_EQ(root.call({Value::real(16), Value::real(0)})[1].as_real(),
+                   4.0);
+}
+
+TEST(TcpTransport, UnknownProcedureAndBadSignature) {
+  TcpProcedureHost host(
+      "export f prog(\"x\" val double)",
+      {{"f", [](ProcCall&) {}}}, "sun-sparc10");
+  TcpRemoteProc ghost("127.0.0.1", host.port(), "g",
+                      "import g prog(\"x\" val double)", "sun-sparc10");
+  EXPECT_THROW(ghost.call({Value::real(1)}), util::LookupError);
+
+  TcpRemoteProc wrong("127.0.0.1", host.port(), "f",
+                      "import f prog(\"x\" val integer)", "sun-sparc10");
+  EXPECT_THROW(wrong.call({Value::integer(1)}), util::TypeMismatchError);
+}
+
+TEST(TcpTransport, CrayPersonalityQuantizesOnTheServer) {
+  // The server declares the Cray architecture: its values pass through
+  // 48-bit-mantissa words, so a fine double perturbation vanishes there.
+  TcpProcedureHost host(
+      "export echo prog(\"x\" var double)",
+      {{"echo", [](ProcCall&) {}}}, "cray-ymp");
+  TcpRemoteProc echo("127.0.0.1", host.port(), "echo",
+                     "import echo prog(\"x\" var double)", "sun-sparc10");
+  const double fine = 1.0 + std::ldexp(1.0, -52);
+  uts::ValueList out = echo.call({Value::real(fine)});
+  EXPECT_EQ(out[0].as_real(), 1.0) << "Cray word cannot hold 2^-52";
+}
+
+TEST(TcpTransport, ConnectionToNowhereFailsFast) {
+  EXPECT_THROW(TcpRemoteProc("127.0.0.1", 1, "f",
+                             "import f prog(\"x\" val double)",
+                             "sun-sparc10"),
+               util::CallError);
+}
+
+}  // namespace
+}  // namespace npss::rpc

@@ -1,0 +1,292 @@
+// Tests of the TESS physics substrate: gas model thermodynamics, the
+// standard atmosphere, performance maps, and each engine component's
+// conservation and monotonicity properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tess/components.hpp"
+#include "tess/gas.hpp"
+#include "tess/maps.hpp"
+
+namespace npss::tess {
+namespace {
+
+// --- Gas model -------------------------------------------------------------------
+
+TEST(Gas, CpRisesWithTemperatureAndFuel) {
+  EXPECT_GT(cp(800.0), cp(288.15));
+  EXPECT_GT(cp(1600.0, 0.02), cp(1600.0, 0.0));
+  EXPECT_NEAR(cp(288.15), 1004.7, 0.1);
+}
+
+TEST(Gas, GammaInPhysicalRange) {
+  for (double t : {220.0, 288.15, 800.0, 1600.0, 2000.0}) {
+    EXPECT_GT(gamma(t), 1.25);
+    EXPECT_LT(gamma(t), 1.42);
+  }
+  EXPECT_LT(gamma(1600.0), gamma(288.15));  // hot gas has lower gamma
+}
+
+TEST(Gas, EnthalpyInvertsExactly) {
+  for (double t : {250.0, 288.15, 500.0, 1000.0, 1800.0}) {
+    for (double far : {0.0, 0.01, 0.025}) {
+      EXPECT_NEAR(temperature_from_enthalpy(enthalpy(t, far), far), t, 1e-8)
+          << t << " " << far;
+    }
+  }
+}
+
+TEST(Gas, EnthalpyIsIntegralOfCp) {
+  // dh/dT ~ cp by central difference.
+  const double t = 700.0, dt = 0.01;
+  const double dh = (enthalpy(t + dt) - enthalpy(t - dt)) / (2 * dt);
+  EXPECT_NEAR(dh, cp(t), 1e-6 * cp(t));
+}
+
+TEST(Gas, StandardAtmosphere) {
+  EXPECT_NEAR(isa_temperature(0.0), 288.15, 1e-9);
+  EXPECT_NEAR(isa_pressure(0.0), 101325.0, 1e-6);
+  EXPECT_NEAR(isa_temperature(11000.0), 216.65, 0.01);
+  EXPECT_NEAR(isa_pressure(11000.0), 22632.0, 100.0);
+  EXPECT_NEAR(isa_temperature(15000.0), 216.65, 1e-9);
+  EXPECT_LT(isa_pressure(15000.0), isa_pressure(11000.0));
+}
+
+TEST(Gas, FlightConditionTotalsExceedStatics) {
+  FlightCondition cruise{10668.0, 0.8, 0.0};
+  EXPECT_GT(cruise.total_temperature(), cruise.ambient_temperature());
+  EXPECT_GT(cruise.total_pressure(), cruise.ambient_pressure());
+  FlightCondition sls{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(sls.total_pressure(), sls.ambient_pressure());
+}
+
+TEST(Gas, CorrectedFlowAtReferenceConditionsIsPhysical) {
+  GasState ref{100.0, kTref, kPref, 0.0};
+  EXPECT_DOUBLE_EQ(ref.corrected_flow(), 100.0);
+  GasState hot = ref;
+  hot.Tt = 4 * kTref;
+  EXPECT_DOUBLE_EQ(hot.corrected_flow(), 200.0);
+}
+
+// --- Maps -------------------------------------------------------------------------
+
+TEST(Maps, CatalogResolvesAndRejects) {
+  EXPECT_NO_THROW((void)compressor_map("f100_fan.map"));
+  EXPECT_NO_THROW((void)turbine_map("f100_hpt.map"));
+  EXPECT_THROW((void)compressor_map("nope.map"), util::ModelError);
+  EXPECT_THROW((void)turbine_map("nope.map"), util::ModelError);
+  EXPECT_FALSE(compressor_map_names().empty());
+  EXPECT_FALSE(turbine_map_names().empty());
+}
+
+TEST(Maps, CompressorSpeedLinesBehave) {
+  const CompressorMap& map = compressor_map("f100_fan.map");
+  // Along a speed line, moving toward surge raises PR and lowers flow.
+  CompressorPoint choke = map.at(1.0, 1.0);
+  CompressorPoint surge = map.at(1.0, 2.0);
+  EXPECT_GT(surge.pr, choke.pr);
+  EXPECT_LT(surge.wc, choke.wc);
+  // Higher speed passes more flow at higher PR.
+  EXPECT_GT(map.at(1.1, 1.5).wc, map.at(0.9, 1.5).wc);
+  EXPECT_GT(map.at(1.1, 1.5).pr, map.at(0.9, 1.5).pr);
+  // Efficiency peaks near design.
+  EXPECT_GT(map.at(1.0, 1.5).eff, map.at(0.7, 1.5).eff);
+  EXPECT_GT(map.at(1.0, 1.5).eff, map.at(1.0, 2.2).eff);
+}
+
+TEST(Maps, CompressorFlowInversionIsConsistent) {
+  const CompressorMap& map = compressor_map("f100_hpc.map");
+  for (double nc : {0.8, 0.95, 1.05}) {
+    for (double r : {1.1, 1.5, 1.9}) {
+      CompressorPoint fwd = map.at(nc, r);
+      CompressorPoint inv = map.at_flow(nc, fwd.wc);
+      EXPECT_NEAR(inv.r, r, 1e-9);
+      EXPECT_NEAR(inv.pr, fwd.pr, 1e-9);
+    }
+  }
+}
+
+TEST(Maps, SurgeMarginPositiveBelowSurgeLine) {
+  const CompressorMap& map = compressor_map("f100_fan.map");
+  CompressorPoint mid = map.at(1.0, 1.5);
+  EXPECT_GT(map.surge_margin(mid, 1.0), 0.0);
+  CompressorPoint at_surge = map.at(1.0, 2.2);
+  EXPECT_NEAR(map.surge_margin(at_surge, 1.0), 0.0, 1e-12);
+}
+
+TEST(Maps, TurbineFlowChokes) {
+  const TurbineMap& map = turbine_map("f100_hpt.map");
+  // Flow parameter rises with PR then saturates (choking).
+  double fp_low = map.at(1.0, 1.5).flow_parameter;
+  double fp_mid = map.at(1.0, 3.0).flow_parameter;
+  double fp_high = map.at(1.0, 6.0).flow_parameter;
+  EXPECT_LT(fp_low, fp_mid);
+  EXPECT_LT(fp_mid, fp_high);
+  EXPECT_LT((fp_high - fp_mid) / fp_mid, 0.1) << "should be near choke";
+}
+
+// --- Components ---------------------------------------------------------------------
+
+TEST(Components, InletRecoversSubsonicTotalsExactly) {
+  FlightCondition sls{0.0, 0.0, 0.0};
+  InletResult r = inlet(sls, 100.0);
+  EXPECT_DOUBLE_EQ(r.out.Pt, sls.total_pressure());
+  EXPECT_DOUBLE_EQ(r.out.W, 100.0);
+  EXPECT_DOUBLE_EQ(r.ram_drag, 0.0);
+
+  FlightCondition supersonic{0.0, 1.6, 0.0};
+  InletResult s = inlet(supersonic, 100.0);
+  EXPECT_LT(s.out.Pt, supersonic.total_pressure());  // MIL-spec loss
+  EXPECT_GT(s.ram_drag, 0.0);
+}
+
+TEST(Components, DuctLosesOnlyPressure) {
+  GasState in{100.0, 500.0, 2e5, 0.01};
+  GasState out = duct(in, 0.03);
+  EXPECT_DOUBLE_EQ(out.W, in.W);
+  EXPECT_DOUBLE_EQ(out.Tt, in.Tt);
+  EXPECT_DOUBLE_EQ(out.far, in.far);
+  EXPECT_DOUBLE_EQ(out.Pt, in.Pt * 0.97);
+}
+
+TEST(Components, BleedConservesMass) {
+  GasState in{100.0, 500.0, 2e5, 0.0};
+  BleedResult r = bleed(in, 0.07);
+  EXPECT_DOUBLE_EQ(r.out.W + r.bleed.W, in.W);
+  EXPECT_DOUBLE_EQ(r.out.Tt, in.Tt);
+  EXPECT_THROW((void)bleed(in, 1.0), util::ModelError);
+  EXPECT_THROW((void)bleed(in, -0.1), util::ModelError);
+}
+
+TEST(Components, CompressorEnergyBookkeepingConsistent) {
+  GasState in{100.0, 288.15, 101325.0, 0.0};
+  const CompressorMap& map = compressor_map("f100_fan.map");
+  CompressorResult r = compressor(in, map, 10400.0, 10400.0);
+  EXPECT_GT(r.out.Pt, in.Pt);
+  EXPECT_GT(r.out.Tt, in.Tt);
+  // power = W dh exactly.
+  const double dh = enthalpy(r.out.Tt) - enthalpy(in.Tt);
+  EXPECT_NEAR(r.power, in.W * dh, 1e-6 * r.power);
+  // torque * omega = power.
+  EXPECT_NEAR(r.torque * 10400.0 * kRpmToRad, r.power, 1e-6 * r.power);
+}
+
+TEST(Components, CompressorLessEfficientCostsMoreTemperature) {
+  GasState in{100.0, 288.15, 101325.0, 0.0};
+  const CompressorMap& map = compressor_map("f100_fan.map");
+  // Same speed, flow closer to surge -> different eff; compare ideal dT.
+  CompressorResult r = compressor(in, map, 10400.0, 10400.0);
+  const double g = gamma(in.Tt);
+  const double dT_ideal =
+      in.Tt * (std::pow(r.out.Pt / in.Pt, (g - 1.0) / g) - 1.0);
+  EXPECT_GT(r.out.Tt - in.Tt, dT_ideal);  // efficiency < 1
+}
+
+TEST(Components, CombustorEnergyBalanceCloses) {
+  GasState in{60.0, 800.0, 2.4e6, 0.0};
+  CombustorResult r = combustor(in, 1.2, 0.985, 0.05);
+  EXPECT_NEAR(r.out.W, 61.2, 1e-12);
+  EXPECT_GT(r.out.Tt, 1400.0);
+  EXPECT_LT(r.out.Tt, 2100.0);
+  // Energy: W4 h4 - W3 h3 = eff Wf LHV.
+  const double lhs = r.out.W * enthalpy(r.out.Tt, r.out.far) -
+                     in.W * enthalpy(in.Tt, in.far);
+  EXPECT_NEAR(lhs, 0.985 * 1.2 * kFuelLhv, 1e-6 * lhs);
+}
+
+TEST(Components, CombustorInverseModeHitsTemperature) {
+  GasState in{60.0, 800.0, 2.4e6, 0.0};
+  CombustorResult r = combustor_to_temperature(in, 1600.0, 0.985, 0.05);
+  EXPECT_NEAR(r.out.Tt, 1600.0, 0.01);
+  EXPECT_GT(r.fuel_flow, 0.5);
+  EXPECT_LT(r.fuel_flow, 3.0);
+}
+
+TEST(Components, TurbineExtractsWorkAndDropsPressure) {
+  GasState in{61.0, 1600.0, 2.3e6, 0.021};
+  const TurbineMap& map = turbine_map("f100_hpt.map");
+  TurbineResult r = turbine(in, map, 3.1, 13450.0, 13450.0);
+  EXPECT_LT(r.out.Tt, in.Tt);
+  EXPECT_NEAR(r.out.Pt, in.Pt / 3.1, 1.0);
+  EXPECT_GT(r.power, 0.0);
+  const double dh = enthalpy(in.Tt, in.far) - enthalpy(r.out.Tt, in.far);
+  EXPECT_NEAR(r.power, in.W * dh, 1e-6 * r.power);
+  // Deeper expansion extracts more work.
+  TurbineResult deeper = turbine(in, map, 4.0, 13450.0, 13450.0);
+  EXPECT_GT(deeper.power, r.power);
+}
+
+TEST(Components, MixerConservesMassAndEnthalpy) {
+  GasState core{60.0, 1050.0, 3.3e5, 0.02};
+  GasState bypass{40.0, 410.0, 3.3e5, 0.0};
+  MixerResult r = mix(core, bypass, 0.0);
+  EXPECT_DOUBLE_EQ(r.out.W, 100.0);
+  // Enthalpy balance.
+  const double h_in = core.W * enthalpy(core.Tt, core.far) +
+                      bypass.W * enthalpy(bypass.Tt, bypass.far);
+  EXPECT_NEAR(r.out.W * enthalpy(r.out.Tt, r.out.far), h_in,
+              1e-9 * std::abs(h_in));
+  EXPECT_NEAR(r.pressure_imbalance, 0.0, 1e-12);
+  // Mismatched pressures show up in the residual.
+  bypass.Pt = 3.0e5;
+  EXPECT_GT(mix(core, bypass, 0.0).pressure_imbalance, 0.05);
+}
+
+TEST(Components, NozzleChokesAtCriticalPressureRatio) {
+  GasState in{100.0, 850.0, 101325.0 * 3.0, 0.02};
+  NozzleResult choked = nozzle(in, 0.23, 101325.0);
+  EXPECT_TRUE(choked.choked);
+  EXPECT_GT(choked.thrust, 0.0);
+
+  GasState gentle = in;
+  gentle.Pt = 101325.0 * 1.3;
+  NozzleResult sub = nozzle(gentle, 0.23, 101325.0);
+  EXPECT_FALSE(sub.choked);
+  EXPECT_LT(sub.w_required, choked.w_required);
+}
+
+TEST(Components, ChokedNozzleFlowScalesWithPressureNotBackpressure) {
+  GasState in{100.0, 850.0, 5e5, 0.02};
+  NozzleResult a = nozzle(in, 0.23, 101325.0);
+  NozzleResult b = nozzle(in, 0.23, 90000.0);
+  EXPECT_DOUBLE_EQ(a.w_required, b.w_required);  // choked: pamb irrelevant
+  GasState higher = in;
+  higher.Pt = 6e5;
+  EXPECT_NEAR(nozzle(higher, 0.23, 101325.0).w_required / a.w_required,
+              6.0 / 5.0, 1e-9);
+}
+
+TEST(Components, ShaftAcceleratesWithSurplusPower) {
+  const double ecom[4] = {10.0e6, 100.0, 1.0e5, 0.85};
+  const double etur_surplus[4] = {11.0e6, 100.0, 1.1e5, 0.9};
+  const double etur_deficit[4] = {9.0e6, 100.0, 0.9e5, 0.9};
+  const double ecorr = 1.0;
+  EXPECT_GT(shaft(ecom, 1, etur_surplus, 1, ecorr, 10000.0, 40.0), 0.0);
+  EXPECT_LT(shaft(ecom, 1, etur_deficit, 1, ecorr, 10000.0, 40.0), 0.0);
+  // Balanced power, zero acceleration.
+  EXPECT_NEAR(shaft(ecom, 1, ecom, 1, 1.0, 10000.0, 40.0), 0.0, 1e-12);
+  // Heavier spool accelerates more slowly.
+  const double light = shaft(ecom, 1, etur_surplus, 1, ecorr, 10000.0, 20.0);
+  const double heavy = shaft(ecom, 1, etur_surplus, 1, ecorr, 10000.0, 80.0);
+  EXPECT_NEAR(light / heavy, 4.0, 1e-9);
+}
+
+TEST(Components, SetshaftChargesPerComponentLoss) {
+  const double e[4] = {1e6, 100.0, 1e4, 0.85};
+  const double one = setshaft(e, 1, e, 1);
+  const double many = setshaft(e, 3, e, 3);
+  EXPECT_LT(many, one);
+  EXPECT_GT(many, 0.94);
+  EXPECT_LT(one, 1.0);
+}
+
+TEST(Components, VolumeDynamicsSignConvention) {
+  GasState st{100.0, 800.0, 4e5, 0.0};
+  EXPECT_GT(volume_dpdt(st, 0.5, 101.0, 100.0), 0.0);  // filling
+  EXPECT_LT(volume_dpdt(st, 0.5, 100.0, 101.0), 0.0);  // emptying
+  EXPECT_DOUBLE_EQ(volume_dpdt(st, 0.5, 100.0, 100.0), 0.0);
+}
+
+}  // namespace
+}  // namespace npss::tess

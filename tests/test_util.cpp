@@ -1,0 +1,158 @@
+// Tests of the utility substrate: byte reader/writer framing, the
+// closable blocking queue, virtual clocks, error taxonomy, and the
+// parallel_for helper's chunking.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+#include "util/queue.hpp"
+#include "util/status.hpp"
+
+namespace npss::util {
+namespace {
+
+TEST(Bytes, WriterReaderRoundTripAllTypes) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.i32(-42);
+  w.i64(-1ll << 40);
+  w.f32(3.5f);
+  w.f64(-2.25);
+  w.str("schooner");
+  w.blob({{1, 2, 3}});
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1ll << 40);
+  EXPECT_EQ(r.f32(), 3.5f);
+  EXPECT_EQ(r.f64(), -2.25);
+  EXPECT_EQ(r.str(), "schooner");
+  EXPECT_EQ(r.blob(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, BigEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.bytes(), (Bytes{1, 2, 3, 4}));
+}
+
+TEST(Bytes, UnderflowThrowsEncodingError) {
+  Bytes two{1, 2};
+  ByteReader r(two);
+  EXPECT_THROW((void)r.u32(), EncodingError);
+  ByteReader r2(two);
+  r2.u16();
+  EXPECT_THROW((void)r2.u8(), EncodingError);
+}
+
+TEST(Bytes, StringLengthValidatedBeforeRead) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes, provides none
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.str(), EncodingError);
+}
+
+TEST(Bytes, HexDump) {
+  EXPECT_EQ(hex_dump(Bytes{0x00, 0xff, 0x3f}), "00 ff 3f");
+  EXPECT_EQ(hex_dump(Bytes{}), "");
+}
+
+TEST(Queue, FifoOrderAndTryPop) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.try_pop().has_value());
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(*q.pop(), 1);
+  EXPECT_EQ(*q.try_pop(), 2);
+  EXPECT_EQ(*q.pop(), 3);
+}
+
+TEST(Queue, CloseDrainsThenStops) {
+  BlockingQueue<int> q;
+  q.push(7);
+  q.close();
+  EXPECT_FALSE(q.push(8));  // dropped after close
+  EXPECT_EQ(*q.pop(), 7);   // existing items drain
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(Queue, CloseWakesBlockedConsumer) {
+  BlockingQueue<int> q;
+  std::thread consumer([&] {
+    auto item = q.pop();
+    EXPECT_FALSE(item.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+TEST(Queue, CrossThreadHandoff) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    for (int i = 0; i < 1000; ++i) q.push(i);
+    q.close();
+  });
+  int expected = 0;
+  while (auto item = q.pop()) {
+    EXPECT_EQ(*item, expected++);
+  }
+  EXPECT_EQ(expected, 1000);
+  producer.join();
+}
+
+TEST(Clock, AdvanceAndJoinAreMonotone) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(100);
+  EXPECT_EQ(clock.now(), 100);
+  clock.join(50);  // earlier stamp never rewinds
+  EXPECT_EQ(clock.now(), 100);
+  clock.join(250);
+  EXPECT_EQ(clock.now(), 250);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(Clock, SimTimeConversions) {
+  EXPECT_EQ(sim_ms(1.5), 1500);
+  EXPECT_DOUBLE_EQ(sim_to_ms(2500), 2.5);
+}
+
+TEST(Status, ErrorsCarryCodeAndCategory) {
+  RangeError e("too big");
+  EXPECT_EQ(e.code(), ErrorCode::kRangeError);
+  EXPECT_NE(std::string(e.what()).find("range-error"), std::string::npos);
+  EXPECT_NE(std::string(e.what()).find("too big"), std::string::npos);
+}
+
+TEST(Status, RaiseErrorRestoresConcreteType) {
+  for (ErrorCode code :
+       {ErrorCode::kTypeMismatch, ErrorCode::kLookupFailure,
+        ErrorCode::kStaleBinding, ErrorCode::kConvergenceFailure}) {
+    try {
+      raise_error(code, "x");
+      FAIL();
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), code);
+    }
+  }
+  EXPECT_THROW(raise_error(ErrorCode::kShutdown, "x"), ShutdownError);
+  EXPECT_THROW(raise_error(ErrorCode::kUnknown, "x"), Error);
+}
+
+}  // namespace
+}  // namespace npss::util

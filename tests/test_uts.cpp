@@ -1,0 +1,323 @@
+// Unit and property tests for UTS: the type model, values, signature
+// compatibility (including the footnote-1 subset rule), and the canonical
+// interchange format routed through every pair of simulated architectures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "uts/canonical.hpp"
+#include "uts/spec.hpp"
+#include "uts/types.hpp"
+#include "uts/value.hpp"
+
+namespace npss::uts {
+namespace {
+
+using arch::arch_catalog;
+using util::ByteReader;
+using util::ByteWriter;
+
+// --- Type model -------------------------------------------------------------------
+
+TEST(Types, StructuralEquality) {
+  Type a = Type::array(4, Type::floating());
+  Type b = Type::array(4, Type::floating());
+  Type c = Type::array(5, Type::floating());
+  Type d = Type::array(4, Type::real_double());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+
+  Type r1 = Type::record({{"x", Type::floating()}, {"n", Type::integer()}});
+  Type r2 = Type::record({{"x", Type::floating()}, {"n", Type::integer()}});
+  Type r3 = Type::record({{"y", Type::floating()}, {"n", Type::integer()}});
+  EXPECT_EQ(r1, r2);
+  EXPECT_NE(r1, r3);
+}
+
+TEST(Types, RenderingMatchesSpecSyntax) {
+  EXPECT_EQ(Type::array(4, Type::floating()).to_string(),
+            "array[4] of float");
+  EXPECT_EQ(
+      Type::record({{"a", Type::byte()}, {"b", Type::string()}}).to_string(),
+      "record \"a\": byte; \"b\": string end");
+}
+
+TEST(Types, FixedWireSizes) {
+  std::size_t size = 0;
+  EXPECT_TRUE(Type::array(4, Type::floating()).fixed_wire_size(size));
+  EXPECT_EQ(size, 16u);
+  EXPECT_TRUE(Type::record({{"x", Type::real_double()},
+                            {"n", Type::integer()},
+                            {"b", Type::byte()}})
+                  .fixed_wire_size(size));
+  EXPECT_EQ(size, 13u);
+  EXPECT_FALSE(Type::string().fixed_wire_size(size));
+  EXPECT_FALSE(Type::array(2, Type::string()).fixed_wire_size(size));
+}
+
+TEST(Types, AccessorsThrowOnWrongKind) {
+  EXPECT_THROW((void)Type::floating().array_size(), util::TypeMismatchError);
+  EXPECT_THROW((void)Type::integer().fields(), util::TypeMismatchError);
+}
+
+// --- Values -----------------------------------------------------------------------
+
+TEST(Values, NumericCoercion) {
+  EXPECT_DOUBLE_EQ(Value::integer(3).as_real(), 3.0);
+  EXPECT_EQ(Value::real(3.9).as_integer(), 3);
+  EXPECT_EQ(Value::byte(200).as_integer(), 200);
+  EXPECT_THROW((void)Value::str("x").as_real(), util::TypeMismatchError);
+  EXPECT_THROW((void)Value::integer(300).as_byte(), util::TypeMismatchError);
+}
+
+TEST(Values, DefaultValuesMatchTypes) {
+  Value v = default_value(
+      Type::record({{"a", Type::array(3, Type::integer())},
+                    {"s", Type::string()}}));
+  EXPECT_EQ(v.items().size(), 2u);
+  EXPECT_EQ(v.items()[0].items().size(), 3u);
+  EXPECT_EQ(v.items()[1].as_string(), "");
+  EXPECT_NO_THROW(check_value(
+      Type::record(
+          {{"a", Type::array(3, Type::integer())}, {"s", Type::string()}}),
+      v));
+}
+
+TEST(Values, CheckValueReportsPath) {
+  Type t = Type::record({{"inner", Type::array(2, Type::floating())}});
+  Value bad = Value::record({Value::array({Value::real(1), Value::str("x")})});
+  try {
+    check_value(t, bad, "arg");
+    FAIL() << "expected mismatch";
+  } catch (const util::TypeMismatchError& e) {
+    EXPECT_NE(std::string(e.what()).find("arg.inner[1]"), std::string::npos);
+  }
+}
+
+TEST(Values, ArraySizeMismatchDetected) {
+  Type t = Type::array(4, Type::floating());
+  EXPECT_THROW(check_value(t, Value::real_array({1.0, 2.0})),
+               util::TypeMismatchError);
+}
+
+// --- Signature compatibility ---------------------------------------------------------
+
+Signature sig(std::initializer_list<Param> params) { return params; }
+
+TEST(Signatures, IdenticalIsCompatible) {
+  Signature s = sig({{"x", ParamMode::kVal, Type::floating()},
+                     {"y", ParamMode::kRes, Type::floating()}});
+  EXPECT_TRUE(signatures_compatible(s, s));
+}
+
+TEST(Signatures, SubsetImportIsCompatible) {
+  Signature exp = sig({{"a", ParamMode::kVal, Type::floating()},
+                       {"b", ParamMode::kVal, Type::integer()},
+                       {"c", ParamMode::kRes, Type::floating()}});
+  Signature imp = sig({{"a", ParamMode::kVal, Type::floating()},
+                       {"c", ParamMode::kRes, Type::floating()}});
+  EXPECT_TRUE(signatures_compatible(imp, exp));
+  // ...but the superset direction is not.
+  EXPECT_FALSE(signatures_compatible(exp, imp));
+}
+
+TEST(Signatures, OrderMatters) {
+  Signature exp = sig({{"a", ParamMode::kVal, Type::floating()},
+                       {"b", ParamMode::kVal, Type::floating()}});
+  Signature imp = sig({{"b", ParamMode::kVal, Type::floating()},
+                       {"a", ParamMode::kVal, Type::floating()}});
+  EXPECT_FALSE(signatures_compatible(imp, exp));
+}
+
+TEST(Signatures, ModeAndTypeMismatchesExplained) {
+  Signature exp = sig({{"x", ParamMode::kVal, Type::floating()}});
+  std::string why = signature_compatibility_error(
+      sig({{"x", ParamMode::kRes, Type::floating()}}), exp);
+  EXPECT_NE(why.find("mode"), std::string::npos);
+  why = signature_compatibility_error(
+      sig({{"x", ParamMode::kVal, Type::real_double()}}), exp);
+  EXPECT_NE(why.find("type"), std::string::npos);
+}
+
+// --- Canonical encoding across architecture pairs --------------------------------------
+
+class CrossArchCodec
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+ protected:
+  const arch::ArchDescriptor& source() {
+    return arch_catalog(std::get<0>(GetParam()));
+  }
+  const arch::ArchDescriptor& target() {
+    return arch_catalog(std::get<1>(GetParam()));
+  }
+};
+
+const char* kArchNames[] = {"sun-sparc10", "cray-ymp", "intel-i860",
+                            "ibm-370", "ibm-rs6000"};
+
+TEST_P(CrossArchCodec, DoubleSurvivesWithinConversionEpsilon) {
+  const Type t = Type::real_double();
+  for (double v : {1.0, -288.15, 101325.0, 1.27e7, 3.3e-7}) {
+    ByteWriter out;
+    encode_canonical(source(), t, Value::real(v), out);
+    ByteReader in(out.bytes());
+    Value back = decode_canonical(target(), t, in);
+    const double eps = conversion_epsilon(source(), target(), t);
+    EXPECT_LE(std::abs(back.as_real() - v) / std::abs(v), eps)
+        << source().name << " -> " << target().name << " value " << v;
+  }
+}
+
+TEST_P(CrossArchCodec, IntegerAndStringAreExact) {
+  ByteWriter out;
+  encode_canonical(source(), Type::integer(), Value::integer(-123456), out);
+  encode_canonical(source(), Type::string(), Value::str("engine"), out);
+  ByteReader in(out.bytes());
+  EXPECT_EQ(decode_canonical(target(), Type::integer(), in).as_integer(),
+            -123456);
+  EXPECT_EQ(decode_canonical(target(), Type::string(), in).as_string(),
+            "engine");
+}
+
+TEST_P(CrossArchCodec, StructuredValueRoundTrips) {
+  const Type t = Type::record({
+      {"st", Type::array(4, Type::floating())},
+      {"n", Type::integer()},
+      {"name", Type::string()},
+  });
+  Value v = Value::record({Value::real_array({102.0, 288.15, 101325.0, 0.02}),
+                           Value::integer(7), Value::str("fan")});
+  ByteWriter out;
+  encode_canonical(source(), t, v, out);
+  ByteReader in(out.bytes());
+  Value back = decode_canonical(target(), t, in);
+  EXPECT_EQ(back.items()[1].as_integer(), 7);
+  EXPECT_EQ(back.items()[2].as_string(), "fan");
+  const double eps = conversion_epsilon(source(), target(), t);
+  for (int i = 0; i < 4; ++i) {
+    double orig = v.items()[0].items()[i].as_real();
+    double got = back.items()[0].items()[i].as_real();
+    EXPECT_LE(std::abs(got - orig), std::abs(orig) * eps + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, CrossArchCodec,
+    ::testing::Combine(::testing::ValuesIn(kArchNames),
+                       ::testing::ValuesIn(kArchNames)));
+
+// --- Heterogeneity edge cases (§4.1 behaviours) ----------------------------------------
+
+TEST(CanonicalEdge, CrayWideIntegerRejectedByCanonicalForm) {
+  const arch::ArchDescriptor& cray = arch_catalog("cray-ymp");
+  ByteWriter out;
+  EXPECT_THROW(encode_canonical(cray, Type::integer(),
+                                Value::integer(1ll << 40), out),
+               util::RangeError);
+}
+
+TEST(CanonicalEdge, SingleVsDoubleWireWidth) {
+  // The §4.1 addition of float alongside double: 4 vs 8 canonical bytes.
+  const arch::ArchDescriptor& sparc = arch_catalog("sun-sparc10");
+  ByteWriter fw, dw;
+  encode_canonical(sparc, Type::floating(), Value::real(3.14), fw);
+  encode_canonical(sparc, Type::real_double(), Value::real(3.14), dw);
+  EXPECT_EQ(fw.size(), 4u);
+  EXPECT_EQ(dw.size(), 8u);
+}
+
+TEST(CanonicalEdge, FloatParamOverflowingBinary32IsError) {
+  const arch::ArchDescriptor& cray = arch_catalog("cray-ymp");
+  // 1e39 fits the Cray word and binary64, but not the canonical binary32
+  // of a `float` parameter.
+  ByteWriter out;
+  EXPECT_THROW(
+      encode_canonical(cray, Type::floating(), Value::real(1e39), out),
+      util::RangeError);
+  // As a `double` parameter it is fine.
+  EXPECT_NO_THROW(
+      encode_canonical(cray, Type::real_double(), Value::real(1e39), out));
+}
+
+TEST(CanonicalEdge, TargetFormatOverflowDetectedOnDecode) {
+  // 1e80 encodes fine from the Sparc, but an IBM/370 target cannot hold it.
+  const arch::ArchDescriptor& sparc = arch_catalog("sun-sparc10");
+  const arch::ArchDescriptor& ibm370 = arch_catalog("ibm-370");
+  ByteWriter out;
+  encode_canonical(sparc, Type::real_double(), Value::real(1e80), out);
+  ByteReader in(out.bytes());
+  EXPECT_THROW((void)decode_canonical(ibm370, Type::real_double(), in),
+               util::RangeError);
+}
+
+// --- Marshal / unmarshal direction handling --------------------------------------------
+
+TEST(Marshal, DirectionsCarryTheRightParams) {
+  const arch::ArchDescriptor& sparc = arch_catalog("sun-sparc10");
+  Signature s = {{"in", ParamMode::kVal, Type::real_double()},
+                 {"io", ParamMode::kVar, Type::real_double()},
+                 {"out", ParamMode::kRes, Type::real_double()}};
+  ValueList vals = {Value::real(1), Value::real(2), Value::real(3)};
+
+  util::Bytes req = marshal(sparc, s, vals, Direction::kRequest);
+  EXPECT_EQ(req.size(), 16u);  // val + var
+  util::Bytes rep = marshal(sparc, s, vals, Direction::kReply);
+  EXPECT_EQ(rep.size(), 16u);  // var + res
+
+  ValueList got = unmarshal(sparc, s, req, Direction::kRequest);
+  EXPECT_DOUBLE_EQ(got[0].as_real(), 1.0);
+  EXPECT_DOUBLE_EQ(got[1].as_real(), 2.0);
+  EXPECT_DOUBLE_EQ(got[2].as_real(), 0.0);  // res defaulted on request
+
+  got = unmarshal(sparc, s, rep, Direction::kReply);
+  EXPECT_DOUBLE_EQ(got[0].as_real(), 0.0);  // val defaulted on reply
+  EXPECT_DOUBLE_EQ(got[1].as_real(), 2.0);
+  EXPECT_DOUBLE_EQ(got[2].as_real(), 3.0);
+}
+
+TEST(Marshal, TrailingBytesRejected) {
+  const arch::ArchDescriptor& sparc = arch_catalog("sun-sparc10");
+  Signature s = {{"x", ParamMode::kVal, Type::real_double()}};
+  util::Bytes bytes =
+      marshal(sparc, s, {Value::real(1)}, Direction::kRequest);
+  bytes.push_back(0);
+  EXPECT_THROW((void)unmarshal(sparc, s, bytes, Direction::kRequest),
+               util::EncodingError);
+}
+
+TEST(Marshal, WrongValueCountRejected) {
+  const arch::ArchDescriptor& sparc = arch_catalog("sun-sparc10");
+  Signature s = {{"x", ParamMode::kVal, Type::real_double()}};
+  EXPECT_THROW(
+      (void)marshal(sparc, s, {Value::real(1), Value::real(2)},
+                    Direction::kRequest),
+      util::TypeMismatchError);
+}
+
+TEST(Marshal, ErrorsNameTheParameter) {
+  const arch::ArchDescriptor& cray = arch_catalog("cray-ymp");
+  Signature s = {{"bigint", ParamMode::kVal, Type::integer()}};
+  try {
+    (void)marshal(cray, s, {Value::integer(1ll << 40)}, Direction::kRequest);
+    FAIL();
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("bigint"), std::string::npos);
+    EXPECT_EQ(e.code(), util::ErrorCode::kRangeError);
+  }
+}
+
+TEST(Marshal, BatchSizeMatchesEncoding) {
+  const arch::ArchDescriptor& sparc = arch_catalog("sun-sparc10");
+  Signature s = {{"a", ParamMode::kVal, Type::array(4, Type::floating())},
+                 {"s", ParamMode::kVal, Type::string()},
+                 {"r", ParamMode::kRes, Type::real_double()}};
+  ValueList vals = {Value::real_array({1, 2, 3, 4}), Value::str("hello"),
+                    Value::real(0)};
+  util::Bytes req = marshal(sparc, s, vals, Direction::kRequest);
+  EXPECT_EQ(req.size(), batch_size(s, vals, Direction::kRequest));
+  EXPECT_EQ(batch_size(s, vals, Direction::kReply), 8u);
+}
+
+}  // namespace
+}  // namespace npss::uts

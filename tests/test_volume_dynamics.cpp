@@ -1,0 +1,138 @@
+// Tests of the intercomponent mixing-volume extension: with a finite
+// plenum volume the F100 gains a pressure state with a millisecond time
+// constant — a stiff system where TESS's Gear method earns its place on
+// the system module's widget (§3.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tess/engine.hpp"
+
+namespace npss::tess {
+namespace {
+
+F100Engine volume_engine() {
+  F100Config cfg;
+  cfg.mixer_volume_m3 = 0.3;
+  return F100Engine(cfg);
+}
+
+TEST(VolumeDynamics, SteadyStateMatchesQuasiSteadyModel) {
+  F100Engine vol = volume_engine();
+  F100Engine qs;
+  FlightCondition sls;
+  SteadyResult v = vol.balance(1.0, sls);
+  SteadyResult q = qs.balance(1.0, sls);
+  // At equilibrium the plenum neither fills nor empties, so the cycle
+  // must coincide with the quasi-steady model.
+  EXPECT_NEAR(v.performance.speeds[0] / q.performance.speeds[0], 1.0, 1e-5);
+  EXPECT_NEAR(v.performance.speeds[1] / q.performance.speeds[1], 1.0, 1e-5);
+  EXPECT_NEAR(v.performance.thrust / q.performance.thrust, 1.0, 1e-4);
+  ASSERT_EQ(v.performance.states.size(), 3u);
+  EXPECT_GT(v.performance.states[2], 1.5e5);  // a physical plenum pressure
+  EXPECT_LT(v.performance.states[2], 5.0e5);
+  // The pressure derivative is balanced too.
+  ASSERT_EQ(v.performance.accelerations.size(), 3u);
+  EXPECT_LT(std::abs(v.performance.accelerations[2]), 100.0);  // Pa/s
+}
+
+TEST(VolumeDynamics, StateVectorShapes) {
+  F100Engine vol = volume_engine();
+  EXPECT_EQ(vol.num_states(), 3);
+  EXPECT_EQ(vol.num_spools(), 2);
+  EXPECT_EQ(vol.design_states().size(), 3u);
+  EXPECT_EQ(vol.balance_scales().size(), 3u);
+  EXPECT_THROW((void)vol.evaluate({10000.0, 13000.0}, 1.0, {}),
+               util::ModelError);
+
+  F100Engine qs;
+  EXPECT_EQ(qs.num_states(), 2);
+}
+
+TEST(VolumeDynamics, GearIntegratesTheStiffSystem) {
+  F100Engine vol = volume_engine();
+  FlightCondition sls;
+  SteadyResult steady = vol.balance(1.0, sls);
+  FuelSchedule throttle = [](double) { return 1.1; };
+  TransientResult tr = vol.transient(steady.performance.states, throttle,
+                                     sls, 0.3, 0.01,
+                                     solvers::IntegratorKind::kGear);
+  const Performance& end = tr.history.back().performance;
+  EXPECT_TRUE(std::isfinite(end.states[2]));
+  EXPECT_GT(end.speeds[1], steady.performance.speeds[1]);  // spooling up
+  // The plenum pressure tracks its quasi-steady value closely (its time
+  // constant is far below the spool's).
+  EXPECT_GT(end.states[2], 2.0e5);
+  EXPECT_LT(end.states[2], 4.0e5);
+}
+
+TEST(VolumeDynamics, ExplicitEulerUnstableAtEngineStepSizes) {
+  // dt = 10 ms is several times the plenum time constant: the explicit
+  // method's pressure state oscillates divergently (ending far outside
+  // the physical envelope) while Gear stays settled at the same step.
+  F100Engine vol = volume_engine();
+  FlightCondition sls;
+  SteadyResult steady = vol.balance(1.0, sls);
+  FuelSchedule throttle = [](double) { return 1.1; };
+  TransientResult euler = vol.transient(
+      steady.performance.states, throttle, sls, 0.3, 0.01,
+      solvers::IntegratorKind::kModifiedEuler);
+  TransientResult gear = vol.transient(
+      steady.performance.states, throttle, sls, 0.3, 0.01,
+      solvers::IntegratorKind::kGear);
+  const double euler_dp =
+      std::abs(euler.history.back().performance.accelerations[2]);
+  const double gear_dp =
+      std::abs(gear.history.back().performance.accelerations[2]);
+  EXPECT_GT(euler_dp, 1e6) << "explicit method should be oscillating hard";
+  EXPECT_LT(gear_dp, 1e5) << "Gear should be near-settled";
+  // The explicit pressure state has left the physical envelope entirely.
+  const double euler_pt = euler.history.back().performance.states[2];
+  EXPECT_TRUE(euler_pt < 0.4e5 || euler_pt > 1.0e6) << euler_pt;
+}
+
+TEST(VolumeDynamics, ExplicitEulerRecoversAtTinySteps) {
+  // Shrinking dt below the stability bound rescues the explicit method —
+  // at ~20x the step count Gear needed.
+  F100Engine vol = volume_engine();
+  FlightCondition sls;
+  SteadyResult steady = vol.balance(1.0, sls);
+  FuelSchedule throttle = [](double) { return 1.1; };
+  TransientResult tr = vol.transient(steady.performance.states, throttle,
+                                     sls, 0.05, 0.0005,
+                                     solvers::IntegratorKind::kModifiedEuler);
+  EXPECT_TRUE(std::isfinite(tr.history.back().performance.states[2]));
+}
+
+TEST(VolumeDynamics, MarchSteadyUsesGearAndConverges) {
+  F100Engine vol = volume_engine();
+  FlightCondition sls;
+  SteadyResult march = vol.balance(1.0, sls, SteadyMethod::kRk4March);
+  SteadyResult newton = vol.balance(1.0, sls);
+  EXPECT_NEAR(march.performance.speeds[0] / newton.performance.speeds[0],
+              1.0, 2e-3);
+  EXPECT_NEAR(march.performance.speeds[1] / newton.performance.speeds[1],
+              1.0, 2e-3);
+}
+
+TEST(VolumeDynamics, LargerVolumeSlowsThePressureTransient) {
+  FlightCondition sls;
+  auto settle_rate = [&](double volume) {
+    F100Config cfg;
+    cfg.mixer_volume_m3 = volume;
+    F100Engine engine(cfg);
+    SteadyResult steady = engine.balance(1.0, sls);
+    // Perturb the plenum pressure 2% and measure the restoring rate.
+    std::vector<double> states = steady.performance.states;
+    states[2] *= 1.02;
+    Performance p = engine.evaluate(states, 1.0, sls);
+    return std::abs(p.accelerations[2]) / (0.02 * states[2]);  // 1/s
+  };
+  const double fast = settle_rate(0.15);
+  const double slow = settle_rate(0.6);
+  EXPECT_NEAR(fast / slow, 4.0, 0.8)
+      << "restoring rate should scale inversely with volume";
+}
+
+}  // namespace
+}  // namespace npss::tess
