@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rpc_latency.dir/bench_rpc_latency.cpp.o"
+  "CMakeFiles/bench_rpc_latency.dir/bench_rpc_latency.cpp.o.d"
+  "bench_rpc_latency"
+  "bench_rpc_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rpc_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

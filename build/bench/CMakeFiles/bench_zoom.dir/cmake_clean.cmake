@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zoom.dir/bench_zoom.cpp.o"
+  "CMakeFiles/bench_zoom.dir/bench_zoom.cpp.o.d"
+  "bench_zoom"
+  "bench_zoom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zoom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_failures.dir/engine_failures.cpp.o"
+  "CMakeFiles/engine_failures.dir/engine_failures.cpp.o.d"
+  "engine_failures"
+  "engine_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f100_engine.dir/f100_engine.cpp.o"
+  "CMakeFiles/f100_engine.dir/f100_engine.cpp.o.d"
+  "f100_engine"
+  "f100_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f100_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

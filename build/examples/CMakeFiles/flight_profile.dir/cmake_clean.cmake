@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_profile.dir/flight_profile.cpp.o"
+  "CMakeFiles/flight_profile.dir/flight_profile.cpp.o.d"
+  "flight_profile"
+  "flight_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

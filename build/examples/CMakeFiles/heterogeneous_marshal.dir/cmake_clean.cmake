@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_marshal.dir/heterogeneous_marshal.cpp.o"
+  "CMakeFiles/heterogeneous_marshal.dir/heterogeneous_marshal.cpp.o.d"
+  "heterogeneous_marshal"
+  "heterogeneous_marshal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_marshal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

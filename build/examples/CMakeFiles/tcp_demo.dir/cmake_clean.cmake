@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_demo.dir/tcp_demo.cpp.o"
+  "CMakeFiles/tcp_demo.dir/tcp_demo.cpp.o.d"
+  "tcp_demo"
+  "tcp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbojet_zoom.dir/turbojet_zoom.cpp.o"
+  "CMakeFiles/turbojet_zoom.dir/turbojet_zoom.cpp.o.d"
+  "turbojet_zoom"
+  "turbojet_zoom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbojet_zoom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

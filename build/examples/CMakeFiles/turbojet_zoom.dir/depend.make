@@ -1,0 +1,2 @@
+# Empty dependencies file for turbojet_zoom.
+# This may be replaced when dependencies are built.

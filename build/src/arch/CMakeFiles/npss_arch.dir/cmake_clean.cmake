@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npss_arch.dir/arch.cpp.o"
+  "CMakeFiles/npss_arch.dir/arch.cpp.o.d"
+  "CMakeFiles/npss_arch.dir/float_format.cpp.o"
+  "CMakeFiles/npss_arch.dir/float_format.cpp.o.d"
+  "libnpss_arch.a"
+  "libnpss_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npss_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npss_flow.dir/basic_modules.cpp.o"
+  "CMakeFiles/npss_flow.dir/basic_modules.cpp.o.d"
+  "CMakeFiles/npss_flow.dir/module.cpp.o"
+  "CMakeFiles/npss_flow.dir/module.cpp.o.d"
+  "CMakeFiles/npss_flow.dir/network.cpp.o"
+  "CMakeFiles/npss_flow.dir/network.cpp.o.d"
+  "CMakeFiles/npss_flow.dir/widget.cpp.o"
+  "CMakeFiles/npss_flow.dir/widget.cpp.o.d"
+  "libnpss_flow.a"
+  "libnpss_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npss_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npss_glue.dir/modules.cpp.o"
+  "CMakeFiles/npss_glue.dir/modules.cpp.o.d"
+  "CMakeFiles/npss_glue.dir/network_driver.cpp.o"
+  "CMakeFiles/npss_glue.dir/network_driver.cpp.o.d"
+  "CMakeFiles/npss_glue.dir/procedures.cpp.o"
+  "CMakeFiles/npss_glue.dir/procedures.cpp.o.d"
+  "CMakeFiles/npss_glue.dir/remote_backend.cpp.o"
+  "CMakeFiles/npss_glue.dir/remote_backend.cpp.o.d"
+  "CMakeFiles/npss_glue.dir/runtime.cpp.o"
+  "CMakeFiles/npss_glue.dir/runtime.cpp.o.d"
+  "libnpss_glue.a"
+  "libnpss_glue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npss_glue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/calling.cpp" "src/rpc/CMakeFiles/npss_rpc.dir/calling.cpp.o" "gcc" "src/rpc/CMakeFiles/npss_rpc.dir/calling.cpp.o.d"
+  "/root/repo/src/rpc/client.cpp" "src/rpc/CMakeFiles/npss_rpc.dir/client.cpp.o" "gcc" "src/rpc/CMakeFiles/npss_rpc.dir/client.cpp.o.d"
+  "/root/repo/src/rpc/host.cpp" "src/rpc/CMakeFiles/npss_rpc.dir/host.cpp.o" "gcc" "src/rpc/CMakeFiles/npss_rpc.dir/host.cpp.o.d"
+  "/root/repo/src/rpc/io.cpp" "src/rpc/CMakeFiles/npss_rpc.dir/io.cpp.o" "gcc" "src/rpc/CMakeFiles/npss_rpc.dir/io.cpp.o.d"
+  "/root/repo/src/rpc/manager.cpp" "src/rpc/CMakeFiles/npss_rpc.dir/manager.cpp.o" "gcc" "src/rpc/CMakeFiles/npss_rpc.dir/manager.cpp.o.d"
+  "/root/repo/src/rpc/message.cpp" "src/rpc/CMakeFiles/npss_rpc.dir/message.cpp.o" "gcc" "src/rpc/CMakeFiles/npss_rpc.dir/message.cpp.o.d"
+  "/root/repo/src/rpc/schooner.cpp" "src/rpc/CMakeFiles/npss_rpc.dir/schooner.cpp.o" "gcc" "src/rpc/CMakeFiles/npss_rpc.dir/schooner.cpp.o.d"
+  "/root/repo/src/rpc/server.cpp" "src/rpc/CMakeFiles/npss_rpc.dir/server.cpp.o" "gcc" "src/rpc/CMakeFiles/npss_rpc.dir/server.cpp.o.d"
+  "/root/repo/src/rpc/tcp_transport.cpp" "src/rpc/CMakeFiles/npss_rpc.dir/tcp_transport.cpp.o" "gcc" "src/rpc/CMakeFiles/npss_rpc.dir/tcp_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/npss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/uts/CMakeFiles/npss_uts.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/npss_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/npss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

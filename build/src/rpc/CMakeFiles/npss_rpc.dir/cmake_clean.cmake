@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npss_rpc.dir/calling.cpp.o"
+  "CMakeFiles/npss_rpc.dir/calling.cpp.o.d"
+  "CMakeFiles/npss_rpc.dir/client.cpp.o"
+  "CMakeFiles/npss_rpc.dir/client.cpp.o.d"
+  "CMakeFiles/npss_rpc.dir/host.cpp.o"
+  "CMakeFiles/npss_rpc.dir/host.cpp.o.d"
+  "CMakeFiles/npss_rpc.dir/io.cpp.o"
+  "CMakeFiles/npss_rpc.dir/io.cpp.o.d"
+  "CMakeFiles/npss_rpc.dir/manager.cpp.o"
+  "CMakeFiles/npss_rpc.dir/manager.cpp.o.d"
+  "CMakeFiles/npss_rpc.dir/message.cpp.o"
+  "CMakeFiles/npss_rpc.dir/message.cpp.o.d"
+  "CMakeFiles/npss_rpc.dir/schooner.cpp.o"
+  "CMakeFiles/npss_rpc.dir/schooner.cpp.o.d"
+  "CMakeFiles/npss_rpc.dir/server.cpp.o"
+  "CMakeFiles/npss_rpc.dir/server.cpp.o.d"
+  "CMakeFiles/npss_rpc.dir/tcp_transport.cpp.o"
+  "CMakeFiles/npss_rpc.dir/tcp_transport.cpp.o.d"
+  "libnpss_rpc.a"
+  "libnpss_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npss_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npss_sim.dir/cluster.cpp.o"
+  "CMakeFiles/npss_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/npss_sim.dir/network.cpp.o"
+  "CMakeFiles/npss_sim.dir/network.cpp.o.d"
+  "libnpss_sim.a"
+  "libnpss_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npss_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

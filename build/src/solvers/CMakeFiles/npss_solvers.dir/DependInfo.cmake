@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solvers/linalg.cpp" "src/solvers/CMakeFiles/npss_solvers.dir/linalg.cpp.o" "gcc" "src/solvers/CMakeFiles/npss_solvers.dir/linalg.cpp.o.d"
+  "/root/repo/src/solvers/newton.cpp" "src/solvers/CMakeFiles/npss_solvers.dir/newton.cpp.o" "gcc" "src/solvers/CMakeFiles/npss_solvers.dir/newton.cpp.o.d"
+  "/root/repo/src/solvers/ode.cpp" "src/solvers/CMakeFiles/npss_solvers.dir/ode.cpp.o" "gcc" "src/solvers/CMakeFiles/npss_solvers.dir/ode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/npss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npss_solvers.dir/linalg.cpp.o"
+  "CMakeFiles/npss_solvers.dir/linalg.cpp.o.d"
+  "CMakeFiles/npss_solvers.dir/newton.cpp.o"
+  "CMakeFiles/npss_solvers.dir/newton.cpp.o.d"
+  "CMakeFiles/npss_solvers.dir/ode.cpp.o"
+  "CMakeFiles/npss_solvers.dir/ode.cpp.o.d"
+  "libnpss_solvers.a"
+  "libnpss_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npss_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

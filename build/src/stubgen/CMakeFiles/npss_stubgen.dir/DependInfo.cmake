@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stubgen/stubgen.cpp" "src/stubgen/CMakeFiles/npss_stubgen.dir/stubgen.cpp.o" "gcc" "src/stubgen/CMakeFiles/npss_stubgen.dir/stubgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uts/CMakeFiles/npss_uts.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/npss_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/npss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npss_stubgen.dir/stubgen.cpp.o"
+  "CMakeFiles/npss_stubgen.dir/stubgen.cpp.o.d"
+  "libnpss_stubgen.a"
+  "libnpss_stubgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npss_stubgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schooner-stubgen.dir/main.cpp.o"
+  "CMakeFiles/schooner-stubgen.dir/main.cpp.o.d"
+  "schooner-stubgen"
+  "schooner-stubgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schooner-stubgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tess/components.cpp" "src/tess/CMakeFiles/npss_tess.dir/components.cpp.o" "gcc" "src/tess/CMakeFiles/npss_tess.dir/components.cpp.o.d"
+  "/root/repo/src/tess/engine.cpp" "src/tess/CMakeFiles/npss_tess.dir/engine.cpp.o" "gcc" "src/tess/CMakeFiles/npss_tess.dir/engine.cpp.o.d"
+  "/root/repo/src/tess/failures.cpp" "src/tess/CMakeFiles/npss_tess.dir/failures.cpp.o" "gcc" "src/tess/CMakeFiles/npss_tess.dir/failures.cpp.o.d"
+  "/root/repo/src/tess/gas.cpp" "src/tess/CMakeFiles/npss_tess.dir/gas.cpp.o" "gcc" "src/tess/CMakeFiles/npss_tess.dir/gas.cpp.o.d"
+  "/root/repo/src/tess/hifi_duct.cpp" "src/tess/CMakeFiles/npss_tess.dir/hifi_duct.cpp.o" "gcc" "src/tess/CMakeFiles/npss_tess.dir/hifi_duct.cpp.o.d"
+  "/root/repo/src/tess/maps.cpp" "src/tess/CMakeFiles/npss_tess.dir/maps.cpp.o" "gcc" "src/tess/CMakeFiles/npss_tess.dir/maps.cpp.o.d"
+  "/root/repo/src/tess/mission.cpp" "src/tess/CMakeFiles/npss_tess.dir/mission.cpp.o" "gcc" "src/tess/CMakeFiles/npss_tess.dir/mission.cpp.o.d"
+  "/root/repo/src/tess/remote_seam.cpp" "src/tess/CMakeFiles/npss_tess.dir/remote_seam.cpp.o" "gcc" "src/tess/CMakeFiles/npss_tess.dir/remote_seam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solvers/CMakeFiles/npss_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/npss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npss_tess.dir/components.cpp.o"
+  "CMakeFiles/npss_tess.dir/components.cpp.o.d"
+  "CMakeFiles/npss_tess.dir/engine.cpp.o"
+  "CMakeFiles/npss_tess.dir/engine.cpp.o.d"
+  "CMakeFiles/npss_tess.dir/failures.cpp.o"
+  "CMakeFiles/npss_tess.dir/failures.cpp.o.d"
+  "CMakeFiles/npss_tess.dir/gas.cpp.o"
+  "CMakeFiles/npss_tess.dir/gas.cpp.o.d"
+  "CMakeFiles/npss_tess.dir/hifi_duct.cpp.o"
+  "CMakeFiles/npss_tess.dir/hifi_duct.cpp.o.d"
+  "CMakeFiles/npss_tess.dir/maps.cpp.o"
+  "CMakeFiles/npss_tess.dir/maps.cpp.o.d"
+  "CMakeFiles/npss_tess.dir/mission.cpp.o"
+  "CMakeFiles/npss_tess.dir/mission.cpp.o.d"
+  "CMakeFiles/npss_tess.dir/remote_seam.cpp.o"
+  "CMakeFiles/npss_tess.dir/remote_seam.cpp.o.d"
+  "libnpss_tess.a"
+  "libnpss_tess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npss_tess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for npss_tess.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npss_util.dir/bytes.cpp.o"
+  "CMakeFiles/npss_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/npss_util.dir/log.cpp.o"
+  "CMakeFiles/npss_util.dir/log.cpp.o.d"
+  "CMakeFiles/npss_util.dir/status.cpp.o"
+  "CMakeFiles/npss_util.dir/status.cpp.o.d"
+  "libnpss_util.a"
+  "libnpss_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npss_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

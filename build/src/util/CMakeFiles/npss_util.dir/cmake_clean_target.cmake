@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnpss_util.a"
+)

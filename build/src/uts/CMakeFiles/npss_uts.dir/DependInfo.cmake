@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uts/canonical.cpp" "src/uts/CMakeFiles/npss_uts.dir/canonical.cpp.o" "gcc" "src/uts/CMakeFiles/npss_uts.dir/canonical.cpp.o.d"
+  "/root/repo/src/uts/spec.cpp" "src/uts/CMakeFiles/npss_uts.dir/spec.cpp.o" "gcc" "src/uts/CMakeFiles/npss_uts.dir/spec.cpp.o.d"
+  "/root/repo/src/uts/types.cpp" "src/uts/CMakeFiles/npss_uts.dir/types.cpp.o" "gcc" "src/uts/CMakeFiles/npss_uts.dir/types.cpp.o.d"
+  "/root/repo/src/uts/value.cpp" "src/uts/CMakeFiles/npss_uts.dir/value.cpp.o" "gcc" "src/uts/CMakeFiles/npss_uts.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/npss_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/npss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npss_uts.dir/canonical.cpp.o"
+  "CMakeFiles/npss_uts.dir/canonical.cpp.o.d"
+  "CMakeFiles/npss_uts.dir/spec.cpp.o"
+  "CMakeFiles/npss_uts.dir/spec.cpp.o.d"
+  "CMakeFiles/npss_uts.dir/types.cpp.o"
+  "CMakeFiles/npss_uts.dir/types.cpp.o.d"
+  "CMakeFiles/npss_uts.dir/value.cpp.o"
+  "CMakeFiles/npss_uts.dir/value.cpp.o.d"
+  "libnpss_uts.a"
+  "libnpss_uts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npss_uts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

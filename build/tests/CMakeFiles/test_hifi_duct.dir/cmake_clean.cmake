@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hifi_duct.dir/test_hifi_duct.cpp.o"
+  "CMakeFiles/test_hifi_duct.dir/test_hifi_duct.cpp.o.d"
+  "test_hifi_duct"
+  "test_hifi_duct.pdb"
+  "test_hifi_duct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hifi_duct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_hifi_duct.
+# This may be replaced when dependencies are built.

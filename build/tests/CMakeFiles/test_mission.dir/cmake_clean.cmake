@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mission.dir/test_mission.cpp.o"
+  "CMakeFiles/test_mission.dir/test_mission.cpp.o.d"
+  "test_mission"
+  "test_mission.pdb"
+  "test_mission[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

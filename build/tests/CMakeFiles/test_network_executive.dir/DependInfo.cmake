@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_network_executive.cpp" "tests/CMakeFiles/test_network_executive.dir/test_network_executive.cpp.o" "gcc" "tests/CMakeFiles/test_network_executive.dir/test_network_executive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/npss_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/uts/CMakeFiles/npss_uts.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/npss_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/solvers/CMakeFiles/npss_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/npss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/npss/CMakeFiles/npss_glue.dir/DependInfo.cmake"
+  "/root/repo/build/src/tess/CMakeFiles/npss_tess.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/npss_flow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

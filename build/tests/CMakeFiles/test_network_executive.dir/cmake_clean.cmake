@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_executive.dir/test_network_executive.cpp.o"
+  "CMakeFiles/test_network_executive.dir/test_network_executive.cpp.o.d"
+  "test_network_executive"
+  "test_network_executive.pdb"
+  "test_network_executive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_executive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

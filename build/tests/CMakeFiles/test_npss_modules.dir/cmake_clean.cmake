@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npss_modules.dir/test_npss_modules.cpp.o"
+  "CMakeFiles/test_npss_modules.dir/test_npss_modules.cpp.o.d"
+  "test_npss_modules"
+  "test_npss_modules.pdb"
+  "test_npss_modules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npss_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpc_basic.dir/test_rpc_basic.cpp.o"
+  "CMakeFiles/test_rpc_basic.dir/test_rpc_basic.cpp.o.d"
+  "test_rpc_basic"
+  "test_rpc_basic.pdb"
+  "test_rpc_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpc_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

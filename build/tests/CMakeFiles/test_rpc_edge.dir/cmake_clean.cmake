@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpc_edge.dir/test_rpc_edge.cpp.o"
+  "CMakeFiles/test_rpc_edge.dir/test_rpc_edge.cpp.o.d"
+  "test_rpc_edge"
+  "test_rpc_edge.pdb"
+  "test_rpc_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpc_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

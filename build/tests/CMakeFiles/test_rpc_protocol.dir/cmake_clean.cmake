@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpc_protocol.dir/test_rpc_protocol.cpp.o"
+  "CMakeFiles/test_rpc_protocol.dir/test_rpc_protocol.cpp.o.d"
+  "test_rpc_protocol"
+  "test_rpc_protocol.pdb"
+  "test_rpc_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpc_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stubgen_generated.dir/test_stubgen_generated.cpp.o"
+  "CMakeFiles/test_stubgen_generated.dir/test_stubgen_generated.cpp.o.d"
+  "shaft_stubs.hpp"
+  "test_stubgen_generated"
+  "test_stubgen_generated.pdb"
+  "test_stubgen_generated[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stubgen_generated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tess_components.dir/test_tess_components.cpp.o"
+  "CMakeFiles/test_tess_components.dir/test_tess_components.cpp.o.d"
+  "test_tess_components"
+  "test_tess_components.pdb"
+  "test_tess_components[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tess_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uts.dir/test_uts.cpp.o"
+  "CMakeFiles/test_uts.dir/test_uts.cpp.o.d"
+  "test_uts"
+  "test_uts.pdb"
+  "test_uts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rpc_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_npss_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_network_executive[1]_include.cmake")
+include("/root/repo/build/tests/test_stubgen_generated[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_uts[1]_include.cmake")
+include("/root/repo/build/tests/test_spec_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_solvers[1]_include.cmake")
+include("/root/repo/build/tests/test_tess_components[1]_include.cmake")
+include("/root/repo/build/tests/test_tess_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_rpc_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_volume_dynamics[1]_include.cmake")
+include("/root/repo/build/tests/test_failures[1]_include.cmake")
+include("/root/repo/build/tests/test_hifi_duct[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_mission[1]_include.cmake")
+include("/root/repo/build/tests/test_distribution_failures[1]_include.cmake")
+include("/root/repo/build/tests/test_monitoring[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_npss_modules[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_rpc_edge[1]_include.cmake")
