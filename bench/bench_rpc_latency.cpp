@@ -34,6 +34,33 @@ int run() {
   std::printf("\n");
   bench::print_rule();
 
+  // Raw transport round trip first (kPing/kPong, no marshaling): the
+  // network share of every row below. marshal+dispatch ≈ row − rtt.
+  std::printf("%-10s", "rtt");
+  for (const char* net : {"loopback", "ethernet-lan", "campus-multigateway",
+                          "internet-wan"}) {
+    sim::Cluster cluster;
+    cluster.add_machine("client", "sun-sparc10", "a");
+    cluster.add_machine("server", "ibm-rs6000", "b");
+    cluster.set_site_link("a", "b", sim::link_profile(net));
+    cluster.install_image(
+        "server", "/bin/echo",
+        rpc::make_procedure_image(echo_spec(1),
+                                  {{"echo", [](rpc::ProcCall&) {}}}));
+    rpc::SchoonerSystem schooner(cluster, "client");
+    auto client = schooner.make_client("client", "latency");
+    client->contact_schx("server", "/bin/echo");
+    auto echo = client->import_proc(
+        "echo", "import echo prog(\"data\" var array[1] of float)");
+    uts::ValueList args = {uts::Value::real_array({1.5})};
+    echo->call(args);  // bind + warm
+    const int reps = 10;
+    util::SimTime total = 0;
+    for (int i = 0; i < reps; ++i) total += echo->ping();
+    std::printf(" %22.3f", util::sim_to_ms(total) / reps);
+  }
+  std::printf("\n");
+
   for (int n : kSizes) {
     std::printf("%-10d", n);
     for (const char* net : {"loopback", "ethernet-lan",
@@ -69,7 +96,9 @@ int run() {
   std::printf(
       "\nShape checks: rows grow with payload; for small payloads the WAN\n"
       "column is ~latency-bound (flat), so coarse-grained calls amortize\n"
-      "the wire and fine-grained ones cannot.\n");
+      "the wire and fine-grained ones cannot. The rtt row is the pure\n"
+      "network share; subtract it from any row to isolate marshal and\n"
+      "dispatch cost.\n");
   return 0;
 }
 

@@ -1,13 +1,37 @@
 #include "flow/network.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/status.hpp"
 
 namespace npss::flow {
 
 using util::GraphError;
+
+namespace {
+
+/// Run one module's compute, timed into the scheduler's registry slots.
+/// Aggregated (no per-execution spans): solver loops evaluate the network
+/// thousands of times per run.
+void compute_instrumented(Module& module) {
+  if (!obs::enabled()) {
+    module.compute();
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  module.compute();
+  const double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("flow.scheduler.executions").add();
+  reg.histogram("flow.scheduler.module_evaluate_us").record(us);
+}
+
+}  // namespace
 
 Network::~Network() {
   try {
@@ -196,7 +220,7 @@ int Network::evaluate() {
   int executed = 0;
   for (const std::string& name : topo_order()) {
     Node& node = nodes_.at(name);
-    node.module->compute();
+    compute_instrumented(*node.module);
     node.module->clear_widget_changes();
     node.fresh_input = false;
     ++executions_;
@@ -211,7 +235,7 @@ int Network::run_changed() {
   for (const std::string& name : topo_order()) {
     Node& node = nodes_.at(name);
     if (!node.fresh_input && !node.module->widgets_changed()) continue;
-    node.module->compute();
+    compute_instrumented(*node.module);
     node.module->clear_widget_changes();
     node.fresh_input = false;
     ++executions_;

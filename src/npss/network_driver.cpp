@@ -2,11 +2,24 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "solvers/newton.hpp"
 #include "solvers/ode.hpp"
 #include "util/status.hpp"
 
 namespace npss::glue {
+
+namespace {
+
+void record_driver_iterations(const char* name, double iterations) {
+  if (!obs::enabled()) return;
+  obs::Registry::global()
+      .histogram(std::string("npss.driver.") + name,
+                 obs::default_iteration_bounds())
+      .record(iterations);
+}
+
+}  // namespace
 
 F100NetworkNames build_f100_network(flow::Network& net,
                                     F100NetworkNames names) {
@@ -188,6 +201,10 @@ std::vector<double> NetworkEngineDriver::evaluate_flow(double fuel_flow) {
   warm_start_ = nr.solution;
   residual(nr.solution);
 
+  record_driver_iterations("flow_newton_iterations", nr.iterations);
+  if (obs::enabled()) {
+    obs::Registry::global().counter("npss.driver.flow_evaluations").add();
+  }
   return {read_real(names_.lp_shaft, "accel"),
           read_real(names_.hp_shaft, "accel")};
 }
@@ -236,6 +253,7 @@ NetworkSteadyResult NetworkEngineDriver::balance(double fuel_flow) {
     }
     result.iterations = steps;
   }
+  record_driver_iterations("balance_iterations", result.iterations);
   result.speeds = current_speeds();
   result.thrust = current_thrust();
   result.t4 = current_t4();
@@ -262,6 +280,9 @@ std::vector<NetworkTransientSample> NetworkEngineDriver::run_transient(
     t += step;
     set_speeds(speeds);
     evaluate_flow(schedule(t));
+    if (obs::enabled()) {
+      obs::Registry::global().counter("npss.driver.transient_steps").add();
+    }
     history.push_back(
         NetworkTransientSample{t, speeds, current_thrust(), current_t4()});
   }

@@ -1,0 +1,321 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace npss::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double value) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value < cur && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value > cur && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+// --- Histogram ----------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) {
+    throw util::ModelError("histogram needs at least one bucket bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw util::ModelError("histogram bucket bounds must be sorted");
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+void Histogram::record(double value) noexcept {
+  // First bucket whose upper bound contains the value; past-the-end is
+  // the overflow slot.
+  std::size_t i =
+      static_cast<std::size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                                value) -
+                               bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, value);
+  detail::atomic_min(min_, value);
+  detail::atomic_max(max_, value);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  if (i >= bounds_.size()) {
+    throw util::ModelError("histogram bucket index out of range");
+  }
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::overflow() const noexcept {
+  return buckets_[bounds_.size()].load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+const std::vector<double>& default_latency_us_bounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
+      b.push_back(decade);
+      b.push_back(decade * 2.0);
+      b.push_back(decade * 5.0);
+    }
+    b.push_back(1e7);  // 10 s
+    return b;
+  }();
+  return bounds;
+}
+
+const std::vector<double>& default_iteration_bounds() {
+  static const std::vector<double> bounds = {1,   2,   3,    5,    8,   13,
+                                             21,  34,  55,   89,   144, 233,
+                                             500, 1000, 2000, 5000, 10000};
+  return bounds;
+}
+
+// --- Registry -----------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry();  // never destroyed: handles
+                                               // outlive static teardown
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  Entry& e = entries_[name];
+  if (e.gauge || e.histogram) {
+    throw util::ModelError("metric '" + name + "' is not a counter");
+  }
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  Entry& e = entries_[name];
+  if (e.counter || e.histogram) {
+    throw util::ModelError("metric '" + name + "' is not a gauge");
+  }
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::vector<double>& upper_bounds) {
+  std::lock_guard lock(mu_);
+  Entry& e = entries_[name];
+  if (e.counter || e.gauge) {
+    throw util::ModelError("metric '" + name + "' is not a histogram");
+  }
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>(upper_bounds);
+  return *e.histogram;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Registry::active_names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, e] : entries_) {
+    const bool active = (e.counter && e.counter->value() > 0) ||
+                        (e.gauge && e.gauge->value() != 0.0) ||
+                        (e.histogram && e.histogram->count() > 0);
+    if (active) out.push_back(name);
+  }
+  return out;
+}
+
+bool Registry::has(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return entries_.contains(name);
+}
+
+const Counter& Registry::find_counter(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || !it->second.counter) {
+    throw util::ModelError("no counter named '" + name + "'");
+  }
+  return *it->second.counter;
+}
+
+const Gauge& Registry::find_gauge(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || !it->second.gauge) {
+    throw util::ModelError("no gauge named '" + name + "'");
+  }
+  return *it->second.gauge;
+}
+
+const Histogram& Registry::find_histogram(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || !it->second.histogram) {
+    throw util::ModelError("no histogram named '" + name + "'");
+  }
+  return *it->second.histogram;
+}
+
+namespace {
+
+void format_double(std::ostringstream& os, double v) {
+  // Trim trailing zeros so counters-of-bytes read naturally.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os.precision(6);
+    os << v;
+  }
+}
+
+}  // namespace
+
+std::string Registry::to_text() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, e] : entries_) {
+    if (e.counter) {
+      os << name << " counter " << e.counter->value() << "\n";
+    } else if (e.gauge) {
+      os << name << " gauge ";
+      format_double(os, e.gauge->value());
+      os << "\n";
+    } else if (e.histogram) {
+      const Histogram& h = *e.histogram;
+      os << name << " histogram count=" << h.count() << " mean=";
+      format_double(os, h.mean());
+      os << " min=";
+      format_double(os, h.min());
+      os << " max=";
+      format_double(os, h.max());
+      if (h.overflow() > 0) os << " overflow=" << h.overflow();
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, e] : entries_) {
+    if (!e.counter) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << e.counter->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, e] : entries_) {
+    if (!e.gauge) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":";
+    format_double(os, e.gauge->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, e] : entries_) {
+    if (!e.histogram) continue;
+    if (!first) os << ",";
+    first = false;
+    const Histogram& h = *e.histogram;
+    os << "\"" << name << "\":{\"count\":" << h.count() << ",\"sum\":";
+    format_double(os, h.sum());
+    os << ",\"min\":";
+    format_double(os, h.min());
+    os << ",\"max\":";
+    format_double(os, h.max());
+    os << ",\"overflow\":" << h.overflow() << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i) os << ",";
+      os << "[";
+      format_double(os, h.bounds()[i]);
+      os << "," << h.bucket_count(i) << "]";
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, e] : entries_) {
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
+  }
+}
+
+}  // namespace npss::obs

@@ -1,0 +1,61 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace npss::obs {
+
+namespace {
+
+/// "rpc.client.calls.shaft" -> "rpc.client" (first two dotted segments).
+std::string layer_of(const std::string& name) {
+  std::size_t first = name.find('.');
+  if (first == std::string::npos) return name;
+  std::size_t second = name.find('.', first + 1);
+  if (second == std::string::npos) return name;
+  return name.substr(0, second);
+}
+
+}  // namespace
+
+std::vector<std::string> active_layers(const Registry& registry) {
+  std::vector<std::string> layers;
+  for (const std::string& name : registry.active_names()) {
+    std::string layer = layer_of(name);
+    if (std::find(layers.begin(), layers.end(), layer) == layers.end()) {
+      layers.push_back(layer);
+    }
+  }
+  std::sort(layers.begin(), layers.end());
+  return layers;
+}
+
+std::string render_run_report(const Registry& registry,
+                              const SpanCollector& spans,
+                              std::size_t max_traces) {
+  std::ostringstream os;
+  os << "=== run report ===\n";
+
+  std::vector<std::string> layers = active_layers(registry);
+  os << "instrumented layers (" << layers.size() << "):";
+  for (const std::string& layer : layers) os << " " << layer;
+  os << "\n\n-- metrics --\n" << registry.to_text();
+
+  os << "\n-- call trees (first " << max_traces << " traces of "
+     << spans.size() << " spans";
+  if (spans.dropped() > 0) os << ", " << spans.dropped() << " dropped";
+  os << ") --\n" << spans.render_tree(max_traces);
+  return os.str();
+}
+
+std::string run_report(std::size_t max_traces) {
+  return render_run_report(Registry::global(), SpanCollector::global(),
+                           max_traces);
+}
+
+void reset_run() {
+  Registry::global().reset();
+  SpanCollector::global().clear();
+}
+
+}  // namespace npss::obs

@@ -1,0 +1,31 @@
+// Run reports: one call renders everything the observability layer
+// collected for a run — per-layer metrics from the Registry grouped by
+// subsystem, plus the SpanCollector's RPC call trees with per-hop
+// timings. The one-call replacement for the paper's hand-built Tables 1
+// and 2.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace npss::obs {
+
+/// Render a report over explicit sources (tests use private instances).
+std::string render_run_report(const Registry& registry,
+                              const SpanCollector& spans,
+                              std::size_t max_traces = 4);
+
+/// Report over the global registry and collector.
+std::string run_report(std::size_t max_traces = 4);
+
+/// Instrumented layers (dotted-name prefixes, e.g. "rpc.client") that
+/// recorded at least one non-empty metric — what a run actually touched.
+std::vector<std::string> active_layers(const Registry& registry);
+
+/// Clear the global registry values and collected spans; the next run
+/// starts its report from zero.
+void reset_run();
+
+}  // namespace npss::obs

@@ -1,20 +1,26 @@
 #include "rpc/calling.hpp"
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace npss::rpc {
 
 void CallCore::bind(const std::string& name, const std::string& import_text,
                     BindingCache& cache) const {
+  obs::Span span("rpc.client", "bind " + name);
   Message lookup;
   lookup.kind = MessageKind::kLookup;
   lookup.line = line;
   lookup.a = name;
   lookup.b = import_text;
+  lookup.trace = span.context();
   Message ack = io->call(manager, std::move(lookup));
   cache.address = ack.a;
   cache.resolved_name = ack.b;
-  ++cache.lookups;
+  cache.lookups.add();
+  if (obs::enabled()) {
+    obs::Registry::global().counter("rpc.client.lookups").add();
+  }
 }
 
 uts::ValueList CallCore::invoke(const std::string& name,
@@ -28,6 +34,8 @@ uts::ValueList CallCore::invoke(const std::string& name,
         "call to '" + name + "': " + std::to_string(args.size()) +
         " arguments for " + std::to_string(sig.size()) + " parameters");
   }
+  obs::Span span("rpc.client", "call " + name);
+  const util::SimTime virtual_start = clock ? clock->now() : 0;
   if (cache.address.empty()) bind(name, import_text, cache);
 
   util::Bytes request_blob =
@@ -43,6 +51,7 @@ uts::ValueList CallCore::invoke(const std::string& name,
     call_msg.a = cache.resolved_name;
     call_msg.b = import_text;
     call_msg.blob = request_blob;
+    call_msg.trace = span.context();
     Message reply;
     try {
       reply = io->call(cache.address, std::move(call_msg),
@@ -51,7 +60,10 @@ uts::ValueList CallCore::invoke(const std::string& name,
       // The process is gone (moved, or its line shut down). Refresh the
       // binding from the Manager and retry once.
       if (attempt == 1) throw;
-      ++cache.stale_retries;
+      cache.stale_retries.add();
+      if (obs::enabled()) {
+        obs::Registry::global().counter("rpc.client.stale_retries").add();
+      }
       NPSS_LOG_DEBUG("rpc.call", "stale address for '", name,
                      "', re-binding via manager");
       bind(name, import_text, cache);
@@ -61,7 +73,10 @@ uts::ValueList CallCore::invoke(const std::string& name,
       if (static_cast<util::ErrorCode>(reply.n) ==
               util::ErrorCode::kStaleBinding &&
           attempt == 0) {
-        ++cache.stale_retries;
+        cache.stale_retries.add();
+        if (obs::enabled()) {
+          obs::Registry::global().counter("rpc.client.stale_retries").add();
+        }
         bind(name, import_text, cache);
         continue;
       }
@@ -69,6 +84,18 @@ uts::ValueList CallCore::invoke(const std::string& name,
     }
     if (compute) {
       compute(static_cast<double>(reply.blob.size()) * kMarshalUsPerByte);
+    }
+    if (obs::enabled()) {
+      obs::Registry& reg = obs::Registry::global();
+      reg.counter("rpc.client.calls").add();
+      reg.counter("rpc.client.calls." + name).add();
+      reg.counter("rpc.client.bytes_marshaled")
+          .add(request_blob.size() + reply.blob.size());
+      reg.histogram("rpc.client.latency_us").record(span.elapsed_us());
+      if (clock) {
+        reg.histogram("rpc.client.virtual_latency_us")
+            .record(static_cast<double>(clock->now() - virtual_start));
+      }
     }
     uts::ValueList results =
         uts::unmarshal(*arch, sig, reply.blob, uts::Direction::kReply);

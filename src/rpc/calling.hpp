@@ -8,8 +8,10 @@
 #include <functional>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "rpc/io.hpp"
 #include "rpc/message.hpp"
+#include "util/clock.hpp"
 #include "uts/canonical.hpp"
 #include "uts/spec.hpp"
 
@@ -20,12 +22,14 @@ namespace npss::rpc {
 constexpr double kMarshalUsPerByte = 0.02;
 
 /// Per-importer cached binding ("procedure name caches within each
-/// procedure in the line", §4.2).
+/// procedure in the line", §4.2). The per-stub metrics are obs counters;
+/// process-wide aggregates of the same events land in the global
+/// obs::Registry under rpc.client.*.
 struct BindingCache {
   std::string address;        ///< empty = unbound
   std::string resolved_name;  ///< exporter-cased name
-  int lookups = 0;            ///< Manager queries performed (bench metric)
-  int stale_retries = 0;      ///< calls that hit a moved procedure
+  obs::Counter lookups;       ///< Manager queries performed
+  obs::Counter stale_retries; ///< calls that hit a moved procedure
 };
 
 struct CallCore {
@@ -35,6 +39,9 @@ struct CallCore {
   const arch::ArchDescriptor* arch = nullptr;
   /// Bills simulated marshal CPU time (may be empty).
   std::function<void(double)> compute;
+  /// The caller's virtual clock; when set, per-call simulated latency is
+  /// recorded into the rpc.client.virtual_latency_us histogram.
+  const util::VirtualClock* clock = nullptr;
 
   /// Resolve `name` through the Manager (filling `cache`), then perform
   /// one call. On a stale binding the cache is refreshed and the call

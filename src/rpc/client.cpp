@@ -99,13 +99,28 @@ uts::ValueList SchoonerClient::invoke(RemoteProc& proc, uts::ValueList args) {
     endpoint_->clock().advance(static_cast<util::SimTime>(
         us / std::max(endpoint_->arch().cpu_speed, 1e-6)));
   };
+  core.clock = &endpoint_->clock();
   return core.invoke(proc.name_, proc.decl_, proc.import_text_,
                      std::move(args), proc.cache_);
 }
 
 uts::ValueList RemoteProc::call(uts::ValueList args) {
-  ++calls_;
+  calls_.add();
   return owner_->invoke(*this, std::move(args));
+}
+
+util::SimTime RemoteProc::ping() {
+  if (owner_->line_ == kNoLine) {
+    throw util::ShutdownError("line already quit");
+  }
+  if (cache_.address.empty()) {
+    CallCore core;
+    core.io = &owner_->io_;
+    core.manager = owner_->manager_;
+    core.line = owner_->line_;
+    core.bind(name_, import_text_, cache_);
+  }
+  return owner_->io_.ping(cache_.address);
 }
 
 }  // namespace npss::rpc

@@ -32,10 +32,18 @@ class RemoteProc {
   const std::string& name() const { return name_; }
   const uts::Signature& signature() const { return decl_.signature; }
 
-  /// Metrics for the benches.
-  int calls() const { return calls_; }
-  int lookups() const { return cache_.lookups; }
-  int stale_retries() const { return cache_.stale_retries; }
+  /// Per-stub metrics for the benches (process-wide aggregates live in
+  /// the global obs::Registry under rpc.client.*).
+  int calls() const { return static_cast<int>(calls_.value()); }
+  int lookups() const { return static_cast<int>(cache_.lookups.value()); }
+  int stale_retries() const {
+    return static_cast<int>(cache_.stale_retries.value());
+  }
+
+  /// Measure a transport round trip (kPing/kPong) to the process hosting
+  /// this procedure, in simulated microseconds; binds first if needed.
+  /// Recorded into the rpc.transport.rtt_us histogram.
+  util::SimTime ping();
 
   /// Drop the cached binding (tests use this to force a fresh lookup).
   void invalidate() { cache_.address.clear(); }
@@ -54,7 +62,7 @@ class RemoteProc {
   uts::ProcDecl decl_;
   std::string import_text_;
   BindingCache cache_;
-  int calls_ = 0;
+  obs::Counter calls_;
 };
 
 struct StartResult {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "obs/trace.hpp"
 #include "rpc/calling.hpp"
 #include "rpc/manager.hpp"
 #include "util/log.hpp"
@@ -145,6 +146,9 @@ class HostRuntime {
 
   void on_call(const Incoming& in) {
     const Message& msg = in.msg;
+    // Adopt the caller's trace so both hops share one trace id; nested
+    // remote calls made by the handler become children of this span.
+    obs::Span span("rpc.host", "serve " + msg.a, msg.trace);
     try {
       auto it = handlers_.find(lower(msg.a));
       if (it == handlers_.end()) {
@@ -209,8 +213,19 @@ class HostRuntime {
       rep.kind = MessageKind::kReply;
       rep.seq = msg.seq;
       rep.blob = std::move(blob);
+      rep.trace = span.context();
+      if (obs::enabled()) {
+        obs::Registry& reg = obs::Registry::global();
+        reg.counter("rpc.host.calls").add();
+        reg.counter("rpc.host.bytes_marshaled")
+            .add(msg.blob.size() + rep.blob.size());
+        reg.histogram("rpc.host.handler_us").record(span.elapsed_us());
+      }
       io_.send(in.from, std::move(rep));
     } catch (const util::Error& e) {
+      if (obs::enabled()) {
+        obs::Registry::global().counter("rpc.host.errors").add();
+      }
       io_.send(in.from, Message::error_reply(msg, e.code(), e.what()));
     }
   }

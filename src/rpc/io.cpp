@@ -1,13 +1,35 @@
 #include "rpc/io.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace npss::rpc {
 
+namespace {
+
+// Shared transport tallies (the TCP transport records under the same
+// names, so "transport" means whichever fabric carried the frame).
+Message decode_counted(std::span<const std::uint8_t> payload) {
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("rpc.transport.frames_received").add();
+    reg.counter("rpc.transport.bytes_received").add(payload.size());
+  }
+  return decode_message(payload);
+}
+
+}  // namespace
+
 void MessageIo::send(const std::string& to, Message msg) {
   NPSS_LOG_TRACE("rpc.io", address(), " send ", message_kind_name(msg.kind),
                  " seq=", msg.seq, " -> ", to);
-  cluster_->send(*endpoint_, to, encode_message(msg));
+  util::Bytes frame = encode_message(msg);
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("rpc.transport.frames_sent").add();
+    reg.counter("rpc.transport.bytes_sent").add(frame.size());
+  }
+  cluster_->send(*endpoint_, to, std::move(frame));
 }
 
 std::optional<Incoming> MessageIo::receive() {
@@ -18,7 +40,7 @@ std::optional<Incoming> MessageIo::receive() {
   }
   auto env = endpoint_->receive();
   if (!env) return std::nullopt;
-  return Incoming{env->from, decode_message(env->payload)};
+  return Incoming{env->from, decode_counted(env->payload)};
 }
 
 std::optional<Incoming> MessageIo::try_receive() {
@@ -29,7 +51,7 @@ std::optional<Incoming> MessageIo::try_receive() {
   }
   auto env = endpoint_->try_receive();
   if (!env) return std::nullopt;
-  return Incoming{env->from, decode_message(env->payload)};
+  return Incoming{env->from, decode_counted(env->payload)};
 }
 
 Message MessageIo::call(const std::string& to, Message request,
@@ -43,7 +65,7 @@ Message MessageIo::call(const std::string& to, Message request,
       throw util::ShutdownError("endpoint " + address() +
                                 " closed while awaiting reply");
     }
-    Message msg = decode_message(env->payload);
+    Message msg = decode_counted(env->payload);
     if (msg.seq == want &&
         (msg.kind == MessageKind::kError || env->from == to ||
          msg.kind != MessageKind::kCall)) {
@@ -75,6 +97,20 @@ Message MessageIo::call(const std::string& to, Message request,
                    env->from);
     stash_.push_back(Incoming{env->from, std::move(msg)});
   }
+}
+
+util::SimTime MessageIo::ping(const std::string& to) {
+  const util::SimTime before = endpoint_->clock().now();
+  Message msg;
+  msg.kind = MessageKind::kPing;
+  call(to, std::move(msg));
+  const util::SimTime rtt = endpoint_->clock().now() - before;
+  if (obs::enabled()) {
+    obs::Registry::global()
+        .histogram("rpc.transport.rtt_us")
+        .record(static_cast<double>(rtt));
+  }
+  return rtt;
 }
 
 }  // namespace npss::rpc

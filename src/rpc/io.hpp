@@ -48,6 +48,11 @@ class MessageIo {
   Message call(const std::string& to, Message request,
                bool raise_errors = true);
 
+  /// kPing round trip to `to`. Returns the virtual-time RTT in simulated
+  /// microseconds and records it into the rpc.transport.rtt_us histogram,
+  /// letting benches split network time from marshal time.
+  util::SimTime ping(const std::string& to);
+
  private:
   sim::Cluster* cluster_;
   sim::EndpointPtr endpoint_;

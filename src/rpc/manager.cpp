@@ -4,6 +4,8 @@
 #include <cctype>
 #include <optional>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace npss::rpc {
@@ -11,6 +13,14 @@ namespace npss::rpc {
 namespace {
 
 using util::ErrorCode;
+
+// ManagerStats stays the copyable per-system snapshot the benches read;
+// the global registry carries the cumulative process-wide view.
+void bump(const char* name) {
+  if (obs::enabled()) {
+    obs::Registry::global().counter(std::string("rpc.manager.") + name).add();
+  }
+}
 
 std::string lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
@@ -106,6 +116,9 @@ class ManagerState {
   /// Returns false when the manager should exit.
   bool handle(const Incoming& in) {
     const Message& msg = in.msg;
+    // Join the requester's trace so lookups/moves show up in its call tree.
+    obs::Span span("rpc.manager",
+                   std::string(message_kind_name(msg.kind)), msg.trace);
     try {
       switch (msg.kind) {
         case MessageKind::kRegisterLine: on_register_line(in); break;
@@ -148,6 +161,7 @@ class ManagerState {
     line.id = next_line_++;
     line.description = in.msg.a;
     ++stats_->lines_created;
+    bump("lines_created");
     NPSS_LOG_DEBUG("manager", "line ", line.id, " registered for '",
                    in.msg.a, "' (", in.from, ")");
     LineId id = line.id;
@@ -175,6 +189,7 @@ class ManagerState {
                    {"path", path}};
     Message ack = io_.call(server->second, std::move(spawn));
     ++stats_->processes_started;
+    bump("processes_started");
     return ack.a;
   }
 
@@ -304,6 +319,7 @@ class ManagerState {
   void on_lookup(const Incoming& in) {
     const Message& msg = in.msg;
     ++stats_->lookups;
+    bump("lookups");
     BindingPtr binding = resolve(msg.line, msg.a);
     if (!binding) {
       reply(in, Message::error_reply(msg, ErrorCode::kLookupFailure,
@@ -318,6 +334,7 @@ class ManagerState {
           import_decl.signature, binding->signature);
       if (!why.empty()) {
         ++stats_->type_check_failures;
+        bump("type_check_failures");
         reply(in,
               Message::error_reply(
                   msg, ErrorCode::kTypeMismatch,
@@ -368,6 +385,7 @@ class ManagerState {
       shutdown_line_procs(it->second, "line quit");
       lines_.erase(it);
       ++stats_->lines_shut_down;
+      bump("lines_shut_down");
     }
     reply(in, Message{.kind = MessageKind::kQuitAck, .seq = msg.seq,
                       .line = msg.line});
@@ -382,6 +400,7 @@ class ManagerState {
                               std::to_string(msg.line));
     }
     ++stats_->moves;
+    bump("moves");
     const std::string old_address = binding->address;
 
     // 1. Capture state if requested (the planned UTS state-list extension).

@@ -67,6 +67,15 @@ util::Bytes encode_message(const Message& msg) {
     out.str(key);
     out.str(value);
   }
+  if (msg.trace.active()) {
+    // Trailing extension: peers that predate it never see it (an
+    // untraced frame is byte-identical to the old format), and our
+    // decoder accepts frames without it.
+    out.u8(kTraceExtensionMarker);
+    out.u64(msg.trace.trace_id);
+    out.u64(msg.trace.span_id);
+    out.u64(msg.trace.parent_span_id);
+  }
   return std::move(out).take();
 }
 
@@ -94,6 +103,17 @@ Message decode_message(std::span<const std::uint8_t> bytes) {
     std::string key = in.str();
     std::string value = in.str();
     msg.table.emplace_back(std::move(key), std::move(value));
+  }
+  if (!in.exhausted()) {
+    // Optional trace extension (absent on frames from pre-trace peers).
+    const std::uint8_t marker = in.u8();
+    if (marker != kTraceExtensionMarker) {
+      throw util::EncodingError("unknown frame extension marker " +
+                                std::to_string(marker));
+    }
+    msg.trace.trace_id = in.u64();
+    msg.trace.span_id = in.u64();
+    msg.trace.parent_span_id = in.u64();
   }
   if (!in.exhausted()) {
     throw util::EncodingError("trailing bytes in message frame");

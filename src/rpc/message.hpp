@@ -27,6 +27,11 @@
 //   kPing                                              -> kPong
 //   kManagerStop                                       -> (manager exits)
 //   kError          n=ErrorCode, a=message (any reply position)
+//
+// Frames may carry a trailing *trace extension* (marker byte + three
+// trace ids) so a client-side span and the procedure-side span of one
+// call share a trace id. Frames without the extension decode exactly as
+// before — peers built before the observability layer interoperate.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/bytes.hpp"
 #include "util/status.hpp"
 
@@ -72,6 +78,9 @@ std::string_view message_kind_name(MessageKind kind);
 using LineId = std::int64_t;
 constexpr LineId kNoLine = -1;
 
+/// Marker byte introducing the optional trace extension after the table.
+constexpr std::uint8_t kTraceExtensionMarker = 0x54;  // 'T'
+
 struct Message {
   MessageKind kind = MessageKind::kError;
   std::uint64_t seq = 0;
@@ -80,6 +89,8 @@ struct Message {
   std::int64_t n = 0;
   util::Bytes blob;
   std::vector<std::pair<std::string, std::string>> table;
+  /// Distributed-trace context; encoded on the wire only when active.
+  obs::TraceContext trace;
 
   /// Construct the standard error reply for a request.
   static Message error_reply(const Message& request, util::ErrorCode code,

@@ -8,8 +8,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rpc/manager.hpp"
 #include "util/log.hpp"
 
@@ -23,6 +26,43 @@ std::string lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
                  [](unsigned char c) { return std::tolower(c); });
   return s;
+}
+
+// Metric handles resolved once: registry handles stay valid (and reset()
+// zeroes without invalidating them), so the per-call cost is an atomic
+// add, not a mutex-guarded map lookup.
+struct TcpMetrics {
+  obs::Counter& frames_sent;
+  obs::Counter& bytes_sent;
+  obs::Counter& frames_received;
+  obs::Counter& bytes_received;
+  obs::Counter& host_calls;
+  obs::Counter& host_bytes_marshaled;
+  obs::Histogram& host_handler_us;
+  obs::Counter& host_errors;
+  obs::Counter& client_calls;
+  obs::Counter& client_bytes_marshaled;
+  obs::Histogram& client_latency_us;
+  obs::Histogram& rtt_us;
+};
+
+TcpMetrics& tcp_metrics() {
+  static TcpMetrics m = [] {
+    obs::Registry& reg = obs::Registry::global();
+    return TcpMetrics{reg.counter("rpc.transport.frames_sent"),
+                      reg.counter("rpc.transport.bytes_sent"),
+                      reg.counter("rpc.transport.frames_received"),
+                      reg.counter("rpc.transport.bytes_received"),
+                      reg.counter("rpc.host.calls"),
+                      reg.counter("rpc.host.bytes_marshaled"),
+                      reg.histogram("rpc.host.handler_us"),
+                      reg.counter("rpc.host.errors"),
+                      reg.counter("rpc.client.calls"),
+                      reg.counter("rpc.client.bytes_marshaled"),
+                      reg.histogram("rpc.client.latency_us"),
+                      reg.histogram("rpc.transport.rtt_us")};
+  }();
+  return m;
 }
 
 }  // namespace
@@ -74,6 +114,10 @@ bool TcpConnection::read_all(std::uint8_t* data, std::size_t size) {
 
 void TcpConnection::send(const Message& msg) {
   util::Bytes frame = encode_message(msg);
+  if (obs::enabled()) {
+    tcp_metrics().frames_sent.add();
+    tcp_metrics().bytes_sent.add(frame.size());
+  }
   std::uint8_t prefix[4];
   const std::uint32_t len = static_cast<std::uint32_t>(frame.size());
   for (int i = 0; i < 4; ++i) {
@@ -94,6 +138,10 @@ bool TcpConnection::receive(Message& msg) {
   }
   util::Bytes frame(len);
   if (!read_all(frame.data(), len)) return false;
+  if (obs::enabled()) {
+    tcp_metrics().frames_received.add();
+    tcp_metrics().bytes_received.add(frame.size());
+  }
   msg = decode_message(frame);
   return true;
 }
@@ -178,6 +226,9 @@ void TcpProcedureHost::serve(std::unique_ptr<TcpConnection> conn) {
                                         "tcp host: unexpected message"));
         continue;
       }
+      // Adopt the caller's trace: both ends of the socket log spans under
+      // the same trace id.
+      obs::Span span("rpc.host", "tcp serve " + msg.a, msg.trace);
       try {
         auto it = handlers_.find(lower(msg.a));
         if (it == handlers_.end()) {
@@ -228,10 +279,18 @@ void TcpProcedureHost::serve(std::unique_ptr<TcpConnection> conn) {
         rep.seq = msg.seq;
         rep.blob = uts::marshal(*arch_, import_decl.signature, reply_values,
                                 uts::Direction::kReply);
+        rep.trace = span.context();
         ++calls_;  // count before the reply leaves, so a client that has
                    // seen its reply also sees the updated counter
+        if (obs::enabled()) {
+          TcpMetrics& m = tcp_metrics();
+          m.host_calls.add();
+          m.host_bytes_marshaled.add(msg.blob.size() + rep.blob.size());
+          m.host_handler_us.record(span.elapsed_us());
+        }
         conn->send(rep);
       } catch (const util::Error& e) {
+        if (obs::enabled()) tcp_metrics().host_errors.add();
         conn->send(Message::error_reply(msg, e.code(), e.what()));
       }
     }
@@ -252,6 +311,8 @@ TcpRemoteProc::TcpRemoteProc(const std::string& host, int port,
   uts::SpecFile spec = uts::parse_spec(import_spec_text);
   decl_ = spec.find(name);
   import_text_ = uts::decl_to_string(decl_);
+  span_label_ = "tcp call " + name_;
+  calls_by_name_ = &obs::Registry::global().counter("rpc.client.calls." + name_);
 }
 
 uts::ValueList TcpRemoteProc::call(uts::ValueList args) {
@@ -259,18 +320,27 @@ uts::ValueList TcpRemoteProc::call(uts::ValueList args) {
   if (args.size() != sig.size()) {
     throw util::TypeMismatchError("tcp call: argument count mismatch");
   }
+  obs::Span span("rpc.client", span_label_);
   Message msg;
   msg.kind = MessageKind::kCall;
   msg.seq = ++seq_;
   msg.a = name_;
   msg.b = import_text_;
   msg.blob = uts::marshal(*arch_, sig, args, uts::Direction::kRequest);
+  msg.trace = span.context();
   conn_->send(msg);
   Message reply;
   if (!conn_->receive(reply)) {
     throw CallError("tcp peer closed during call to '" + name_ + "'");
   }
   reply.raise_if_error();
+  if (obs::enabled()) {
+    TcpMetrics& m = tcp_metrics();
+    m.client_calls.add();
+    calls_by_name_->add();
+    m.client_bytes_marshaled.add(msg.blob.size() + reply.blob.size());
+    m.client_latency_us.record(span.elapsed_us());
+  }
   uts::ValueList results =
       uts::unmarshal(*arch_, sig, reply.blob, uts::Direction::kReply);
   for (std::size_t i = 0; i < sig.size(); ++i) {
@@ -279,6 +349,24 @@ uts::ValueList TcpRemoteProc::call(uts::ValueList args) {
     }
   }
   return results;
+}
+
+double TcpRemoteProc::ping_us() {
+  const auto before = std::chrono::steady_clock::now();
+  Message msg;
+  msg.kind = MessageKind::kPing;
+  msg.seq = ++seq_;
+  conn_->send(msg);
+  Message reply;
+  if (!conn_->receive(reply)) {
+    throw CallError("tcp peer closed during ping");
+  }
+  const double rtt_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - before)
+          .count();
+  if (obs::enabled()) tcp_metrics().rtt_us.record(rtt_us);
+  return rtt_us;
 }
 
 }  // namespace npss::rpc

@@ -21,6 +21,10 @@
 #include "rpc/host.hpp"
 #include "rpc/message.hpp"
 
+namespace npss::obs {
+class Counter;
+}
+
 namespace npss::rpc {
 
 /// Blocking, length-prefixed Message stream over a connected socket.
@@ -101,6 +105,11 @@ class TcpRemoteProc {
   /// Same contract as RemoteProc::call.
   uts::ValueList call(uts::ValueList args);
 
+  /// Measure a kPing/kPong round trip over the live connection, in real
+  /// (wall-clock) microseconds. Recorded into the rpc.transport.rtt_us
+  /// histogram so benches can split network time from marshal time.
+  double ping_us();
+
   const uts::Signature& signature() const { return decl_.signature; }
 
  private:
@@ -110,6 +119,10 @@ class TcpRemoteProc {
   std::string import_text_;
   const arch::ArchDescriptor* arch_;
   std::uint64_t seq_ = 0;
+  // Cached observability handles: the span label and the per-procedure
+  // call counter are fixed for this stub's lifetime.
+  std::string span_label_;
+  obs::Counter* calls_by_name_ = nullptr;
 };
 
 }  // namespace npss::rpc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/status.hpp"
 
 namespace npss::tess {
@@ -11,6 +12,14 @@ namespace {
 
 double clampd(double v, double lo, double hi) {
   return std::clamp(v, lo, hi);
+}
+
+void record_iterations(const char* name, double iterations) {
+  if (!obs::enabled()) return;
+  obs::Registry::global()
+      .histogram(std::string("tess.engine.") + name,
+                 obs::default_iteration_bounds())
+      .record(iterations);
 }
 
 }  // namespace
@@ -88,6 +97,7 @@ SteadyResult EngineModel::balance(double wf, const FlightCondition& flight,
     result.performance = evaluate(states, wf, flight);
     result.iterations = nr.iterations;
     result.residual = nr.residual_norm;
+    record_iterations("balance_iterations", result.iterations);
     return result;
   }
 
@@ -117,6 +127,7 @@ SteadyResult EngineModel::balance(double wf, const FlightCondition& flight,
       result.performance = perf;
       result.iterations = steps;
       result.residual = worst;
+      record_iterations("balance_iterations", result.iterations);
       return result;
     }
     states = integrator->step(rhs, steps * dt, states, dt);
@@ -141,11 +152,20 @@ TransientResult EngineModel::transient(const std::vector<double>& initial_speeds
   result.history.push_back(TransientSample{0.0, p0});
   auto observer = [&](double t, const std::vector<double>& y) {
     Performance p = evaluate(y, schedule(t), flight);
+    record_iterations("step_flow_iterations", p.flow_iterations);
+    if (obs::enabled()) {
+      obs::Registry::global().counter("tess.engine.transient_steps").add();
+    }
     result.history.push_back(TransientSample{t, std::move(p)});
   };
   solvers::integrate(*integrator, rhs, 0.0, t_end, dt, initial_speeds,
                      observer);
   result.rhs_evaluations = integrator->evaluations();
+  if (obs::enabled()) {
+    obs::Registry::global()
+        .counter("tess.engine.rhs_evaluations")
+        .add(static_cast<std::uint64_t>(result.rhs_evaluations));
+  }
   return result;
 }
 

@@ -3,6 +3,7 @@
 // paper describes.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -15,9 +16,16 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return level >= level_; }
+  // The level is atomic: enabled() runs on every hot-path log macro in
+  // every cluster thread, while set_level() may arrive from the main
+  // thread mid-run.
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel level) const {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
 
   void write(LogLevel level, const std::string& component,
              const std::string& message);
@@ -25,7 +33,7 @@ class Logger {
  private:
   Logger() = default;
   std::mutex mu_;
-  LogLevel level_ = LogLevel::kOff;
+  std::atomic<LogLevel> level_{LogLevel::kOff};
 };
 
 namespace detail {
