@@ -5,9 +5,19 @@
 // A2 (§4.1 float/double): single- vs double-precision parameter arrays —
 // double costs ~2x the wire bytes of float, the tradeoff that motivated
 // adding `float` to UTS when Fortran joined.
+// A3 (compiled plans): the MarshalPlan fast path vs the interpreted codec
+// on the same signature, for a same-representation architecture (bulk bit
+// moves) and a conversion architecture (per-element quantize). A custom
+// main() runs the google-benchmark suite, then a manual harness that
+// writes machine-readable BENCH_marshal.json (ns/op, bytes/s, speedups).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
 #include "uts/canonical.hpp"
+#include "uts/marshal_plan.hpp"
 #include "uts/spec.hpp"
 
 namespace {
@@ -109,6 +119,47 @@ void BM_CrayOutOfRangeDetection(benchmark::State& state) {
 }
 BENCHMARK(BM_CrayOutOfRangeDetection);
 
+void plan_marshal_for_arch(benchmark::State& state, const char* arch_name) {
+  const auto& arch = arch::arch_catalog(arch_name);
+  const uts::Signature& sig = array_signature(true);
+  const uts::MarshalPlan plan(sig, uts::Direction::kRequest);
+  uts::ValueList vals = array_values();
+  for (auto _ : state) {
+    util::Bytes out = plan.marshal(arch, vals);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_PlanMarshal_Sparc(benchmark::State& state) {
+  plan_marshal_for_arch(state, "sun-sparc10");  // same-representation
+}
+void BM_PlanMarshal_CrayYmp(benchmark::State& state) {
+  plan_marshal_for_arch(state, "cray-ymp");  // quantize fallback
+}
+BENCHMARK(BM_PlanMarshal_Sparc);
+BENCHMARK(BM_PlanMarshal_CrayYmp);
+
+void plan_roundtrip_for_arch(benchmark::State& state, const char* arch_name) {
+  const auto& arch = arch::arch_catalog(arch_name);
+  const uts::Signature& sig = array_signature(true);
+  const uts::MarshalPlan plan(sig, uts::Direction::kRequest);
+  uts::ValueList vals = array_values();
+  for (auto _ : state) {
+    util::Bytes wire = plan.marshal(arch, vals);
+    uts::ValueList back = plan.unmarshal(arch, wire);
+    benchmark::DoNotOptimize(back);
+  }
+}
+
+void BM_PlanRoundTrip_Sparc(benchmark::State& state) {
+  plan_roundtrip_for_arch(state, "sun-sparc10");
+}
+void BM_PlanRoundTrip_CrayYmp(benchmark::State& state) {
+  plan_roundtrip_for_arch(state, "cray-ymp");
+}
+BENCHMARK(BM_PlanRoundTrip_Sparc);
+BENCHMARK(BM_PlanRoundTrip_CrayYmp);
+
 void BM_SpecParseShaft(benchmark::State& state) {
   const char* text = R"(
     export shaft prog(
@@ -128,6 +179,108 @@ void BM_SpecParseShaft(benchmark::State& state) {
 }
 BENCHMARK(BM_SpecParseShaft);
 
+// --- BENCH_marshal.json ----------------------------------------------------
+
+/// Wall-clock ns/op of `fn`, self-calibrating the iteration count.
+double measure_ns_per_op(const std::function<void()>& fn) {
+  using clock = std::chrono::steady_clock;
+  for (int i = 0; i < 100; ++i) fn();  // warm up
+  long iters = 100;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (long i = 0; i < iters; ++i) fn();
+    const double ns =
+        std::chrono::duration<double, std::nano>(clock::now() - t0).count();
+    if (ns >= 2e7) return ns / static_cast<double>(iters);
+    iters *= 4;
+  }
+}
+
+struct Case {
+  const char* name;
+  double ns_per_op;
+  double bytes_per_s;
+};
+
+void write_marshal_json() {
+  const uts::Signature& sig = array_signature(true);
+  const uts::MarshalPlan plan(sig, uts::Direction::kRequest);
+  uts::ValueList vals = array_values();
+  const double wire_bytes = 64.0 * 8.0;
+
+  std::vector<Case> cases;
+  auto add = [&](const char* name, const std::function<void()>& fn) {
+    double ns = measure_ns_per_op(fn);
+    cases.push_back({name, ns, wire_bytes / (ns * 1e-9)});
+    return ns;
+  };
+
+  const auto& sparc = arch::arch_catalog("sun-sparc10");
+  const auto& cray = arch::arch_catalog("cray-ymp");
+  double interp_sparc = add("marshal_interpreted_sparc", [&] {
+    benchmark::DoNotOptimize(
+        uts::marshal(sparc, sig, vals, uts::Direction::kRequest));
+  });
+  double plan_sparc = add("marshal_plan_sparc", [&] {
+    benchmark::DoNotOptimize(plan.marshal(sparc, vals));
+  });
+  double interp_cray = add("marshal_interpreted_cray", [&] {
+    benchmark::DoNotOptimize(
+        uts::marshal(cray, sig, vals, uts::Direction::kRequest));
+  });
+  double plan_cray = add("marshal_plan_cray", [&] {
+    benchmark::DoNotOptimize(plan.marshal(cray, vals));
+  });
+
+  util::Bytes wire = plan.marshal(sparc, vals);
+  double interp_un_sparc = add("unmarshal_interpreted_sparc", [&] {
+    benchmark::DoNotOptimize(
+        uts::unmarshal(sparc, sig, wire, uts::Direction::kRequest));
+  });
+  double plan_un_sparc = add("unmarshal_plan_sparc", [&] {
+    benchmark::DoNotOptimize(plan.unmarshal(sparc, wire));
+  });
+
+  const double speedup_fast = interp_sparc / plan_sparc;
+  const double speedup_fast_un = interp_un_sparc / plan_un_sparc;
+  const double speedup_fallback = interp_cray / plan_cray;
+
+  std::FILE* f = std::fopen("BENCH_marshal.json", "w");
+  if (!f) return;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"uts_marshal\",\n");
+  std::fprintf(f, "  \"signature\": \"array[64] of double\",\n");
+  std::fprintf(f, "  \"wire_bytes\": %.0f,\n", wire_bytes);
+  std::fprintf(f, "  \"cases\": [\n");
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ns_per_op\": %.1f, "
+                 "\"bytes_per_s\": %.0f}%s\n",
+                 cases[i].name, cases[i].ns_per_op, cases[i].bytes_per_s,
+                 i + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"speedup_same_representation_marshal\": %.2f,\n",
+               speedup_fast);
+  std::fprintf(f, "  \"speedup_same_representation_unmarshal\": %.2f,\n",
+               speedup_fast_un);
+  std::fprintf(f, "  \"speedup_fallback_marshal\": %.2f\n", speedup_fallback);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf(
+      "\nBENCH_marshal.json written: plan vs interpreted speedup "
+      "%.2fx marshal / %.2fx unmarshal (same-representation), "
+      "%.2fx (cray fallback)\n",
+      speedup_fast, speedup_fast_un, speedup_fallback);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_marshal_json();
+  return 0;
+}

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <sstream>
 
 #include "obs/metrics.hpp"
+#include "util/parallel.hpp"
 #include "util/status.hpp"
 
 namespace npss::flow {
@@ -53,6 +55,7 @@ Module& Network::add(const std::string& instance_name,
   Module& ref = *module;
   nodes_[instance_name] = Node{std::move(module), false};
   insertion_order_.push_back(instance_name);
+  invalidate_topology();
   return ref;
 }
 
@@ -89,6 +92,7 @@ void Network::connect(const std::string& src, const std::string& src_port,
   in->source_module = src;
   in->source_port = src_port;
   connections_.push_back(Connection{src, src_port, dst, dst_port});
+  invalidate_topology();
 }
 
 void Network::disconnect(const std::string& dst, const std::string& dst_port) {
@@ -102,6 +106,7 @@ void Network::disconnect(const std::string& dst, const std::string& dst_port) {
   std::erase_if(connections_, [&](const Connection& c) {
     return c.dst_module == dst && c.dst_port == dst_port;
   });
+  invalidate_topology();
 }
 
 void Network::remove(const std::string& instance_name) {
@@ -126,6 +131,7 @@ void Network::remove(const std::string& instance_name) {
   });
   nodes_.erase(it);
   std::erase(insertion_order_, instance_name);
+  invalidate_topology();
 }
 
 void Network::clear() {
@@ -139,6 +145,7 @@ void Network::clear() {
   nodes_.clear();
   insertion_order_.clear();
   connections_.clear();
+  invalidate_topology();
 }
 
 Module& Network::module(const std::string& instance_name) {
@@ -175,7 +182,8 @@ bool Network::reachable(const std::string& from, const std::string& to) const {
   return false;
 }
 
-std::vector<std::string> Network::topo_order() const {
+void Network::ensure_topology() const {
+  if (topo_valid_) return;
   std::map<std::string, int> indegree;
   for (const std::string& name : insertion_order_) indegree[name] = 0;
   for (const Connection& c : connections_) ++indegree[c.dst_module];
@@ -199,7 +207,37 @@ std::vector<std::string> Network::topo_order() const {
   if (order.size() != insertion_order_.size()) {
     throw GraphError("network contains a cycle");
   }
-  return order;
+
+  // Wavefront levels: a module's level is its longest path from a source,
+  // so same-level modules cannot be connected (directly or transitively)
+  // and may execute concurrently.
+  std::map<std::string, std::size_t> depth;
+  std::size_t max_depth = 0;
+  for (const std::string& name : order) {
+    std::size_t d = 0;
+    for (const Connection& c : connections_) {
+      if (c.dst_module == name) d = std::max(d, depth[c.src_module] + 1);
+    }
+    depth[name] = d;
+    max_depth = std::max(max_depth, d);
+  }
+  std::vector<std::vector<std::string>> levels(order.empty() ? 0
+                                                             : max_depth + 1);
+  for (const std::string& name : order) levels[depth[name]].push_back(name);
+
+  topo_cache_ = std::move(order);
+  level_cache_ = std::move(levels);
+  topo_valid_ = true;
+}
+
+const std::vector<std::string>& Network::topo_order() const {
+  ensure_topology();
+  return topo_cache_;
+}
+
+const std::vector<std::vector<std::string>>& Network::wavefronts() const {
+  ensure_topology();
+  return level_cache_;
 }
 
 std::vector<std::string> Network::module_names() const { return topo_order(); }
@@ -216,31 +254,73 @@ void Network::propagate(Module& module) {
   }
 }
 
-int Network::evaluate() {
-  int executed = 0;
-  for (const std::string& name : topo_order()) {
+void Network::run_level(const std::vector<std::string>& level,
+                        bool only_changed, int& executed) {
+  std::vector<Node*> fire;
+  fire.reserve(level.size());
+  for (const std::string& name : level) {
     Node& node = nodes_.at(name);
-    compute_instrumented(*node.module);
-    node.module->clear_widget_changes();
-    node.fresh_input = false;
+    if (only_changed && !node.fresh_input && !node.module->widgets_changed()) {
+      continue;
+    }
+    fire.push_back(&node);
+  }
+  if (fire.empty()) return;
+  if (obs::enabled()) {
+    obs::Registry::global()
+        .histogram("flow.scheduler.wavefront_width")
+        .record(static_cast<double>(fire.size()));
+  }
+
+  // Compute phase: same-level modules are independent by construction, so
+  // thread-safe ones may run concurrently. Modules opting out via
+  // thread_safe() == false run one at a time afterwards.
+  if (parallel_ && fire.size() >= 2) {
+    std::vector<Module*> concurrent;
+    concurrent.reserve(fire.size());
+    for (Node* node : fire) {
+      if (node->module->thread_safe()) concurrent.push_back(node->module.get());
+    }
+    if (concurrent.size() >= 2) {
+      util::parallel_for(
+          0, concurrent.size(),
+          [&concurrent](std::size_t i) { compute_instrumented(*concurrent[i]); },
+          workers_);
+    } else {
+      for (Module* m : concurrent) compute_instrumented(*m);
+    }
+    for (Node* node : fire) {
+      if (!node->module->thread_safe()) compute_instrumented(*node->module);
+    }
+  } else {
+    for (Node* node : fire) compute_instrumented(*node->module);
+  }
+
+  // Bookkeeping + propagation stay sequential in topo order, so the values
+  // downstream modules observe are exactly the sequential schedule's.
+  for (Node* node : fire) {
+    node->module->clear_widget_changes();
+    node->fresh_input = false;
     ++executions_;
     ++executed;
-    propagate(*node.module);
+    propagate(*node->module);
+  }
+}
+
+int Network::evaluate() {
+  ensure_topology();
+  int executed = 0;
+  for (std::size_t l = 0; l < level_cache_.size(); ++l) {
+    run_level(level_cache_[l], /*only_changed=*/false, executed);
   }
   return executed;
 }
 
 int Network::run_changed() {
+  ensure_topology();
   int executed = 0;
-  for (const std::string& name : topo_order()) {
-    Node& node = nodes_.at(name);
-    if (!node.fresh_input && !node.module->widgets_changed()) continue;
-    compute_instrumented(*node.module);
-    node.module->clear_widget_changes();
-    node.fresh_input = false;
-    ++executions_;
-    ++executed;
-    propagate(*node.module);
+  for (std::size_t l = 0; l < level_cache_.size(); ++l) {
+    run_level(level_cache_[l], /*only_changed=*/true, executed);
   }
   return executed;
 }

@@ -59,6 +59,13 @@ class Network {
   // --- Execution ------------------------------------------------------------
   /// Execute every module once, upstream-first, propagating port values.
   /// Returns the number of modules executed.
+  ///
+  /// Scheduling is by wavefront: modules are grouped into dependency
+  /// levels (longest path from a source) computed from the cached topo
+  /// order; same-level modules have no path between them, so the
+  /// scheduler may run them concurrently (util::parallel_for), then
+  /// propagates the level's outputs sequentially in topo order — the
+  /// observable results are identical to the strict sequential sweep.
   int evaluate();
 
   /// Execute only modules whose widgets changed or that receive fresh
@@ -67,6 +74,19 @@ class Network {
 
   /// Executions performed so far (scheduler metric).
   long executions() const { return executions_; }
+
+  // --- Scheduler knobs ------------------------------------------------------
+  /// Master switch for same-level concurrency (default on). Modules whose
+  /// thread_safe() returns false always run sequentially either way.
+  void set_parallel_evaluation(bool on) { parallel_ = on; }
+  bool parallel_evaluation() const { return parallel_; }
+
+  /// Worker cap for parallel levels; 0 = hardware concurrency.
+  void set_parallel_workers(int workers) { workers_ = workers; }
+
+  /// The dependency levels the wavefront scheduler executes (topo order
+  /// within each level); recomputed lazily after edits.
+  const std::vector<std::vector<std::string>>& wavefronts() const;
 
   // --- Persistence ------------------------------------------------------------
   /// Stable text form: modules, widget values, connections.
@@ -81,7 +101,13 @@ class Network {
     bool fresh_input = false;
   };
 
-  std::vector<std::string> topo_order() const;
+  /// Cached topological order; recomputed only after an edit
+  /// (add/connect/disconnect/remove/clear) invalidated it.
+  const std::vector<std::string>& topo_order() const;
+  void invalidate_topology() { topo_valid_ = false; }
+  void ensure_topology() const;
+  void run_level(const std::vector<std::string>& level, bool only_changed,
+                 int& executed);
   void propagate(Module& module);
   bool reachable(const std::string& from, const std::string& to) const;
 
@@ -89,6 +115,11 @@ class Network {
   std::vector<std::string> insertion_order_;
   std::vector<Connection> connections_;
   long executions_ = 0;
+  bool parallel_ = true;
+  int workers_ = 0;
+  mutable bool topo_valid_ = false;
+  mutable std::vector<std::string> topo_cache_;
+  mutable std::vector<std::vector<std::string>> level_cache_;
 };
 
 }  // namespace npss::flow

@@ -153,6 +153,18 @@ tess::ComponentHooks RemoteBackend::hooks() {
   return hooks;
 }
 
+std::future<uts::ValueList> RemoteBackend::call_async(
+    AdaptedComponent component, int instance, uts::ValueList args) {
+  Instance* inst = find(component, instance);
+  if (!inst) {
+    throw util::LookupError("call_async: " +
+                            std::string(adapted_component_name(component)) +
+                            "[" + std::to_string(instance) +
+                            "] is not placed remotely");
+  }
+  return inst->primary->call_async(std::move(args));
+}
+
 std::string RemoteBackend::move(AdaptedComponent component, int instance,
                                 const std::string& machine,
                                 const std::string& path,

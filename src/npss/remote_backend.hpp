@@ -11,6 +11,7 @@
 // components can be remote, as in the paper's module-by-module tests.
 #pragma once
 
+#include <future>
 #include <map>
 #include <memory>
 #include <string>
@@ -46,6 +47,14 @@ class RemoteBackend {
 
   /// Hooks for EngineModel::set_hooks(): remote where placed, local else.
   tess::ComponentHooks hooks();
+
+  /// Async call seam: fire instance's primary procedure without blocking,
+  /// so calls on *different* placed instances (each owns its client/line)
+  /// overlap on the wire. Args follow the import signature of the placed
+  /// component's primary procedure. Throws util::LookupError when the
+  /// instance is not placed remotely.
+  std::future<uts::ValueList> call_async(AdaptedComponent component,
+                                         int instance, uts::ValueList args);
 
   /// sch_move: migrate a placed instance's process to another machine
   /// (§4.2). Moving any procedure of the process moves its siblings too

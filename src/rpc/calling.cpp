@@ -37,9 +37,12 @@ uts::ValueList CallCore::invoke(const std::string& name,
   obs::Span span("rpc.client", "call " + name);
   const util::SimTime virtual_start = clock ? clock->now() : 0;
   if (cache.address.empty()) bind(name, import_text, cache);
+  if (!cache.request_plan) {
+    cache.request_plan = uts::compile_plan(sig, uts::Direction::kRequest);
+    cache.reply_plan = uts::compile_plan(sig, uts::Direction::kReply);
+  }
 
-  util::Bytes request_blob =
-      uts::marshal(*arch, sig, args, uts::Direction::kRequest);
+  util::Bytes request_blob = cache.request_plan->marshal(*arch, args);
   if (compute) {
     compute(static_cast<double>(request_blob.size()) * kMarshalUsPerByte);
   }
@@ -97,8 +100,7 @@ uts::ValueList CallCore::invoke(const std::string& name,
             .record(static_cast<double>(clock->now() - virtual_start));
       }
     }
-    uts::ValueList results =
-        uts::unmarshal(*arch, sig, reply.blob, uts::Direction::kReply);
+    uts::ValueList results = cache.reply_plan->unmarshal(*arch, reply.blob);
     // Merge: val slots keep the caller's arguments.
     for (std::size_t i = 0; i < sig.size(); ++i) {
       if (!uts::param_travels(sig[i].mode, uts::Direction::kReply)) {
@@ -108,6 +110,21 @@ uts::ValueList CallCore::invoke(const std::string& name,
     return results;
   }
   throw util::CallError("call to '" + name + "' failed after retry");
+}
+
+std::future<uts::ValueList> CallCore::invoke_async(
+    const std::string& name, const uts::ProcDecl& import_decl,
+    const std::string& import_text, uts::ValueList args,
+    BindingCache& cache) const {
+  // std::launch::async: the call must make progress without the caller
+  // blocking on get() — that is the whole point of overlapping.
+  return std::async(
+      std::launch::async,
+      [core = *this, name, import_decl, import_text, args = std::move(args),
+       &cache]() mutable {
+        return core.invoke(name, import_decl, import_text, std::move(args),
+                           cache);
+      });
 }
 
 }  // namespace npss::rpc

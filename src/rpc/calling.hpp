@@ -6,6 +6,8 @@
 #pragma once
 
 #include <functional>
+#include <future>
+#include <memory>
 #include <string>
 
 #include "obs/metrics.hpp"
@@ -13,6 +15,7 @@
 #include "rpc/message.hpp"
 #include "util/clock.hpp"
 #include "uts/canonical.hpp"
+#include "uts/marshal_plan.hpp"
 #include "uts/spec.hpp"
 
 namespace npss::rpc {
@@ -30,6 +33,11 @@ struct BindingCache {
   std::string resolved_name;  ///< exporter-cased name
   obs::Counter lookups;       ///< Manager queries performed
   obs::Counter stale_retries; ///< calls that hit a moved procedure
+  /// Compiled marshal programs for the import signature, filled on the
+  /// first call (or eagerly by RemoteProc) and reused for every
+  /// steady-state call — the §4.1 stub-compiler specialization.
+  std::shared_ptr<const uts::MarshalPlan> request_plan;
+  std::shared_ptr<const uts::MarshalPlan> reply_plan;
 };
 
 struct CallCore {
@@ -51,6 +59,18 @@ struct CallCore {
                         const uts::ProcDecl& import_decl,
                         const std::string& import_text, uts::ValueList args,
                         BindingCache& cache) const;
+
+  /// Asynchronous call seam: runs invoke() on a detached worker so
+  /// independent remote evaluations overlap on the wire. The CallCore is
+  /// captured by value; `cache` must outlive the future. One in-flight
+  /// call per MessageIo endpoint: callers overlap calls across *different*
+  /// lines/clients (each placed component owns its own), never on one —
+  /// reply sequence matching on a shared endpoint is single-caller.
+  std::future<uts::ValueList> invoke_async(const std::string& name,
+                                           const uts::ProcDecl& import_decl,
+                                           const std::string& import_text,
+                                           uts::ValueList args,
+                                           BindingCache& cache) const;
 
   /// Just the bind step (used by benches isolating lookup cost).
   void bind(const std::string& name, const std::string& import_text,

@@ -86,10 +86,7 @@ void SchoonerClient::quit() {
   line_ = kNoLine;
 }
 
-uts::ValueList SchoonerClient::invoke(RemoteProc& proc, uts::ValueList args) {
-  if (line_ == kNoLine) {
-    throw util::ShutdownError("line already quit");
-  }
+CallCore SchoonerClient::call_core() {
   CallCore core;
   core.io = &io_;
   core.manager = manager_;
@@ -100,13 +97,29 @@ uts::ValueList SchoonerClient::invoke(RemoteProc& proc, uts::ValueList args) {
         us / std::max(endpoint_->arch().cpu_speed, 1e-6)));
   };
   core.clock = &endpoint_->clock();
-  return core.invoke(proc.name_, proc.decl_, proc.import_text_,
-                     std::move(args), proc.cache_);
+  return core;
+}
+
+uts::ValueList SchoonerClient::invoke(RemoteProc& proc, uts::ValueList args) {
+  if (line_ == kNoLine) {
+    throw util::ShutdownError("line already quit");
+  }
+  return call_core().invoke(proc.name_, proc.decl_, proc.import_text_,
+                            std::move(args), proc.cache_);
 }
 
 uts::ValueList RemoteProc::call(uts::ValueList args) {
   calls_.add();
   return owner_->invoke(*this, std::move(args));
+}
+
+std::future<uts::ValueList> RemoteProc::call_async(uts::ValueList args) {
+  if (owner_->line_ == kNoLine) {
+    throw util::ShutdownError("line already quit");
+  }
+  calls_.add();
+  return owner_->call_core().invoke_async(name_, decl_, import_text_,
+                                          std::move(args), cache_);
 }
 
 util::SimTime RemoteProc::ping() {

@@ -29,8 +29,20 @@ class RemoteProc {
   /// slots holding the results.
   uts::ValueList call(uts::ValueList args);
 
+  /// Overlapping invoke: the call runs on a worker thread and the caller
+  /// collects the result from the future. The owning client's endpoint
+  /// serves one call at a time, so overlap calls on *different* stubs of
+  /// *different* clients (as the flow executive does for independent
+  /// remote components) — not two async calls on one client.
+  std::future<uts::ValueList> call_async(uts::ValueList args);
+
   const std::string& name() const { return name_; }
   const uts::Signature& signature() const { return decl_.signature; }
+
+  /// The stub's compiled marshal programs (built at import time, the way
+  /// the paper's stub compiler specialized conversion per signature).
+  const uts::MarshalPlan& request_plan() const { return *cache_.request_plan; }
+  const uts::MarshalPlan& reply_plan() const { return *cache_.reply_plan; }
 
   /// Per-stub metrics for the benches (process-wide aggregates live in
   /// the global obs::Registry under rpc.client.*).
@@ -55,7 +67,12 @@ class RemoteProc {
       : owner_(&owner),
         name_(std::move(name)),
         decl_(std::move(decl)),
-        import_text_(std::move(import_text)) {}
+        import_text_(std::move(import_text)) {
+    cache_.request_plan =
+        uts::compile_plan(decl_.signature, uts::Direction::kRequest);
+    cache_.reply_plan =
+        uts::compile_plan(decl_.signature, uts::Direction::kReply);
+  }
 
   SchoonerClient* owner_;
   std::string name_;
@@ -115,6 +132,7 @@ class SchoonerClient {
  private:
   friend class RemoteProc;
   uts::ValueList invoke(RemoteProc& proc, uts::ValueList args);
+  CallCore call_core();
 
   sim::Cluster* cluster_;
   sim::EndpointPtr endpoint_;

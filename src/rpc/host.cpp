@@ -61,7 +61,13 @@ class HostRuntime {
   uts::ValueList call_remote(const std::string& name,
                              const std::string& import_text,
                              uts::ValueList args) {
-    uts::ProcDecl decl = parse_signature_text(import_text);
+    auto decl_it = nested_decls_.find(import_text);
+    if (decl_it == nested_decls_.end()) {
+      decl_it = nested_decls_
+                    .emplace(import_text, parse_signature_text(import_text))
+                    .first;
+    }
+    const uts::ProcDecl& decl = decl_it->second;
     CallCore core;
     core.io = &io_;
     core.manager = manager_;
@@ -77,6 +83,51 @@ class HostRuntime {
     const uts::ProcDecl* decl;
     ProcHandler handler;
   };
+
+  /// Steady-state call state compiled from one caller's import text: the
+  /// parsed import, its type-compat verdict against our export, the
+  /// import->export slot map, and the marshal plans for both directions.
+  /// Keyed per handler so repeated calls skip the whole parse/check path.
+  struct ImportEntry {
+    uts::ProcDecl decl;
+    std::vector<std::size_t> slot_of_import;
+    std::shared_ptr<const uts::MarshalPlan> request_plan;
+    std::shared_ptr<const uts::MarshalPlan> reply_plan;
+  };
+
+  const ImportEntry& import_entry(const HandlerEntry& entry,
+                                  const std::string& proc_name,
+                                  const std::string& import_text) {
+    const std::string key = lower(proc_name) + "\n" + import_text;
+    auto it = import_cache_.find(key);
+    if (it != import_cache_.end()) return it->second;
+
+    // The wire layout follows the caller's import signature, which may
+    // be a subsequence of the export (footnote 1): check compatibility,
+    // then precompute the scatter map import slot -> export slot.
+    ImportEntry ie;
+    ie.decl = parse_signature_text(import_text);
+    const uts::Signature& import_sig = ie.decl.signature;
+    const uts::Signature& export_sig = entry.decl->signature;
+    std::string why =
+        uts::signature_compatibility_error(import_sig, export_sig);
+    if (!why.empty()) {
+      // Incompatible imports are not cached: they are a caller bug, not a
+      // steady-state path.
+      throw util::TypeMismatchError("call to '" + proc_name + "': " + why);
+    }
+    ie.slot_of_import.resize(import_sig.size());
+    std::size_t epos = 0;
+    for (std::size_t i = 0; i < import_sig.size(); ++i) {
+      while (export_sig[epos].name != import_sig[i].name) ++epos;
+      ie.slot_of_import[i] = epos;
+      ++epos;
+    }
+    ie.request_plan =
+        uts::compile_plan(import_sig, uts::Direction::kRequest);
+    ie.reply_plan = uts::compile_plan(import_sig, uts::Direction::kReply);
+    return import_cache_.emplace(key, std::move(ie)).first->second;
+  }
 
   void register_exports() {
     const arch::ArchDescriptor& arch = ctx_.self().arch();
@@ -158,39 +209,22 @@ class HostRuntime {
       const HandlerEntry& entry = it->second;
       const uts::Signature& export_sig = entry.decl->signature;
 
-      // The wire layout follows the caller's import signature, which may
-      // be a subsequence of the export (footnote 1). Unmarshal per the
-      // import, then scatter by name into export-parallel slots.
-      uts::ProcDecl import_decl = parse_signature_text(msg.b);
-      const uts::Signature& import_sig = import_decl.signature;
-      std::string why =
-          uts::signature_compatibility_error(import_sig, export_sig);
-      if (!why.empty()) {
-        throw util::TypeMismatchError("call to '" + msg.a + "': " + why);
-      }
+      // Parse/type-check/plan-compile once per distinct import text; the
+      // steady-state path below runs the compiled plans only.
+      const ImportEntry& ie = import_entry(entry, msg.a, msg.b);
+      const uts::Signature& import_sig = ie.decl.signature;
       const arch::ArchDescriptor& arch = ctx_.self().arch();
       compute(static_cast<double>(msg.blob.size()) * kMarshalUsPerByte);
-      uts::ValueList import_values =
-          uts::unmarshal(arch, import_sig, msg.blob,
-                         uts::Direction::kRequest);
+      uts::ValueList import_values = ie.request_plan->unmarshal(arch, msg.blob);
 
       uts::ValueList values;
       values.reserve(export_sig.size());
       for (const uts::Param& p : export_sig) {
         values.push_back(uts::default_value(p.type));
       }
-      std::vector<std::size_t> slot_of_import(import_sig.size());
-      {
-        std::size_t epos = 0;
-        for (std::size_t i = 0; i < import_sig.size(); ++i) {
-          while (export_sig[epos].name != import_sig[i].name) ++epos;
-          slot_of_import[i] = epos;
-          ++epos;
-        }
-      }
       for (std::size_t i = 0; i < import_sig.size(); ++i) {
         if (uts::param_travels(import_sig[i].mode, uts::Direction::kRequest)) {
-          values[slot_of_import[i]] = std::move(import_values[i]);
+          values[ie.slot_of_import[i]] = std::move(import_values[i]);
         }
       }
 
@@ -204,10 +238,9 @@ class HostRuntime {
       uts::ValueList reply_values;
       reply_values.reserve(import_sig.size());
       for (std::size_t i = 0; i < import_sig.size(); ++i) {
-        reply_values.push_back(call.values()[slot_of_import[i]]);
+        reply_values.push_back(call.values()[ie.slot_of_import[i]]);
       }
-      util::Bytes blob = uts::marshal(arch, import_sig, reply_values,
-                                      uts::Direction::kReply);
+      util::Bytes blob = ie.reply_plan->marshal(arch, reply_values);
       compute(static_cast<double>(blob.size()) * kMarshalUsPerByte);
       Message rep;
       rep.kind = MessageKind::kReply;
@@ -259,6 +292,8 @@ class HostRuntime {
   std::string path_;
   std::map<std::string, HandlerEntry> handlers_;
   std::map<std::string, BindingCache> nested_cache_;
+  std::map<std::string, uts::ProcDecl> nested_decls_;
+  std::map<std::string, ImportEntry> import_cache_;
 };
 
 const uts::Value& ProcCall::arg(std::size_t index) const {

@@ -1,6 +1,7 @@
 #include "solvers/newton.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "util/status.hpp"
 
@@ -43,9 +44,12 @@ NewtonResult run(const ResidualFn& residual, std::vector<double> x,
     }
     std::vector<double> rhs(n);
     for (std::size_t i = 0; i < n; ++i) rhs[i] = -fx[i];
-    std::vector<double> step;
+    // Factor once per iteration and reuse the factorization for the solve
+    // (and for any damped re-solves the line search below performs on the
+    // same step direction).
+    std::optional<LuFactorization> lu;
     try {
-      step = LuFactorization(jac).solve(rhs);
+      lu.emplace(jac);
     } catch (const util::ConvergenceError&) {
       // Singular Jacobian — typically an unknown pinned at a model clamp
       // so its finite-difference column vanished. Regularize the diagonal
@@ -59,8 +63,9 @@ NewtonResult run(const ResidualFn& residual, std::vector<double> x,
       for (std::size_t k = 0; k < n; ++k) {
         jac(k, k) += 1e-4 * scale + 1e-10;
       }
-      step = LuFactorization(jac).solve(rhs);
+      lu.emplace(jac);
     }
+    std::vector<double> step = lu->solve(rhs);
 
     // Backtracking line search on ||F||_inf.
     double lambda = 1.0;

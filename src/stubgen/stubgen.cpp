@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "uts/canonical.hpp"
+#include "uts/marshal_plan.hpp"
 
 namespace npss::stubgen {
 
@@ -142,6 +143,15 @@ std::string stub_class_name(const ProcDecl& decl) {
   return n + "Stub";
 }
 
+/// Render a multi-line plan listing as /// comment lines.
+std::string comment_block(const std::string& text) {
+  std::ostringstream os;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) os << "///   " << line << "\n";
+  return os.str();
+}
+
 std::string escape_string_literal(const std::string& text) {
   std::string out;
   for (char c : text) {
@@ -171,6 +181,16 @@ GeneratedStub generate_client_stub(const ProcDecl& decl) {
   h << "/// Client stub for '" << decl.name << "' — generated by\n"
     << "/// schooner-stubgen from:\n///   "
     << uts::signature_to_string(decl.signature) << "\n";
+  // Bake the compiled marshal plan into the stub's documentation so a
+  // reader sees the exact wire program the call executes.
+  h << "/// Request plan:\n"
+    << comment_block(
+           uts::compile_plan(decl.signature, uts::Direction::kRequest)
+               ->describe())
+    << "/// Reply plan:\n"
+    << comment_block(
+           uts::compile_plan(decl.signature, uts::Direction::kReply)
+               ->describe());
   h << "class " << cls << " {\n public:\n";
   h << "  explicit " << cls << "(npss::rpc::SchoonerClient& client)\n"
     << "      : proc_(client.import_proc(\"" << decl.name << "\",\n"
@@ -220,6 +240,11 @@ GeneratedStub generate_client_stub(const ProcDecl& decl) {
   }
   h << "    return result;\n  }\n\n";
   h << "  npss::rpc::RemoteProc& proc() { return *proc_; }\n\n";
+  h << "  /// The compiled marshal plans the stub's calls execute.\n";
+  h << "  const uts::MarshalPlan& request_plan() const { "
+       "return proc_->request_plan(); }\n";
+  h << "  const uts::MarshalPlan& reply_plan() const { "
+       "return proc_->reply_plan(); }\n\n";
   h << " private:\n  std::unique_ptr<npss::rpc::RemoteProc> proc_;\n};\n";
   stub.header = h.str();
   return stub;

@@ -71,6 +71,9 @@ class ByteWriter {
     raw(data);
   }
 
+  /// Pre-size the buffer (compiled marshal plans know the wire size).
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
   std::size_t size() const noexcept { return buf_.size(); }
   const Bytes& bytes() const& noexcept { return buf_; }
   Bytes take() && { return std::move(buf_); }

@@ -2,11 +2,15 @@
 // algorithm encapsulated inside one Schooner procedure (e.g. PVM on a
 // workstation cluster, or a node program on the i860/CM-5); this is the
 // in-process equivalent those simulated "parallel machine" procedures use
-// for their inner loops.
+// for their inner loops. The flow executive's wavefront scheduler also
+// runs same-level modules through it.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -15,6 +19,10 @@ namespace npss::util {
 /// Invoke fn(begin..end) across up to `threads` workers in contiguous
 /// chunks; joins before returning. `threads` <= 0 means hardware
 /// concurrency. Safe for any fn without cross-iteration dependencies.
+/// If a worker throws, the first exception is captured and rethrown on
+/// the calling thread after all workers join (an exception escaping a
+/// jthread body would std::terminate); remaining workers stop at their
+/// next chunk boundary.
 inline void parallel_for(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t)>& fn,
                          int threads = 0) {
@@ -28,17 +36,32 @@ inline void parallel_for(std::size_t begin, std::size_t end,
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  std::vector<std::jthread> pool;
-  pool.reserve(workers);
-  const std::size_t chunk = (count + workers - 1) / workers;
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t lo = begin + w * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    pool.emplace_back([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    });
-  }
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::atomic<bool> failed{false};
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    const std::size_t chunk = (count + workers - 1) / workers;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t lo = begin + w * chunk;
+      const std::size_t hi = std::min(end, lo + chunk);
+      if (lo >= hi) break;
+      pool.emplace_back([lo, hi, &fn, &first_error, &error_mu, &failed] {
+        try {
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (failed.load(std::memory_order_relaxed)) return;
+            fn(i);
+          }
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          std::lock_guard lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+  }  // jthread join
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace npss::util

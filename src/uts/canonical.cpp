@@ -12,23 +12,13 @@ using util::ByteWriter;
 using util::Bytes;
 using util::RangeError;
 
-namespace {
+namespace detail {
 
-// Pass a host double through an architecture's native float format: the
-// value the wire sees is the value the machine actually held.
 double quantize(const ArchDescriptor& arch, FloatFormatKind format,
                 double value) {
   Bytes native = arch::float_encode(format, value);
   (void)arch;
   return arch::float_decode(format, native);
-}
-
-double quantize_single(const ArchDescriptor& arch, double value) {
-  return quantize(arch, arch.float_single, value);
-}
-
-double quantize_double(const ArchDescriptor& arch, double value) {
-  return quantize(arch, arch.float_double, value);
 }
 
 std::int32_t to_canonical_integer(const ArchDescriptor& arch,
@@ -42,6 +32,21 @@ std::int32_t to_canonical_integer(const ArchDescriptor& arch,
                      " exceeds the UTS 32-bit canonical integer range");
   }
   return static_cast<std::int32_t>(value);
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::quantize;
+using detail::to_canonical_integer;
+
+double quantize_single(const ArchDescriptor& arch, double value) {
+  return quantize(arch, arch.float_single, value);
+}
+
+double quantize_double(const ArchDescriptor& arch, double value) {
+  return quantize(arch, arch.float_double, value);
 }
 
 }  // namespace

@@ -67,4 +67,22 @@ std::size_t batch_size(const Signature& signature, const ValueList& values,
 double conversion_epsilon(const arch::ArchDescriptor& source,
                           const arch::ArchDescriptor& target, const Type& type);
 
+namespace detail {
+
+// Shared between the interpreted codec above and the compiled MarshalPlan
+// slow path (marshal_plan.hpp), so both produce bit-identical wire bytes
+// and identical RangeError text on non-IEEE architectures.
+
+/// Pass a host double through an architecture's native float format: the
+/// value the wire sees is the value the machine actually held.
+double quantize(const arch::ArchDescriptor& arch, arch::FloatFormatKind format,
+                double value);
+
+/// Narrow to the UTS 32-bit canonical integer; RangeError (naming the arch)
+/// when the native value exceeds it.
+std::int32_t to_canonical_integer(const arch::ArchDescriptor& arch,
+                                  std::int64_t value);
+
+}  // namespace detail
+
 }  // namespace npss::uts

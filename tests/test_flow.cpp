@@ -3,6 +3,10 @@
 // (full and incremental), and the saved-network text format.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "flow/basic_modules.hpp"
 #include "flow/network.hpp"
 
@@ -251,6 +255,143 @@ TEST(Network, CsvTraceCollectsRows) {
   EXPECT_EQ(trace.row_count(), 2u);
   EXPECT_NE(trace.csv().find("thrust,t4"), std::string::npos);
   EXPECT_NE(trace.csv().find("100,1600"), std::string::npos);
+}
+
+// --- Wavefront scheduler ---------------------------------------------------------
+
+/// Doubler that records how many computes overlap in time, so tests can
+/// assert whether the scheduler ran it concurrently with its peers.
+class OverlapProbe final : public Module {
+ public:
+  OverlapProbe(std::atomic<int>& live, std::atomic<int>& peak, bool safe)
+      : live_(&live), peak_(&peak), safe_(safe) {}
+  std::string type_name() const override { return "overlap-probe"; }
+  bool thread_safe() const override { return safe_; }
+  void spec(ModuleSpec& spec) override {
+    spec.input("in", uts::Type::real_double());
+    spec.output("out", uts::Type::real_double());
+  }
+  void compute() override {
+    int now = ++*live_;
+    int prev = peak_->load();
+    while (now > prev && !peak_->compare_exchange_weak(prev, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    --*live_;
+    out_real("out", has_in("in") ? in_real("in") + 1.0 : 1.0);
+  }
+
+ private:
+  std::atomic<int>* live_;
+  std::atomic<int>* peak_;
+  bool safe_;
+};
+
+TEST(Wavefront, LevelsGroupIndependentModules) {
+  register_basic_modules();
+  Network net;
+  net.add("src", "constant");
+  net.add("d1", std::make_unique<DoublerModule>());
+  net.add("d2", std::make_unique<DoublerModule>());
+  net.add("join", std::make_unique<DoublerModule>());
+  net.connect("src", "out", "d1", "in");
+  net.connect("src", "out", "d2", "in");
+  net.connect("d1", "out", "join", "in");
+
+  const auto& levels = net.wavefronts();
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0], std::vector<std::string>{"src"});
+  EXPECT_EQ(levels[1], (std::vector<std::string>{"d1", "d2"}));
+  EXPECT_EQ(levels[2], std::vector<std::string>{"join"});
+
+  // Editing invalidates the cached topology.
+  net.add("late", std::make_unique<DoublerModule>());
+  net.connect("d2", "out", "late", "in");
+  EXPECT_EQ(net.wavefronts()[2],
+            (std::vector<std::string>{"join", "late"}));
+}
+
+TEST(Wavefront, ParallelAndSequentialAgree) {
+  register_basic_modules();
+  auto build = [](Network& net) {
+    net.add("src", "constant");
+    for (int i = 0; i < 4; ++i) {
+      std::string name = "d" + std::to_string(i);
+      net.add(name, std::make_unique<DoublerModule>());
+      net.connect("src", "out", name, "in");
+      net.add(name + "s", std::make_unique<MonitorModule>());
+      net.connect(name, "out", name + "s", "in");
+    }
+    net.module("src").widget("value").set_real(21.0);
+  };
+  Network par, seq;
+  build(par);
+  build(seq);
+  seq.set_parallel_evaluation(false);
+  EXPECT_EQ(par.evaluate(), seq.evaluate());
+  for (int i = 0; i < 4; ++i) {
+    std::string sink = "d" + std::to_string(i) + "s";
+    EXPECT_DOUBLE_EQ(
+        static_cast<MonitorModule&>(par.module(sink)).last(),
+        static_cast<MonitorModule&>(seq.module(sink)).last());
+  }
+}
+
+TEST(Wavefront, SameLevelModulesRunConcurrently) {
+  std::atomic<int> live{0}, peak{0};
+  Network net;
+  // Pin the worker count: on a single-core host hardware_concurrency()
+  // is 1 and the level would legitimately run sequentially.
+  net.set_parallel_workers(4);
+  for (int i = 0; i < 4; ++i) {
+    net.add("p" + std::to_string(i),
+            std::make_unique<OverlapProbe>(live, peak, /*safe=*/true));
+  }
+  net.evaluate();
+  EXPECT_GE(peak.load(), 2) << "independent modules never overlapped";
+}
+
+TEST(Wavefront, ThreadSafeOptOutForcesSequential) {
+  std::atomic<int> live{0}, peak{0};
+  Network net;
+  for (int i = 0; i < 4; ++i) {
+    net.add("p" + std::to_string(i),
+            std::make_unique<OverlapProbe>(live, peak, /*safe=*/false));
+  }
+  EXPECT_EQ(net.evaluate(), 4);
+  EXPECT_EQ(peak.load(), 1) << "opted-out modules ran concurrently";
+}
+
+TEST(Wavefront, ParallelSwitchOffForcesSequential) {
+  std::atomic<int> live{0}, peak{0};
+  Network net;
+  net.set_parallel_evaluation(false);
+  EXPECT_FALSE(net.parallel_evaluation());
+  for (int i = 0; i < 4; ++i) {
+    net.add("p" + std::to_string(i),
+            std::make_unique<OverlapProbe>(live, peak, /*safe=*/true));
+  }
+  EXPECT_EQ(net.evaluate(), 4);
+  EXPECT_EQ(peak.load(), 1);
+}
+
+TEST(Wavefront, RunChangedStillSkipsQuietBranches) {
+  register_basic_modules();
+  Network net;
+  net.add("a", "constant");
+  net.add("b", "constant");
+  auto& da = static_cast<DoublerModule&>(
+      net.add("da", std::make_unique<DoublerModule>()));
+  auto& db = static_cast<DoublerModule&>(
+      net.add("db", std::make_unique<DoublerModule>()));
+  net.connect("a", "out", "da", "in");
+  net.connect("b", "out", "db", "in");
+  net.evaluate();
+  da.computes = db.computes = 0;
+  net.module("a").widget("value").set_real(2.0);
+  EXPECT_EQ(net.run_changed(), 2);
+  EXPECT_EQ(da.computes, 1);
+  EXPECT_EQ(db.computes, 0);
 }
 
 TEST(Module, PortAccessErrors) {

@@ -1,0 +1,376 @@
+// Differential tests for the compiled MarshalPlan: the plan path must be
+// byte-identical to the interpreted uts::marshal/unmarshal across every
+// simulated architecture, both directions, all type shapes — including
+// which errors are raised and with what text (§4.1's out-of-range policy
+// must survive the fast path).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "uts/canonical.hpp"
+#include "uts/marshal_plan.hpp"
+#include "uts/types.hpp"
+#include "uts/value.hpp"
+
+namespace npss::uts {
+namespace {
+
+using arch::arch_catalog;
+
+const char* kArchNames[] = {"sun-sparc10", "cray-ymp", "intel-i860",
+                            "ibm-370", "ibm-rs6000"};
+
+// --- outcome capture -------------------------------------------------------
+
+struct MarshalOutcome {
+  bool ok = false;
+  util::Bytes bytes;
+  util::ErrorCode code = util::ErrorCode::kUnknown;
+  std::string what;
+};
+
+struct UnmarshalOutcome {
+  bool ok = false;
+  ValueList values;
+  util::ErrorCode code = util::ErrorCode::kUnknown;
+  std::string what;
+};
+
+template <typename Fn>
+MarshalOutcome try_marshal(Fn&& fn) {
+  MarshalOutcome out;
+  try {
+    out.bytes = fn();
+    out.ok = true;
+  } catch (const util::Error& e) {
+    out.code = e.code();
+    out.what = e.what();
+  }
+  return out;
+}
+
+template <typename Fn>
+UnmarshalOutcome try_unmarshal(Fn&& fn) {
+  UnmarshalOutcome out;
+  try {
+    out.values = fn();
+    out.ok = true;
+  } catch (const util::Error& e) {
+    out.code = e.code();
+    out.what = e.what();
+  }
+  return out;
+}
+
+/// Assert the plan path and the interpreted path agree in full: success or
+/// failure, wire bytes, decoded values, error code and error text.
+void expect_parity(const arch::ArchDescriptor& source, const Signature& sig,
+                   const ValueList& values, Direction dir,
+                   const std::string& context) {
+  const MarshalPlan plan(sig, dir);
+  MarshalOutcome ref =
+      try_marshal([&] { return marshal(source, sig, values, dir); });
+  MarshalOutcome got =
+      try_marshal([&] { return plan.marshal(source, values); });
+  ASSERT_EQ(ref.ok, got.ok) << context << " marshal on " << source.name
+                            << ": interpreted said '" << ref.what
+                            << "', plan said '" << got.what << "'";
+  if (!ref.ok) {
+    EXPECT_EQ(ref.code, got.code) << context;
+    EXPECT_EQ(ref.what, got.what) << context;
+    return;
+  }
+  EXPECT_EQ(ref.bytes, got.bytes)
+      << context << " wire bytes differ on " << source.name;
+
+  for (const char* target_name : kArchNames) {
+    const arch::ArchDescriptor& target = arch_catalog(target_name);
+    UnmarshalOutcome uref = try_unmarshal(
+        [&] { return unmarshal(target, sig, ref.bytes, dir); });
+    UnmarshalOutcome ugot =
+        try_unmarshal([&] { return plan.unmarshal(target, ref.bytes); });
+    ASSERT_EQ(uref.ok, ugot.ok)
+        << context << " unmarshal on " << target.name << ": interpreted '"
+        << uref.what << "', plan '" << ugot.what << "'";
+    if (!uref.ok) {
+      EXPECT_EQ(uref.code, ugot.code) << context << " on " << target.name;
+      EXPECT_EQ(uref.what, ugot.what) << context << " on " << target.name;
+      continue;
+    }
+    ASSERT_EQ(uref.values.size(), ugot.values.size()) << context;
+    for (std::size_t i = 0; i < uref.values.size(); ++i) {
+      EXPECT_TRUE(uref.values[i] == ugot.values[i])
+          << context << " param " << i << " decoded differently on "
+          << target.name;
+    }
+  }
+}
+
+// --- signature shapes ------------------------------------------------------
+
+Type station_record() {
+  return Type::record({{"x", Type::real_double()},
+                       {"f", Type::floating()},
+                       {"n", Type::integer()},
+                       {"b", Type::byte()},
+                       {"s", Type::string()}});
+}
+
+std::vector<Signature> shape_catalog() {
+  return {
+      // All scalar kinds across all three modes.
+      {{"d", ParamMode::kVal, Type::real_double()},
+       {"f", ParamMode::kVar, Type::floating()},
+       {"n", ParamMode::kVal, Type::integer()},
+       {"b", ParamMode::kVar, Type::byte()},
+       {"r", ParamMode::kRes, Type::real_double()},
+       {"s", ParamMode::kVal, Type::string()}},
+      // Arrays of every scalar kind.
+      {{"ad", ParamMode::kVal, Type::array(8, Type::real_double())},
+       {"af", ParamMode::kVar, Type::array(5, Type::floating())},
+       {"an", ParamMode::kRes, Type::array(4, Type::integer())},
+       {"ab", ParamMode::kVal, Type::array(6, Type::byte())},
+       {"as", ParamMode::kVal, Type::array(3, Type::string())}},
+      // Records, including strings inside.
+      {{"rec", ParamMode::kVar, station_record()},
+       {"tail", ParamMode::kVal, Type::real_double()}},
+      // Nesting both ways: array of record, record holding an array.
+      {{"aor", ParamMode::kVal, Type::array(3, station_record())},
+       {"roa",
+        ParamMode::kRes,
+        Type::record({{"st", Type::array(4, Type::real_double())},
+                      {"tag", Type::string()}})}},
+      // The shape the engine actually ships (shaft/duct style).
+      {{"st", ParamMode::kVal, Type::array(4, Type::real_double())},
+       {"dp", ParamMode::kVal, Type::real_double()},
+       {"out", ParamMode::kRes, Type::array(4, Type::real_double())}},
+  };
+}
+
+// --- random values ---------------------------------------------------------
+
+/// Draw a value of `type` whose magnitudes fit every architecture's native
+/// range, so the fuzz mostly exercises the success path. (NaN is excluded:
+/// Value equality is variant equality, and NaN breaks it. NaN wire parity
+/// is covered byte-wise in FastPathPreservesDoubleBits.)
+Value random_value(std::mt19937& rng, const Type& type) {
+  switch (type.kind()) {
+    case TypeKind::kDouble:
+    case TypeKind::kFloat: {
+      std::uniform_real_distribution<double> mant(-1.0, 1.0);
+      std::uniform_int_distribution<int> exp(-8, 8);
+      return Value::real(mant(rng) * std::pow(10.0, exp(rng)));
+    }
+    case TypeKind::kInteger: {
+      std::uniform_int_distribution<std::int64_t> d(-2000000000, 2000000000);
+      return Value::integer(d(rng));
+    }
+    case TypeKind::kByte: {
+      std::uniform_int_distribution<int> d(0, 255);
+      return Value::byte(static_cast<std::uint8_t>(d(rng)));
+    }
+    case TypeKind::kString: {
+      std::uniform_int_distribution<int> len(0, 12);
+      std::uniform_int_distribution<int> ch('a', 'z');
+      std::string s;
+      int n = len(rng);
+      for (int i = 0; i < n; ++i) s.push_back(static_cast<char>(ch(rng)));
+      return Value::str(std::move(s));
+    }
+    case TypeKind::kArray: {
+      ValueList items;
+      items.reserve(type.array_size());
+      for (std::size_t i = 0; i < type.array_size(); ++i) {
+        items.push_back(random_value(rng, type.element()));
+      }
+      return Value::array(std::move(items));
+    }
+    case TypeKind::kRecord: {
+      ValueList fields;
+      for (const Field& f : type.fields()) {
+        fields.push_back(random_value(rng, *f.type));
+      }
+      return Value::record(std::move(fields));
+    }
+  }
+  return Value();
+}
+
+ValueList random_values(std::mt19937& rng, const Signature& sig) {
+  ValueList values;
+  values.reserve(sig.size());
+  for (const Param& p : sig) values.push_back(random_value(rng, p.type));
+  return values;
+}
+
+// --- the differential fuzz -------------------------------------------------
+
+TEST(MarshalPlanParity, FuzzAllArchsShapesDirections) {
+  std::mt19937 rng(0x5eed2u);
+  const std::vector<Signature> shapes = shape_catalog();
+  for (int iter = 0; iter < 200; ++iter) {
+    const Signature& sig = shapes[iter % shapes.size()];
+    const arch::ArchDescriptor& source =
+        arch_catalog(kArchNames[iter % std::size(kArchNames)]);
+    ValueList values = random_values(rng, sig);
+    for (Direction dir : {Direction::kRequest, Direction::kReply}) {
+      expect_parity(source, sig, values, dir,
+                    "iter " + std::to_string(iter));
+    }
+  }
+}
+
+// --- error parity ----------------------------------------------------------
+
+TEST(MarshalPlanParity, Binary32OverflowMatchesOnEveryArch) {
+  // 1e39 fits binary64 (and the Cray word) but not a canonical binary32 —
+  // the fast path must raise the identical RangeError the interpreted
+  // encoder does, on IEEE and non-IEEE architectures alike.
+  Signature sig = {{"x", ParamMode::kVal, Type::floating()}};
+  for (const char* name : kArchNames) {
+    expect_parity(arch_catalog(name), sig, {Value::real(1e39)},
+                  Direction::kRequest, std::string("f32 overflow on ") + name);
+  }
+}
+
+TEST(MarshalPlanParity, WideIntegerOverflowMatches) {
+  Signature sig = {{"bigint", ParamMode::kVal, Type::integer()}};
+  for (const char* name : {"cray-ymp", "sun-sparc10"}) {
+    expect_parity(arch_catalog(name), sig, {Value::integer(1ll << 40)},
+                  Direction::kRequest, std::string("i64 overflow on ") + name);
+  }
+}
+
+TEST(MarshalPlanParity, TargetFormatOverflowOnDecodeMatches) {
+  // 1e80 marshals fine from the Sparc; an IBM/370 target cannot hold it.
+  // expect_parity decodes on every catalog arch, ibm-370 included, so this
+  // covers the decode-side RangeError parity.
+  Signature sig = {{"x", ParamMode::kVal, Type::real_double()}};
+  expect_parity(arch_catalog("sun-sparc10"), sig, {Value::real(1e80)},
+                Direction::kRequest, "1e80 to ibm-370");
+}
+
+TEST(MarshalPlanParity, TypeMismatchAndCountErrorsMatch) {
+  Signature sig = {{"a", ParamMode::kVal, Type::array(4, Type::floating())}};
+  const arch::ArchDescriptor& sparc = arch_catalog("sun-sparc10");
+  // Wrong arity.
+  expect_parity(sparc, sig, {Value::real(1), Value::real(2)},
+                Direction::kRequest, "wrong value count");
+  // Wrong element count inside a composite.
+  expect_parity(sparc, sig, {Value::real_array({1.0, 2.0})},
+                Direction::kRequest, "short array");
+  // Wrong leaf kind inside a composite (path-qualified message).
+  expect_parity(
+      sparc, sig,
+      {Value::array({Value::real(1), Value::str("x"), Value::real(3),
+                     Value::real(4)})},
+      Direction::kRequest, "string in float array");
+}
+
+TEST(MarshalPlanParity, TruncatedAndTrailingBytesMatch) {
+  Signature sig = {{"x", ParamMode::kVal, Type::real_double()},
+                   {"s", ParamMode::kVal, Type::string()}};
+  const arch::ArchDescriptor& sparc = arch_catalog("sun-sparc10");
+  const MarshalPlan plan(sig, Direction::kRequest);
+  util::Bytes wire = plan.marshal(
+      sparc, {Value::real(2.5), Value::str("engine")});
+
+  for (std::size_t cut : {0u, 3u, 8u, 11u}) {
+    std::span<const std::uint8_t> part(wire.data(), cut);
+    UnmarshalOutcome ref = try_unmarshal(
+        [&] { return unmarshal(sparc, sig, part, Direction::kRequest); });
+    UnmarshalOutcome got =
+        try_unmarshal([&] { return plan.unmarshal(sparc, part); });
+    ASSERT_FALSE(ref.ok) << "cut " << cut;
+    ASSERT_FALSE(got.ok) << "cut " << cut;
+    EXPECT_EQ(ref.code, got.code) << "cut " << cut;
+    EXPECT_EQ(ref.what, got.what) << "cut " << cut;
+  }
+
+  util::Bytes padded = wire;
+  padded.push_back(0);
+  UnmarshalOutcome ref = try_unmarshal(
+      [&] { return unmarshal(sparc, sig, padded, Direction::kRequest); });
+  UnmarshalOutcome got =
+      try_unmarshal([&] { return plan.unmarshal(sparc, padded); });
+  ASSERT_FALSE(ref.ok);
+  ASSERT_FALSE(got.ok);
+  EXPECT_EQ(ref.code, got.code);
+  EXPECT_EQ(ref.what, got.what);
+}
+
+// --- fast-path specifics ---------------------------------------------------
+
+TEST(MarshalPlan, SameRepresentationPredicate) {
+  EXPECT_TRUE(MarshalPlan::same_representation(arch_catalog("sun-sparc10")));
+  EXPECT_TRUE(MarshalPlan::same_representation(arch_catalog("intel-i860")));
+  EXPECT_TRUE(MarshalPlan::same_representation(arch_catalog("ibm-rs6000")));
+  EXPECT_FALSE(MarshalPlan::same_representation(arch_catalog("cray-ymp")));
+  EXPECT_FALSE(MarshalPlan::same_representation(arch_catalog("ibm-370")));
+}
+
+TEST(MarshalPlan, FastPathPreservesDoubleBits) {
+  // The binary64 fast path is a raw bit move: NaN payloads, signed zero
+  // and denormals must cross the wire bit-exactly — compare wire bytes
+  // against the interpreted encoder (Value equality can't express NaN).
+  Signature sig = {{"x", ParamMode::kVal, Type::real_double()}};
+  const arch::ArchDescriptor& sparc = arch_catalog("sun-sparc10");
+  const MarshalPlan plan(sig, Direction::kRequest);
+  for (double v : {std::nan("1"), -0.0, 5e-324,
+                   std::numeric_limits<double>::infinity(), 1.0 / 3.0}) {
+    util::Bytes ref = marshal(sparc, sig, {Value::real(v)},
+                              Direction::kRequest);
+    util::Bytes got = plan.marshal(sparc, {Value::real(v)});
+    EXPECT_EQ(ref, got) << "value " << v;
+  }
+}
+
+TEST(MarshalPlan, PlanShapeAndCache) {
+  Signature sig = {{"st", ParamMode::kVal, Type::array(4, Type::real_double())},
+                   {"dp", ParamMode::kVal, Type::real_double()},
+                   {"out", ParamMode::kRes, Type::array(4, Type::real_double())}};
+  MarshalPlan req(sig, Direction::kRequest);
+  EXPECT_TRUE(req.fixed_size());
+  EXPECT_EQ(req.fixed_wire_bytes(), 40u);  // 4 doubles + 1 double
+  EXPECT_FALSE(req.describe().empty());
+
+  // Strings break fixed sizing.
+  MarshalPlan var({{"s", ParamMode::kVal, Type::string()}},
+                  Direction::kRequest);
+  EXPECT_FALSE(var.fixed_size());
+
+  // compile_plan caches per (signature, direction).
+  auto a = compile_plan(sig, Direction::kRequest);
+  auto b = compile_plan(sig, Direction::kRequest);
+  auto c = compile_plan(sig, Direction::kReply);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST(MarshalPlan, ObsCountersTrackPathChoice) {
+  Signature sig = {{"st", ParamMode::kVal, Type::array(4, Type::real_double())}};
+  ValueList values = {Value::real_array({1, 2, 3, 4})};
+  const MarshalPlan plan(sig, Direction::kRequest);
+  obs::Registry& reg = obs::Registry::global();
+  obs::set_enabled(true);
+
+  std::uint64_t fast0 = reg.counter("uts.marshal.fast_path_hits").value();
+  std::uint64_t slow0 = reg.counter("uts.marshal.fallback_hits").value();
+
+  util::Bytes wire = plan.marshal(arch_catalog("sun-sparc10"), values);
+  (void)plan.unmarshal(arch_catalog("sun-sparc10"), wire);
+  EXPECT_EQ(reg.counter("uts.marshal.fast_path_hits").value(), fast0 + 2);
+  EXPECT_EQ(reg.counter("uts.marshal.fallback_hits").value(), slow0);
+
+  (void)plan.marshal(arch_catalog("cray-ymp"), values);
+  EXPECT_EQ(reg.counter("uts.marshal.fallback_hits").value(), slow0 + 1);
+  EXPECT_EQ(reg.counter("uts.marshal.fast_path_hits").value(), fast0 + 2);
+}
+
+}  // namespace
+}  // namespace npss::uts

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <future>
 
 #include "npss/procedures.hpp"
 #include "npss/remote_backend.hpp"
@@ -203,6 +204,45 @@ TEST_F(NpssIntegrationTest, MigrationMidTransientKeepsResultsCorrect) {
   EXPECT_NEAR(second.history.back().performance.speeds[0] /
                   ltr.history.back().performance.speeds[0],
               1.0, 2e-3);
+}
+
+TEST_F(NpssIntegrationTest, AsyncCallsOverlapAcrossInstancesAndMatchSync) {
+  // Two duct instances on two machines, each with its own client/line:
+  // call_async may overlap them on the wire, and the results must equal
+  // the synchronous path's exactly (same compiled plans both ways).
+  RemoteBackend backend(*system_, "sparc-ua");
+  backend.place(AdaptedComponent::kDuct, 0, {"sparc-lerc", ""});
+  backend.place(AdaptedComponent::kDuct, 1, {"rs6000-lerc", ""});
+
+  const uts::ValueList args0 = {
+      uts::Value::real_array({102.0, 288.15, 101325.0, 20.0}),
+      uts::Value::real(0.02), uts::Value::real_array({0, 0, 0, 0})};
+  const uts::ValueList args1 = {
+      uts::Value::real_array({95.0, 600.0, 250000.0, 20.0}),
+      uts::Value::real(0.05), uts::Value::real_array({0, 0, 0, 0})};
+
+  std::future<uts::ValueList> f0 =
+      backend.call_async(AdaptedComponent::kDuct, 0, args0);
+  std::future<uts::ValueList> f1 =
+      backend.call_async(AdaptedComponent::kDuct, 1, args1);
+  uts::ValueList r0 = f0.get();
+  uts::ValueList r1 = f1.get();
+
+  tess::ComponentHooks hooks = backend.hooks();
+  tess::StationArray s0 =
+      hooks.duct(0, {102.0, 288.15, 101325.0, 20.0}, 0.02);
+  tess::StationArray s1 = hooks.duct(1, {95.0, 600.0, 250000.0, 20.0}, 0.05);
+  std::vector<double> a0 = r0[2].as_real_vector();
+  std::vector<double> a1 = r1[2].as_real_vector();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(a0[i], s0[i]) << "duct[0] station " << i;
+    EXPECT_DOUBLE_EQ(a1[i], s1[i]) << "duct[1] station " << i;
+  }
+
+  // Unplaced instances have no line to fire on.
+  EXPECT_THROW(
+      (void)backend.call_async(AdaptedComponent::kNozzle, 0, args0),
+      util::LookupError);
 }
 
 }  // namespace

@@ -5,8 +5,11 @@
 
 #include <thread>
 
+#include <atomic>
+
 #include "util/bytes.hpp"
 #include "util/clock.hpp"
+#include "util/parallel.hpp"
 #include "util/queue.hpp"
 #include "util/status.hpp"
 
@@ -137,6 +140,46 @@ TEST(Status, ErrorsCarryCodeAndCategory) {
   EXPECT_EQ(e.code(), ErrorCode::kRangeError);
   EXPECT_NE(std::string(e.what()).find("range-error"), std::string::npos);
   EXPECT_NE(std::string(e.what()).find("too big"), std::string::npos);
+}
+
+TEST(Parallel, CoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; }, 4);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Parallel, WorkerExceptionRethrownOnCaller) {
+  // Regression: an exception escaping a worker used to unwind out of the
+  // std::jthread body and std::terminate the process. It must instead be
+  // rethrown on the joining thread.
+  EXPECT_THROW(
+      parallel_for(
+          0, 64,
+          [](std::size_t i) {
+            if (i == 17) throw RangeError("boom at 17");
+          },
+          4),
+      RangeError);
+}
+
+TEST(Parallel, ExceptionStopsRemainingWork) {
+  std::atomic<int> ran{0};
+  try {
+    parallel_for(
+        0, 100000,
+        [&](std::size_t) {
+          ++ran;
+          throw ModelError("fail fast");
+        },
+        4);
+    FAIL() << "expected ModelError";
+  } catch (const ModelError&) {
+  }
+  // Each worker stops at its next iteration once a failure is flagged, so
+  // only a small fraction of the range runs.
+  EXPECT_LT(ran.load(), 100000);
 }
 
 TEST(Status, RaiseErrorRestoresConcreteType) {
