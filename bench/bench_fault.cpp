@@ -1,0 +1,185 @@
+// Fault-tolerant call path under injected wan loss.
+//
+// Sweeps the drop rate on the internet-wan link and measures, for a
+// retrying idempotent duct caller at UA against a LeRC server, the
+// availability (fraction of calls that complete within the deadline) and
+// the added virtual latency paid for retries — the curves the CallOptions
+// defaults were tuned against. A second section crashes the server
+// mid-run and records the migration-based failover. Writes
+// BENCH_fault.json next to the binary.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/testbed.hpp"
+#include "rpc/client.hpp"
+#include "uts/value.hpp"
+
+namespace npss::bench {
+namespace {
+
+using rpc::CallOptions;
+using rpc::CallResult;
+using uts::Value;
+
+constexpr int kCallsPerPoint = 200;
+
+CallOptions sweep_options() {
+  CallOptions opts;
+  opts.deadline_us = 10'000'000;  // 10 s of virtual time per call
+  opts.max_attempts = 5;
+  opts.idempotent = true;  // duct is pure
+  opts.host_grace_ms = 25;
+  return opts;
+}
+
+Value station_in() {
+  return Value::real_array({102.0, 288.15, 101325.0, 20.0});
+}
+
+struct SweepPoint {
+  double loss = 0.0;
+  int ok = 0;
+  int retried = 0;
+  double mean_attempts = 0.0;
+  double mean_virtual_us = 0.0;
+  std::uint64_t dropped = 0;
+};
+
+SweepPoint run_point(double loss) {
+  Testbed bed;
+  auto client = bed.schooner->make_client("sparc-ua", "fault-sweep");
+  client->contact_schx("sgi480-lerc", glue::kDuctPath);
+  auto duct = client->import_proc("duct", glue::duct_import_spec());
+
+  // Faults go live after the spawn handshake so setup cannot be dropped.
+  if (loss > 0.0) {
+    bed.cluster.set_fault_seed(1993);
+    sim::FaultSpec spec;
+    spec.drop_rate = loss;
+    bed.cluster.set_link_faults("internet-wan", spec);
+  }
+
+  SweepPoint point;
+  point.loss = loss;
+  long attempts = 0;
+  long virtual_us = 0;
+  CallOptions opts = sweep_options();
+  for (int i = 0; i < kCallsPerPoint; ++i) {
+    CallResult r = duct->call(
+        {station_in(), Value::real(0.02), station_in()}, opts);
+    if (r.ok()) ++point.ok;
+    if (r.attempt_count() > 1) ++point.retried;
+    attempts += r.attempt_count();
+    virtual_us += r.virtual_us;
+  }
+  point.mean_attempts = double(attempts) / kCallsPerPoint;
+  point.mean_virtual_us = double(virtual_us) / kCallsPerPoint;
+  point.dropped = bed.cluster.fault_stats().dropped;
+  bed.cluster.clear_faults();
+  client->quit();
+  return point;
+}
+
+struct FailoverResult {
+  bool recovered = false;
+  bool failed_over = false;
+  int attempts = 0;
+  int post_failover_attempts = 0;
+};
+
+FailoverResult run_failover() {
+  Testbed bed;
+  auto client = bed.schooner->make_client("sparc-ua", "fault-failover");
+  rpc::StartResult started =
+      client->contact_schx("sgi480-lerc", glue::kDuctPath);
+  auto duct = client->import_proc("duct", glue::duct_import_spec());
+
+  CallOptions opts = sweep_options();
+  opts.failover_machine = "sgi420-lerc";
+  uts::ValueList args = {station_in(), Value::real(0.02), station_in()};
+  (void)duct->call(args, opts);  // warm binding against the doomed server
+
+  bed.cluster.crash_process(started.address);
+
+  FailoverResult out;
+  CallResult r = duct->call(args, opts);
+  out.recovered = r.ok();
+  out.failed_over = r.failed_over;
+  out.attempts = r.attempt_count();
+  CallResult again = duct->call(args, opts);
+  out.post_failover_attempts = again.attempt_count();
+  client->quit();
+  return out;
+}
+
+}  // namespace
+}  // namespace npss::bench
+
+int main() {
+  using namespace npss::bench;
+
+  const std::vector<double> losses = {0.0, 0.01, 0.02, 0.05, 0.10, 0.20};
+  std::vector<SweepPoint> points;
+  print_header("Availability and added latency vs injected wan loss "
+               "(duct @ sgi480-lerc from sparc-ua, " +
+               std::to_string(kCallsPerPoint) + " calls/point)");
+  std::printf("%8s %12s %10s %14s %16s %18s %10s\n", "loss", "avail",
+              "retried", "mean attempts", "mean virt us", "added virt us",
+              "dropped");
+  for (double loss : losses) {
+    SweepPoint p = run_point(loss);
+    double base = points.empty() ? p.mean_virtual_us
+                                 : points.front().mean_virtual_us;
+    std::printf("%7.0f%% %12.4f %10d %14.3f %16.1f %18.1f %10llu\n",
+                loss * 100.0, double(p.ok) / kCallsPerPoint, p.retried,
+                p.mean_attempts, p.mean_virtual_us, p.mean_virtual_us - base,
+                static_cast<unsigned long long>(p.dropped));
+    points.push_back(p);
+  }
+
+  print_header("Migration-based failover after a server crash "
+               "(failover_machine = sgi420-lerc)");
+  FailoverResult fo = run_failover();
+  std::printf("recovered=%s failed_over=%s attempts=%d "
+              "post-failover attempts=%d\n",
+              fo.recovered ? "yes" : "no", fo.failed_over ? "yes" : "no",
+              fo.attempts, fo.post_failover_attempts);
+
+  std::FILE* f = std::fopen("BENCH_fault.json", "w");
+  if (f) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"fault\",\n");
+    std::fprintf(f, "  \"link\": \"internet-wan\",\n");
+    std::fprintf(f, "  \"calls_per_point\": %d,\n", kCallsPerPoint);
+    std::fprintf(f,
+                 "  \"options\": {\"deadline_us\": 10000000, "
+                 "\"max_attempts\": 5, \"idempotent\": true, "
+                 "\"host_grace_ms\": 25},\n");
+    std::fprintf(f, "  \"loss_sweep\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& p = points[i];
+      std::fprintf(f,
+                   "    {\"loss\": %.2f, \"availability\": %.4f, "
+                   "\"retried_calls\": %d, \"mean_attempts\": %.3f, "
+                   "\"mean_virtual_us\": %.1f, \"added_virtual_us\": %.1f, "
+                   "\"frames_dropped\": %llu}%s\n",
+                   p.loss, double(p.ok) / kCallsPerPoint, p.retried,
+                   p.mean_attempts, p.mean_virtual_us,
+                   p.mean_virtual_us - points.front().mean_virtual_us,
+                   static_cast<unsigned long long>(p.dropped),
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"failover\": {\"recovered\": %s, \"failed_over\": %s, "
+                 "\"attempts\": %d, \"post_failover_attempts\": %d}\n",
+                 fo.recovered ? "true" : "false",
+                 fo.failed_over ? "true" : "false", fo.attempts,
+                 fo.post_failover_attempts);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_fault.json\n");
+  }
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/metrics.hpp"
 #include "npss/procedures.hpp"
 #include "npss/remote_backend.hpp"
 #include "tess/engine.hpp"
@@ -27,6 +28,21 @@ int main() {
 
   glue::RemoteBackend backend(schooner, "ws");
   backend.place(glue::AdaptedComponent::kCombustor, 0, {"sgi", ""});
+
+  // Physics failures (below) compose with *network* failures: for the
+  // whole flight the lan drops one frame in fifty, and the combustor stub
+  // rides it out with a deadline/retry policy (the combustor procedure is
+  // pure, so timed-out attempts are safely retried).
+  rpc::CallOptions call_opts;
+  call_opts.deadline_us = 2'000'000;
+  call_opts.max_attempts = 4;
+  call_opts.idempotent = true;
+  call_opts.host_grace_ms = 20;
+  backend.set_call_options(call_opts);
+  cluster.set_fault_seed(1993);
+  sim::FaultSpec drops;
+  drops.drop_rate = 0.02;
+  cluster.set_link_faults("ethernet-lan", drops);
 
   tess::FailureInjector injector(backend.hooks());
   tess::F100Engine engine;
@@ -71,6 +87,13 @@ int main() {
 
   std::printf("\nremote combustor calls during the whole event: %d\n",
               backend.total_calls());
+  std::printf("lan frames dropped by injection: %llu; calls recovered by "
+              "retry: %llu\n",
+              static_cast<unsigned long long>(cluster.fault_stats().dropped),
+              static_cast<unsigned long long>(
+                  obs::Registry::global()
+                      .counter("rpc.client.recovered_calls")
+                      .value()));
   std::printf("final state: N2=%.1f rpm (healthy steady was %.1f)\n",
               speeds[1], steady.performance.speeds[1]);
   return 0;

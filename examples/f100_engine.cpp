@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/metrics.hpp"
 #include "npss/network_driver.hpp"
 #include "npss/procedures.hpp"
 #include "npss/runtime.hpp"
@@ -31,6 +32,14 @@ int main() {
   glue::install_tess_procedures_everywhere(cluster);
   rpc::SchoonerSystem schooner(cluster, "sparc-ua");
   glue::configure_npss_runtime(cluster, schooner, "sparc-ua");
+
+  // Every adapted module's remote calls carry a deadline/retry policy
+  // (component procedures are pure, so timed-out attempts are retryable).
+  glue::NpssRuntime& rt = glue::npss_runtime();
+  rt.call_options.deadline_us = 10'000'000;
+  rt.call_options.max_attempts = 4;
+  rt.call_options.idempotent = true;
+  rt.call_options.host_grace_ms = 20;
 
   // Drag the modules into the workspace and wire the airflow (Figure 2).
   flow::Network net;
@@ -62,6 +71,14 @@ int main() {
       "(%d Newton iterations)\n",
       steady.speeds[0], steady.speeds[1], steady.t4, steady.thrust / 1e3,
       steady.iterations);
+
+  // The 1993 Internet between the sites now drops one frame in fifty —
+  // set after balance() so the placement handshakes stay clean — and the
+  // transient completes anyway on retries.
+  cluster.set_fault_seed(42);
+  sim::FaultSpec drops;
+  drops.drop_rate = 0.02;
+  cluster.set_link_faults("internet-wan", drops);
 
   // Throttle transient: advance fuel flow, watch the spools.
   std::printf("\n1.5 s throttle transient (Improved Euler):\n");
@@ -104,6 +121,14 @@ int main() {
               static_cast<unsigned long long>(schooner.stats().lines_created),
               static_cast<unsigned long long>(
                   schooner.stats().processes_started));
+
+  std::printf("wan frames dropped by injection: %llu; calls recovered by "
+              "retry: %llu\n",
+              static_cast<unsigned long long>(cluster.fault_stats().dropped),
+              static_cast<unsigned long long>(
+                  obs::Registry::global()
+                      .counter("rpc.client.recovered_calls")
+                      .value()));
 
   net.clear();  // destroy() -> sch_i_quit on every adapted module
   glue::clear_npss_runtime();

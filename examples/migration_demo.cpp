@@ -27,6 +27,14 @@ int main() {
   rpc::SchoonerSystem schooner(cluster, "workstation");
 
   RemoteBackend backend(schooner, "workstation");
+  // Every placed stub carries a deadline/retry policy: 5 s of virtual
+  // time across 3 attempts. The shaft derivative is pure, so a timed-out
+  // attempt is safely retried.
+  rpc::CallOptions call_opts;
+  call_opts.deadline_us = 5'000'000;
+  call_opts.max_attempts = 3;
+  call_opts.idempotent = true;
+  backend.set_call_options(call_opts);
   backend.place(AdaptedComponent::kShaft, 0, {"rs6000", ""});
   backend.place(AdaptedComponent::kShaft, 1, {"rs6000", ""});
 
@@ -84,5 +92,8 @@ int main() {
   std::printf("stale-cache retries observed: %d (one per moved stub on "
               "its first post-move call)\n",
               backend.total_stale_retries());
+  std::printf("failovers: %d, degraded calls: %d — a polite sch_move "
+              "needs neither\n",
+              backend.failovers(), backend.degraded_calls());
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "obs/metrics.hpp"
+#include "util/log.hpp"
 #include "util/parallel.hpp"
 #include "util/status.hpp"
 
@@ -272,6 +273,28 @@ void Network::run_level(const std::vector<std::string>& level,
         .record(static_cast<double>(fire.size()));
   }
 
+  // Per-fire error slot (parallel phase writes disjoint indices, so no
+  // lock); empty = the module computed cleanly.
+  std::vector<std::string> errors(fire.size());
+  auto compute_guarded = [this, &fire, &errors](std::size_t i) {
+    if (!continue_on_error_) {
+      compute_instrumented(*fire[i]->module);
+      return;
+    }
+    try {
+      compute_instrumented(*fire[i]->module);
+    } catch (const std::exception& e) {
+      errors[i] = e.what();
+      if (errors[i].empty()) errors[i] = "unknown error";
+    }
+  };
+  auto index_of = [&fire](Module* m) -> std::size_t {
+    for (std::size_t i = 0; i < fire.size(); ++i) {
+      if (fire[i]->module.get() == m) return i;
+    }
+    return 0;  // unreachable: m always comes from fire
+  };
+
   // Compute phase: same-level modules are independent by construction, so
   // thread-safe ones may run concurrently. Modules opting out via
   // thread_safe() == false run one at a time afterwards.
@@ -284,23 +307,37 @@ void Network::run_level(const std::vector<std::string>& level,
     if (concurrent.size() >= 2) {
       util::parallel_for(
           0, concurrent.size(),
-          [&concurrent](std::size_t i) { compute_instrumented(*concurrent[i]); },
+          [&concurrent, &compute_guarded, &index_of](std::size_t i) {
+            compute_guarded(index_of(concurrent[i]));
+          },
           workers_);
     } else {
-      for (Module* m : concurrent) compute_instrumented(*m);
+      for (Module* m : concurrent) compute_guarded(index_of(m));
     }
-    for (Node* node : fire) {
-      if (!node->module->thread_safe()) compute_instrumented(*node->module);
+    for (std::size_t i = 0; i < fire.size(); ++i) {
+      if (!fire[i]->module->thread_safe()) compute_guarded(i);
     }
   } else {
-    for (Node* node : fire) compute_instrumented(*node->module);
+    for (std::size_t i = 0; i < fire.size(); ++i) compute_guarded(i);
   }
 
   // Bookkeeping + propagation stay sequential in topo order, so the values
   // downstream modules observe are exactly the sequential schedule's.
-  for (Node* node : fire) {
+  // A failed module's outputs are NOT propagated: downstream keeps the
+  // previous values (the degraded-but-running behavior).
+  for (std::size_t i = 0; i < fire.size(); ++i) {
+    Node* node = fire[i];
     node->module->clear_widget_changes();
     node->fresh_input = false;
+    if (!errors[i].empty()) {
+      module_errors_.emplace_back(node->module->instance_name(), errors[i]);
+      NPSS_LOG_WARN("flow", "module '", node->module->instance_name(),
+                    "' failed, continuing without it: ", errors[i]);
+      if (obs::enabled()) {
+        obs::Registry::global().counter("flow.scheduler.module_errors").add();
+      }
+      continue;
+    }
     ++executions_;
     ++executed;
     propagate(*node->module);

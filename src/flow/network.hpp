@@ -84,6 +84,23 @@ class Network {
   /// Worker cap for parallel levels; 0 = hardware concurrency.
   void set_parallel_workers(int workers) { workers_ = workers; }
 
+  /// Graceful degradation (default off, matching the historical abort
+  /// semantics): when on, a module whose compute() throws no longer
+  /// aborts the sweep — the error is recorded in module_errors(), the
+  /// module's outputs are not propagated (downstream keeps the previous
+  /// values), and the rest of the wavefront runs normally. Built for
+  /// remote-backed modules riding the fault-tolerant call path.
+  void set_continue_on_error(bool on) { continue_on_error_ = on; }
+  bool continue_on_error() const { return continue_on_error_; }
+
+  /// (module instance, error message) pairs recorded since the last
+  /// clear_module_errors(), in the order the failures were observed.
+  const std::vector<std::pair<std::string, std::string>>& module_errors()
+      const {
+    return module_errors_;
+  }
+  void clear_module_errors() { module_errors_.clear(); }
+
   /// The dependency levels the wavefront scheduler executes (topo order
   /// within each level); recomputed lazily after edits.
   const std::vector<std::vector<std::string>>& wavefronts() const;
@@ -117,6 +134,8 @@ class Network {
   long executions_ = 0;
   bool parallel_ = true;
   int workers_ = 0;
+  bool continue_on_error_ = false;
+  std::vector<std::pair<std::string, std::string>> module_errors_;
   mutable bool topo_valid_ = false;
   mutable std::vector<std::string> topo_cache_;
   mutable std::vector<std::vector<std::string>> level_cache_;

@@ -4,7 +4,9 @@
 
 #include "flow/network.hpp"
 #include "npss/procedures.hpp"
+#include "obs/metrics.hpp"
 #include "tess/components.hpp"
+#include "util/log.hpp"
 #include "util/status.hpp"
 
 namespace npss::glue {
@@ -115,6 +117,25 @@ rpc::SchoonerClient& AdaptedModule::remote_client() {
     contacted_machine_ = key;
   }
   return *client_;
+}
+
+bool AdaptedModule::remote_invoke(rpc::RemoteProc& proc, ValueList args,
+                                  ValueList* out) {
+  NpssRuntime& rt = npss_runtime();
+  rpc::CallResult result = proc.call(std::move(args), rt.call_options);
+  if (result.ok()) {
+    *out = std::move(result.values);
+    return true;
+  }
+  if (!rt.local_fallback) result.status.raise_if_error();
+  degraded_ = true;
+  NPSS_LOG_WARN("npss.glue", "module '", instance_name(),
+                "' degraded to local compute: ", result.status.to_string(),
+                " (", result.attempt_count(), " attempt(s))");
+  if (obs::enabled()) {
+    obs::Registry::global().counter("npss.remote.degraded_calls").add();
+  }
+  return false;
 }
 
 void AdaptedModule::destroy() {
@@ -277,9 +298,14 @@ void DuctModule::compute() {
     return;
   }
   remote_client();
-  ValueList reply =
-      duct_->call({station_wire_value(tess::to_array(in_state)),
-                   Value::real(dp), Value::real_array({0, 0, 0, 0})});
+  ValueList reply;
+  if (!remote_invoke(*duct_,
+                     {station_wire_value(tess::to_array(in_state)),
+                      Value::real(dp), Value::real_array({0, 0, 0, 0})},
+                     &reply)) {
+    out("out", station_to_value(tess::duct(in_state, dp)));
+    return;
+  }
   out("out",
       station_to_value(tess::from_array(station_wire_from(reply[2]))));
 }
@@ -312,9 +338,15 @@ void CombustorModule::compute() {
     return;
   }
   remote_client();
-  ValueList reply = combustor_->call(
-      {station_wire_value(tess::to_array(in_state)), Value::real(wf),
-       Value::real(eff), Value::real(dp), Value::real_array({0, 0, 0, 0})});
+  ValueList reply;
+  if (!remote_invoke(*combustor_,
+                     {station_wire_value(tess::to_array(in_state)),
+                      Value::real(wf), Value::real(eff), Value::real(dp),
+                      Value::real_array({0, 0, 0, 0})},
+                     &reply)) {
+    out("out", station_to_value(tess::combustor(in_state, wf, eff, dp).out));
+    return;
+  }
   out("out",
       station_to_value(tess::from_array(station_wire_from(reply[4]))));
 }
@@ -345,12 +377,20 @@ void NozzleModule::compute() {
     thrust = r.thrust;
   } else {
     remote_client();
-    ValueList reply = nozzle_->call(
-        {station_wire_value(tess::to_array(in_state)), Value::real(area),
-         Value::real(pamb), Value::real_array({0, 0, 0, 0})});
-    StationArray r = station_wire_from(reply[3]);
-    w_required = r[0];
-    thrust = r[1];
+    ValueList reply;
+    if (remote_invoke(*nozzle_,
+                      {station_wire_value(tess::to_array(in_state)),
+                       Value::real(area), Value::real(pamb),
+                       Value::real_array({0, 0, 0, 0})},
+                      &reply)) {
+      StationArray r = station_wire_from(reply[3]);
+      w_required = r[0];
+      thrust = r[1];
+    } else {
+      tess::NozzleResult r = tess::nozzle(in_state, area, pamb);
+      w_required = r.w_required;
+      thrust = r.thrust;
+    }
   }
   out_real("w-error",
            (in_state.W - w_required) / std::max(in_state.W, 1e-6));
@@ -384,10 +424,16 @@ void ShaftModule::run_setshaft() {
     ecorr_ = tess::setshaft(ecom.data(), 1, etur.data(), 1);
   } else {
     remote_client();
-    ValueList reply = setshaft_->call(
-        {energy_to_value(ecom), Value::integer(1), energy_to_value(etur),
-         Value::integer(1), Value::real(0)});
-    ecorr_ = reply[4].as_real();
+    ValueList reply;
+    if (remote_invoke(*setshaft_,
+                      {energy_to_value(ecom), Value::integer(1),
+                       energy_to_value(etur), Value::integer(1),
+                       Value::real(0)},
+                      &reply)) {
+      ecorr_ = reply[4].as_real();
+    } else {
+      ecorr_ = tess::setshaft(ecom.data(), 1, etur.data(), 1);
+    }
   }
   have_ecorr_ = true;
 }
@@ -411,11 +457,18 @@ void ShaftModule::compute() {
                          inertia);
   } else {
     remote_client();
-    ValueList reply = shaft_->call(
-        {energy_to_value(ecom), Value::integer(1), energy_to_value(etur),
-         Value::integer(1), Value::real(ecorr_), Value::real(speed_),
-         Value::real(inertia), Value::real(0)});
-    accel_ = reply[7].as_real();
+    ValueList reply;
+    if (remote_invoke(*shaft_,
+                      {energy_to_value(ecom), Value::integer(1),
+                       energy_to_value(etur), Value::integer(1),
+                       Value::real(ecorr_), Value::real(speed_),
+                       Value::real(inertia), Value::real(0)},
+                      &reply)) {
+      accel_ = reply[7].as_real();
+    } else {
+      accel_ = tess::shaft(ecom.data(), 1, etur.data(), 1, ecorr_, speed_,
+                           inertia);
+    }
   }
   out_real("accel", accel_);
   out_real("speed", speed_);

@@ -41,6 +41,10 @@ class AdaptedModule : public flow::Module {
   /// use (the sch_contact_schx call at the top of compute, §3.3).
   rpc::SchoonerClient& remote_client();
 
+  /// The module fell back to local physics at least once (fault-tolerant
+  /// degradation; see NpssRuntime::call_options / local_fallback).
+  bool degraded() const { return degraded_; }
+
   void destroy() override;  ///< sch_i_quit (§3.3)
 
  protected:
@@ -50,9 +54,18 @@ class AdaptedModule : public flow::Module {
   /// Called after contact; build import stubs here.
   virtual void bind_imports(rpc::SchoonerClient& client) = 0;
 
+  /// Fault-tolerant stub invoke with the runtime's CallOptions. On
+  /// success fills `out` and returns true; on terminal failure records
+  /// the degradation (npss.remote.degraded_calls) and returns false so
+  /// the caller computes locally — or raises the status as its Error
+  /// subclass when NpssRuntime::local_fallback is off.
+  bool remote_invoke(rpc::RemoteProc& proc, uts::ValueList args,
+                     uts::ValueList* out);
+
  private:
   std::unique_ptr<rpc::SchoonerClient> client_;
   std::string contacted_machine_;
+  bool degraded_ = false;
 };
 
 // --- Engine modules ------------------------------------------------------------

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "npss/procedures.hpp"
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
 
 namespace npss::glue {
 
@@ -82,7 +84,47 @@ void RemoteBackend::place(AdaptedComponent component, int instance,
       break;
   }
   inst.clock_base = inst.client->io().endpoint().clock().now();
+  if (inst.primary) inst.primary->set_call_options(options_);
+  if (inst.secondary) inst.secondary->set_call_options(options_);
   instances_[{component, instance}] = std::move(inst);
+}
+
+void RemoteBackend::set_call_options(const rpc::CallOptions& opts) {
+  options_ = opts;
+  for (auto& [key, inst] : instances_) {
+    if (inst.primary) inst.primary->set_call_options(opts);
+    if (inst.secondary) inst.secondary->set_call_options(opts);
+  }
+}
+
+bool RemoteBackend::remote_call(rpc::RemoteProc& proc,
+                                const std::string& label, uts::ValueList args,
+                                uts::ValueList* out) {
+  rpc::CallResult result = proc.call(std::move(args), options_);
+  if (result.failed_over) {
+    ++failovers_;
+    if (obs::enabled()) {
+      obs::Registry::global().counter("npss.remote.failovers").add();
+    }
+  }
+  if (result.ok()) {
+    *out = std::move(result.values);
+    return true;
+  }
+  if (!local_fallback_) result.status.raise_if_error();
+  ++degraded_calls_;
+  degraded_.insert(label);
+  NPSS_LOG_WARN("npss.glue", label, " degraded to local compute: ",
+                result.status.to_string(), " (", result.attempt_count(),
+                " attempt(s))");
+  if (obs::enabled()) {
+    obs::Registry::global().counter("npss.remote.degraded_calls").add();
+  }
+  return false;
+}
+
+std::vector<std::string> RemoteBackend::degraded_instances() const {
+  return {degraded_.begin(), degraded_.end()};
 }
 
 RemoteBackend::Instance* RemoteBackend::find(AdaptedComponent c,
@@ -98,29 +140,44 @@ tess::ComponentHooks RemoteBackend::hooks() {
   hooks.duct = [this, local](int instance, const StationArray& in,
                              double dp) {
     Instance* inst = find(AdaptedComponent::kDuct, instance);
-    if (!inst) return local.duct(instance, in, dp);
-    ValueList out = inst->primary->call({station_value(in), Value::real(dp),
-                                         Value::real_array({0, 0, 0, 0})});
+    ValueList out;
+    if (!inst ||
+        !remote_call(*inst->primary, "duct[" + std::to_string(instance) + "]",
+                     {station_value(in), Value::real(dp),
+                      Value::real_array({0, 0, 0, 0})},
+                     &out)) {
+      return local.duct(instance, in, dp);
+    }
     return station_from(out[2]);
   };
 
   hooks.combustor = [this, local](int instance, const StationArray& in,
                                   double wf, double eff, double dp) {
     Instance* inst = find(AdaptedComponent::kCombustor, instance);
-    if (!inst) return local.combustor(instance, in, wf, eff, dp);
-    ValueList out = inst->primary->call(
-        {station_value(in), Value::real(wf), Value::real(eff),
-         Value::real(dp), Value::real_array({0, 0, 0, 0})});
+    ValueList out;
+    if (!inst ||
+        !remote_call(*inst->primary,
+                     "combustor[" + std::to_string(instance) + "]",
+                     {station_value(in), Value::real(wf), Value::real(eff),
+                      Value::real(dp), Value::real_array({0, 0, 0, 0})},
+                     &out)) {
+      return local.combustor(instance, in, wf, eff, dp);
+    }
     return station_from(out[4]);
   };
 
   hooks.nozzle = [this, local](int instance, const StationArray& in,
                                double area, double pamb) {
     Instance* inst = find(AdaptedComponent::kNozzle, instance);
-    if (!inst) return local.nozzle(instance, in, area, pamb);
-    ValueList out = inst->primary->call(
-        {station_value(in), Value::real(area), Value::real(pamb),
-         Value::real_array({0, 0, 0, 0})});
+    ValueList out;
+    if (!inst ||
+        !remote_call(*inst->primary,
+                     "nozzle[" + std::to_string(instance) + "]",
+                     {station_value(in), Value::real(area), Value::real(pamb),
+                      Value::real_array({0, 0, 0, 0})},
+                     &out)) {
+      return local.nozzle(instance, in, area, pamb);
+    }
     return station_from(out[3]);
   };
 
@@ -128,10 +185,16 @@ tess::ComponentHooks RemoteBackend::hooks() {
                                  int incom, const StationArray& etur,
                                  int intur) {
     Instance* inst = find(AdaptedComponent::kShaft, spool);
-    if (!inst) return local.setshaft(spool, ecom, incom, etur, intur);
-    ValueList out = inst->secondary->call(
-        {station_value(ecom), Value::integer(incom), station_value(etur),
-         Value::integer(intur), Value::real(0)});
+    ValueList out;
+    if (!inst ||
+        !remote_call(*inst->secondary,
+                     "shaft[" + std::to_string(spool) + "]",
+                     {station_value(ecom), Value::integer(incom),
+                      station_value(etur), Value::integer(intur),
+                      Value::real(0)},
+                     &out)) {
+      return local.setshaft(spool, ecom, incom, etur, intur);
+    }
     return out[4].as_real();
   };
 
@@ -139,14 +202,17 @@ tess::ComponentHooks RemoteBackend::hooks() {
                               const StationArray& etur, int intur,
                               double ecorr, double xspool, double xmyi) {
     Instance* inst = find(AdaptedComponent::kShaft, spool);
-    if (!inst) {
+    ValueList out;
+    if (!inst ||
+        !remote_call(*inst->primary, "shaft[" + std::to_string(spool) + "]",
+                     {station_value(ecom), Value::integer(incom),
+                      station_value(etur), Value::integer(intur),
+                      Value::real(ecorr), Value::real(xspool),
+                      Value::real(xmyi), Value::real(0)},
+                     &out)) {
       return local.shaft(spool, ecom, incom, etur, intur, ecorr, xspool,
                          xmyi);
     }
-    ValueList out = inst->primary->call(
-        {station_value(ecom), Value::integer(incom), station_value(etur),
-         Value::integer(intur), Value::real(ecorr), Value::real(xspool),
-         Value::real(xmyi), Value::real(0)});
     return out[7].as_real();
   };
 

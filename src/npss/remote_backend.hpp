@@ -14,7 +14,9 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "rpc/schooner.hpp"
 #include "tess/engine.hpp"
@@ -46,7 +48,29 @@ class RemoteBackend {
              const Placement& placement);
 
   /// Hooks for EngineModel::set_hooks(): remote where placed, local else.
+  /// When a placed instance's remote call fails terminally (per the
+  /// configured CallOptions) and local fallback is on, the hook degrades
+  /// to the local physics for that evaluation and the degradation is
+  /// recorded (npss.remote.degraded_calls counter + degraded_instances())
+  /// — the run completes instead of aborting the solve.
   tess::ComponentHooks hooks();
+
+  /// Deadline/retry/failover policy applied to every placed stub, current
+  /// and future (default: rpc::CallOptions::legacy()).
+  void set_call_options(const rpc::CallOptions& opts);
+  const rpc::CallOptions& call_options() const { return options_; }
+
+  /// Degrade to the local compute hook when a remote call fails (default
+  /// on). When off, hook failures raise the terminal status as its Error
+  /// subclass, as the pre-fault-tolerance glue did.
+  void set_local_fallback(bool on) { local_fallback_ = on; }
+
+  /// "component[instance]" labels that have degraded to local compute at
+  /// least once, and how many hook evaluations fell back in total.
+  std::vector<std::string> degraded_instances() const;
+  int degraded_calls() const { return degraded_calls_; }
+  /// Calls recovered by migration-based failover across all stubs.
+  int failovers() const { return failovers_; }
 
   /// Async call seam: fire instance's primary procedure without blocking,
   /// so calls on *different* placed instances (each owns its client/line)
@@ -90,9 +114,21 @@ class RemoteBackend {
 
   Instance* find(AdaptedComponent c, int instance);
 
+  /// The one fault-tolerant hook path: runs the stub with the backend's
+  /// CallOptions; on success fills `out` and returns true. On terminal
+  /// failure records the degradation and returns false (hook falls back
+  /// to local physics) — or raises when local fallback is off.
+  bool remote_call(rpc::RemoteProc& proc, const std::string& label,
+                   uts::ValueList args, uts::ValueList* out);
+
   rpc::SchoonerSystem* system_;
   std::string avs_machine_;
   std::map<std::pair<AdaptedComponent, int>, Instance> instances_;
+  rpc::CallOptions options_ = rpc::CallOptions::legacy();
+  bool local_fallback_ = true;
+  std::set<std::string> degraded_;
+  int degraded_calls_ = 0;
+  int failovers_ = 0;
 };
 
 }  // namespace npss::glue

@@ -31,6 +31,8 @@ void clear_npss_runtime() {
   rt.cluster = nullptr;
   rt.schooner = nullptr;
   rt.avs_machine.clear();
+  rt.call_options = rpc::CallOptions::legacy();
+  rt.local_fallback = true;
 }
 
 }  // namespace npss::glue

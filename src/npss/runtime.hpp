@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "rpc/calling.hpp"
 #include "rpc/schooner.hpp"
 #include "sim/cluster.hpp"
 
@@ -19,6 +20,12 @@ struct NpssRuntime {
   sim::Cluster* cluster = nullptr;
   rpc::SchoonerSystem* schooner = nullptr;
   std::string avs_machine;
+  /// Deadline/retry/failover policy for every adapted module's remote
+  /// calls (default: the legacy one-rebind loop, no deadline).
+  rpc::CallOptions call_options = rpc::CallOptions::legacy();
+  /// Degrade a failed remote call to the module's local physics (default
+  /// on); off = raise the terminal status, the historical behavior.
+  bool local_fallback = true;
 
   bool configured() const { return cluster && schooner; }
   /// kLocalMachine followed by every cluster machine.

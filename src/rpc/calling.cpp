@@ -1,12 +1,65 @@
 #include "rpc/calling.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace npss::rpc {
 
+namespace {
+
+// SplitMix64 — same generator family the sim-layer FaultInjector uses, so
+// backoff jitter shares its statistical quality and, crucially, its
+// determinism: the draw depends only on the virtual clock and the attempt
+// number, never on host timing.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double uniform01(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/// Backoff before retry number `retry_index` (1-based over the retries,
+/// not the attempts): exponential with deterministic +-jitter.
+util::SimTime backoff_us(const BackoffPolicy& policy, int retry_index,
+                         util::SimTime virtual_now) {
+  if (policy.initial_us <= 0) return 0;
+  double delay = static_cast<double>(policy.initial_us) *
+                 std::pow(std::max(policy.multiplier, 1.0), retry_index - 1);
+  delay = std::min(delay, static_cast<double>(policy.max_us));
+  if (policy.jitter > 0.0) {
+    const double u = uniform01(
+        mix64(static_cast<std::uint64_t>(virtual_now) ^
+              mix64(static_cast<std::uint64_t>(retry_index))));
+    delay *= 1.0 + policy.jitter * (2.0 * u - 1.0);
+  }
+  return static_cast<util::SimTime>(std::max(delay, 0.0));
+}
+
+void count(const char* name) {
+  if (obs::enabled()) obs::Registry::global().counter(name).add();
+}
+
+}  // namespace
+
+CallOptions CallOptions::legacy() {
+  CallOptions opts;
+  opts.deadline_us = 0;       // block forever, as the original runtime did
+  opts.max_attempts = 2;      // the historical one-rebind retry loop
+  opts.backoff.initial_us = 0;  // no backoff sleep: virtual time unchanged
+  opts.idempotent = false;
+  return opts;
+}
+
 void CallCore::bind(const std::string& name, const std::string& import_text,
-                    BindingCache& cache) const {
+                    BindingCache& cache, int host_grace_ms) const {
   obs::Span span("rpc.client", "bind " + name);
   Message lookup;
   lookup.kind = MessageKind::kLookup;
@@ -14,13 +67,260 @@ void CallCore::bind(const std::string& name, const std::string& import_text,
   lookup.a = name;
   lookup.b = import_text;
   lookup.trace = span.context();
-  Message ack = io->call(manager, std::move(lookup));
+  Message ack = host_grace_ms > 0
+                    ? io->call_within(manager, std::move(lookup), host_grace_ms)
+                    : io->call(manager, std::move(lookup));
   cache.address = ack.a;
   cache.resolved_name = ack.b;
   cache.lookups.add();
-  if (obs::enabled()) {
-    obs::Registry::global().counter("rpc.client.lookups").add();
+  count("rpc.client.lookups");
+}
+
+CallResult CallCore::invoke(const std::string& name,
+                            const uts::ProcDecl& import_decl,
+                            const std::string& import_text, uts::ValueList args,
+                            BindingCache& cache,
+                            const CallOptions& opts) const {
+  CallResult result;
+  const uts::Signature& sig = import_decl.signature;
+  if (args.size() != sig.size()) {
+    result.status = util::Status(
+        util::ErrorCode::kTypeMismatch,
+        "call to '" + name + "': " + std::to_string(args.size()) +
+            " arguments for " + std::to_string(sig.size()) + " parameters");
+    return result;
   }
+
+  // One span covers the whole fault-tolerant call; each attempt opens a
+  // child below so a trace shows retries as siblings, not fresh roots.
+  obs::Span span("rpc.client", "call " + name);
+  const util::SimTime virtual_start = clock ? clock->now() : 0;
+  const bool deadlined = opts.deadline_us > 0;
+  const util::SimTime deadline_abs =
+      deadlined && clock ? virtual_start + opts.deadline_us : 0;
+  const int grace_ms = deadlined ? std::max(opts.host_grace_ms, 1) : 0;
+  const int max_attempts = std::max(opts.max_attempts, 1);
+
+  // Marshal exactly once; every attempt re-sends the same blob.
+  util::Bytes request_blob;
+  bool marshaled = false;
+
+  int attempts_left = max_attempts;
+  bool failover_tried = false;
+  util::ErrorCode last_code = util::ErrorCode::kUnknown;
+
+  while (attempts_left > 0) {
+    CallAttempt attempt;
+    attempt.number = static_cast<int>(result.attempts.size()) + 1;
+    const util::SimTime attempt_start = clock ? clock->now() : 0;
+
+    // Deadline gate: out of virtual budget means no more attempts, even
+    // if the retry budget says otherwise.
+    if (deadline_abs > 0 && clock && clock->now() >= deadline_abs) {
+      result.status = util::Status(
+          util::ErrorCode::kDeadlineExceeded,
+          "call to '" + name + "': deadline of " +
+              std::to_string(opts.deadline_us) + "us exhausted after " +
+              std::to_string(result.attempts.size()) + " attempt(s)");
+      break;
+    }
+
+    // Backoff before retries (never the first attempt, and never after a
+    // stale-binding redirect — the Manager already told us where to go).
+    if (attempt.number > 1 && last_code != util::ErrorCode::kStaleBinding) {
+      attempt.backoff_us =
+          backoff_us(opts.backoff, attempt.number - 1, attempt_start);
+      if (attempt.backoff_us > 0 && sleep) sleep(attempt.backoff_us);
+    }
+
+    // Bind (or rebind after a failure cleared the cache).
+    bool retryable = false;
+    try {
+      if (cache.address.empty()) bind(name, import_text, cache, grace_ms);
+      if (!marshaled) {
+        if (!cache.request_plan) {
+          cache.request_plan = uts::compile_plan(sig, uts::Direction::kRequest);
+          cache.reply_plan = uts::compile_plan(sig, uts::Direction::kReply);
+        }
+        request_blob = cache.request_plan->marshal(*arch, args);
+        if (compute) {
+          compute(static_cast<double>(request_blob.size()) *
+                  kMarshalUsPerByte);
+        }
+        marshaled = true;
+      }
+      attempt.address = cache.address;
+
+      obs::Span attempt_span(
+          "rpc.client", "attempt " + std::to_string(attempt.number));
+      Message call_msg;
+      call_msg.kind = MessageKind::kCall;
+      call_msg.line = line;
+      call_msg.a = cache.resolved_name;
+      call_msg.b = import_text;
+      call_msg.blob = request_blob;
+      call_msg.trace = attempt_span.context();
+      Message reply = grace_ms > 0
+                          ? io->call_within(cache.address, std::move(call_msg),
+                                            grace_ms, /*raise_errors=*/false)
+                          : io->call(cache.address, std::move(call_msg),
+                                     /*raise_errors=*/false);
+
+      if (reply.is_error()) {
+        const auto code = static_cast<util::ErrorCode>(reply.n);
+        attempt.status = util::Status(code, reply.a);
+        if (code == util::ErrorCode::kStaleBinding) {
+          // The peer exists but no longer hosts the proc: rebind and go
+          // again immediately — the request never executed.
+          retryable = true;
+          cache.address.clear();
+          cache.stale_retries.add();
+          count("rpc.client.stale_retries");
+        }
+      } else {
+        if (compute) {
+          compute(static_cast<double>(reply.blob.size()) * kMarshalUsPerByte);
+        }
+        uts::ValueList merged = cache.reply_plan->unmarshal(*arch, reply.blob);
+        for (std::size_t i = 0; i < sig.size(); ++i) {
+          if (!uts::param_travels(sig[i].mode, uts::Direction::kReply)) {
+            merged[i] = std::move(args[i]);
+          }
+        }
+        attempt.status = util::Status::ok();
+        attempt.virtual_us = clock ? clock->now() - attempt_start : 0;
+        result.attempts.push_back(attempt);
+        result.status = util::Status::ok();
+        result.values = std::move(merged);
+        result.virtual_us = clock ? clock->now() - virtual_start : 0;
+        if (obs::enabled()) {
+          obs::Registry& reg = obs::Registry::global();
+          reg.counter("rpc.client.calls").add();
+          reg.counter("rpc.client.calls." + name).add();
+          reg.counter("rpc.client.bytes_marshaled")
+              .add(request_blob.size() + reply.blob.size());
+          reg.histogram("rpc.client.latency_us").record(span.elapsed_us());
+          if (clock) {
+            reg.histogram("rpc.client.virtual_latency_us")
+                .record(static_cast<double>(result.virtual_us));
+          }
+          if (attempt.number > 1) {
+            reg.counter("rpc.client.recovered_calls").add();
+          }
+        }
+        return result;
+      }
+    } catch (const util::NoRouteError& e) {
+      // Dead address: the send itself failed, so the request never ran —
+      // always safe to rebind and retry.
+      attempt.status = util::Status::from(e);
+      retryable = true;
+      cache.address.clear();
+      cache.stale_retries.add();
+      count("rpc.client.stale_retries");
+      NPSS_LOG_DEBUG("rpc.call", "stale address for '", name,
+                     "', re-binding via manager");
+    } catch (const util::DeadlineError& e) {
+      // The transport wait gave up: a frame was dropped or the peer died
+      // mid-call. Charge the attempt's virtual budget (the caller *sat*
+      // there for it) so elapsed virtual time stays deterministic, then
+      // retry only when the request is idempotent — it may have executed.
+      attempt.status = util::Status::from(e);
+      count("rpc.client.timeouts");
+      if (clock && deadline_abs > 0) {
+        const util::SimTime budget =
+            opts.attempt_timeout_us > 0
+                ? opts.attempt_timeout_us
+                : std::max<util::SimTime>(
+                      (deadline_abs - attempt_start) /
+                          std::max(attempts_left, 1),
+                      1);
+        if (sleep) sleep(budget);
+      }
+      retryable = opts.idempotent;
+      cache.address.clear();  // the peer may be gone; rebind on retry
+    } catch (const util::Error& e) {
+      // Bind/lookup/marshal failures and endpoint shutdown are terminal.
+      attempt.status = util::Status::from(e);
+      retryable = false;
+    }
+
+    last_code = attempt.status.code();
+    attempt.virtual_us = clock ? clock->now() - attempt_start : 0;
+    result.attempts.push_back(attempt);
+    result.status = attempt.status;
+    --attempts_left;
+    if (!retryable) break;
+    if (attempts_left > 0) count("rpc.client.retries");
+
+    // Migration-based failover: every retry found the process dead, so
+    // ask the Manager to sch_move the procedure onto a healthy machine
+    // and spend one final attempt on the new placement.
+    if (attempts_left == 0 && !failover_tried &&
+        !opts.failover_machine.empty() &&
+        (last_code == util::ErrorCode::kNoRoute ||
+         last_code == util::ErrorCode::kDeadlineExceeded)) {
+      failover_tried = true;
+      NPSS_LOG_WARN("rpc.call", "failing over '", name, "' to machine '",
+                    opts.failover_machine, "' via sch_move");
+      Message mv;
+      mv.kind = MessageKind::kMove;
+      mv.line = line;
+      mv.a = cache.resolved_name.empty() ? name : cache.resolved_name;
+      mv.b = opts.failover_machine;
+      mv.trace = span.context();
+      try {
+        Message ack =
+            grace_ms > 0
+                ? io->call_within(manager, std::move(mv),
+                                  std::max(grace_ms * 10, 500))
+                : io->call(manager, std::move(mv));
+        cache.address = ack.a;
+        result.failed_over = true;
+        attempts_left = 1;  // the post-failover attempt
+        count("rpc.client.failovers");
+        continue;
+      } catch (const util::Error& e) {
+        NPSS_LOG_WARN("rpc.call", "failover of '", name,
+                      "' failed: ", e.what());
+        result.status = util::Status(
+            util::ErrorCode::kUnavailable,
+            "call to '" + name + "': " + result.status.message() +
+                "; failover to '" + opts.failover_machine +
+                "' failed: " + util::Status::from(e).message());
+        break;
+      }
+    }
+  }
+
+  if (result.status.is_ok()) {
+    // Retry budget exhausted without ever reaching the attempt loop body
+    // (deadline gate fired before the first attempt).
+    result.status = util::Status(
+        util::ErrorCode::kDeadlineExceeded,
+        "call to '" + name + "': no attempt possible within deadline");
+  }
+  result.virtual_us = clock ? clock->now() - virtual_start : 0;
+  count("rpc.client.failed_calls");
+  NPSS_LOG_DEBUG("rpc.call", "call to '", name,
+                 "' failed: ", result.status.to_string(), " after ",
+                 result.attempts.size(), " attempt(s)");
+  return result;
+}
+
+std::future<CallResult> CallCore::invoke_async(
+    const std::string& name, const uts::ProcDecl& import_decl,
+    const std::string& import_text, uts::ValueList args, BindingCache& cache,
+    const CallOptions& opts) const {
+  // std::launch::async: the call must make progress without the caller
+  // blocking on get() — that is the whole point of overlapping.
+  return std::async(
+      std::launch::async,
+      [core = *this, name, import_decl, import_text, args = std::move(args),
+       &cache, opts]() mutable {
+        return core.invoke(name, import_decl, import_text, std::move(args),
+                           cache, opts);
+      });
 }
 
 uts::ValueList CallCore::invoke(const std::string& name,
@@ -28,102 +328,23 @@ uts::ValueList CallCore::invoke(const std::string& name,
                                 const std::string& import_text,
                                 uts::ValueList args,
                                 BindingCache& cache) const {
-  const uts::Signature& sig = import_decl.signature;
-  if (args.size() != sig.size()) {
-    throw util::TypeMismatchError(
-        "call to '" + name + "': " + std::to_string(args.size()) +
-        " arguments for " + std::to_string(sig.size()) + " parameters");
-  }
-  obs::Span span("rpc.client", "call " + name);
-  const util::SimTime virtual_start = clock ? clock->now() : 0;
-  if (cache.address.empty()) bind(name, import_text, cache);
-  if (!cache.request_plan) {
-    cache.request_plan = uts::compile_plan(sig, uts::Direction::kRequest);
-    cache.reply_plan = uts::compile_plan(sig, uts::Direction::kReply);
-  }
-
-  util::Bytes request_blob = cache.request_plan->marshal(*arch, args);
-  if (compute) {
-    compute(static_cast<double>(request_blob.size()) * kMarshalUsPerByte);
-  }
-
-  for (int attempt = 0; attempt < 2; ++attempt) {
-    Message call_msg;
-    call_msg.kind = MessageKind::kCall;
-    call_msg.line = line;
-    call_msg.a = cache.resolved_name;
-    call_msg.b = import_text;
-    call_msg.blob = request_blob;
-    call_msg.trace = span.context();
-    Message reply;
-    try {
-      reply = io->call(cache.address, std::move(call_msg),
-                       /*raise_errors=*/false);
-    } catch (const util::NoRouteError&) {
-      // The process is gone (moved, or its line shut down). Refresh the
-      // binding from the Manager and retry once.
-      if (attempt == 1) throw;
-      cache.stale_retries.add();
-      if (obs::enabled()) {
-        obs::Registry::global().counter("rpc.client.stale_retries").add();
-      }
-      NPSS_LOG_DEBUG("rpc.call", "stale address for '", name,
-                     "', re-binding via manager");
-      bind(name, import_text, cache);
-      continue;
-    }
-    if (reply.is_error()) {
-      if (static_cast<util::ErrorCode>(reply.n) ==
-              util::ErrorCode::kStaleBinding &&
-          attempt == 0) {
-        cache.stale_retries.add();
-        if (obs::enabled()) {
-          obs::Registry::global().counter("rpc.client.stale_retries").add();
-        }
-        bind(name, import_text, cache);
-        continue;
-      }
-      reply.raise_if_error();
-    }
-    if (compute) {
-      compute(static_cast<double>(reply.blob.size()) * kMarshalUsPerByte);
-    }
-    if (obs::enabled()) {
-      obs::Registry& reg = obs::Registry::global();
-      reg.counter("rpc.client.calls").add();
-      reg.counter("rpc.client.calls." + name).add();
-      reg.counter("rpc.client.bytes_marshaled")
-          .add(request_blob.size() + reply.blob.size());
-      reg.histogram("rpc.client.latency_us").record(span.elapsed_us());
-      if (clock) {
-        reg.histogram("rpc.client.virtual_latency_us")
-            .record(static_cast<double>(clock->now() - virtual_start));
-      }
-    }
-    uts::ValueList results = cache.reply_plan->unmarshal(*arch, reply.blob);
-    // Merge: val slots keep the caller's arguments.
-    for (std::size_t i = 0; i < sig.size(); ++i) {
-      if (!uts::param_travels(sig[i].mode, uts::Direction::kReply)) {
-        results[i] = std::move(args[i]);
-      }
-    }
-    return results;
-  }
-  throw util::CallError("call to '" + name + "' failed after retry");
+  CallResult result = invoke(name, import_decl, import_text, std::move(args),
+                             cache, CallOptions::legacy());
+  return std::move(result.values_or_raise());
 }
 
 std::future<uts::ValueList> CallCore::invoke_async(
     const std::string& name, const uts::ProcDecl& import_decl,
     const std::string& import_text, uts::ValueList args,
     BindingCache& cache) const {
-  // std::launch::async: the call must make progress without the caller
-  // blocking on get() — that is the whole point of overlapping.
   return std::async(
       std::launch::async,
       [core = *this, name, import_decl, import_text, args = std::move(args),
        &cache]() mutable {
-        return core.invoke(name, import_decl, import_text, std::move(args),
-                           cache);
+        CallResult result =
+            core.invoke(name, import_decl, import_text, std::move(args), cache,
+                        CallOptions::legacy());
+        return std::move(result.values_or_raise());
       });
 }
 

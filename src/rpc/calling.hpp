@@ -40,6 +40,86 @@ struct BindingCache {
   std::shared_ptr<const uts::MarshalPlan> reply_plan;
 };
 
+// --- The fault-tolerant call surface ----------------------------------------
+//
+// The original API threw transport exceptions out of the bowels of the
+// stack; the redesigned surface makes failure typed and first-class:
+// callers pass CallOptions (deadline, retry budget, backoff, failover
+// target) and receive a CallResult (util::Status + values + a per-attempt
+// trace). The legacy throwing signatures remain as thin shims over the
+// same engine during migration.
+
+/// Exponential retry backoff. The jitter draw is deterministic: it is
+/// derived (hashed) from the caller's virtual clock and the attempt
+/// number, so a seeded simulation replays the identical schedule.
+struct BackoffPolicy {
+  util::SimTime initial_us = 1000;  ///< first retry delay (0 = no backoff)
+  double multiplier = 2.0;
+  util::SimTime max_us = 250000;
+  double jitter = 0.25;             ///< +- fraction of the delay
+};
+
+struct CallOptions {
+  /// Total virtual-time budget for the call, binding and retries
+  /// included. 0 = no deadline: every transport wait blocks forever, as
+  /// the pre-fault-tolerance runtime did.
+  util::SimTime deadline_us = 0;
+  /// Per-attempt virtual budget; 0 splits the remaining deadline evenly
+  /// over the remaining attempts.
+  util::SimTime attempt_timeout_us = 0;
+  /// Attempts in total (first try included). The engine always re-tries
+  /// dead-address and stale-binding failures (the request never ran);
+  /// *timeouts* are ambiguous and re-tried only when `idempotent`.
+  int max_attempts = 2;
+  BackoffPolicy backoff;
+  /// The request may safely execute more than once; allows retry after a
+  /// timeout, when the first send might have been served already.
+  bool idempotent = false;
+  /// When set and every attempt found the procedure's process dead, ask
+  /// the Manager to sch_move the procedure to this machine and try once
+  /// more — migration-based failover (§4.2's extension turned recovery).
+  std::string failover_machine;
+  /// Host-time wait per transport exchange used to *detect* lost frames;
+  /// only meaningful when deadline_us > 0. Virtual-time accounting stays
+  /// deterministic regardless of this value.
+  int host_grace_ms = 50;
+
+  /// The shim options reproducing the legacy throwing call exactly:
+  /// no deadline, one stale/dead-address retry, no backoff sleep.
+  static CallOptions legacy();
+};
+
+/// One attempt's outcome in the CallResult trace.
+struct CallAttempt {
+  int number = 1;             ///< 1-based
+  std::string address;        ///< binding the attempt was sent to
+  util::Status status;
+  util::SimTime backoff_us = 0;  ///< backoff slept before this attempt
+  util::SimTime virtual_us = 0;  ///< virtual time the attempt consumed
+};
+
+/// What a call produced: a Status instead of a throw, the values on
+/// success, and the per-attempt trace for diagnostics and tests.
+struct CallResult {
+  util::Status status;
+  /// Import-signature-parallel slots; valid only when ok(). val slots
+  /// keep the caller's arguments, res/var slots carry results.
+  uts::ValueList values;
+  std::vector<CallAttempt> attempts;
+  bool failed_over = false;      ///< migration-based failover was used
+  util::SimTime virtual_us = 0;  ///< total virtual time of the call
+
+  bool ok() const { return status.is_ok(); }
+  int attempt_count() const { return static_cast<int>(attempts.size()); }
+
+  /// Legacy bridge: the values on success, or the status re-raised as
+  /// its original Error subclass.
+  uts::ValueList& values_or_raise() {
+    status.raise_if_error();
+    return values;
+  }
+};
+
 struct CallCore {
   MessageIo* io = nullptr;
   std::string manager;
@@ -50,31 +130,48 @@ struct CallCore {
   /// The caller's virtual clock; when set, per-call simulated latency is
   /// recorded into the rpc.client.virtual_latency_us histogram.
   const util::VirtualClock* clock = nullptr;
+  /// Virtual-time sleep billed for backoff waits and timed-out transport
+  /// waits (may be empty; typically advances the caller's clock).
+  std::function<void(util::SimTime)> sleep;
 
-  /// Resolve `name` through the Manager (filling `cache`), then perform
-  /// one call. On a stale binding the cache is refreshed and the call
-  /// retried once. Returns the full import-signature-parallel value list:
-  /// val slots keep the caller's arguments, res/var slots carry results.
+  /// The one call engine. Resolves `name` through the Manager (filling
+  /// `cache`), marshals once, then drives the attempt loop: deadline
+  /// enforcement at the transport wait, stale-binding rebind, exponential
+  /// backoff, and migration-based failover per `opts`. Never throws for
+  /// transport or peer failures — they come back as CallResult.status.
+  CallResult invoke(const std::string& name, const uts::ProcDecl& import_decl,
+                    const std::string& import_text, uts::ValueList args,
+                    BindingCache& cache, const CallOptions& opts) const;
+
+  /// Asynchronous variant of the same engine: runs invoke() on a worker
+  /// so independent remote evaluations overlap on the wire. The CallCore
+  /// is captured by value; `cache` must outlive the future. One in-flight
+  /// call per MessageIo endpoint: callers overlap calls across *different*
+  /// lines/clients (each placed component owns its own), never on one —
+  /// reply sequence matching on a shared endpoint is single-caller.
+  std::future<CallResult> invoke_async(const std::string& name,
+                                       const uts::ProcDecl& import_decl,
+                                       const std::string& import_text,
+                                       uts::ValueList args, BindingCache& cache,
+                                       const CallOptions& opts) const;
+
+  /// Legacy throwing shim over invoke(..., CallOptions::legacy()).
   uts::ValueList invoke(const std::string& name,
                         const uts::ProcDecl& import_decl,
                         const std::string& import_text, uts::ValueList args,
                         BindingCache& cache) const;
 
-  /// Asynchronous call seam: runs invoke() on a detached worker so
-  /// independent remote evaluations overlap on the wire. The CallCore is
-  /// captured by value; `cache` must outlive the future. One in-flight
-  /// call per MessageIo endpoint: callers overlap calls across *different*
-  /// lines/clients (each placed component owns its own), never on one —
-  /// reply sequence matching on a shared endpoint is single-caller.
+  /// Legacy throwing async shim.
   std::future<uts::ValueList> invoke_async(const std::string& name,
                                            const uts::ProcDecl& import_decl,
                                            const std::string& import_text,
                                            uts::ValueList args,
                                            BindingCache& cache) const;
 
-  /// Just the bind step (used by benches isolating lookup cost).
+  /// Just the bind step (used by benches isolating lookup cost). With
+  /// `host_grace_ms` > 0 the Manager exchange is deadline-bounded.
   void bind(const std::string& name, const std::string& import_text,
-            BindingCache& cache) const;
+            BindingCache& cache, int host_grace_ms = 0) const;
 };
 
 }  // namespace npss::rpc

@@ -97,29 +97,44 @@ CallCore SchoonerClient::call_core() {
         us / std::max(endpoint_->arch().cpu_speed, 1e-6)));
   };
   core.clock = &endpoint_->clock();
+  core.sleep = [this](util::SimTime us) { endpoint_->clock().advance(us); };
   return core;
 }
 
-uts::ValueList SchoonerClient::invoke(RemoteProc& proc, uts::ValueList args) {
+CallResult SchoonerClient::invoke(RemoteProc& proc, uts::ValueList args,
+                                  const CallOptions& opts) {
   if (line_ == kNoLine) {
     throw util::ShutdownError("line already quit");
   }
   return call_core().invoke(proc.name_, proc.decl_, proc.import_text_,
-                            std::move(args), proc.cache_);
+                            std::move(args), proc.cache_, opts);
 }
 
-uts::ValueList RemoteProc::call(uts::ValueList args) {
+CallResult RemoteProc::call(uts::ValueList args, const CallOptions& opts) {
   calls_.add();
-  return owner_->invoke(*this, std::move(args));
+  return owner_->invoke(*this, std::move(args), opts);
 }
 
-std::future<uts::ValueList> RemoteProc::call_async(uts::ValueList args) {
+std::future<CallResult> RemoteProc::call_async(uts::ValueList args,
+                                               const CallOptions& opts) {
   if (owner_->line_ == kNoLine) {
     throw util::ShutdownError("line already quit");
   }
   calls_.add();
   return owner_->call_core().invoke_async(name_, decl_, import_text_,
-                                          std::move(args), cache_);
+                                          std::move(args), cache_, opts);
+}
+
+uts::ValueList RemoteProc::call(uts::ValueList args) {
+  return call(std::move(args), options_).values_or_raise();
+}
+
+std::future<uts::ValueList> RemoteProc::call_async(uts::ValueList args) {
+  std::future<CallResult> inner = call_async(std::move(args), options_);
+  return std::async(std::launch::deferred,
+                    [inner = std::move(inner)]() mutable {
+                      return std::move(inner.get().values_or_raise());
+                    });
 }
 
 util::SimTime RemoteProc::ping() {

@@ -24,17 +24,34 @@ class SchoonerClient;
 /// have generated from the import specification).
 class RemoteProc {
  public:
-  /// Invoke the procedure. `args` is parallel to the import signature;
-  /// res-slot inputs are ignored. Returns the full slot list with res/var
+  /// Fault-tolerant invoke: `args` is parallel to the import signature
+  /// (res-slot inputs are ignored), `opts` carries the deadline/retry/
+  /// failover policy. Failure comes back typed in CallResult.status —
+  /// this overload does not throw for transport or peer errors.
+  CallResult call(uts::ValueList args, const CallOptions& opts);
+
+  /// Overlapping fault-tolerant invoke: the call runs on a worker thread
+  /// and the caller collects the CallResult from the future. The owning
+  /// client's endpoint serves one call at a time, so overlap calls on
+  /// *different* stubs of *different* clients (as the flow executive does
+  /// for independent remote components) — not two async calls on one
+  /// client.
+  std::future<CallResult> call_async(uts::ValueList args,
+                                     const CallOptions& opts);
+
+  /// Legacy throwing invoke: routes through the same engine with this
+  /// stub's default options and raises the terminal status as its
+  /// original Error subclass. Returns the full slot list with res/var
   /// slots holding the results.
   uts::ValueList call(uts::ValueList args);
 
-  /// Overlapping invoke: the call runs on a worker thread and the caller
-  /// collects the result from the future. The owning client's endpoint
-  /// serves one call at a time, so overlap calls on *different* stubs of
-  /// *different* clients (as the flow executive does for independent
-  /// remote components) — not two async calls on one client.
+  /// Legacy throwing async variant.
   std::future<uts::ValueList> call_async(uts::ValueList args);
+
+  /// Default CallOptions used by the legacy throwing surface (initially
+  /// CallOptions::legacy(), i.e. the historical one-rebind retry loop).
+  void set_call_options(CallOptions opts) { options_ = std::move(opts); }
+  const CallOptions& call_options() const { return options_; }
 
   const std::string& name() const { return name_; }
   const uts::Signature& signature() const { return decl_.signature; }
@@ -78,6 +95,7 @@ class RemoteProc {
   std::string name_;
   uts::ProcDecl decl_;
   std::string import_text_;
+  CallOptions options_ = CallOptions::legacy();
   BindingCache cache_;
   obs::Counter calls_;
 };
@@ -131,7 +149,10 @@ class SchoonerClient {
 
  private:
   friend class RemoteProc;
-  uts::ValueList invoke(RemoteProc& proc, uts::ValueList args);
+  /// The one invoke path every RemoteProc surface (sync/async, throwing/
+  /// status-returning) funnels through.
+  CallResult invoke(RemoteProc& proc, uts::ValueList args,
+                    const CallOptions& opts);
   CallCore call_core();
 
   sim::Cluster* cluster_;

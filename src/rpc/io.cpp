@@ -1,5 +1,8 @@
 #include "rpc/io.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "obs/metrics.hpp"
 #include "util/log.hpp"
 
@@ -18,7 +21,46 @@ Message decode_counted(std::span<const std::uint8_t> payload) {
   return decode_message(payload);
 }
 
+/// Kinds only ever sent in response to one of *our* requests — their seq
+/// lives in this endpoint's numbering space, so the abandoned-seq filter
+/// applies. Requests and one-way orders carry the *sender's* seq and must
+/// never be filtered.
+bool is_reply_kind(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kLineAck:
+    case MessageKind::kStartAck:
+    case MessageKind::kSpawnAck:
+    case MessageKind::kExportAck:
+    case MessageKind::kLookupAck:
+    case MessageKind::kReply:
+    case MessageKind::kQuitAck:
+    case MessageKind::kMoveAck:
+    case MessageKind::kStateReply:
+    case MessageKind::kStateAck:
+    case MessageKind::kPong:
+    case MessageKind::kError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr std::size_t kMaxAbandoned = 4096;
+
 }  // namespace
+
+bool MessageIo::abandoned_reply(const Message& msg) const {
+  return is_reply_kind(msg.kind) && abandoned_.contains(msg.seq);
+}
+
+void MessageIo::mark_abandoned(std::uint64_t seq) {
+  abandoned_.insert(seq);
+  // Seqs are monotone, so the smallest entry is the oldest exchange; a
+  // straggler for it would long since have arrived.
+  while (abandoned_.size() > kMaxAbandoned) {
+    abandoned_.erase(abandoned_.begin());
+  }
+}
 
 void MessageIo::send(const std::string& to, Message msg) {
   NPSS_LOG_TRACE("rpc.io", address(), " send ", message_kind_name(msg.kind),
@@ -33,39 +75,76 @@ void MessageIo::send(const std::string& to, Message msg) {
 }
 
 std::optional<Incoming> MessageIo::receive() {
-  if (!stash_.empty()) {
-    Incoming front = std::move(stash_.front());
-    stash_.pop_front();
-    return front;
+  while (true) {
+    if (!stash_.empty()) {
+      Incoming front = std::move(stash_.front());
+      stash_.pop_front();
+      return front;
+    }
+    auto env = endpoint_->receive();
+    if (!env) return std::nullopt;
+    Message msg = decode_counted(env->payload);
+    if (abandoned_reply(msg)) continue;
+    return Incoming{env->from, std::move(msg)};
   }
-  auto env = endpoint_->receive();
-  if (!env) return std::nullopt;
-  return Incoming{env->from, decode_counted(env->payload)};
 }
 
 std::optional<Incoming> MessageIo::try_receive() {
-  if (!stash_.empty()) {
-    Incoming front = std::move(stash_.front());
-    stash_.pop_front();
-    return front;
+  while (true) {
+    if (!stash_.empty()) {
+      Incoming front = std::move(stash_.front());
+      stash_.pop_front();
+      return front;
+    }
+    auto env = endpoint_->try_receive();
+    if (!env) return std::nullopt;
+    Message msg = decode_counted(env->payload);
+    if (abandoned_reply(msg)) continue;
+    return Incoming{env->from, std::move(msg)};
   }
-  auto env = endpoint_->try_receive();
-  if (!env) return std::nullopt;
-  return Incoming{env->from, decode_counted(env->payload)};
 }
 
 Message MessageIo::call(const std::string& to, Message request,
                         bool raise_errors) {
+  return call_impl(to, std::move(request), raise_errors, /*host_grace_ms=*/0);
+}
+
+Message MessageIo::call_within(const std::string& to, Message request,
+                               int host_grace_ms, bool raise_errors) {
+  return call_impl(to, std::move(request), raise_errors,
+                   std::max(host_grace_ms, 1));
+}
+
+Message MessageIo::call_impl(const std::string& to, Message request,
+                             bool raise_errors, int host_grace_ms) {
   request.seq = next_seq();
   const std::uint64_t want = request.seq;
   send(to, std::move(request));
   while (true) {
-    auto env = endpoint_->receive();
+    auto env = host_grace_ms > 0
+                   ? endpoint_->receive_for(
+                         std::chrono::milliseconds(host_grace_ms))
+                   : endpoint_->receive();
     if (!env) {
+      if (host_grace_ms > 0 && !endpoint_->closed()) {
+        // Nothing arrived inside the grace window: the request or its
+        // reply was lost (or the peer died mid-call). Abandon the seq so
+        // a straggler reply cannot be mistaken for later traffic.
+        mark_abandoned(want);
+        throw util::DeadlineError("no reply from '" + to + "' for seq " +
+                                  std::to_string(want) + " within " +
+                                  std::to_string(host_grace_ms) +
+                                  "ms host grace");
+      }
       throw util::ShutdownError("endpoint " + address() +
                                 " closed while awaiting reply");
     }
     Message msg = decode_counted(env->payload);
+    if (abandoned_reply(msg)) {
+      NPSS_LOG_TRACE("rpc.io", address(), " discard late ",
+                     message_kind_name(msg.kind), " seq=", msg.seq);
+      continue;
+    }
     if (msg.seq == want &&
         (msg.kind == MessageKind::kError || env->from == to ||
          msg.kind != MessageKind::kCall)) {
@@ -73,23 +152,12 @@ Message MessageIo::call(const std::string& to, Message request,
       // could coincidentally carry the same seq, so requests that we could
       // be asked to serve (kCall and friends) are stashed, never consumed
       // as replies.
-      switch (msg.kind) {
-        case MessageKind::kCall:
-        case MessageKind::kSpawn:
-        case MessageKind::kLookup:
-        case MessageKind::kStartRequest:
-        case MessageKind::kRegisterLine:
-        case MessageKind::kExport:
-        case MessageKind::kQuit:
-        case MessageKind::kMove:
-        case MessageKind::kStateRequest:
-        case MessageKind::kStateInstall:
-        case MessageKind::kPing:
-          break;  // a request; stash below
-        default: {
-          if (raise_errors) msg.raise_if_error();
-          return msg;
-        }
+      if (is_reply_kind(msg.kind)) {
+        // Mark the finished seq abandoned too: a *duplicated* reply frame
+        // (fault injection) must not linger in the stash.
+        mark_abandoned(want);
+        if (raise_errors) msg.raise_if_error();
+        return msg;
       }
     }
     NPSS_LOG_TRACE("rpc.io", address(), " stash ",

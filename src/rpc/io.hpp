@@ -8,6 +8,7 @@
 
 #include <deque>
 #include <optional>
+#include <set>
 
 #include "rpc/message.hpp"
 #include "sim/cluster.hpp"
@@ -48,16 +49,33 @@ class MessageIo {
   Message call(const std::string& to, Message request,
                bool raise_errors = true);
 
+  /// Deadline-enforcing variant: like call(), but gives up once no frame
+  /// has arrived for `host_grace_ms` of *host* time — the only way a
+  /// dropped request or reply frame is ever noticed. On timeout the seq
+  /// is marked abandoned (a late or duplicated reply is discarded instead
+  /// of corrupting a later exchange) and util::DeadlineError is thrown.
+  Message call_within(const std::string& to, Message request,
+                      int host_grace_ms, bool raise_errors = true);
+
   /// kPing round trip to `to`. Returns the virtual-time RTT in simulated
   /// microseconds and records it into the rpc.transport.rtt_us histogram,
   /// letting benches split network time from marshal time.
   util::SimTime ping(const std::string& to);
 
  private:
+  Message call_impl(const std::string& to, Message request, bool raise_errors,
+                    int host_grace_ms);
+  /// True when `msg` is a late/duplicated reply to a seq this endpoint
+  /// already finished with (timed out or served) — such frames are
+  /// dropped, never stashed.
+  bool abandoned_reply(const Message& msg) const;
+  void mark_abandoned(std::uint64_t seq);
+
   sim::Cluster* cluster_;
   sim::EndpointPtr endpoint_;
   std::deque<Incoming> stash_;
   std::uint64_t seq_ = 0;
+  std::set<std::uint64_t> abandoned_;
 };
 
 }  // namespace npss::rpc

@@ -404,12 +404,24 @@ class ManagerState {
     const std::string old_address = binding->address;
 
     // 1. Capture state if requested (the planned UTS state-list extension).
+    //    A crashed or unreachable source must not abort the move — that is
+    //    exactly when failover needs it — so capture is best-effort: the
+    //    replacement simply starts from its initial state.
     std::optional<util::Bytes> state;
     if (transfer_state) {
       Message req;
       req.kind = MessageKind::kStateRequest;
-      Message rep = io_.call(old_address, std::move(req));
-      state = rep.blob;
+      try {
+        Message rep = io_.call_within(old_address, std::move(req),
+                                      /*host_grace_ms=*/250);
+        state = rep.blob;
+      } catch (const util::NoRouteError& e) {
+        NPSS_LOG_WARN("manager", "move '", msg.a, "': source ", old_address,
+                      " is gone, moving without state (", e.what(), ")");
+      } catch (const util::DeadlineError& e) {
+        NPSS_LOG_WARN("manager", "move '", msg.a, "': source ", old_address,
+                      " unresponsive, moving without state (", e.what(), ")");
+      }
     }
 
     // 2. Shut down the original process.

@@ -3,13 +3,18 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include <cerrno>
 
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -144,6 +149,22 @@ bool TcpConnection::receive(Message& msg) {
   }
   msg = decode_message(frame);
   return true;
+}
+
+bool TcpConnection::receive_within(Message& msg, int timeout_ms) {
+  if (timeout_ms > 0) {
+    struct pollfd pfd{fd_, POLLIN, 0};
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      throw util::DeadlineError("no tcp reply within " +
+                                std::to_string(timeout_ms) + "ms");
+    }
+    if (rc < 0) throw CallError("poll() failed on tcp connection");
+  }
+  return receive(msg);
 }
 
 void TcpConnection::close() {
@@ -306,6 +327,8 @@ TcpRemoteProc::TcpRemoteProc(const std::string& host, int port,
                              const std::string& import_spec_text,
                              const std::string& arch_key)
     : conn_(TcpConnection::connect(host, port)),
+      host_(host),
+      port_(port),
       name_(name),
       arch_(&arch::arch_catalog(arch_key)) {
   uts::SpecFile spec = uts::parse_spec(import_spec_text);
@@ -315,40 +338,122 @@ TcpRemoteProc::TcpRemoteProc(const std::string& host, int port,
   calls_by_name_ = &obs::Registry::global().counter("rpc.client.calls." + name_);
 }
 
-uts::ValueList TcpRemoteProc::call(uts::ValueList args) {
+CallResult TcpRemoteProc::call(uts::ValueList args, const CallOptions& opts) {
+  using clock_type = std::chrono::steady_clock;
+  CallResult result;
   const uts::Signature& sig = decl_.signature;
   if (args.size() != sig.size()) {
-    throw util::TypeMismatchError("tcp call: argument count mismatch");
+    result.status = util::Status(util::ErrorCode::kTypeMismatch,
+                                 "tcp call: argument count mismatch");
+    return result;
   }
   obs::Span span("rpc.client", span_label_);
-  Message msg;
-  msg.kind = MessageKind::kCall;
-  msg.seq = ++seq_;
-  msg.a = name_;
-  msg.b = import_text_;
-  msg.blob = uts::marshal(*arch_, sig, args, uts::Direction::kRequest);
-  msg.trace = span.context();
-  conn_->send(msg);
-  Message reply;
-  if (!conn_->receive(reply)) {
-    throw CallError("tcp peer closed during call to '" + name_ + "'");
-  }
-  reply.raise_if_error();
-  if (obs::enabled()) {
-    TcpMetrics& m = tcp_metrics();
-    m.client_calls.add();
-    calls_by_name_->add();
-    m.client_bytes_marshaled.add(msg.blob.size() + reply.blob.size());
-    m.client_latency_us.record(span.elapsed_us());
-  }
-  uts::ValueList results =
-      uts::unmarshal(*arch_, sig, reply.blob, uts::Direction::kReply);
-  for (std::size_t i = 0; i < sig.size(); ++i) {
-    if (!uts::param_travels(sig[i].mode, uts::Direction::kReply)) {
-      results[i] = std::move(args[i]);
+  const auto start = clock_type::now();
+  const bool deadlined = opts.deadline_us > 0;
+  const auto deadline =
+      deadlined ? start + std::chrono::microseconds(opts.deadline_us)
+                : clock_type::time_point::max();
+  const int max_attempts = std::max(opts.max_attempts, 1);
+  util::Bytes blob = uts::marshal(*arch_, sig, args, uts::Direction::kRequest);
+
+  for (int n = 1; n <= max_attempts; ++n) {
+    CallAttempt attempt;
+    attempt.number = n;
+    attempt.address = host_ + ":" + std::to_string(port_);
+    if (clock_type::now() >= deadline) {
+      result.status = util::Status(
+          util::ErrorCode::kDeadlineExceeded,
+          "tcp call to '" + name_ + "': deadline exhausted after " +
+              std::to_string(result.attempts.size()) + " attempt(s)");
+      break;
     }
+    if (n > 1 && opts.backoff.initial_us > 0) {
+      auto wait = std::chrono::microseconds(std::min<util::SimTime>(
+          static_cast<util::SimTime>(
+              static_cast<double>(opts.backoff.initial_us) *
+              std::pow(std::max(opts.backoff.multiplier, 1.0), n - 2)),
+          opts.backoff.max_us));
+      attempt.backoff_us = wait.count();
+      std::this_thread::sleep_for(wait);
+    }
+    bool retryable = false;
+    try {
+      if (!conn_) conn_ = TcpConnection::connect(host_, port_);
+      obs::Span attempt_span("rpc.client", "attempt " + std::to_string(n));
+      Message msg;
+      msg.kind = MessageKind::kCall;
+      msg.seq = ++seq_;
+      msg.a = name_;
+      msg.b = import_text_;
+      msg.blob = blob;
+      msg.trace = attempt_span.context();
+      conn_->send(msg);
+      int wait_ms = 0;
+      if (deadlined) {
+        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - clock_type::now());
+        wait_ms = std::max<int>(static_cast<int>(left.count()), 1);
+      }
+      Message reply;
+      if (!conn_->receive_within(reply, wait_ms)) {
+        throw CallError("tcp peer closed during call to '" + name_ + "'");
+      }
+      if (reply.is_error()) {
+        attempt.status = util::Status(static_cast<util::ErrorCode>(reply.n),
+                                      reply.a);
+        result.attempts.push_back(attempt);
+        result.status = attempt.status;
+        break;  // the peer executed and refused: terminal
+      }
+      if (obs::enabled()) {
+        TcpMetrics& m = tcp_metrics();
+        m.client_calls.add();
+        calls_by_name_->add();
+        m.client_bytes_marshaled.add(blob.size() + reply.blob.size());
+        m.client_latency_us.record(span.elapsed_us());
+      }
+      uts::ValueList results =
+          uts::unmarshal(*arch_, sig, reply.blob, uts::Direction::kReply);
+      for (std::size_t i = 0; i < sig.size(); ++i) {
+        if (!uts::param_travels(sig[i].mode, uts::Direction::kReply)) {
+          results[i] = std::move(args[i]);
+        }
+      }
+      attempt.status = util::Status::ok();
+      result.attempts.push_back(attempt);
+      result.status = util::Status::ok();
+      result.values = std::move(results);
+      return result;
+    } catch (const util::DeadlineError& e) {
+      // The socket now holds an unconsumed (late) reply for this seq;
+      // drop the connection so the next attempt starts clean.
+      attempt.status = util::Status::from(e);
+      conn_.reset();
+      retryable = opts.idempotent;
+    } catch (const CallError& e) {
+      attempt.status = util::Status::from(e);
+      conn_.reset();
+      retryable = true;  // reconnect replaces the Manager rebind here
+    } catch (const util::Error& e) {
+      attempt.status = util::Status::from(e);
+    }
+    result.attempts.push_back(attempt);
+    result.status = attempt.status;
+    if (!retryable) break;
   }
-  return results;
+  if (result.status.is_ok()) {
+    result.status = util::Status(
+        util::ErrorCode::kDeadlineExceeded,
+        "tcp call to '" + name_ + "': no attempt possible within deadline");
+  }
+  return result;
+}
+
+uts::ValueList TcpRemoteProc::call(uts::ValueList args) {
+  CallOptions opts = CallOptions::legacy();
+  opts.max_attempts = 1;  // the original stub made exactly one attempt
+  CallResult result = call(std::move(args), opts);
+  return std::move(result.values_or_raise());
 }
 
 double TcpRemoteProc::ping_us() {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "arch/arch.hpp"
+#include "rpc/calling.hpp"
 #include "rpc/host.hpp"
 #include "rpc/message.hpp"
 
@@ -43,6 +44,9 @@ class TcpConnection {
   void send(const Message& msg);
   /// Blocking receive; returns false on orderly peer close.
   bool receive(Message& msg);
+  /// Like receive(), but throws util::DeadlineError when no data is
+  /// readable within `timeout_ms` of real time (0 = block forever).
+  bool receive_within(Message& msg, int timeout_ms);
 
   void close();
   int fd() const { return fd_; }
@@ -102,7 +106,15 @@ class TcpRemoteProc {
                 const std::string& import_spec_text,
                 const std::string& arch_key);
 
-  /// Same contract as RemoteProc::call.
+  /// Fault-tolerant invoke, mirroring RemoteProc::call(args, opts) on the
+  /// real transport: deadline_us counts *real* microseconds, retries
+  /// reconnect the socket (there is no Manager to rebind through), and a
+  /// timeout tears the connection down so a straggler reply can never be
+  /// matched to a later seq. failover_machine is ignored.
+  CallResult call(uts::ValueList args, const CallOptions& opts);
+
+  /// Same contract as RemoteProc::call (legacy throwing surface: one
+  /// attempt, no deadline).
   uts::ValueList call(uts::ValueList args);
 
   /// Measure a kPing/kPong round trip over the live connection, in real
@@ -114,6 +126,8 @@ class TcpRemoteProc {
 
  private:
   std::unique_ptr<TcpConnection> conn_;
+  std::string host_;
+  int port_ = 0;
   std::string name_;
   uts::ProcDecl decl_;
   std::string import_text_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace npss::sim {
@@ -189,6 +190,31 @@ void Cluster::retire_endpoint(const std::string& address) {
   ep->close();
 }
 
+void Cluster::crash_process(const std::string& address) {
+  {
+    std::lock_guard lock(mu_);
+    if (!endpoints_.contains(address)) return;
+    ++crashes_;
+  }
+  NPSS_LOG_WARN("sim", "crash injected: process ", address, " killed");
+  if (obs::enabled()) {
+    obs::Registry::global().counter("sim.fault.crashes").add();
+  }
+  retire_endpoint(address);
+}
+
+int Cluster::crash_machine(const std::string& machine) {
+  std::vector<std::string> victims;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [addr, ep] : endpoints_) {
+      if (ep->machine().name == machine) victims.push_back(addr);
+    }
+  }
+  for (const std::string& addr : victims) crash_process(addr);
+  return static_cast<int>(victims.size());
+}
+
 bool Cluster::endpoint_alive(const std::string& address) const {
   std::lock_guard lock(mu_);
   return endpoints_.contains(address);
@@ -208,8 +234,8 @@ void Cluster::send(Endpoint& from, const std::string& to,
   }
   link = &route(from.machine(), dest->machine());
   const std::size_t size = payload.size();
-  const util::SimTime stamp =
-      from.clock().now() + link->transfer_time(size);
+  util::SimTime stamp = from.clock().now() + link->transfer_time(size);
+  FaultAction action = FaultAction::kDeliver;
   {
     std::lock_guard lock(mu_);
     ++traffic_.messages;
@@ -217,9 +243,30 @@ void Cluster::send(Endpoint& from, const std::string& to,
     Traffic& per_link = traffic_by_link_[link->name];
     ++per_link.messages;
     per_link.bytes += size;
+    if (faults_.active()) {
+      util::SimTime extra = 0;
+      action = faults_.next(link->name, &extra);
+      if (action == FaultAction::kDelay) stamp += extra;
+    }
+  }
+  if (action != FaultAction::kDeliver && obs::enabled()) {
+    obs::Registry::global()
+        .counter(std::string("sim.fault.") +
+                 std::string(fault_action_name(action)))
+        .add();
+  }
+  if (action == FaultAction::kDrop) {
+    // The frame vanishes on the wire: the sender paid the send, the
+    // receiver never hears about it. Callers recover via deadlines.
+    NPSS_LOG_DEBUG("sim", from.address(), " -> ", to, " DROPPED on ",
+                   link->name);
+    return;
   }
   NPSS_LOG_TRACE("sim", from.address(), " -> ", to, " (", size, " bytes via ",
                  link->name, ")");
+  if (action == FaultAction::kDuplicate) {
+    dest->inbox_.push(Envelope{from.address(), to, stamp, payload});
+  }
   if (!dest->inbox_.push(
           Envelope{from.address(), to, stamp, std::move(payload)})) {
     throw NoRouteError("endpoint '" + to + "' is closed");
@@ -252,6 +299,33 @@ void Cluster::reset_traffic() {
   std::lock_guard lock(mu_);
   traffic_ = {};
   traffic_by_link_.clear();
+}
+
+void Cluster::set_fault_seed(std::uint64_t seed) {
+  std::lock_guard lock(mu_);
+  faults_.set_seed(seed);
+}
+
+void Cluster::set_link_faults(const std::string& link_name,
+                              const FaultSpec& spec) {
+  std::lock_guard lock(mu_);
+  faults_.set_link_faults(link_name, spec);
+}
+
+void Cluster::clear_faults() {
+  std::lock_guard lock(mu_);
+  faults_.clear();
+  faults_.reset_stats();
+}
+
+FaultInjector::Stats Cluster::fault_stats() const {
+  std::lock_guard lock(mu_);
+  return faults_.stats();
+}
+
+std::uint64_t Cluster::crashes() const {
+  std::lock_guard lock(mu_);
+  return crashes_;
 }
 
 }  // namespace npss::sim

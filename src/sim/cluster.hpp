@@ -72,6 +72,16 @@ class Endpoint {
     return env;
   }
 
+  /// Receive bounded by *host* time — the detection mechanism behind call
+  /// deadlines: a dropped frame means the matching reply will never
+  /// arrive, and the host-side wait is how the caller notices. Returns
+  /// nullopt on timeout or once closed and drained (check closed()).
+  std::optional<Envelope> receive_for(std::chrono::milliseconds timeout) {
+    auto env = inbox_.pop_for(timeout);
+    if (env) clock_.join(env->stamp);
+    return env;
+  }
+
   void close() { inbox_.close(); }
   bool closed() const { return inbox_.closed(); }
 
@@ -165,6 +175,16 @@ class Cluster {
   /// sends to the address fail). Idempotent.
   void retire_endpoint(const std::string& address);
 
+  /// Kill a process without any protocol goodbye: the mailbox closes,
+  /// queued traffic is lost, in-flight callers see NoRouteError on their
+  /// next send and silence on their current wait — the Server-crash event
+  /// the fault-tolerant call path must survive. Idempotent.
+  void crash_process(const std::string& address);
+
+  /// Crash every process whose endpoint lives on `machine` (a whole-host
+  /// failure). Returns the number of processes killed.
+  int crash_machine(const std::string& machine);
+
   bool endpoint_alive(const std::string& address) const;
 
   // --- Messaging ----------------------------------------------------------
@@ -187,6 +207,16 @@ class Cluster {
   std::map<std::string, Traffic> traffic_by_link() const;
   void reset_traffic();
 
+  // --- Fault injection ----------------------------------------------------
+  /// Seed the deterministic fault schedule (resets schedule positions).
+  void set_fault_seed(std::uint64_t seed);
+  /// Inject faults on every frame carried by the named link profile.
+  void set_link_faults(const std::string& link_name, const FaultSpec& spec);
+  void clear_faults();
+  FaultInjector::Stats fault_stats() const;
+  /// Crashes delivered through crash_process()/crash_machine() so far.
+  std::uint64_t crashes() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, Machine> machines_;
@@ -200,6 +230,8 @@ class Cluster {
   std::uint64_t next_pid_ = 1;
   Traffic traffic_;
   std::map<std::string, Traffic> traffic_by_link_;
+  FaultInjector faults_;
+  std::uint64_t crashes_ = 0;
 };
 
 }  // namespace npss::sim

@@ -37,4 +37,98 @@ std::vector<std::string> link_profile_keys() {
   return keys;
 }
 
+std::string_view fault_action_name(FaultAction action) {
+  switch (action) {
+    case FaultAction::kDeliver: return "deliver";
+    case FaultAction::kDrop: return "drop";
+    case FaultAction::kDuplicate: return "duplicate";
+    case FaultAction::kDelay: return "delay";
+  }
+  return "?";
+}
+
+namespace {
+
+// SplitMix64: decision i on link L is hash(seed, L, i) — no stored RNG
+// state, so lookahead and replay are trivially consistent.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_name(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+double uniform01(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+FaultAction classify(const FaultSpec& spec, double u) {
+  if (u < spec.drop_rate) return FaultAction::kDrop;
+  u -= spec.drop_rate;
+  if (u < spec.duplicate_rate) return FaultAction::kDuplicate;
+  u -= spec.duplicate_rate;
+  if (u < spec.delay_rate) return FaultAction::kDelay;
+  return FaultAction::kDeliver;
+}
+
+}  // namespace
+
+void FaultInjector::set_seed(std::uint64_t seed) {
+  seed_ = seed;
+  position_.clear();
+}
+
+void FaultInjector::set_link_faults(const std::string& link_name,
+                                    const FaultSpec& spec) {
+  if (spec.active()) {
+    specs_[link_name] = spec;
+  } else {
+    specs_.erase(link_name);
+  }
+}
+
+void FaultInjector::clear() {
+  specs_.clear();
+  position_.clear();
+}
+
+FaultAction FaultInjector::decision_at(const std::string& link_name,
+                                       std::uint64_t index) const {
+  auto it = specs_.find(link_name);
+  if (it == specs_.end()) return FaultAction::kDeliver;
+  const std::uint64_t bits = mix64(seed_ ^ hash_name(link_name) ^
+                                   mix64(index));
+  return classify(it->second, uniform01(bits));
+}
+
+FaultAction FaultInjector::next(const std::string& link_name,
+                                util::SimTime* delay_us) {
+  auto it = specs_.find(link_name);
+  if (it == specs_.end()) {
+    ++stats_.delivered;
+    return FaultAction::kDeliver;
+  }
+  const std::uint64_t index = position_[link_name]++;
+  const FaultAction action = decision_at(link_name, index);
+  switch (action) {
+    case FaultAction::kDeliver: ++stats_.delivered; break;
+    case FaultAction::kDrop: ++stats_.dropped; break;
+    case FaultAction::kDuplicate: ++stats_.duplicated; break;
+    case FaultAction::kDelay:
+      ++stats_.delayed;
+      if (delay_us) *delay_us = it->second.delay_us;
+      break;
+  }
+  return action;
+}
+
 }  // namespace npss::sim

@@ -9,6 +9,8 @@
 // reproduce.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -39,5 +41,80 @@ struct LinkProfile {
 const LinkProfile& link_profile(std::string_view key);
 
 std::vector<std::string> link_profile_keys();
+
+// --- Fault injection ---------------------------------------------------------
+//
+// The paper's testbed ran over a 1993 campus backbone and the NSFNET —
+// links that dropped, duplicated, and delayed frames as a matter of
+// course. A FaultSpec attaches those behaviours to a LinkProfile (keyed
+// by profile name); the FaultInjector turns them into a *deterministic*
+// schedule: decision i for link L under seed S is a pure function of
+// (S, L, i), so two runs with the same seed and the same per-link send
+// order face the identical fault sequence.
+
+/// What can happen to one frame on a faulty link.
+enum class FaultAction : std::uint8_t {
+  kDeliver = 0,  ///< frame passes untouched
+  kDrop,         ///< frame vanishes (sender keeps waiting)
+  kDuplicate,    ///< frame arrives twice
+  kDelay,        ///< frame arrives late by FaultSpec::delay_us
+};
+
+std::string_view fault_action_name(FaultAction action);
+
+/// Per-link fault rates. Rates are probabilities in [0,1] evaluated in
+/// order drop -> duplicate -> delay over one uniform draw, so their sum
+/// should stay <= 1.
+struct FaultSpec {
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double delay_rate = 0.0;
+  util::SimTime delay_us = 0;  ///< added to the stamp when delayed
+
+  bool active() const {
+    return drop_rate > 0.0 || duplicate_rate > 0.0 || delay_rate > 0.0;
+  }
+};
+
+/// Deterministic, seeded per-link fault schedule. Thread-compatible but
+/// not thread-safe: the Cluster consults it under its own lock.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0) : seed_(seed) {}
+
+  void set_seed(std::uint64_t seed);
+  std::uint64_t seed() const { return seed_; }
+
+  /// Attach `spec` to every frame carried by the named link profile.
+  void set_link_faults(const std::string& link_name, const FaultSpec& spec);
+  void clear();
+  bool active() const { return !specs_.empty(); }
+
+  /// Decide the fate of the next frame on `link_name`, advancing that
+  /// link's schedule position. `delay_us` receives the extra stamp delay
+  /// for kDelay decisions.
+  FaultAction next(const std::string& link_name, util::SimTime* delay_us);
+
+  /// Pure lookahead used by determinism tests: the decision the injector
+  /// would make at schedule position `index` of `link_name`, without
+  /// advancing anything.
+  FaultAction decision_at(const std::string& link_name,
+                          std::uint64_t index) const;
+
+  struct Stats {
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t delayed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::map<std::string, FaultSpec> specs_;
+  std::map<std::string, std::uint64_t> position_;
+  Stats stats_;
+};
 
 }  // namespace npss::sim

@@ -2,6 +2,7 @@
 // as its mailbox; closing it is how a process is told to stop listening.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -33,6 +34,18 @@ class BlockingQueue {
   std::optional<T> pop() {
     std::unique_lock lock(mu_);
     cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Block until an item is available, the queue is closed and drained,
+  /// or `timeout` elapses. A nullopt therefore means "closed" or "timed
+  /// out"; callers that need to tell them apart check closed().
+  std::optional<T> pop_for(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mu_);
+    cv_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();

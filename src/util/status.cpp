@@ -23,6 +23,9 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kWidgetError: return "widget-error";
     case ErrorCode::kConvergenceFailure: return "convergence-failure";
     case ErrorCode::kModelError: return "model-error";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kOk: return "ok";
   }
   return "unknown";
 }
@@ -47,9 +50,17 @@ void raise_error(ErrorCode code, const std::string& message) {
     case ErrorCode::kWidgetError: throw WidgetError(message);
     case ErrorCode::kConvergenceFailure: throw ConvergenceError(message);
     case ErrorCode::kModelError: throw ModelError(message);
+    case ErrorCode::kDeadlineExceeded: throw DeadlineError(message);
+    case ErrorCode::kUnavailable: throw UnavailableError(message);
+    case ErrorCode::kOk: break;
     case ErrorCode::kUnknown: break;
   }
   throw Error(code, message);
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  return std::string(error_code_name(code_)) + ": " + message_;
 }
 
 }  // namespace npss::util

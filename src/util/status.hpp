@@ -39,6 +39,11 @@ enum class ErrorCode {
   // TESS
   kConvergenceFailure,
   kModelError,
+  // Fault-tolerant call path (appended; wire-encoded as integers, so new
+  // codes must only ever be added at the end)
+  kDeadlineExceeded, ///< call deadline elapsed before a reply arrived
+  kUnavailable,      ///< peer unreachable after every recovery attempt
+  kOk,               ///< success sentinel for Status (never thrown)
 };
 
 /// Human-readable name for an ErrorCode (used in messages and logs).
@@ -84,6 +89,8 @@ NPSS_DEFINE_ERROR(GraphError, kGraphError);
 NPSS_DEFINE_ERROR(WidgetError, kWidgetError);
 NPSS_DEFINE_ERROR(ConvergenceError, kConvergenceFailure);
 NPSS_DEFINE_ERROR(ModelError, kModelError);
+NPSS_DEFINE_ERROR(DeadlineError, kDeadlineExceeded);
+NPSS_DEFINE_ERROR(UnavailableError, kUnavailable);
 
 #undef NPSS_DEFINE_ERROR
 
@@ -91,5 +98,47 @@ NPSS_DEFINE_ERROR(ModelError, kModelError);
 /// errors re-raise with their original type and remain catchable by
 /// category on the far side).
 [[noreturn]] void raise_error(ErrorCode code, const std::string& message);
+
+/// A failure carried as a value rather than an exception — the result
+/// half of the fault-tolerant call API. Unlike Error (which a caller must
+/// catch), a Status travels inside CallResult so transport failures,
+/// deadline expiry, and peer errors are ordinary data the caller can
+/// branch on, and only re-raise (as the original Error subclass) when it
+/// opts into the legacy throwing surface.
+class Status {
+ public:
+  Status() = default;  ///< OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  /// Capture an Error; the "<code-name>: " prefix what() embeds is
+  /// stripped so raise_if_error() does not stack a second copy.
+  static Status from(const Error& e) {
+    std::string_view name = error_code_name(e.code());
+    std::string msg = e.what();
+    if (msg.size() > name.size() + 2 && msg.starts_with(name) &&
+        msg.compare(name.size(), 2, ": ") == 0) {
+      msg.erase(0, name.size() + 2);
+    }
+    return Status(e.code(), std::move(msg));
+  }
+
+  bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// Throw the matching Error subclass; no-op when OK.
+  void raise_if_error() const {
+    if (!is_ok()) raise_error(code_, message_);
+  }
+
+  /// "ok" or "<code-name>: <message>".
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
 
 }  // namespace npss::util

@@ -172,21 +172,29 @@ TEST(ObsWire, TraceIdPropagatesAcrossRealTcpCall) {
   EXPECT_EQ(out[1].as_integer(), 42);
 
   // The server-side span closes just after the reply is sent; poll
-  // briefly for it.
-  obs::SpanRecord client{}, server{};
+  // briefly for it. The wire frame carries the per-attempt child span,
+  // so the hierarchy is call -> attempt -> server, one trace end to end.
+  obs::SpanRecord call_span{}, attempt{}, server{};
   for (int i = 0; i < 400 && server.trace_id == 0; ++i) {
     for (const obs::SpanRecord& s : obs::SpanCollector::global().snapshot()) {
-      if (s.layer == "rpc.client") client = s;
+      if (s.layer == "rpc.client" && s.name.starts_with("attempt ")) {
+        attempt = s;
+      } else if (s.layer == "rpc.client") {
+        call_span = s;
+      }
       if (s.layer == "rpc.host") server = s;
     }
     if (server.trace_id == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
   }
-  ASSERT_NE(client.trace_id, 0u);
+  ASSERT_NE(call_span.trace_id, 0u);
+  ASSERT_NE(attempt.trace_id, 0u);
   ASSERT_NE(server.trace_id, 0u);
-  EXPECT_EQ(server.trace_id, client.trace_id);
-  EXPECT_EQ(server.parent_span_id, client.span_id);
+  EXPECT_EQ(attempt.trace_id, call_span.trace_id);
+  EXPECT_EQ(attempt.parent_span_id, call_span.span_id);
+  EXPECT_EQ(server.trace_id, call_span.trace_id);
+  EXPECT_EQ(server.parent_span_id, attempt.span_id);
 
   // kPing round trips record transport RTT separately from call latency.
   EXPECT_GT(inc.ping_us(), 0.0);
