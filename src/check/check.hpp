@@ -1,0 +1,106 @@
+// uts-check — static interface analysis for Schooner configurations.
+//
+// The Manager type-checks every import against the export table *at call
+// time* (§3.1); a wiring mistake in a multi-program configuration is only
+// caught when the mismatched call finally happens, possibly hours into a
+// run. This library hoists that check to static time, in the spirit of the
+// type systems for distributed dataflow programs (Delaval et al.) and
+// parallel components (Carvalho-Junior & Lins):
+//
+//   1. per-file *lint* of parsed UTS specs (UTS0xx codes);
+//   2. a configuration *link check* — every `import X prog(...)` must be
+//      matched by exactly one compatible `export X prog(...)` across all
+//      spec files of the configuration (UTS1xx codes), the Manager's
+//      runtime check made static;
+//   3. *portability* analysis — float/double leaves that cannot round-trip
+//      source-native -> canonical -> target-native for a given set of
+//      architectures (UTS2xx warnings naming the offending type path).
+//
+// The same library backs the `uts_check` CLI, the stub compiler's
+// refuse-on-error gate, and (through the JSON manifest) the Manager's
+// strict startup mode.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "check/diag.hpp"
+#include "uts/spec.hpp"
+
+namespace npss::check {
+
+/// One spec file after parse + per-file lint.
+struct FileReport {
+  std::string file;               ///< path as given (diagnostic prefix)
+  uts::SpecFile spec;             ///< declarations (partial on syntax error)
+  std::vector<Diagnostic> diags;  ///< parse + lint findings, source order
+  bool parse_failed = false;      ///< a fatal UTS010 stopped the parse
+};
+
+/// Parse `text` (recovering) and run the per-file lint.
+FileReport lint_spec_text(const std::string& file, std::string_view text);
+
+/// Per-file lint over an already-parsed spec. Emits UTS001/002/004/006 and
+/// converts the parser's recovered issues (UTS003/005/010) to diagnostics.
+std::vector<Diagnostic> lint_spec(const uts::ParsedSpec& parsed,
+                                  const std::string& file);
+
+/// Configuration link check across every file: unmatched imports (UTS101 —
+/// warning, or error when `closed`), incompatible import/export pairs
+/// (UTS102), ambiguous export names (UTS103). Matching uses the Manager's
+/// case-folding synonym rule and the paper's footnote-1 subsequence
+/// compatibility (uts::signature_compatibility_error).
+std::vector<Diagnostic> link_check(const std::vector<FileReport>& files,
+                                   bool closed = false);
+
+/// Portability hazards: for every float/double leaf of every declaration
+/// and every ordered pair of the given catalog architectures, warn
+/// (UTS201) when the leaf's value may fail to round-trip source native ->
+/// canonical IEEE -> target native (e.g. Cray-1 range exceeds binary64;
+/// IBM hex range is below binary64 max). One warning per leaf, listing the
+/// hazardous pairs. Throws util::NoSuchMachineError on an unknown key.
+std::vector<Diagnostic> portability_check(
+    const std::vector<FileReport>& files,
+    const std::vector<std::string>& arch_keys);
+
+/// Export manifest of a configuration: canonical procedure name -> export
+/// declaration text. This is what `uts_check --json` embeds and what the
+/// strict-mode Manager cross-checks its export table against.
+std::map<std::string, std::string> collect_exports(
+    const std::vector<FileReport>& files);
+
+struct RunOptions {
+  bool lint_only = false;  ///< skip the configuration link check
+  bool closed = false;     ///< UTS101 unmatched imports become errors
+  std::vector<std::string> arch_keys;  ///< portability matrix (empty = skip)
+};
+
+/// A full analyzer run over one configuration.
+struct RunResult {
+  std::vector<FileReport> files;
+  std::vector<Diagnostic> config_diags;  ///< link check + portability
+
+  std::vector<Diagnostic> all_diagnostics() const;
+  int error_count() const;
+  int warning_count() const;
+  bool ok() const { return error_count() == 0; }
+};
+
+/// Analyze in-memory (file name, text) pairs as one configuration.
+RunResult run_check(
+    const std::vector<std::pair<std::string, std::string>>& inputs,
+    const RunOptions& options = {});
+
+/// The --json document: diagnostics, counts, the export manifest, and the
+/// compiled-plan wire sizes per export (from uts::compile_plan).
+std::string run_result_to_json(const RunResult& result);
+
+/// Extract the export manifest from a run_result_to_json document (the
+/// strict-mode Manager's startup input). Throws util::ParseError on
+/// malformed JSON or a missing "exports" object.
+std::map<std::string, std::string> load_manifest_json(std::string_view json);
+
+}  // namespace npss::check

@@ -1,0 +1,91 @@
+#include "check/diag.hpp"
+
+#include <sstream>
+
+namespace npss::check {
+
+std::string_view severity_name(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+std::string to_string(const Diagnostic& diag) {
+  std::ostringstream os;
+  if (!diag.file.empty()) {
+    os << diag.file << ':';
+    if (diag.loc.known()) os << diag.loc.line << ':' << diag.loc.column << ':';
+    os << ' ';
+  }
+  os << severity_name(diag.severity) << ": " << diag.code << ": "
+     << diag.message;
+  if (!diag.type_path.empty()) os << " [" << diag.type_path << "]";
+  return os.str();
+}
+
+std::string render_human(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += to_string(d);
+    out += '\n';
+  }
+  return out;
+}
+
+bool has_errors(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+const std::vector<CodeInfo>& diagnostic_code_table() {
+  static const std::vector<CodeInfo> table = {
+      {"UTS001", Severity::kError,
+       "duplicate declaration name in one spec file (after Fortran case "
+       "folding, the Manager's §4.1 synonym rule)"},
+      {"UTS002", Severity::kError, "duplicate parameter name in a signature"},
+      {"UTS003", Severity::kError, "zero or negative array bound"},
+      {"UTS004", Severity::kError,
+       "res/var parameter of unsupported shape: a string nested inside an "
+       "array or record cannot be returned into caller-allocated storage"},
+      {"UTS005", Severity::kError, "empty record"},
+      {"UTS006", Severity::kError, "duplicate field name in a record"},
+      {"UTS010", Severity::kError, "specification syntax error"},
+      {"UTS101", Severity::kWarning,
+       "import has no matching export in the configuration (error with "
+       "--closed)"},
+      {"UTS102", Severity::kError,
+       "import incompatible with its export (arity, parameter types, or "
+       "val/res/var directions)"},
+      {"UTS103", Severity::kError,
+       "procedure name exported more than once in the configuration"},
+      {"UTS201", Severity::kWarning,
+       "float/double leaf cannot round-trip between the given architectures "
+       "without risking a range error"},
+  };
+  return table;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace npss::check

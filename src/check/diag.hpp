@@ -1,0 +1,59 @@
+// Diagnostics for the uts-check static analyzer.
+//
+// Every problem the analyzer can report carries a stable UTSxxx code so
+// tests, CI greps, and editors can pin the *kind* of problem rather than
+// its message text. The code space is partitioned:
+//
+//   UTS0xx  per-file spec lint (duplicate names, bad bounds, bad shapes)
+//   UTS1xx  configuration link check (import/export matching)
+//   UTS2xx  portability hazards across architecture pairs
+//
+// The full table lives in diagnostic_code_table() and is rendered by
+// `uts_check --list-codes` (and reproduced in DESIGN.md §11).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "uts/spec.hpp"
+
+namespace npss::check {
+
+enum class Severity : std::uint8_t { kWarning = 0, kError };
+
+std::string_view severity_name(Severity severity);
+
+struct Diagnostic {
+  std::string code;              ///< stable UTSxxx identifier
+  Severity severity = Severity::kError;
+  std::string file;              ///< empty for configuration-level findings
+  uts::SourceLoc loc{};          ///< {0,0} when no position applies
+  std::string message;
+  std::string type_path;         ///< offending type path (portability), or ""
+};
+
+/// "file:line:col: error: UTS001: message" (omitting parts that are
+/// unknown); the format editors parse as a compiler diagnostic.
+std::string to_string(const Diagnostic& diag);
+
+/// One to_string() line per diagnostic.
+std::string render_human(const std::vector<Diagnostic>& diags);
+
+bool has_errors(const std::vector<Diagnostic>& diags);
+
+/// Catalog row for --list-codes and the DESIGN.md table.
+struct CodeInfo {
+  std::string_view code;
+  Severity default_severity;
+  std::string_view summary;
+};
+
+/// Every diagnostic code the analyzer can emit, in code order.
+const std::vector<CodeInfo>& diagnostic_code_table();
+
+/// JSON string escaping shared by the --json renderers.
+std::string json_escape(std::string_view text);
+
+}  // namespace npss::check

@@ -1,0 +1,122 @@
+// uts_check — static interface analysis for Schooner configurations.
+//
+//   uts_check [options] <spec-file>...
+//
+// Lints every spec file (UTS0xx), link-checks the whole set as one
+// multi-program configuration (UTS1xx), and optionally screens float
+// portability for a set of architectures (UTS2xx). Exit status: 0 when no
+// errors (warnings allowed), 1 when any error was reported, 2 on usage or
+// I/O problems.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "util/status.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: uts_check [options] <spec-file>...\n"
+        "\n"
+        "Static analysis of UTS specification files: per-file lint, whole-\n"
+        "configuration import/export link check, and float portability\n"
+        "screening. Exit 0 = clean (warnings allowed), 1 = errors, 2 = usage.\n"
+        "\n"
+        "options:\n"
+        "  --json           machine-readable report (diagnostics + export\n"
+        "                   manifest for the strict-mode Manager) on stdout\n"
+        "  --lint-only      per-file lint only; skip the configuration link\n"
+        "                   check\n"
+        "  --closed         treat unmatched imports (UTS101) as errors: the\n"
+        "                   file set is the complete configuration\n"
+        "  --arch <key>     add a machine architecture to the portability\n"
+        "                   matrix (repeatable; also accepts a,b,c)\n"
+        "  --list-codes     print the diagnostic code table and exit\n"
+        "  -h, --help       this text\n";
+}
+
+void split_archs(const std::string& arg, std::vector<std::string>& out) {
+  std::stringstream ss(arg);
+  std::string key;
+  while (std::getline(ss, key, ',')) {
+    if (!key.empty()) out.push_back(key);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  npss::check::RunOptions options;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--lint-only") {
+      options.lint_only = true;
+    } else if (arg == "--closed") {
+      options.closed = true;
+    } else if (arg == "--arch") {
+      if (i + 1 >= argc) {
+        std::cerr << "uts_check: --arch needs a catalog key\n";
+        return 2;
+      }
+      split_archs(argv[++i], options.arch_keys);
+    } else if (arg == "--list-codes") {
+      for (const npss::check::CodeInfo& info :
+           npss::check::diagnostic_code_table()) {
+        std::cout << info.code << "  "
+                  << npss::check::severity_name(info.default_severity) << "  "
+                  << info.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "-h" || arg == "--help") {
+      usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "uts_check: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "uts_check: no specification files given\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  std::vector<std::pair<std::string, std::string>> inputs;
+  inputs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "uts_check: cannot open '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    inputs.emplace_back(path, text.str());
+  }
+
+  try {
+    npss::check::RunResult result = npss::check::run_check(inputs, options);
+    if (json) {
+      std::cout << npss::check::run_result_to_json(result);
+    } else {
+      std::cout << npss::check::render_human(result.all_diagnostics());
+      std::cout << paths.size() << " file(s): " << result.error_count()
+                << " error(s), " << result.warning_count() << " warning(s)\n";
+    }
+    return result.ok() ? 0 : 1;
+  } catch (const npss::util::Error& e) {
+    std::cerr << "uts_check: " << e.what() << "\n";
+    return 2;
+  }
+}

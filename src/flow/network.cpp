@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "obs/metrics.hpp"
@@ -168,12 +169,11 @@ bool Network::has(const std::string& instance_name) const {
 bool Network::reachable(const std::string& from, const std::string& to) const {
   if (from == to) return true;
   std::vector<std::string> stack{from};
-  std::vector<std::string> seen;
+  std::set<std::string> seen;
   while (!stack.empty()) {
-    std::string cur = stack.back();
+    std::string cur = std::move(stack.back());
     stack.pop_back();
-    if (std::find(seen.begin(), seen.end(), cur) != seen.end()) continue;
-    seen.push_back(cur);
+    if (!seen.insert(cur).second) continue;
     for (const Connection& c : connections_) {
       if (c.src_module != cur) continue;
       if (c.dst_module == to) return true;

@@ -133,7 +133,8 @@ std::future<uts::ValueList> RemoteProc::call_async(uts::ValueList args) {
   std::future<CallResult> inner = call_async(std::move(args), options_);
   return std::async(std::launch::deferred,
                     [inner = std::move(inner)]() mutable {
-                      return std::move(inner.get().values_or_raise());
+                      CallResult result = inner.get();
+                      return std::move(result.values_or_raise());
                     });
 }
 

@@ -111,7 +111,12 @@ class ManagerState {
  public:
   ManagerState(MessageIo& io, const ManagerConfig& config,
                std::shared_ptr<ManagerStats> stats)
-      : io_(io), config_(config), stats_(std::move(stats)) {}
+      : io_(io), config_(config), stats_(std::move(stats)) {
+    // Manifest names obey the same case-synonym rule as the NameDb.
+    for (const auto& [name, text] : config_.static_manifest) {
+      folded_manifest_.emplace(lower(name), &text);
+    }
+  }
 
   /// Returns false when the manager should exit.
   bool handle(const Incoming& in) {
@@ -237,6 +242,7 @@ class ManagerState {
     try {
       for (const auto& [name, sig_text] : msg.table) {
         uts::ProcDecl decl = parse_signature_text(sig_text);
+        if (config_.strict) static_check(name, decl);
         auto binding = std::make_shared<Binding>();
         binding->canonical_name = name;
         binding->signature_text = sig_text;
@@ -303,6 +309,33 @@ class ManagerState {
       ack.table.emplace_back(b->canonical_name, b->signature_text);
     }
     io_.send(pending.requester, std::move(ack));
+  }
+
+  /// Strict mode: the export table the Manager is about to build must be
+  /// the one uts_check verified statically. Throws TypeMismatchError on a
+  /// missing-from-manifest or signature-drift export, which rides the
+  /// existing on_export rollback path — the exporting process is dismissed
+  /// before any call can reach it.
+  void static_check(const std::string& name, const uts::ProcDecl& decl) {
+    auto it = folded_manifest_.find(lower(name));
+    if (it == folded_manifest_.end()) {
+      ++stats_->static_check_failures;
+      bump("static_check_fail");
+      throw util::TypeMismatchError(
+          "static check: export '" + name +
+          "' is not in the uts_check manifest");
+    }
+    uts::ProcDecl checked = parse_signature_text(*it->second);
+    if (checked.signature != decl.signature) {
+      ++stats_->static_check_failures;
+      bump("static_check_fail");
+      throw util::TypeMismatchError(
+          "static check: export '" + name +
+          "' drifted from the statically checked signature: manifest " +
+          uts::signature_to_string(checked.signature) + " != exported " +
+          uts::signature_to_string(decl.signature));
+    }
+    bump("static_check_pass");
   }
 
   BindingPtr resolve(LineId line, const std::string& name) {
@@ -484,6 +517,8 @@ class ManagerState {
   MessageIo& io_;
   const ManagerConfig& config_;
   std::shared_ptr<ManagerStats> stats_;
+  /// case-folded name -> manifest declaration text (owned by config_).
+  std::map<std::string, const std::string*> folded_manifest_;
   std::map<LineId, Line> lines_;
   NameDb shared_db_;
   std::vector<PendingStart> pending_;

@@ -54,6 +54,18 @@ struct Binding {
 struct ManagerConfig {
   /// machine name -> Server address (SchoonerSystem fills this in).
   std::map<std::string, std::string> servers;
+
+  /// Strict static-check mode: when set, every export a process registers
+  /// is cross-checked against `static_manifest` (the "exports" table of a
+  /// `uts_check --json` run over the configuration's spec files). An export
+  /// that is absent from the manifest, or whose signature differs from the
+  /// statically checked one, is rejected at registration — before any call
+  /// is issued. Outcomes are recorded as the
+  /// rpc.manager.static_check_{pass,fail} counters.
+  bool strict = false;
+  /// canonical procedure name -> export declaration text
+  /// (check::load_manifest_json output).
+  std::map<std::string, std::string> static_manifest;
 };
 
 /// Counters the benches read after a run (exposed through ManagerHandle).
@@ -64,6 +76,7 @@ struct ManagerStats {
   std::uint64_t type_check_failures = 0;
   std::uint64_t moves = 0;
   std::uint64_t lines_shut_down = 0;
+  std::uint64_t static_check_failures = 0;
 };
 
 /// The Manager's process body; spawned by SchoonerSystem.

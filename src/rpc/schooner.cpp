@@ -5,9 +5,12 @@
 namespace npss::rpc {
 
 SchoonerSystem::SchoonerSystem(sim::Cluster& cluster,
-                               const std::string& manager_machine)
+                               const std::string& manager_machine,
+                               SystemOptions options)
     : cluster_(&cluster) {
   ManagerConfig config;
+  config.strict = options.strict_static_check;
+  config.static_manifest = std::move(options.static_manifest);
   for (const std::string& machine : cluster.machine_names()) {
     sim::EndpointPtr ep = cluster.spawn(machine, "schx-server", server_main);
     config.servers[machine] = ep->address();

@@ -16,11 +16,22 @@
 
 namespace npss::rpc {
 
+/// Boot-time knobs beyond the machine layout. `strict_static_check` turns
+/// on the Manager's manifest cross-check: every export registered at
+/// runtime must match the `uts_check --json` manifest in `static_manifest`
+/// (see check::load_manifest_json), or the exporting process is rejected
+/// at startup — before any call is issued.
+struct SystemOptions {
+  bool strict_static_check = false;
+  std::map<std::string, std::string> static_manifest;
+};
+
 class SchoonerSystem {
  public:
   /// Start one Server on every machine currently in `cluster`, then the
   /// Manager on `manager_machine`.
-  SchoonerSystem(sim::Cluster& cluster, const std::string& manager_machine);
+  SchoonerSystem(sim::Cluster& cluster, const std::string& manager_machine,
+                 SystemOptions options = {});
 
   ~SchoonerSystem();
   SchoonerSystem(const SchoonerSystem&) = delete;

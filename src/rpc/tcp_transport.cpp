@@ -210,12 +210,21 @@ TcpProcedureHost::~TcpProcedureHost() { stop(); }
 
 void TcpProcedureHost::stop() {
   if (stopping_.exchange(true)) return;
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
-  // jthread members join on destruction; workers see closed sockets.
+  // Join the acceptor before draining workers_: it is the only writer of
+  // the vector, and the jthread member would otherwise join *after* the
+  // vector (declared later) has already been destroyed.
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::jthread> workers;
+  {
+    std::lock_guard lock(workers_mu_);
+    workers.swap(workers_);
+  }
+  workers.clear();  // joins every connection thread
 }
 
 void TcpProcedureHost::accept_loop() {

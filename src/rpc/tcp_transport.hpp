@@ -89,7 +89,8 @@ class TcpProcedureHost {
 
   const arch::ArchDescriptor* arch_;
   std::map<std::string, Entry> handlers_;
-  int listen_fd_ = -1;
+  // Atomic: stop() (any thread) races the accept loop's reads otherwise.
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<long> calls_{0};

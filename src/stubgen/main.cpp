@@ -5,10 +5,15 @@
 // Reads a UTS specification file and writes a C++ header with client stubs
 // for each import declaration and server dispatch skeletons for each
 // export declaration. With no -o, the header goes to stdout.
+//
+// Every spec is run through the uts-check lint first; stubs are only
+// generated from specs with no UTS0xx errors (diagnostics go to stderr),
+// so a bad spec fails the build here instead of a call failing at runtime.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "check/check.hpp"
 #include "stubgen/stubgen.hpp"
 
 int main(int argc, char** argv) {
@@ -21,8 +26,11 @@ int main(int argc, char** argv) {
     } else if (arg == "-h" || arg == "--help") {
       std::cout << "usage: schooner-stubgen <spec-file> [-o <header-out>]\n";
       return 0;
-    } else {
+    } else if (spec_path.empty()) {
       spec_path = arg;
+    } else {
+      std::cerr << "schooner-stubgen: unexpected argument '" << arg << "'\n";
+      return 2;
     }
   }
   if (spec_path.empty()) {
@@ -38,9 +46,16 @@ int main(int argc, char** argv) {
   text << in.rdbuf();
 
   try {
-    npss::uts::SpecFile spec = npss::uts::parse_spec(text.str());
+    npss::check::FileReport report =
+        npss::check::lint_spec_text(spec_path, text.str());
+    std::cerr << npss::check::render_human(report.diags);
+    if (npss::check::has_errors(report.diags)) {
+      std::cerr << "schooner-stubgen: '" << spec_path
+                << "' failed the uts-check lint; no stubs generated\n";
+      return 1;
+    }
     npss::stubgen::GeneratedStub out =
-        npss::stubgen::generate_all(spec, spec_path);
+        npss::stubgen::generate_all(report.spec, spec_path);
     if (out_path.empty()) {
       std::cout << out.header;
     } else {

@@ -11,6 +11,15 @@ using util::ParseError;
 
 namespace {
 
+/// Internal signal for malformed input, carrying both the legacy message
+/// text (what parse_spec has always thrown) and a structured location +
+/// brief message for parse_spec_located diagnostics.
+struct SyntaxError {
+  std::string legacy;  ///< full text for util::ParseError
+  std::string brief;   ///< bare message for SpecIssue
+  SourceLoc loc;
+};
+
 enum class TokKind : std::uint8_t {
   kIdent,
   kString,
@@ -56,9 +65,10 @@ class Lexer {
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
       return ident_token(line, col);
     }
-    throw ParseError("unexpected character '" + std::string(1, c) +
-                     "' at line " + std::to_string(line) + ":" +
-                     std::to_string(col));
+    std::string brief = "unexpected character '" + std::string(1, c) + "'";
+    throw SyntaxError{brief + " at line " + std::to_string(line) + ":" +
+                          std::to_string(col),
+                      brief, SourceLoc{line, col}};
   }
 
  private:
@@ -91,20 +101,21 @@ class Lexer {
     return {kind, text, 0, line, col};
   }
 
+  [[noreturn]] void unterminated_string(int line, int col) const {
+    throw SyntaxError{"unterminated string at line " + std::to_string(line) +
+                          ":" + std::to_string(col),
+                      "unterminated string", SourceLoc{line, col}};
+  }
+
   Token string_token(int line, int col) {
     advance();  // opening quote
     std::string out;
     while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\n') {
-        throw ParseError("unterminated string at line " +
-                         std::to_string(line));
-      }
+      if (text_[pos_] == '\n') unterminated_string(line, col);
       out.push_back(text_[pos_]);
       advance();
     }
-    if (pos_ >= text_.size()) {
-      throw ParseError("unterminated string at line " + std::to_string(line));
-    }
+    if (pos_ >= text_.size()) unterminated_string(line, col);
     advance();  // closing quote
     return {TokKind::kString, out, 0, line, col};
   }
@@ -116,7 +127,17 @@ class Lexer {
       out.push_back(text_[pos_]);
       advance();
     }
-    return {TokKind::kInt, out, std::stol(out), line, col};
+    long value = 0;
+    try {
+      value = std::stol(out);
+    } catch (const std::out_of_range&) {
+      // Previously escaped as a bare std::out_of_range with no position.
+      throw SyntaxError{"integer literal '" + out + "' out of range at line " +
+                            std::to_string(line) + ":" + std::to_string(col),
+                        "integer literal '" + out + "' out of range",
+                        SourceLoc{line, col}};
+    }
+    return {TokKind::kInt, out, value, line, col};
   }
 
   Token ident_token(int line, int col) {
@@ -138,21 +159,42 @@ class Lexer {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : lexer_(text) { shift(); }
-
-  SpecFile parse() {
-    SpecFile file;
-    while (tok_.kind != TokKind::kEnd) {
-      file.decls.push_back(decl());
-    }
-    return file;
+  /// With a non-null `issues`, the parser recovers from non-positive array
+  /// bounds (UTS003) and empty records (UTS005), recording them instead of
+  /// failing; all other malformed input still throws SyntaxError.
+  explicit Parser(std::string_view text, std::vector<SpecIssue>* issues = nullptr)
+      : lexer_(text), issues_(issues) {
+    shift();
   }
 
+  SpecFile parse() {
+    while (tok_.kind != TokKind::kEnd) {
+      file_.decls.push_back(decl());
+    }
+    return std::move(file_);
+  }
+
+  /// Declarations completed before a SyntaxError stopped the parse.
+  SpecFile take_partial() { return std::move(file_); }
+
  private:
+  bool recovering() const { return issues_ != nullptr; }
+
+  void record(std::string code, std::string message, SourceLoc loc) {
+    issues_->push_back(
+        SpecIssue{std::move(code), std::move(message), loc, false});
+  }
+
+  [[noreturn]] void fail_at(const Token& t, const std::string& what) const {
+    throw SyntaxError{what + " at line " + std::to_string(t.line) + ":" +
+                          std::to_string(t.column) + " (near '" + t.text +
+                          "')",
+                      what + " (near '" + t.text + "')",
+                      SourceLoc{t.line, t.column}};
+  }
+
   [[noreturn]] void fail(const std::string& what) const {
-    throw ParseError(what + " at line " + std::to_string(tok_.line) + ":" +
-                     std::to_string(tok_.column) + " (near '" + tok_.text +
-                     "')");
+    fail_at(tok_, what);
   }
 
   void shift() { tok_ = lexer_.next(); }
@@ -176,6 +218,7 @@ class Parser {
         (tok_.text != "export" && tok_.text != "import")) {
       fail("expected 'export' or 'import'");
     }
+    const SourceLoc decl_loc{tok_.line, tok_.column};
     DeclKind kind =
         tok_.text == "export" ? DeclKind::kExport : DeclKind::kImport;
     shift();
@@ -183,19 +226,22 @@ class Parser {
     expect_keyword("prog");
     expect(TokKind::kLParen, "'('");
     Signature sig;
+    std::vector<SourceLoc> param_locs;
     if (tok_.kind != TokKind::kRParen) {
-      sig.push_back(param());
+      sig.push_back(param(param_locs));
       while (tok_.kind == TokKind::kComma) {
         shift();
-        sig.push_back(param());
+        sig.push_back(param(param_locs));
       }
     }
     expect(TokKind::kRParen, "')'");
-    return ProcDecl{kind, name.text, std::move(sig)};
+    return ProcDecl{kind, name.text, std::move(sig), decl_loc,
+                    std::move(param_locs)};
   }
 
-  Param param() {
+  Param param(std::vector<SourceLoc>& locs) {
     Token name = expect(TokKind::kString, "quoted parameter name");
+    locs.push_back(SourceLoc{name.line, name.column});
     ParamMode mode = param_mode();
     Type t = type();
     return Param{name.text, mode, std::move(t)};
@@ -214,7 +260,8 @@ class Parser {
 
   Type type() {
     if (tok_.kind != TokKind::kIdent) fail("expected a type");
-    std::string head = tok_.text;
+    const Token head_tok = tok_;
+    const std::string& head = head_tok.text;
     shift();
     if (head == "float") return Type::floating();
     if (head == "double") return Type::real_double();
@@ -226,11 +273,30 @@ class Parser {
       Token size = expect(TokKind::kInt, "array size");
       expect(TokKind::kRBracket, "']'");
       expect_keyword("of");
-      if (size.number <= 0) fail("array size must be positive");
+      if (size.number <= 0) {
+        if (recovering()) {
+          record("UTS003",
+                 "array size must be positive (got " + size.text + ")",
+                 SourceLoc{size.line, size.column});
+          size.number = 1;
+        } else {
+          throw SyntaxError{"array size must be positive at line " +
+                                std::to_string(size.line) + ":" +
+                                std::to_string(size.column),
+                            "array size must be positive",
+                            SourceLoc{size.line, size.column}};
+        }
+      }
       return Type::array(static_cast<std::size_t>(size.number), type());
     }
     if (head == "record") {
       std::vector<std::pair<std::string, Type>> fields;
+      if (recovering() && tok_.kind == TokKind::kIdent && tok_.text == "end") {
+        record("UTS005", "empty record",
+               SourceLoc{head_tok.line, head_tok.column});
+        shift();
+        return Type::record(std::move(fields));
+      }
       fields.push_back(field());
       while (tok_.kind == TokKind::kSemicolon) {
         shift();
@@ -239,7 +305,7 @@ class Parser {
       expect_keyword("end");
       return Type::record(std::move(fields));
     }
-    fail("unknown type '" + head + "'");
+    fail_at(head_tok, "unknown type '" + head + "'");
   }
 
   std::pair<std::string, Type> field() {
@@ -250,6 +316,8 @@ class Parser {
 
   Lexer lexer_;
   Token tok_{TokKind::kEnd, "", 0, 0, 0};
+  SpecFile file_;
+  std::vector<SpecIssue>* issues_;
 };
 
 }  // namespace
@@ -269,7 +337,25 @@ bool SpecFile::contains(std::string_view name) const {
   return false;
 }
 
-SpecFile parse_spec(std::string_view text) { return Parser(text).parse(); }
+SpecFile parse_spec(std::string_view text) {
+  try {
+    return Parser(text).parse();
+  } catch (const SyntaxError& e) {
+    throw ParseError(e.legacy);
+  }
+}
+
+ParsedSpec parse_spec_located(std::string_view text) {
+  ParsedSpec out;
+  Parser parser(text, &out.issues);
+  try {
+    out.file = parser.parse();
+  } catch (const SyntaxError& e) {
+    out.issues.push_back(SpecIssue{"UTS010", e.brief, e.loc, true});
+    out.file = parser.take_partial();
+  }
+  return out;
+}
 
 std::string decl_to_string(const ProcDecl& decl) {
   std::ostringstream os;

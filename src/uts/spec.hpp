@@ -27,10 +27,32 @@ namespace npss::uts {
 
 enum class DeclKind : std::uint8_t { kExport = 0, kImport };
 
+/// A 1-based position in the specification text. {0, 0} means "unknown"
+/// (declarations built programmatically rather than parsed).
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  bool known() const { return line > 0; }
+  bool operator==(const SourceLoc& other) const {
+    return line == other.line && column == other.column;
+  }
+};
+
 struct ProcDecl {
   DeclKind kind;
   std::string name;
   Signature signature;
+  /// Position of the export/import keyword; unknown for synthetic decls.
+  SourceLoc loc{};
+  /// Position of each parameter's quoted name, parallel to `signature`.
+  /// Empty for synthetic decls — consumers must treat a missing entry as
+  /// SourceLoc{}.
+  std::vector<SourceLoc> param_locs{};
+
+  SourceLoc param_loc(std::size_t i) const {
+    return i < param_locs.size() ? param_locs[i] : SourceLoc{};
+  }
 };
 
 struct SpecFile {
@@ -41,9 +63,37 @@ struct SpecFile {
   bool contains(std::string_view name) const;
 };
 
+/// One problem found while parsing in located (recovering) mode. `code` is
+/// a stable UTSxxx diagnostic code (see src/check/diag.hpp for the table);
+/// the parser itself only emits UTS003 (non-positive array bound), UTS005
+/// (empty record) — both recovered — and UTS010 (syntax error, fatal).
+struct SpecIssue {
+  std::string code;
+  std::string message;  ///< bare text, no file/line prefix
+  SourceLoc loc;
+  bool fatal = false;   ///< parsing stopped at this issue
+};
+
+/// Result of parse_spec_located: every declaration completed before the
+/// first fatal issue, plus all issues in source order.
+struct ParsedSpec {
+  SpecFile file;
+  std::vector<SpecIssue> issues;
+
+  bool ok() const { return issues.empty(); }
+};
+
 /// Parse specification text. Throws util::ParseError with line/column
 /// positions on malformed input.
 SpecFile parse_spec(std::string_view text);
+
+/// Recovering parse for static analysis: instead of throwing, collects
+/// issues with precise source locations. Non-positive array bounds and
+/// empty records are recovered (the declaration is still produced, with
+/// the bound clamped to 1 / the record left empty); any other malformed
+/// construct ends the parse with a fatal UTS010 issue. Never throws on
+/// malformed input.
+ParsedSpec parse_spec_located(std::string_view text);
 
 /// Render a declaration back to specification syntax (stable round-trip
 /// format used by the stub compiler and tests).

@@ -157,6 +157,91 @@ TEST(SpecParser, ErrorsCarryLinePositions) {
   }
 }
 
+TEST(SpecParser, LocatedParseRecordsDeclAndParamPositions) {
+  ParsedSpec parsed = parse_spec_located(
+      "export f prog(\n  \"a\" val float,\n  \"b\" res double)");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.file.decls.size(), 1u);
+  const ProcDecl& decl = parsed.file.decls[0];
+  EXPECT_EQ(decl.loc.line, 1);
+  EXPECT_EQ(decl.loc.column, 1);
+  ASSERT_EQ(decl.param_locs.size(), 2u);
+  EXPECT_EQ(decl.param_loc(0).line, 2);
+  EXPECT_EQ(decl.param_loc(0).column, 3);
+  EXPECT_EQ(decl.param_loc(1).line, 3);
+  EXPECT_EQ(decl.param_loc(1).column, 3);
+  // Out-of-range index degrades to an unknown location, never a throw.
+  EXPECT_FALSE(decl.param_loc(7).known());
+}
+
+struct BadLocatedSpec {
+  const char* text;
+  const char* code;
+  int line;
+  int column;
+};
+
+class SpecParserLocatedErrors
+    : public ::testing::TestWithParam<BadLocatedSpec> {};
+
+TEST_P(SpecParserLocatedErrors, IssueCodeAndPositionPinned) {
+  ParsedSpec parsed = parse_spec_located(GetParam().text);
+  ASSERT_FALSE(parsed.issues.empty()) << GetParam().text;
+  bool found = false;
+  for (const SpecIssue& issue : parsed.issues) {
+    if (issue.code != GetParam().code) continue;
+    found = true;
+    EXPECT_EQ(issue.loc.line, GetParam().line) << issue.message;
+    EXPECT_EQ(issue.loc.column, GetParam().column) << issue.message;
+  }
+  EXPECT_TRUE(found) << "no " << GetParam().code << " issue for: "
+                     << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SpecParserLocatedErrors,
+    ::testing::Values(
+        // Recoverable lint findings keep their own codes and point at the
+        // offending token, not the start of the declaration.
+        BadLocatedSpec{"export f prog(\n  \"x\" val array[0] of float)",
+                       "UTS003", 2, 17},
+        BadLocatedSpec{"export f prog(\"x\" val array[0] of float)",
+                       "UTS003", 1, 29},
+        BadLocatedSpec{"export f prog(\n  \"x\" val record end)", "UTS005",
+                       2, 11},
+        // Hard syntax errors surface as a fatal UTS010 at the failure
+        // point.
+        BadLocatedSpec{"export f prog(\n  \"x\" val\n  floof)", "UTS010", 3,
+                       3},
+        BadLocatedSpec{"export f prog(\"x val float)", "UTS010", 1, 15},
+        BadLocatedSpec{"export f prog() %", "UTS010", 1, 17},
+        BadLocatedSpec{
+            "export f prog(\"x\" val array[99999999999999999999] of float)",
+            "UTS010", 1, 29}));
+
+TEST(SpecParser, LocatedParseRecoversEarlierDeclsAfterSyntaxError) {
+  ParsedSpec parsed = parse_spec_located(
+      "export good prog(\"x\" val double)\nexport broken prog(\"y\" val "
+      "floof)");
+  EXPECT_FALSE(parsed.ok());
+  ASSERT_EQ(parsed.file.decls.size(), 1u);
+  EXPECT_EQ(parsed.file.decls[0].name, "good");
+  ASSERT_EQ(parsed.issues.size(), 1u);
+  EXPECT_EQ(parsed.issues[0].code, "UTS010");
+  EXPECT_TRUE(parsed.issues[0].fatal);
+}
+
+TEST(SpecParser, IntegerLiteralOverflowIsParseErrorNotCrash) {
+  try {
+    (void)parse_spec(
+        "export f prog(\"x\" val array[99999999999999999999] of float)");
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(SpecFileApi, FindAndContains) {
   SpecFile file = parse_spec("export f prog()");
   EXPECT_TRUE(file.contains("f"));

@@ -5,6 +5,8 @@
 // server can declare a Cray personality) and subset imports.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <thread>
 
@@ -96,7 +98,7 @@ TEST(TcpTransport, ConcurrentClientsAreServedIndependently) {
         }}},
       "sun-sparc10");
   std::vector<std::thread> clients;
-  std::vector<bool> ok(6, false);
+  std::array<std::atomic<bool>, 6> ok{};
   for (int t = 0; t < 6; ++t) {
     clients.emplace_back([&, t] {
       TcpRemoteProc square(
@@ -113,7 +115,7 @@ TEST(TcpTransport, ConcurrentClientsAreServedIndependently) {
     });
   }
   for (auto& c : clients) c.join();
-  for (bool b : ok) EXPECT_TRUE(b);
+  for (const std::atomic<bool>& b : ok) EXPECT_TRUE(b.load());
   EXPECT_EQ(host.calls(), 300);
 }
 
