@@ -7,9 +7,12 @@
 
 #include "arch/arch.hpp"
 #include "arch/float_format.hpp"
+#include "util/sha256.hpp"
 #include "uts/marshal_plan.hpp"
 
 namespace npss::check {
+
+std::string_view tool_version() { return "npss-uts-check 0.5.0"; }
 
 namespace {
 
@@ -188,6 +191,7 @@ std::vector<Diagnostic> lint_spec(const uts::ParsedSpec& parsed,
 FileReport lint_spec_text(const std::string& file, std::string_view text) {
   FileReport report;
   report.file = file;
+  report.sha256 = util::sha256_hex(text);
   uts::ParsedSpec parsed = uts::parse_spec_located(text);
   report.diags = lint_spec(parsed, file);
   report.spec = std::move(parsed.file);
@@ -373,12 +377,25 @@ RunResult run_check(
   return result;
 }
 
+std::string manifest_hash(const std::map<std::string, std::string>& exports) {
+  std::string surface;
+  for (const auto& [name, text] : exports) {
+    surface += name;
+    surface += '=';
+    surface += text;
+    surface += '\n';
+  }
+  return util::sha256_hex(surface);
+}
+
 std::string run_result_to_json(const RunResult& result) {
   std::ostringstream os;
-  os << "{\n  \"files\": [";
+  os << "{\n  \"tool_version\": \"" << json_escape(tool_version())
+     << "\",\n  \"files\": [";
   for (std::size_t i = 0; i < result.files.size(); ++i) {
     if (i) os << ", ";
     os << "{\"file\": \"" << json_escape(result.files[i].file)
+       << "\", \"sha256\": \"" << json_escape(result.files[i].sha256)
        << "\", \"parse_failed\": "
        << (result.files[i].parse_failed ? "true" : "false") << "}";
   }
@@ -401,9 +418,10 @@ std::string run_result_to_json(const RunResult& result) {
      << ",\n  \"warnings\": " << result.warning_count() << ",\n  \"ok\": "
      << (result.ok() ? "true" : "false");
 
+  std::map<std::string, std::string> exports = collect_exports(result.files);
+  os << ",\n  \"manifest_sha256\": \"" << manifest_hash(exports) << "\"";
   os << ",\n  \"exports\": {";
   first = true;
-  std::map<std::string, std::string> exports = collect_exports(result.files);
   for (const auto& [name, text] : exports) {
     if (!first) os << ",";
     first = false;
@@ -562,10 +580,10 @@ class JsonCursor {
 
 }  // namespace
 
-std::map<std::string, std::string> load_manifest_json(std::string_view json) {
+Manifest load_manifest(std::string_view json) {
   JsonCursor cur(json);
   cur.expect('{');
-  std::map<std::string, std::string> manifest;
+  Manifest manifest;
   bool found = false;
   if (!cur.consume('}')) {
     do {
@@ -578,9 +596,34 @@ std::map<std::string, std::string> load_manifest_json(std::string_view json) {
           do {
             std::string name = cur.parse_string();
             cur.expect(':');
-            manifest[name] = cur.parse_string();
+            manifest.exports[name] = cur.parse_string();
           } while (cur.consume(','));
           cur.expect('}');
+        }
+      } else if (key == "manifest_sha256") {
+        manifest.manifest_sha256 = cur.parse_string();
+      } else if (key == "tool_version") {
+        manifest.tool_version = cur.parse_string();
+      } else if (key == "files") {
+        // [{"file": ..., "sha256": ..., "parse_failed": ...}, ...]
+        cur.expect('[');
+        if (!cur.consume(']')) {
+          do {
+            cur.expect('{');
+            if (!cur.consume('}')) {
+              do {
+                std::string field = cur.parse_string();
+                cur.expect(':');
+                if (field == "sha256") {
+                  manifest.spec_hashes.push_back(cur.parse_string());
+                } else {
+                  cur.skip_value();
+                }
+              } while (cur.consume(','));
+              cur.expect('}');
+            }
+          } while (cur.consume(','));
+          cur.expect(']');
         }
       } else {
         cur.skip_value();
@@ -592,6 +635,10 @@ std::map<std::string, std::string> load_manifest_json(std::string_view json) {
     throw util::ParseError("manifest JSON has no \"exports\" object");
   }
   return manifest;
+}
+
+std::map<std::string, std::string> load_manifest_json(std::string_view json) {
+  return load_manifest(json).exports;
 }
 
 }  // namespace npss::check

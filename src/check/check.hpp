@@ -32,12 +32,17 @@
 
 namespace npss::check {
 
+/// Analyzer version stamped into every --json document, so a manifest
+/// records which rule set produced it.
+std::string_view tool_version();
+
 /// One spec file after parse + per-file lint.
 struct FileReport {
   std::string file;               ///< path as given (diagnostic prefix)
   uts::SpecFile spec;             ///< declarations (partial on syntax error)
   std::vector<Diagnostic> diags;  ///< parse + lint findings, source order
   bool parse_failed = false;      ///< a fatal UTS010 stopped the parse
+  std::string sha256;             ///< content hash of the spec text
 };
 
 /// Parse `text` (recovering) and run the per-file lint.
@@ -102,5 +107,25 @@ std::string run_result_to_json(const RunResult& result);
 /// strict-mode Manager's startup input). Throws util::ParseError on
 /// malformed JSON or a missing "exports" object.
 std::map<std::string, std::string> load_manifest_json(std::string_view json);
+
+/// Content hash over the export table alone (name=declaration lines), the
+/// value run_result_to_json writes as "manifest_sha256". Two manifests
+/// with the same export surface hash identically even when produced from
+/// differently-commented spec files.
+std::string manifest_hash(const std::map<std::string, std::string>& exports);
+
+/// Everything the strict-mode Manager needs from a --json document: the
+/// export table, the per-spec-file content hashes (stale-manifest
+/// detection), the manifest content hash, and the producing tool version.
+struct Manifest {
+  std::map<std::string, std::string> exports;
+  std::vector<std::string> spec_hashes;  ///< per input file, document order
+  std::string manifest_sha256;
+  std::string tool_version;
+};
+
+/// Parse the full manifest (superset of load_manifest_json; the hash and
+/// version fields are empty when absent, for pre-hash documents).
+Manifest load_manifest(std::string_view json);
 
 }  // namespace npss::check

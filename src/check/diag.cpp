@@ -5,7 +5,12 @@
 namespace npss::check {
 
 std::string_view severity_name(Severity severity) {
-  return severity == Severity::kError ? "error" : "warning";
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "error";
 }
 
 std::string to_string(const Diagnostic& diag) {
@@ -61,6 +66,50 @@ const std::vector<CodeInfo>& diagnostic_code_table() {
       {"UTS201", Severity::kWarning,
        "float/double leaf cannot round-trip between the given architectures "
        "without risking a range error"},
+      {"UTS301", Severity::kError,
+       "export removed or renamed between spec versions: existing importers "
+       "can no longer bind"},
+      {"UTS302", Severity::kError,
+       "parameter type changed incompatibly between spec versions (shape, "
+       "record field order, or narrowed array bound)"},
+      {"UTS303", Severity::kError,
+       "parameter val/res/var mode changed between spec versions"},
+      {"UTS304", Severity::kError,
+       "parameter removed or reordered between spec versions: old imports "
+       "are no longer a subsequence of the export"},
+      {"UTS310", Severity::kNote,
+       "new export added (wire-compatible: no existing importer binds it)"},
+      {"UTS311", Severity::kNote,
+       "parameter added to an export (wire-compatible: old imports remain a "
+       "subsequence, footnote-1 rule)"},
+      {"UTS312", Severity::kNote,
+       "array bound widened on a val parameter (wire-compatible: the wire "
+       "layout follows the caller's import signature)"},
+      {"UTS400", Severity::kError,
+       "network description syntax error (malformed line, unknown verb, or "
+       "unknown widget)"},
+      {"UTS401", Severity::kError,
+       "invalid module declaration: unknown module type or duplicate "
+       "instance name"},
+      {"UTS402", Severity::kError,
+       "dangling connection: unknown module instance or port name"},
+      {"UTS403", Severity::kError,
+       "port type mismatch on a connection (source output type != "
+       "destination input type)"},
+      {"UTS404", Severity::kError,
+       "ambiguous input: more than one source drives the same input port"},
+      {"UTS405", Severity::kError,
+       "cycle outside a declared solver loop (the wavefront scheduler "
+       "requires a DAG)"},
+      {"UTS406", Severity::kWarning,
+       "isolated module: it has ports but none are connected, so the "
+       "scheduler runs it for nothing"},
+      {"UTS407", Severity::kWarning,
+       "parallel-unsafety hazard: a thread_safe()==false module sits on a "
+       "wavefront level the scheduler would parallelize"},
+      {"UTS408", Severity::kNote,
+       "predicted wavefront width for a dependency level (bench_scheduler "
+       "expectation)"},
   };
   return table;
 }

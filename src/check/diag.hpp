@@ -7,9 +7,11 @@
 //   UTS0xx  per-file spec lint (duplicate names, bad bounds, bad shapes)
 //   UTS1xx  configuration link check (import/export matching)
 //   UTS2xx  portability hazards across architecture pairs
+//   UTS3xx  spec evolution (uts_diff: old export surface vs new)
+//   UTS4xx  flow-network lint (flow_lint: the AVS-style module graph)
 //
 // The full table lives in diagnostic_code_table() and is rendered by
-// `uts_check --list-codes` (and reproduced in DESIGN.md §11).
+// `uts_check --list-codes` (and reproduced in DESIGN.md §11–12).
 #pragma once
 
 #include <cstdint>
@@ -21,7 +23,9 @@
 
 namespace npss::check {
 
-enum class Severity : std::uint8_t { kWarning = 0, kError };
+/// kNote marks informational findings (wire-compatible evolution changes,
+/// predicted wavefront widths) that never affect the exit status.
+enum class Severity : std::uint8_t { kNote = 0, kWarning, kError };
 
 std::string_view severity_name(Severity severity);
 

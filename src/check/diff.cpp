@@ -1,0 +1,315 @@
+#include "check/diff.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/sha256.hpp"
+#include "uts/types.hpp"
+
+namespace npss::check {
+
+namespace {
+
+using uts::DeclKind;
+using uts::ParamMode;
+using uts::ProcDecl;
+using uts::SourceLoc;
+using uts::Type;
+using uts::TypeKind;
+
+std::string fold(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// First structural difference below `path`: (type path, description).
+std::pair<std::string, std::string> first_diff(const Type& oldt,
+                                               const Type& newt,
+                                               const std::string& path) {
+  if (oldt.kind() != newt.kind()) {
+    return {path, "type changed from " + oldt.to_string() + " to " +
+                      newt.to_string()};
+  }
+  if (oldt.kind() == TypeKind::kArray) {
+    if (oldt.array_size() != newt.array_size()) {
+      return {path, "array bound changed from " +
+                        std::to_string(oldt.array_size()) + " to " +
+                        std::to_string(newt.array_size())};
+    }
+    return first_diff(oldt.element(), newt.element(), path + "[]");
+  }
+  if (oldt.kind() == TypeKind::kRecord) {
+    const auto& of = oldt.fields();
+    const auto& nf = newt.fields();
+    const std::size_t common = std::min(of.size(), nf.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      if (of[i].name != nf[i].name) {
+        return {path, "record field \"" + of[i].name + "\" became \"" +
+                          nf[i].name +
+                          "\" (removed, renamed, or reordered — field order "
+                          "is wire layout)"};
+      }
+      if (*of[i].type != *nf[i].type) {
+        return first_diff(*of[i].type, *nf[i].type,
+                          path + ".\"" + of[i].name + "\"");
+      }
+    }
+    return {path, "record field count changed from " +
+                      std::to_string(of.size()) + " to " +
+                      std::to_string(nf.size())};
+  }
+  return {path, "type changed from " + oldt.to_string() + " to " +
+                    newt.to_string()};
+}
+
+/// Classified difference between one parameter's old and new types.
+struct TypeDelta {
+  bool fatal = false;    ///< non-widening structural change
+  bool widened = false;  ///< at least one array bound grew
+  std::string path;      ///< where (first fatal site, else first widening)
+  std::string what;
+};
+
+/// Mirror of uts::signature_compatibility_error's widening rule: arrays
+/// may widen (recursively); everything else must be identical.
+void type_delta(const Type& oldt, const Type& newt, const std::string& path,
+                TypeDelta& delta) {
+  if (delta.fatal) return;
+  if (oldt == newt) return;
+  if (oldt.kind() == TypeKind::kArray && newt.kind() == TypeKind::kArray) {
+    if (newt.array_size() < oldt.array_size()) {
+      delta.fatal = true;
+      delta.path = path;
+      delta.what = "array bound narrowed from " +
+                   std::to_string(oldt.array_size()) + " to " +
+                   std::to_string(newt.array_size());
+      return;
+    }
+    if (newt.array_size() > oldt.array_size() && !delta.widened) {
+      delta.widened = true;
+      delta.path = path;
+      delta.what = "array bound widened from " +
+                   std::to_string(oldt.array_size()) + " to " +
+                   std::to_string(newt.array_size());
+    }
+    type_delta(oldt.element(), newt.element(), path + "[]", delta);
+    return;
+  }
+  auto [where, what] = first_diff(oldt, newt, path);
+  delta.fatal = true;
+  delta.path = where;
+  delta.what = what;
+}
+
+std::map<std::string, const ProcDecl*> export_table(const FileReport& report) {
+  std::map<std::string, const ProcDecl*> out;
+  for (const ProcDecl& d : report.spec.decls) {
+    if (d.kind == DeclKind::kExport) out.emplace(fold(d.name), &d);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool DiffResult::breaking() const {
+  if (old_report.parse_failed || new_report.parse_failed) return true;
+  return has_errors(diags);
+}
+
+int DiffResult::breaking_count() const {
+  int n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+int DiffResult::compatible_count() const {
+  int n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kNote) ++n;
+  }
+  return n;
+}
+
+std::vector<Diagnostic> DiffResult::all_diagnostics() const {
+  std::vector<Diagnostic> out;
+  out.insert(out.end(), old_report.diags.begin(), old_report.diags.end());
+  out.insert(out.end(), new_report.diags.begin(), new_report.diags.end());
+  out.insert(out.end(), diags.begin(), diags.end());
+  return out;
+}
+
+DiffResult diff_spec_texts(const std::string& old_file,
+                           std::string_view old_text,
+                           const std::string& new_file,
+                           std::string_view new_text) {
+  DiffResult result;
+  result.old_report = lint_spec_text(old_file, old_text);
+  result.new_report = lint_spec_text(new_file, new_text);
+
+  const auto old_exports = export_table(result.old_report);
+  const auto new_exports = export_table(result.new_report);
+
+  // UTS301: exports the new version lost (or renamed, which looks the
+  // same from a binder's point of view).
+  for (const auto& [name, old_decl] : old_exports) {
+    if (!new_exports.contains(name)) {
+      result.diags.push_back(Diagnostic{
+          "UTS301", Severity::kError, old_file, old_decl->loc,
+          "export '" + old_decl->name +
+              "' removed or renamed: clients compiled against " + old_file +
+              " can no longer bind it",
+          ""});
+    }
+  }
+  // UTS310: brand-new exports — nobody imports them yet, so compatible.
+  for (const auto& [name, new_decl] : new_exports) {
+    if (!old_exports.contains(name)) {
+      result.diags.push_back(Diagnostic{
+          "UTS310", Severity::kNote, new_file, new_decl->loc,
+          "new export '" + new_decl->name + "' (wire-compatible)", ""});
+    }
+  }
+
+  // Common exports: walk the old signature through the new one with the
+  // same forward name scan the runtime compatibility check uses.
+  for (const auto& [name, old_decl] : old_exports) {
+    auto it = new_exports.find(name);
+    if (it == new_exports.end()) continue;
+    const ProcDecl& new_decl = *it->second;
+    const uts::Signature& old_sig = old_decl->signature;
+    const uts::Signature& new_sig = new_decl.signature;
+
+    bool found_error = false;
+    std::vector<bool> matched(new_sig.size(), false);
+    std::size_t npos = 0;
+    for (std::size_t i = 0; i < old_sig.size(); ++i) {
+      const uts::Param& wanted = old_sig[i];
+      std::size_t hit = new_sig.size();
+      for (std::size_t j = npos; j < new_sig.size(); ++j) {
+        if (new_sig[j].name == wanted.name) {
+          hit = j;
+          break;
+        }
+      }
+      if (hit == new_sig.size()) {
+        result.diags.push_back(Diagnostic{
+            "UTS304", Severity::kError, new_file, new_decl.loc,
+            "export '" + new_decl.name + "': parameter \"" + wanted.name +
+                "\" removed or reordered — old imports are no longer a "
+                "subsequence",
+            "\"" + wanted.name + "\""});
+        found_error = true;
+        continue;
+      }
+      matched[hit] = true;
+      npos = hit + 1;
+      const uts::Param& offered = new_sig[hit];
+      const SourceLoc loc = new_decl.param_loc(hit);
+      if (offered.mode != wanted.mode) {
+        result.diags.push_back(Diagnostic{
+            "UTS303", Severity::kError, new_file, loc,
+            "export '" + new_decl.name + "': parameter \"" + wanted.name +
+                "\" mode changed from " +
+                std::string(uts::param_mode_name(wanted.mode)) + " to " +
+                std::string(uts::param_mode_name(offered.mode)),
+            "\"" + wanted.name + "\""});
+        found_error = true;
+        continue;
+      }
+      TypeDelta delta;
+      type_delta(wanted.type, offered.type, "\"" + wanted.name + "\"", delta);
+      if (delta.fatal) {
+        result.diags.push_back(Diagnostic{
+            "UTS302", Severity::kError, new_file, loc,
+            "export '" + new_decl.name + "': parameter \"" + wanted.name +
+                "\" " + delta.what,
+            delta.path});
+        found_error = true;
+      } else if (delta.widened) {
+        if (wanted.mode == ParamMode::kVal) {
+          result.diags.push_back(Diagnostic{
+              "UTS312", Severity::kNote, new_file, loc,
+              "export '" + new_decl.name + "': val parameter \"" +
+                  wanted.name + "\" " + delta.what + " (wire-compatible)",
+              delta.path});
+        } else {
+          // res/var data travels in the reply, whose layout the caller
+          // preallocated from the old bound — widening breaks it.
+          result.diags.push_back(Diagnostic{
+              "UTS302", Severity::kError, new_file, loc,
+              "export '" + new_decl.name + "': " +
+                  std::string(uts::param_mode_name(wanted.mode)) +
+                  " parameter \"" + wanted.name + "\" " + delta.what +
+                  " — only val parameters may widen",
+              delta.path});
+          found_error = true;
+        }
+      }
+    }
+    for (std::size_t j = 0; j < new_sig.size(); ++j) {
+      if (!matched[j]) {
+        result.diags.push_back(Diagnostic{
+            "UTS311", Severity::kNote, new_file, new_decl.param_loc(j),
+            "export '" + new_decl.name + "': parameter \"" +
+                new_sig[j].name + "\" added (wire-compatible)",
+            "\"" + new_sig[j].name + "\""});
+      }
+    }
+
+    // Safety net against false negatives: the classification above must
+    // agree with the runtime predicate the Manager enforces. If it missed
+    // something the Manager would reject, report it anyway.
+    if (!found_error) {
+      std::string why = uts::signature_compatibility_error(old_sig, new_sig);
+      if (!why.empty()) {
+        result.diags.push_back(Diagnostic{
+            "UTS302", Severity::kError, new_file, new_decl.loc,
+            "export '" + new_decl.name +
+                "' incompatible with its old version: " + why,
+            ""});
+      }
+    }
+  }
+  return result;
+}
+
+std::string diff_result_to_json(const DiffResult& result,
+                                std::string_view old_text,
+                                std::string_view new_text) {
+  std::ostringstream os;
+  os << "{\n  \"tool_version\": \"" << json_escape(tool_version()) << "\",\n";
+  os << "  \"old\": {\"file\": \"" << json_escape(result.old_report.file)
+     << "\", \"sha256\": \"" << util::sha256_hex(old_text)
+     << "\", \"parse_failed\": "
+     << (result.old_report.parse_failed ? "true" : "false") << "},\n";
+  os << "  \"new\": {\"file\": \"" << json_escape(result.new_report.file)
+     << "\", \"sha256\": \"" << util::sha256_hex(new_text)
+     << "\", \"parse_failed\": "
+     << (result.new_report.parse_failed ? "true" : "false") << "},\n";
+  os << "  \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : result.all_diagnostics()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"code\": \"" << json_escape(d.code) << "\", \"severity\": \""
+       << severity_name(d.severity) << "\", \"file\": \""
+       << json_escape(d.file) << "\", \"line\": " << d.loc.line
+       << ", \"column\": " << d.loc.column << ", \"message\": \""
+       << json_escape(d.message) << "\"";
+    if (!d.type_path.empty()) {
+      os << ", \"type_path\": \"" << json_escape(d.type_path) << "\"";
+    }
+    os << "}";
+  }
+  os << "\n  ],\n  \"breaking\": " << result.breaking_count()
+     << ",\n  \"compatible\": " << result.compatible_count()
+     << ",\n  \"verdict\": \""
+     << (result.breaking() ? "breaking" : "compatible") << "\"\n}\n";
+  return os.str();
+}
+
+}  // namespace npss::check

@@ -1,0 +1,59 @@
+// uts_diff — spec-evolution compatibility analysis (UTS3xx).
+//
+// Given two versions of a spec file's export surface, classify every
+// change as *wire-compatible* or *breaking* for clients compiled against
+// the old version. The rule is exactly the runtime one: a client built
+// from old export E binds the new export E' iff E-as-import is compatible
+// with E' under uts::signature_compatibility_error — the paper's
+// footnote-1 subsequence rule plus val-parameter array widening. What the
+// Manager would discover at rebind time, this pass reports before deploy.
+//
+//   breaking    UTS301 export removed/renamed
+//               UTS302 parameter type changed (shape, record field order,
+//                      narrowed array bound) — with the offending type path
+//               UTS303 parameter mode (val/res/var) changed
+//               UTS304 parameter removed or reordered
+//   compatible  UTS310 new export          (note)
+//               UTS311 parameter added     (note)
+//               UTS312 val array widened   (note)
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/diag.hpp"
+
+namespace npss::check {
+
+/// Outcome of one old-vs-new comparison.
+struct DiffResult {
+  FileReport old_report;          ///< parse + lint of the old version
+  FileReport new_report;          ///< parse + lint of the new version
+  std::vector<Diagnostic> diags;  ///< UTS3xx findings (notes included)
+
+  /// True when any breaking (error) change was found, or either version
+  /// failed to parse (an unparseable side cannot be certified compatible).
+  bool breaking() const;
+  int breaking_count() const;
+  int compatible_count() const;  ///< UTS31x notes
+
+  std::vector<Diagnostic> all_diagnostics() const;
+};
+
+/// Compare the export surfaces of two spec versions. Both sides are parsed
+/// with the recovering parser and per-file linted first; UTS3xx findings
+/// carry the new file's locations for changes, the old file's for removals.
+DiffResult diff_spec_texts(const std::string& old_file,
+                           std::string_view old_text,
+                           const std::string& new_file,
+                           std::string_view new_text);
+
+/// The `uts_diff --json` document: diagnostics, counts, verdict, and the
+/// sha256 of each version's text.
+std::string diff_result_to_json(const DiffResult& result,
+                                std::string_view old_text,
+                                std::string_view new_text);
+
+}  // namespace npss::check

@@ -1,0 +1,87 @@
+// uts_diff — spec-evolution compatibility checker.
+//
+//   uts_diff [--json] <old-spec> <new-spec>
+//
+// Compares the export surface of two versions of a UTS specification and
+// classifies every change as wire-compatible (UTS31x notes) or breaking
+// (UTS30x errors) for clients compiled against the old version. Exit
+// status: 0 when the new version is compatible, 1 when any breaking
+// change was found (or either version fails to parse), 2 on usage or I/O
+// problems.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/diff.hpp"
+#include "util/status.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: uts_diff [--json] <old-spec> <new-spec>\n"
+        "\n"
+        "Spec-evolution compatibility check: classifies every change to the\n"
+        "export surface as wire-compatible or breaking for clients compiled\n"
+        "against the old version. Exit 0 = compatible, 1 = breaking, 2 =\n"
+        "usage.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "-h" || arg == "--help") {
+      usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "uts_diff: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::cerr << "uts_diff: expected exactly one old and one new spec file\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  std::vector<std::string> texts;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "uts_diff: cannot open '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    texts.push_back(text.str());
+  }
+
+  try {
+    npss::check::DiffResult result =
+        npss::check::diff_spec_texts(paths[0], texts[0], paths[1], texts[1]);
+    if (json) {
+      std::cout << npss::check::diff_result_to_json(result, texts[0],
+                                                    texts[1]);
+    } else {
+      std::cout << npss::check::render_human(result.all_diagnostics());
+      std::cout << paths[0] << " -> " << paths[1] << ": "
+                << result.breaking_count() << " breaking, "
+                << result.compatible_count() << " compatible change(s): "
+                << (result.breaking() ? "BREAKING" : "compatible") << "\n";
+    }
+    return result.breaking() ? 1 : 0;
+  } catch (const npss::util::Error& e) {
+    std::cerr << "uts_diff: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -108,6 +108,8 @@ void Network::disconnect(const std::string& dst, const std::string& dst_port) {
   std::erase_if(connections_, [&](const Connection& c) {
     return c.dst_module == dst && c.dst_port == dst_port;
   });
+  // Edge removal changes longest-path depths, so the wavefront levels the
+  // scheduler executes must be rebuilt before the next evaluate().
   invalidate_topology();
 }
 
@@ -419,6 +421,10 @@ void Network::load_from_text(const std::string& text) {
       std::string src, src_port, dst, dst_port;
       ls >> src >> src_port >> dst >> dst_port;
       connect(src, src_port, dst, dst_port);
+    } else if (verb == "loop") {
+      // Solver-loop declarations are flow_lint metadata (a declared loop
+      // legalizes a cycle for the static pass); the executive itself
+      // schedules only the DAG, so the line is ignored here.
     } else {
       throw GraphError("network file line " + std::to_string(lineno) +
                        ": unknown verb '" + verb + "'");

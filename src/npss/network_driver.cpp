@@ -2,9 +2,11 @@
 
 #include <cmath>
 
+#include "check/flowlint.hpp"
 #include "obs/metrics.hpp"
 #include "solvers/newton.hpp"
 #include "solvers/ode.hpp"
+#include "util/log.hpp"
 #include "util/status.hpp"
 
 namespace npss::glue {
@@ -113,7 +115,29 @@ F100NetworkNames build_f100_network(flow::Network& net,
 
 NetworkEngineDriver::NetworkEngineDriver(flow::Network& net,
                                          F100NetworkNames names)
-    : net_(&net), names_(std::move(names)) {}
+    : net_(&net), names_(std::move(names)) {
+  // Engine-config lint at startup: run flow_lint's static pass over the
+  // serialized form of the network we were handed. Warnings (serialization
+  // hazards, isolated modules) are logged; hard findings (dangling ports,
+  // type mismatches, undeclared cycles) abort before the first evaluate,
+  // with positions into the serialized text.
+  check::FlowLintResult lint = check::lint_network_text(
+      "<engine-network>", net.save_to_text(), check::ModuleCatalog::from_factory());
+  for (const check::Diagnostic& d : lint.diags) {
+    if (d.severity == check::Severity::kWarning) {
+      NPSS_LOG_WARN("npss.driver", "flow-lint: ", check::to_string(d));
+    }
+  }
+  if (!lint.ok()) {
+    std::string msg = "engine network failed flow-lint:";
+    for (const check::Diagnostic& d : lint.diags) {
+      if (d.severity == check::Severity::kError) {
+        msg += "\n  " + check::to_string(d);
+      }
+    }
+    throw util::GraphError(msg);
+  }
+}
 
 SystemModule& NetworkEngineDriver::system() {
   return dynamic_cast<SystemModule&>(net_->module(names_.system));

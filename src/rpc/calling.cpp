@@ -283,6 +283,14 @@ CallResult CallCore::invoke(const std::string& name,
       } catch (const util::Error& e) {
         NPSS_LOG_WARN("rpc.call", "failover of '", name,
                       "' failed: ", e.what());
+        // Record the refused sch_move as its own attempt so the trace
+        // shows *why* the failover died (e.g. the Manager's compat gate
+        // rejecting an incompatible replacement replica).
+        CallAttempt move_attempt;
+        move_attempt.number = static_cast<int>(result.attempts.size()) + 1;
+        move_attempt.address = "sch_move -> " + opts.failover_machine;
+        move_attempt.status = util::Status::from(e);
+        result.attempts.push_back(std::move(move_attempt));
         result.status = util::Status(
             util::ErrorCode::kUnavailable,
             "call to '" + name + "': " + result.status.message() +

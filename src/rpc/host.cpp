@@ -7,6 +7,7 @@
 #include "rpc/calling.hpp"
 #include "rpc/manager.hpp"
 #include "util/log.hpp"
+#include "util/sha256.hpp"
 
 namespace npss::rpc {
 
@@ -36,7 +37,8 @@ class HostRuntime {
       : ctx_(ctx),
         io_(ctx.cluster(), ctx.self_ptr()),
         options_(options),
-        exports_(uts::parse_spec(spec_text)) {
+        exports_(uts::parse_spec(spec_text)),
+        spec_hash_(util::sha256_hex(spec_text)) {
     manager_ = table_get(ctx.args(), "manager", "");
     line_ = std::stoll(table_get(ctx.args(), "line", "-1"));
     shared_ = table_get(ctx.args(), "shared", "0") == "1";
@@ -136,6 +138,9 @@ class HostRuntime {
     msg.line = line_;
     msg.a = path_;
     msg.b = ctx_.self().machine().name;
+    // Content hash of the spec text this process was built against; lets
+    // a strict-mode Manager detect a manifest that predates the spec.
+    msg.c = spec_hash_;
     msg.n = shared_ ? 1 : 0;
     for (const auto& [key, entry] : handlers_) {
       // Export under the name the machine's compiler would emit: the
@@ -290,6 +295,7 @@ class HostRuntime {
   LineId line_ = kNoLine;
   bool shared_ = false;
   std::string path_;
+  std::string spec_hash_;
   std::map<std::string, HandlerEntry> handlers_;
   std::map<std::string, BindingCache> nested_cache_;
   std::map<std::string, uts::ProcDecl> nested_decls_;

@@ -102,8 +102,9 @@ struct PendingStart {
   std::string spawned_address;
   std::string machine;
   std::string path;
-  // Move bookkeeping.
-  BindingPtr moved_binding;
+  // Move bookkeeping: every binding that lived in the moved process, so
+  // the replacement's exports can be gated against the old signatures.
+  std::vector<BindingPtr> moved_bindings;
   std::optional<util::Bytes> state_blob;
 };
 
@@ -238,6 +239,22 @@ class ManagerState {
       db = &line_or_throw(line).db;
     }
 
+    // Stale-manifest screen: the exporter stamps its spec text's sha256
+    // into msg.c; a hash the manifest does not list means the spec changed
+    // after uts_check ran. That alone is a warning, not a rejection — the
+    // signature checks below decide whether the drift is compatible.
+    if (config_.strict && !msg.c.empty() &&
+        !config_.manifest_spec_hashes.empty() &&
+        std::find(config_.manifest_spec_hashes.begin(),
+                  config_.manifest_spec_hashes.end(),
+                  msg.c) == config_.manifest_spec_hashes.end()) {
+      ++stats_->stale_manifest_warnings;
+      bump("static_check_stale");
+      NPSS_LOG_WARN("manager", "stale manifest: spec hash ", msg.c,
+                    " of exporter ", in.from,
+                    " is not in the uts_check manifest; re-run uts_check");
+    }
+
     std::vector<BindingPtr> registered;
     try {
       for (const auto& [name, sig_text] : msg.table) {
@@ -255,6 +272,39 @@ class ManagerState {
         binding->shared = shared;
         db->insert(binding);
         registered.push_back(std::move(binding));
+      }
+      // Migration compat gate: a moved procedure's replacement must offer
+      // an export surface the surviving clients can still bind — every
+      // old binding signature (what the callers compiled against) must be
+      // compatible with the replacement's export. Refusing here rides the
+      // rollback path below, so the incompatible replica is dismissed
+      // before any call can be mis-marshaled into it.
+      if (pending_it != pending_.end() &&
+          pending_it->ack_kind == MessageKind::kMoveAck) {
+        for (const BindingPtr& old : pending_it->moved_bindings) {
+          const BindingPtr* replacement = nullptr;
+          for (const BindingPtr& b : registered) {
+            if (lower(b->canonical_name) == lower(old->canonical_name)) {
+              replacement = &b;
+              break;
+            }
+          }
+          std::string why;
+          if (!replacement) {
+            why = "replacement does not export it";
+          } else {
+            why = uts::signature_compatibility_error(
+                old->signature, (*replacement)->signature);
+          }
+          if (!why.empty()) {
+            ++stats_->compat_rejects;
+            bump("compat_reject");
+            throw util::TypeMismatchError(
+                "move of '" + old->canonical_name +
+                "' rejected: replacement on " + pending_it->machine +
+                " is incompatible with the signature clients bound: " + why);
+          }
+        }
       }
     } catch (const util::Error& e) {
       // Roll back, dismiss the new process, and fail the start/move
@@ -327,11 +377,28 @@ class ManagerState {
     }
     uts::ProcDecl checked = parse_signature_text(*it->second);
     if (checked.signature != decl.signature) {
+      // Drifted from the manifest. A *compatible* drift (the manifest
+      // signature, as an import, still binds the new export — the
+      // evolution rule uts_diff enforces) means the manifest is stale:
+      // admit with a warning. An incompatible drift is rejected outright.
+      std::string why = uts::signature_compatibility_error(checked.signature,
+                                                           decl.signature);
+      if (why.empty()) {
+        ++stats_->stale_manifest_warnings;
+        bump("static_check_stale");
+        NPSS_LOG_WARN("manager", "stale manifest: export '", name,
+                      "' drifted compatibly from the statically checked "
+                      "signature; re-run uts_check");
+        return;
+      }
       ++stats_->static_check_failures;
       bump("static_check_fail");
+      ++stats_->compat_rejects;
+      bump("compat_reject");
       throw util::TypeMismatchError(
           "static check: export '" + name +
-          "' drifted from the statically checked signature: manifest " +
+          "' drifted incompatibly from the statically checked signature (" +
+          why + "): manifest " +
           uts::signature_to_string(checked.signature) + " != exported " +
           uts::signature_to_string(decl.signature));
     }
@@ -368,6 +435,10 @@ class ManagerState {
       if (!why.empty()) {
         ++stats_->type_check_failures;
         bump("type_check_failures");
+        // A lookup with an import text is a (re)bind: refusing it here is
+        // the compat gate clients hit when rebinding after a move.
+        ++stats_->compat_rejects;
+        bump("compat_reject");
         reply(in,
               Message::error_reply(
                   msg, ErrorCode::kTypeMismatch,
@@ -489,7 +560,7 @@ class ManagerState {
     pending.spawned_address = address;
     pending.machine = msg.b;
     pending.path = path;
-    pending.moved_binding = binding;
+    pending.moved_bindings = std::move(moved);
     pending.state_blob = std::move(state);
     pending_.push_back(std::move(pending));
     NPSS_LOG_DEBUG("manager", "moving '", msg.a, "' ", old_address, " -> ",

@@ -66,6 +66,13 @@ struct ManagerConfig {
   /// canonical procedure name -> export declaration text
   /// (check::load_manifest_json output).
   std::map<std::string, std::string> static_manifest;
+  /// Per-spec-file content hashes from the manifest's "files" section.
+  /// When non-empty, a strict-mode exporter whose spec hash (kExport
+  /// msg.c) is not listed triggers a *stale manifest* warning — the spec
+  /// text changed since uts_check ran — which is distinct from an
+  /// incompatible drift: stale-but-compatible exports are admitted with a
+  /// warning, incompatible ones are rejected.
+  std::vector<std::string> manifest_spec_hashes;
 };
 
 /// Counters the benches read after a run (exposed through ManagerHandle).
@@ -77,6 +84,12 @@ struct ManagerStats {
   std::uint64_t moves = 0;
   std::uint64_t lines_shut_down = 0;
   std::uint64_t static_check_failures = 0;
+  /// Strict-mode exports admitted although their spec hash (or signature,
+  /// compatibly) drifted from the manifest: the manifest is stale.
+  std::uint64_t stale_manifest_warnings = 0;
+  /// Rebinds/migrations refused because the offered export surface is
+  /// incompatible with what the client (or the manifest) compiled against.
+  std::uint64_t compat_rejects = 0;
 };
 
 /// The Manager's process body; spawned by SchoonerSystem.

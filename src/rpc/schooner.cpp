@@ -11,6 +11,7 @@ SchoonerSystem::SchoonerSystem(sim::Cluster& cluster,
   ManagerConfig config;
   config.strict = options.strict_static_check;
   config.static_manifest = std::move(options.static_manifest);
+  config.manifest_spec_hashes = std::move(options.manifest_spec_hashes);
   for (const std::string& machine : cluster.machine_names()) {
     sim::EndpointPtr ep = cluster.spawn(machine, "schx-server", server_main);
     config.servers[machine] = ep->address();

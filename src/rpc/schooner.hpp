@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "rpc/client.hpp"
 #include "rpc/host.hpp"
@@ -24,6 +25,10 @@ namespace npss::rpc {
 struct SystemOptions {
   bool strict_static_check = false;
   std::map<std::string, std::string> static_manifest;
+  /// Per-spec-file sha256 hashes from the manifest (check::Manifest
+  /// spec_hashes). Lets the Manager tell a *stale* manifest (spec text
+  /// changed after uts_check ran) apart from an incompatible export.
+  std::vector<std::string> manifest_spec_hashes;
 };
 
 class SchoonerSystem {

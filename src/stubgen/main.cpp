@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     npss::stubgen::GeneratedStub out =
-        npss::stubgen::generate_all(report.spec, spec_path);
+        npss::stubgen::generate_all(report.spec, spec_path, report.sha256);
     if (out_path.empty()) {
       std::cout << out.header;
     } else {

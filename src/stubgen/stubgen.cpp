@@ -293,7 +293,8 @@ GeneratedStub generate_server_stub(const ProcDecl& decl) {
 }
 
 GeneratedStub generate_all(const uts::SpecFile& spec,
-                           const std::string& header_name) {
+                           const std::string& header_name,
+                           const std::string& spec_sha256) {
   std::ostringstream h;
   h << "// Generated by schooner-stubgen — do not edit.\n";
   h << "#pragma once\n\n";
@@ -302,6 +303,13 @@ GeneratedStub generate_all(const uts::SpecFile& spec,
   h << "#include \"rpc/client.hpp\"\n#include \"rpc/host.hpp\"\n\n";
   h << "namespace uts = npss::uts;\n\n";
   h << "// header: " << header_name << "\n\n";
+  if (!spec_sha256.empty()) {
+    h << "/// Content hash of the spec these stubs were generated from;\n"
+      << "/// compare against the `files[].sha256` entries of a\n"
+      << "/// `uts_check --json` manifest to detect a stale build.\n"
+      << "inline constexpr char kSpecSha256[] = \"" << spec_sha256
+      << "\";\n\n";
+  }
   for (const ProcDecl& decl : spec.decls) {
     if (decl.kind == DeclKind::kImport) {
       h << generate_client_stub(decl).header << "\n";

@@ -41,8 +41,11 @@ GeneratedStub generate_client_stub(const uts::ProcDecl& decl);
 GeneratedStub generate_server_stub(const uts::ProcDecl& decl);
 
 /// Generate a complete header+source pair for every declaration in a spec
-/// file (imports -> client stubs, exports -> server skeletons).
+/// file (imports -> client stubs, exports -> server skeletons). A
+/// non-empty `spec_sha256` is embedded as `kSpecSha256` so a built binary
+/// can be matched against the uts_check manifest that vetted its spec.
 GeneratedStub generate_all(const uts::SpecFile& spec,
-                           const std::string& header_name);
+                           const std::string& header_name,
+                           const std::string& spec_sha256 = "");
 
 }  // namespace npss::stubgen

@@ -1,0 +1,15 @@
+// Minimal SHA-256 (FIPS 180-4), used for spec-file content hashes in the
+// uts_check manifest and the kExport handshake. Self-contained so the
+// toolchain needs no crypto dependency; this is an integrity fingerprint
+// for stale-manifest detection, not a security boundary.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace npss::util {
+
+/// Lower-case hex digest (64 chars) of `data`.
+std::string sha256_hex(std::string_view data);
+
+}  // namespace npss::util

@@ -144,6 +144,25 @@ std::string signature_to_string(const Signature& sig) {
   return os.str();
 }
 
+namespace {
+
+/// val-parameter widening: an import `array[n] of T` may bind an export
+/// `array[m] of T` when n <= m. The wire layout follows the *import*
+/// signature and a val parameter travels only in the request, so the
+/// exporter simply receives the narrower prefix the caller declared —
+/// nothing in the reply depends on the export's wider bound. Every other
+/// shape (records included: field order is wire layout) must be identical.
+bool val_widening_ok(const Type& wanted, const Type& offered) {
+  if (wanted == offered) return true;
+  if (wanted.kind() != TypeKind::kArray || offered.kind() != TypeKind::kArray) {
+    return false;
+  }
+  return wanted.array_size() <= offered.array_size() &&
+         val_widening_ok(wanted.element(), offered.element());
+}
+
+}  // namespace
+
 std::string signature_compatibility_error(const Signature& import_sig,
                                           const Signature& export_sig) {
   std::size_t export_pos = 0;
@@ -161,7 +180,11 @@ std::string signature_compatibility_error(const Signature& import_sig,
                " != export mode " +
                std::string(param_mode_name(offered.mode));
       }
-      if (offered.type != wanted.type) {
+      const bool type_ok =
+          wanted.mode == ParamMode::kVal
+              ? val_widening_ok(wanted.type, offered.type)
+              : wanted.type == offered.type;
+      if (!type_ok) {
         return "parameter \"" + wanted.name + "\": import type " +
                wanted.type.to_string() + " != export type " +
                offered.type.to_string();

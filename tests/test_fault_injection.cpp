@@ -260,6 +260,47 @@ TEST_F(FaultPathTest, CrashedServerFailsOverByMigration) {
   client->quit();
 }
 
+TEST_F(FaultPathTest, FailoverToIncompatibleReplicaIsRefusedByCompatGate) {
+  // The spare machine carries a *drifted* echo build whose export surface
+  // is incompatible with the signature the surviving clients bound ("x"
+  // became integer). The Manager's move-compat gate must refuse the
+  // migration, dismiss the replica, and return a clean error — never let
+  // a call be mis-marshaled into the wrong layout.
+  cluster_->install_image(
+      "spare", "/bin/echo",
+      rpc::make_procedure_image(
+          "export echo prog(\"x\" val integer, \"y\" res double)",
+          {{"echo", [](rpc::ProcCall& c) {
+              c.set_real("y", static_cast<double>(2 * c.integer("x")));
+            }}}));
+
+  auto client = system_->make_client("avs", "compat-reject");
+  rpc::StartResult started = client->contact_schx("far", "/bin/echo");
+  auto echo = client->import_proc("echo", kEchoImport);
+  ASSERT_TRUE(
+      echo->call({Value::real(3), Value::real(0)}, wan_options()).ok());
+
+  cluster_->crash_process(started.address);
+
+  CallOptions opts = wan_options();
+  opts.failover_machine = "spare";
+  CallResult r = echo->call({Value::real(4), Value::real(0)}, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), util::ErrorCode::kUnavailable);
+  EXPECT_NE(r.status.message().find("failover"), std::string::npos)
+      << r.status.to_string();
+
+  // The refused sch_move shows up in the attempt trace...
+  ASSERT_GE(r.attempt_count(), 2);
+  const rpc::CallAttempt& last = r.attempts.back();
+  EXPECT_NE(last.address.find("sch_move -> spare"), std::string::npos);
+  EXPECT_FALSE(last.status.is_ok());
+
+  // ...and the Manager counted the rejection.
+  EXPECT_GE(system_->stats().compat_rejects, 1u);
+  client->quit();
+}
+
 TEST_F(FaultPathTest, GlueDegradesToLocalComputeWhenServerDies) {
   // RemoteBackend: a placed duct whose process crashes falls back to the
   // local physics hook and records the degradation.

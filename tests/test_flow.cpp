@@ -153,6 +153,52 @@ TEST(Network, SingleSourcePerInput) {
   EXPECT_NO_THROW(net.connect("b", "out", "c", "in"));
 }
 
+// Regression: disconnect() must invalidate the cached wavefront levels —
+// an edge removal changes longest-path depths, so an evaluate() after a
+// disconnect has to run against the rebuilt schedule, not the stale one.
+TEST(Network, DisconnectRebuildsWavefrontsBeforeNextEvaluate) {
+  register_basic_modules();
+  Network net;
+  net.add("src", "constant");
+  auto& d1 = static_cast<DoublerModule&>(
+      net.add("d1", std::make_unique<DoublerModule>()));
+  auto& d2 = static_cast<DoublerModule&>(
+      net.add("d2", std::make_unique<DoublerModule>()));
+  net.connect("src", "out", "d1", "in");
+  net.connect("d1", "out", "d2", "in");
+
+  const auto out_of = [&](const char* name) {
+    const OutputPort& port = net.module(name).outputs().front();
+    return port.value ? port.value->as_real() : 0.0;
+  };
+
+  net.module("src").widget("value").set_real(3.0);
+  net.evaluate();  // builds the level cache: {src} {d1} {d2}
+  ASSERT_EQ(net.wavefronts().size(), 3u);
+  EXPECT_DOUBLE_EQ(out_of("d2"), 12.0);
+
+  // Cut the chain and rewire d2 directly to the source: d2's depth drops
+  // from 2 to 1, so the level structure must change shape.
+  net.disconnect("d2", "in");
+  net.connect("src", "out", "d2", "in");
+  const auto& levels = net.wavefronts();
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_EQ(levels[1].size(), 2u);  // d1 and d2 now peers
+
+  d1.computes = d2.computes = 0;
+  net.evaluate();
+  EXPECT_EQ(d1.computes, 1);
+  EXPECT_EQ(d2.computes, 1);
+  EXPECT_DOUBLE_EQ(out_of("d2"), 6.0);  // src*2, no longer src*4
+
+  // Fully orphaning an input also reschedules; the input port keeps its
+  // last delivered value, so the doubler recomputes from that.
+  net.disconnect("d2", "in");
+  EXPECT_EQ(net.wavefronts().size(), 2u);
+  net.evaluate();
+  EXPECT_DOUBLE_EQ(out_of("d2"), 6.0);
+}
+
 TEST(Network, BadNamesDiagnosed) {
   Network net;
   net.add("a", std::make_unique<DoublerModule>());

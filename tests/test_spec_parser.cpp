@@ -217,7 +217,22 @@ INSTANTIATE_TEST_SUITE_P(
         BadLocatedSpec{"export f prog() %", "UTS010", 1, 17},
         BadLocatedSpec{
             "export f prog(\"x\" val array[99999999999999999999] of float)",
-            "UTS010", 1, 29}));
+            "UTS010", 1, 29},
+        // Nested structured types: the position must pin the *inner*
+        // offending token, not the outer parameter or record.
+        BadLocatedSpec{"export f prog(\n  \"s\" val record\n    \"inner\": "
+                       "record\n      \"xs\": array[0] of float\n    end\n  "
+                       "end)",
+                       "UTS003", 4, 19},
+        BadLocatedSpec{"export f prog(\n  \"s\" val record\n    \"inner\": "
+                       "record end\n  end)",
+                       "UTS005", 3, 14},
+        BadLocatedSpec{"export f prog(\n  \"rows\" val array[3] of record\n  "
+                       "  \"w\": floof\n  end)",
+                       "UTS010", 3, 10},
+        BadLocatedSpec{"export f prog(\n  \"rows\" val array[2] of record\n  "
+                       "  \"xs\": array[0] of double\n  end)",
+                       "UTS003", 3, 17}));
 
 TEST(SpecParser, LocatedParseRecoversEarlierDeclsAfterSyntaxError) {
   ParsedSpec parsed = parse_spec_located(

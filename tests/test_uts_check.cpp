@@ -11,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "rpc/host.hpp"
 #include "rpc/schooner.hpp"
+#include "util/sha256.hpp"
 
 #ifndef UTS_CHECK_SPEC_DIR
 #error "UTS_CHECK_SPEC_DIR must point at tests/specs"
@@ -282,6 +283,81 @@ TEST(StrictManager, UnlistedExportRejected) {
   EXPECT_THROW(client->contact_schx("cray", "/npss/add"),
                util::TypeMismatchError);
   EXPECT_EQ(system.stats().static_check_failures, 1u);
+}
+
+TEST(StrictManager, CompatibleDriftAdmittedWithStaleWarning) {
+  // The program grew an appended parameter since uts_check ran. Old
+  // imports still bind (footnote-1 subsequence), so the drift is
+  // *compatible*: the Manager admits the export but flags the manifest as
+  // stale — distinctly from an incompatible rejection.
+  const char* grown_spec = R"(
+    export add prog(
+      "x" val double,
+      "y" val double,
+      "bias" val double,
+      "sum" res double)
+  )";
+  sim::Cluster cluster;
+  cluster.add_machine("sparc", "sun-sparc10", "lerc");
+  cluster.add_machine("cray", "cray-ymp", "lerc");
+  rpc::SystemOptions options;
+  options.strict_static_check = true;
+  options.static_manifest = manifest_for(kAddExport);
+  rpc::SchoonerSystem system(cluster, "sparc", std::move(options));
+
+  cluster.install_image(
+      "cray", "/npss/add",
+      rpc::make_procedure_image(
+          grown_spec, {{"add", [](rpc::ProcCall& call) {
+                          call.set_real("sum", call.real("x") +
+                                                   call.real("y") +
+                                                   call.real("bias"));
+                        }}}));
+  auto client = system.make_client("sparc", "strict-stale");
+  EXPECT_NO_THROW(client->contact_schx("cray", "/npss/add"));
+  auto add = client->import_proc("add", kAddImport);
+  uts::ValueList out = add->call(
+      {uts::Value::real(2), uts::Value::real(3), uts::Value::real(0)});
+  EXPECT_DOUBLE_EQ(out[2].as_real(), 5.0);
+  EXPECT_GE(system.stats().stale_manifest_warnings, 1u);
+  EXPECT_EQ(system.stats().static_check_failures, 0u);
+  EXPECT_EQ(system.stats().compat_rejects, 0u);
+}
+
+TEST(StrictManager, SpecHashMismatchWarnsStaleButAdmitsMatchingExport) {
+  // The exporter stamps its spec text's sha256 into the registration; a
+  // hash the manifest does not list means the spec file changed after
+  // uts_check ran. With an unchanged export surface that is a warning
+  // only — the distinction satellite: stale != incompatible.
+  sim::Cluster cluster;
+  cluster.add_machine("sparc", "sun-sparc10", "lerc");
+  cluster.add_machine("cray", "cray-ymp", "lerc");
+  rpc::SystemOptions options;
+  options.strict_static_check = true;
+  options.static_manifest = manifest_for(kAddExport);
+  options.manifest_spec_hashes = {
+      util::sha256_hex("# a different spec text entirely\n")};
+  rpc::SchoonerSystem system(cluster, "sparc", std::move(options));
+
+  cluster.install_image("cray", "/npss/add", add_image());
+  auto client = system.make_client("sparc", "strict-hash");
+  EXPECT_NO_THROW(client->contact_schx("cray", "/npss/add"));
+  EXPECT_GE(system.stats().stale_manifest_warnings, 1u);
+  EXPECT_EQ(system.stats().compat_rejects, 0u);
+
+  // With the exporter's actual hash listed, no staleness is reported.
+  sim::Cluster fresh_cluster;
+  fresh_cluster.add_machine("sparc", "sun-sparc10", "lerc");
+  fresh_cluster.add_machine("cray", "cray-ymp", "lerc");
+  rpc::SystemOptions fresh;
+  fresh.strict_static_check = true;
+  fresh.static_manifest = manifest_for(kAddExport);
+  fresh.manifest_spec_hashes = {util::sha256_hex(kAddExport)};
+  rpc::SchoonerSystem fresh_system(fresh_cluster, "sparc", std::move(fresh));
+  fresh_cluster.install_image("cray", "/npss/add", add_image());
+  auto fresh_client = fresh_system.make_client("sparc", "fresh-hash");
+  EXPECT_NO_THROW(fresh_client->contact_schx("cray", "/npss/add"));
+  EXPECT_EQ(fresh_system.stats().stale_manifest_warnings, 0u);
 }
 
 TEST(StrictManager, OffByDefaultKeepsLegacyBehavior) {

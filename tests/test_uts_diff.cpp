@@ -1,0 +1,233 @@
+// uts_diff (UTS3xx) spec-evolution suite: the seeded corpus under
+// tests/specs/evolution/ must classify with zero false negatives on
+// breaking changes, plus manifest hash/round-trip checks and the
+// val-widening compatibility rule the differ shares with the runtime.
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hpp"
+#include "check/diff.hpp"
+#include "util/sha256.hpp"
+#include "uts/spec.hpp"
+
+namespace fs = std::filesystem;
+using npss::check::DiffResult;
+using npss::check::diff_spec_texts;
+
+namespace {
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+DiffResult diff_case(const std::string& name) {
+  const fs::path dir = fs::path(UTS_DIFF_EVOLUTION_DIR) / name;
+  const fs::path old_spec = dir / "old.spec";
+  const fs::path new_spec = dir / "new.spec";
+  return diff_spec_texts(old_spec.string(), slurp(old_spec),
+                         new_spec.string(), slurp(new_spec));
+}
+
+bool has_code(const DiffResult& result, const std::string& code) {
+  for (const npss::check::Diagnostic& d : result.diags) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+/// Expected primary diagnostic per corpus case. Every directory under
+/// tests/specs/evolution/ must appear here, so adding a corpus case
+/// without wiring its expectation fails the sweep below.
+const std::map<std::string, std::string>& expected_codes() {
+  static const std::map<std::string, std::string> table = {
+      {"breaking_removed_export", "UTS301"},
+      {"breaking_type_change", "UTS302"},
+      {"breaking_mode_change", "UTS303"},
+      {"breaking_field_reorder", "UTS302"},
+      {"breaking_field_renamed", "UTS302"},
+      {"breaking_narrowed_array", "UTS302"},
+      {"breaking_param_removed", "UTS304"},
+      {"breaking_param_reordered", "UTS304"},
+      {"breaking_widened_res_array", "UTS302"},
+      {"compatible_new_export", "UTS310"},
+      {"compatible_added_param", "UTS311"},
+      {"compatible_widened_val_array", "UTS312"},
+      {"compatible_widened_nested_array", "UTS312"},
+      {"compatible_comment_only", ""},  // no surface change at all
+  };
+  return table;
+}
+
+TEST(EvolutionCorpus, EveryCaseClassifiesAsNamed) {
+  int cases = 0;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(UTS_DIFF_EVOLUTION_DIR)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    ++cases;
+    auto expect = expected_codes().find(name);
+    ASSERT_NE(expect, expected_codes().end())
+        << "corpus case '" << name << "' has no expectation wired";
+    DiffResult result = diff_case(name);
+    ASSERT_FALSE(result.old_report.parse_failed) << name;
+    ASSERT_FALSE(result.new_report.parse_failed) << name;
+    const bool should_break = name.rfind("breaking_", 0) == 0;
+    EXPECT_EQ(result.breaking(), should_break) << name;
+    if (!expect->second.empty()) {
+      EXPECT_TRUE(has_code(result, expect->second))
+          << name << " should report " << expect->second;
+    } else {
+      EXPECT_TRUE(result.diags.empty()) << name;
+    }
+    if (should_break) {
+      EXPECT_GE(result.breaking_count(), 1) << name;
+    } else {
+      EXPECT_EQ(result.breaking_count(), 0) << name;
+    }
+  }
+  EXPECT_EQ(cases, static_cast<int>(expected_codes().size()));
+}
+
+// Zero false negatives, checked against the runtime itself: for every
+// breaking case, the old export used as an import must be rejected by
+// uts::signature_compatibility_error against the new export — and for
+// every compatible case, accepted. uts_diff's verdict must agree with
+// the runtime on every corpus pair.
+TEST(EvolutionCorpus, VerdictMatchesRuntimeCompatibility) {
+  for (const auto& [name, code] : expected_codes()) {
+    DiffResult result = diff_case(name);
+    bool runtime_rejects = false;
+    for (const npss::uts::ProcDecl& old_decl : result.old_report.spec.decls) {
+      const npss::uts::ProcDecl* match = nullptr;
+      for (const npss::uts::ProcDecl& new_decl :
+           result.new_report.spec.decls) {
+        if (new_decl.name == old_decl.name) match = &new_decl;
+      }
+      if (!match) {
+        runtime_rejects = true;  // export gone: nothing to bind
+        continue;
+      }
+      if (!npss::uts::signature_compatibility_error(old_decl.signature,
+                                                    match->signature)
+               .empty()) {
+        runtime_rejects = true;
+      }
+    }
+    EXPECT_EQ(result.breaking(), runtime_rejects) << name;
+  }
+}
+
+TEST(UtsDiff, UnparseableSideIsBreaking) {
+  DiffResult result = diff_spec_texts(
+      "old.spec", "export f prog(\"x\" val double)", "new.spec",
+      "export f prog(\"x\" val");
+  EXPECT_TRUE(result.breaking());
+  EXPECT_TRUE(result.new_report.parse_failed);
+}
+
+TEST(UtsDiff, JsonCarriesHashesAndVerdict) {
+  const std::string old_text = "export f prog(\"x\" val double)\n";
+  const std::string new_text =
+      "export f prog(\"x\" val double)\nexport g prog(\"y\" res double)\n";
+  DiffResult result =
+      diff_spec_texts("old.spec", old_text, "new.spec", new_text);
+  const std::string json =
+      npss::check::diff_result_to_json(result, old_text, new_text);
+  EXPECT_NE(json.find(npss::util::sha256_hex(old_text)), std::string::npos);
+  EXPECT_NE(json.find(npss::util::sha256_hex(new_text)), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\": \"compatible\""), std::string::npos);
+  EXPECT_NE(json.find("UTS310"), std::string::npos);
+}
+
+TEST(Manifest, HashIsStableAcrossCommentChurn) {
+  // Same export surface from differently-commented sources hashes equal.
+  npss::check::RunResult a = npss::check::run_check(
+      {{"a.spec", "# v1\nexport f prog(\"x\" val double)\n"}});
+  npss::check::RunResult b = npss::check::run_check(
+      {{"b.spec", "# reformatted\n\nexport f prog(\"x\" val double)\n"}});
+  const std::string hash_a =
+      npss::check::manifest_hash(npss::check::collect_exports(a.files));
+  const std::string hash_b =
+      npss::check::manifest_hash(npss::check::collect_exports(b.files));
+  EXPECT_EQ(hash_a, hash_b);
+  EXPECT_EQ(hash_a.size(), 64u);
+
+  npss::check::RunResult c = npss::check::run_check(
+      {{"c.spec", "export f prog(\"x\" val integer)\n"}});
+  EXPECT_NE(hash_a, npss::check::manifest_hash(
+                        npss::check::collect_exports(c.files)));
+}
+
+TEST(Manifest, JsonRoundTripsHashesAndVersion) {
+  const std::string text =
+      "export f prog(\"x\" val double)\nexport g prog(\"y\" res double)\n";
+  npss::check::RunResult run = npss::check::run_check({{"a.spec", text}});
+  const std::string json = npss::check::run_result_to_json(run);
+
+  npss::check::Manifest manifest = npss::check::load_manifest(json);
+  EXPECT_EQ(manifest.exports.size(), 2u);
+  EXPECT_EQ(manifest.tool_version, npss::check::tool_version());
+  EXPECT_EQ(manifest.manifest_sha256,
+            npss::check::manifest_hash(manifest.exports));
+  ASSERT_EQ(manifest.spec_hashes.size(), 1u);
+  EXPECT_EQ(manifest.spec_hashes[0], npss::util::sha256_hex(text));
+
+  // The legacy accessor still returns just the export table.
+  EXPECT_EQ(npss::check::load_manifest_json(json), manifest.exports);
+}
+
+TEST(Sha256, KnownVectors) {
+  EXPECT_EQ(npss::util::sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(npss::util::sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  // 56 bytes: exercises the two-block padding tail.
+  EXPECT_EQ(npss::util::sha256_hex(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(ValWidening, RuntimeRuleMatchesDiffRule) {
+  using npss::uts::parse_spec;
+  auto sig = [](const std::string& decl) {
+    return parse_spec(decl).decls.at(0).signature;
+  };
+  // val array widening: import 4 <= export 8 binds; the reverse does not.
+  EXPECT_EQ(npss::uts::signature_compatibility_error(
+                sig("import f prog(\"a\" val array[4] of float)"),
+                sig("export f prog(\"a\" val array[8] of float)")),
+            "");
+  EXPECT_NE(npss::uts::signature_compatibility_error(
+                sig("import f prog(\"a\" val array[8] of float)"),
+                sig("export f prog(\"a\" val array[4] of float)")),
+            "");
+  // res parameters stay exact in both directions.
+  EXPECT_NE(npss::uts::signature_compatibility_error(
+                sig("import f prog(\"a\" res array[4] of float)"),
+                sig("export f prog(\"a\" res array[8] of float)")),
+            "");
+  // The widening recurses through nested arrays...
+  EXPECT_EQ(npss::uts::signature_compatibility_error(
+                sig("import f prog(\"a\" val array[2] of array[3] of double)"),
+                sig("export f prog(\"a\" val array[5] of array[3] of double)")),
+            "");
+  // ...but never through records (field layout is the wire format).
+  EXPECT_NE(
+      npss::uts::signature_compatibility_error(
+          sig("import f prog(\"a\" val record \"x\": array[2] of double end)"),
+          sig("export f prog(\"a\" val record \"x\": array[4] of double "
+              "end)")),
+      "");
+}
+
+}  // namespace
