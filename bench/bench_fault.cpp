@@ -5,13 +5,16 @@
 // availability (fraction of calls that complete within the deadline) and
 // the added virtual latency paid for retries — the curves the CallOptions
 // defaults were tuned against. A second section crashes the server
-// mid-run and records the migration-based failover. Writes
-// BENCH_fault.json next to the binary.
+// mid-run and records the migration-based failover. A third section kills
+// the Manager *leader* with a 3-replica control plane and records the
+// election + client re-bind transcript. Writes BENCH_fault.json next to
+// the binary.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/testbed.hpp"
+#include "rpc/calling.hpp"
 #include "rpc/client.hpp"
 #include "uts/value.hpp"
 
@@ -113,6 +116,97 @@ FailoverResult run_failover() {
   return out;
 }
 
+/// One call in the leader-kill transcript: deterministic under one seed
+/// (same seed => same election outcome => same attempt counts).
+struct TranscriptEntry {
+  int call = 0;
+  bool ok = false;
+  int attempts = 0;
+};
+
+struct MetaFailover {
+  bool elected = false;
+  bool digest_intact = false;
+  bool rebound = false;
+  int new_leader_index = -1;
+  std::uint64_t elections = 0;
+  double availability = 0.0;
+  std::vector<TranscriptEntry> transcript;
+};
+
+/// Kill the Manager leader mid-run with a 3-replica control plane: a
+/// follower must take over, clients must re-bind, and the export table
+/// (spec hashes included) must survive byte-for-byte.
+MetaFailover run_meta_failover() {
+  sim::Cluster cluster;
+  build_paper_testbed(cluster);
+  glue::install_tess_procedures_everywhere(cluster);
+  rpc::SystemOptions options;
+  options.manager_replicas = 3;
+  options.replica_machines = {"sgi420-lerc", "rs6000-lerc"};
+  options.heartbeat_ms = 10;
+  options.election_base_ms = 40;
+  options.election_seed = 1993;
+  rpc::SchoonerSystem schooner(cluster, "sparc-ua", options);
+
+  auto client = schooner.make_client("sparc-ua", "meta-failover");
+  client->contact_schx("sgi480-lerc", glue::kDuctPath);
+  auto duct = client->import_proc("duct", glue::duct_import_spec());
+  uts::ValueList args = {station_in(), Value::real(0.02), station_in()};
+  CallOptions opts = sweep_options();
+  (void)duct->call(args, opts);  // warm the binding
+
+  // The replicated export-table fingerprint before the crash.
+  auto view = [&](const std::string& address) {
+    sim::EndpointPtr ep = cluster.create_endpoint("sparc-ua", "probe");
+    rpc::MessageIo io(cluster, ep);
+    rpc::Message who;
+    who.kind = rpc::MessageKind::kMetaWhoIsLeader;
+    rpc::Message ack = io.call_within(address, std::move(who), 500);
+    cluster.retire_endpoint(ep->address());
+    return ack;
+  };
+  const auto& replicas = schooner.manager_replica_addresses();
+  const std::string digest_before = view(replicas[0]).b;
+
+  cluster.crash_process(replicas[0]);
+
+  // Availability through the election: the data plane never depends on
+  // the Manager, so bound calls keep completing while followers vote.
+  MetaFailover out;
+  int ok = 0;
+  const int kCalls = 30;
+  for (int i = 0; i < kCalls; ++i) {
+    CallResult r = duct->call(args, opts);
+    if (r.ok()) ++ok;
+    out.transcript.push_back({i, r.ok(), r.attempt_count()});
+  }
+  out.availability = double(ok) / kCalls;
+
+  // Find the elected follower and compare its rebuilt export table.
+  sim::EndpointPtr ep = cluster.create_endpoint("sparc-ua", "probe");
+  rpc::MessageIo io(cluster, ep);
+  std::string leader = rpc::discover_manager_leader(
+      io, {replicas[1], replicas[2]}, /*rounds=*/200);
+  cluster.retire_endpoint(ep->address());
+  out.elected = !leader.empty();
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    if (replicas[i] == leader) out.new_leader_index = static_cast<int>(i);
+  }
+  if (out.elected) {
+    out.digest_intact = view(leader).b == digest_before;
+  }
+
+  // A cold re-bind must find the new leader (the stale/no-route re-bind
+  // path extended for leader discovery).
+  duct->invalidate();
+  CallResult rebound = duct->call(args, opts);
+  out.rebound = rebound.ok();
+  out.elections = schooner.stats().leader_elections;
+  client->quit();
+  return out;
+}
+
 }  // namespace
 }  // namespace npss::bench
 
@@ -146,6 +240,16 @@ int main() {
               fo.recovered ? "yes" : "no", fo.failed_over ? "yes" : "no",
               fo.attempts, fo.post_failover_attempts);
 
+  print_header("Manager leader kill with a 3-replica control plane "
+               "(seed 1993)");
+  MetaFailover mf = run_meta_failover();
+  std::printf("elected=%s new_leader_index=%d elections=%llu "
+              "availability=%.4f digest_intact=%s rebound=%s\n",
+              mf.elected ? "yes" : "no", mf.new_leader_index,
+              static_cast<unsigned long long>(mf.elections),
+              mf.availability, mf.digest_intact ? "yes" : "no",
+              mf.rebound ? "yes" : "no");
+
   std::FILE* f = std::fopen("BENCH_fault.json", "w");
   if (f) {
     std::fprintf(f, "{\n");
@@ -173,10 +277,30 @@ int main() {
     std::fprintf(f, "  ],\n");
     std::fprintf(f,
                  "  \"failover\": {\"recovered\": %s, \"failed_over\": %s, "
-                 "\"attempts\": %d, \"post_failover_attempts\": %d}\n",
+                 "\"attempts\": %d, \"post_failover_attempts\": %d},\n",
                  fo.recovered ? "true" : "false",
                  fo.failed_over ? "true" : "false", fo.attempts,
                  fo.post_failover_attempts);
+    std::fprintf(f, "  \"meta_failover\": {\n");
+    std::fprintf(f,
+                 "    \"replicas\": 3, \"seed\": 1993, \"elected\": %s, "
+                 "\"new_leader_index\": %d, \"elections\": %llu,\n",
+                 mf.elected ? "true" : "false", mf.new_leader_index,
+                 static_cast<unsigned long long>(mf.elections));
+    std::fprintf(f,
+                 "    \"availability_during_election\": %.4f, "
+                 "\"export_digest_intact\": %s, \"rebound_ok\": %s,\n",
+                 mf.availability, mf.digest_intact ? "true" : "false",
+                 mf.rebound ? "true" : "false");
+    std::fprintf(f, "    \"transcript\": [\n");
+    for (std::size_t i = 0; i < mf.transcript.size(); ++i) {
+      const TranscriptEntry& t = mf.transcript[i];
+      std::fprintf(f, "      {\"call\": %d, \"ok\": %s, \"attempts\": %d}%s\n",
+                   t.call, t.ok ? "true" : "false", t.attempts,
+                   i + 1 < mf.transcript.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("\nwrote BENCH_fault.json\n");

@@ -4,9 +4,13 @@
 // persistent Manager, with duplicate procedure names across lines. This
 // bench measures host-side throughput scaling as independent lines call
 // same-named remote procedures concurrently, plus the Manager-side cost of
-// line bookkeeping (create/quit churn).
+// line bookkeeping: full line lifecycles (create -> start -> call -> quit)
+// at increasing concurrency, reported as lines/sec with the p99 lifecycle
+// latency. Writes BENCH_lines.json next to the binary.
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -64,16 +68,58 @@ int run() {
                 completed.load() / ms);
   }
 
-  // Manager bookkeeping churn: open/quit lines in a tight loop.
-  util::Stopwatch churn;
-  const int kChurn = 200;
-  for (int i = 0; i < kChurn; ++i) {
-    auto client = schooner.make_client("avs", "churn");
-    client->contact_schx("m0", "/bin/work");
-    client->quit();
+  // Line-lifecycle scaling: every thread runs full line cycles
+  // (create -> start -> one call -> quit) and records each cycle's wall
+  // latency; the Manager serializes the bookkeeping, so this is the
+  // control-plane contention curve.
+  struct LinePoint {
+    int nlines = 0;
+    long cycles = 0;
+    double lines_per_sec = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+  };
+  std::vector<LinePoint> line_points;
+  const int kCyclesPerThread = 50;
+  std::printf("\n%8s %10s %14s %12s %12s\n", "lines", "cycles", "lines/sec",
+              "p50 ms", "p99 ms");
+  bench::print_rule();
+  for (int nlines : {1, 2, 4, 8}) {
+    std::vector<double> latencies;
+    std::mutex mu;
+    util::Stopwatch wall;
+    std::vector<std::thread> threads;
+    for (int i = 0; i < nlines; ++i) {
+      threads.emplace_back([&, i] {
+        std::vector<double> mine;
+        for (int c = 0; c < kCyclesPerThread; ++c) {
+          util::Stopwatch cycle;
+          auto client = schooner.make_client(
+              "avs", "cycle" + std::to_string(i));
+          client->contact_schx("m" + std::to_string(i % 4), "/bin/work");
+          auto work = client->import_proc("work", kWorkImport);
+          work->call({uts::Value::real(c), uts::Value::real(0)});
+          client->quit();
+          mine.push_back(cycle.elapsed_ms());
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        latencies.insert(latencies.end(), mine.begin(), mine.end());
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double ms = wall.elapsed_ms();
+    std::sort(latencies.begin(), latencies.end());
+    LinePoint point;
+    point.nlines = nlines;
+    point.cycles = static_cast<long>(latencies.size());
+    point.lines_per_sec = point.cycles / (ms / 1000.0);
+    point.p50_ms = latencies[latencies.size() / 2];
+    point.p99_ms = latencies[latencies.size() * 99 / 100];
+    line_points.push_back(point);
+    std::printf("%8d %10ld %14.1f %12.2f %12.2f\n", point.nlines,
+                point.cycles, point.lines_per_sec, point.p50_ms,
+                point.p99_ms);
   }
-  std::printf("\nline create+start+quit churn: %.2f ms each (%d cycles)\n",
-              churn.elapsed_ms() / kChurn, kChurn);
   rpc::ManagerStats stats = schooner.stats();
   std::printf(
       "manager stats: %llu lines created, %llu shut down, %llu processes, "
@@ -86,6 +132,35 @@ int run() {
       "\nShape checks: every line resolves its own 'work' instance\n"
       "(duplicate names across lines); per-call wall cost does not grow\n"
       "with line count (the Manager is out of the per-call path).\n");
+
+  std::FILE* f = std::fopen("BENCH_lines.json", "w");
+  if (f) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"lines\",\n");
+    std::fprintf(f, "  \"cycles_per_thread\": %d,\n", kCyclesPerThread);
+    std::fprintf(f, "  \"lifecycle_sweep\": [\n");
+    for (std::size_t i = 0; i < line_points.size(); ++i) {
+      const LinePoint& p = line_points[i];
+      std::fprintf(f,
+                   "    {\"concurrent_lines\": %d, \"cycles\": %ld, "
+                   "\"lines_per_sec\": %.1f, \"p50_ms\": %.3f, "
+                   "\"p99_ms\": %.3f}%s\n",
+                   p.nlines, p.cycles, p.lines_per_sec, p.p50_ms, p.p99_ms,
+                   i + 1 < line_points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"manager\": {\"lines_created\": %llu, "
+                 "\"lines_shut_down\": %llu, \"processes_started\": %llu, "
+                 "\"lookups\": %llu}\n",
+                 static_cast<unsigned long long>(stats.lines_created),
+                 static_cast<unsigned long long>(stats.lines_shut_down),
+                 static_cast<unsigned long long>(stats.processes_started),
+                 static_cast<unsigned long long>(stats.lookups));
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_lines.json\n");
+  }
   return 0;
 }
 

@@ -1,0 +1,51 @@
+#include "meta/changelog.hpp"
+
+#include <string>
+
+namespace npss::meta {
+
+std::uint64_t Changelog::append(ChangeRecord record) {
+  records_.push_back(std::move(record));
+  return last_index();
+}
+
+bool Changelog::append_at(std::uint64_t index, ChangeRecord record) {
+  if (index <= last_index()) return true;  // already held (duplicate)
+  if (index != last_index() + 1) return false;  // gap: caller must fetch
+  records_.push_back(std::move(record));
+  return true;
+}
+
+const ChangeRecord& Changelog::at(std::uint64_t index) const {
+  if (index <= base_ || index > last_index()) {
+    throw util::ProtocolError("changelog index " + std::to_string(index) +
+                              " not retained (have " +
+                              std::to_string(first_index()) + ".." +
+                              std::to_string(last_index()) + ")");
+  }
+  return records_[index - base_ - 1];
+}
+
+std::vector<std::pair<std::uint64_t, ChangeRecord>> Changelog::tail(
+    std::uint64_t from) const {
+  std::vector<std::pair<std::uint64_t, ChangeRecord>> out;
+  for (std::uint64_t i = std::max(from, base_ + 1); i <= last_index(); ++i) {
+    out.emplace_back(i, records_[i - base_ - 1]);
+  }
+  return out;
+}
+
+void Changelog::truncate_prefix(std::uint64_t upto) {
+  while (!records_.empty() && base_ < upto) {
+    records_.pop_front();
+    ++base_;
+  }
+  if (records_.empty() && base_ < upto) base_ = upto;
+}
+
+void Changelog::reset(std::uint64_t base_index) {
+  records_.clear();
+  base_ = base_index;
+}
+
+}  // namespace npss::meta

@@ -1,0 +1,57 @@
+// The append-only changelog of Manager state transitions.
+//
+// Indices are 1-based and never reused. The log may be compacted from the
+// front once a snapshot covers a prefix (truncate_prefix); first_index()
+// then names the oldest retained record. A follower that needs records
+// older than first_index() is served the snapshot instead — the
+// snapshot + log-tail catch-up path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "meta/record.hpp"
+#include "util/status.hpp"
+
+namespace npss::meta {
+
+class Changelog {
+ public:
+  /// Leader append: assigns and returns the next index.
+  std::uint64_t append(ChangeRecord record);
+
+  /// Follower append at an explicit index. Returns false on a gap (the
+  /// caller must fetch the missing tail); an index already held is a
+  /// no-op returning true (duplicate delivery is harmless).
+  bool append_at(std::uint64_t index, ChangeRecord record);
+
+  std::uint64_t last_index() const {
+    return base_ + static_cast<std::uint64_t>(records_.size());
+  }
+  /// Oldest retained index; 0 when the log is empty.
+  std::uint64_t first_index() const {
+    return records_.empty() ? 0 : base_ + 1;
+  }
+  std::size_t size() const { return records_.size(); }
+
+  /// Throws ProtocolError when `index` is not retained.
+  const ChangeRecord& at(std::uint64_t index) const;
+
+  /// All retained records with index >= from, as (index, record) pairs.
+  std::vector<std::pair<std::uint64_t, ChangeRecord>> tail(
+      std::uint64_t from) const;
+
+  /// Drop every record with index <= upto (snapshot compaction).
+  void truncate_prefix(std::uint64_t upto);
+
+  /// Discard everything and restart after `base_index` (snapshot install:
+  /// the next append_at must be base_index + 1).
+  void reset(std::uint64_t base_index);
+
+ private:
+  std::uint64_t base_ = 0;  ///< index of the record before records_[0]
+  std::deque<ChangeRecord> records_;
+};
+
+}  // namespace npss::meta

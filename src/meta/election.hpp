@@ -1,0 +1,43 @@
+// Deterministic leader-election primitives for the Manager replica group.
+//
+// Elections must be reproducible: the fault suite's contract (PR 3) is
+// that the same seed produces the same recovery, and a timing race between
+// two candidates would break it. Two mechanisms make the outcome a pure
+// function of (seed, term, who is alive, log lengths) instead of host
+// scheduling:
+//
+//  1. *Staggered candidacy.* Each replica's election timeout for term t is
+//     base * (1 + 2 * position), where position orders the replicas by a
+//     seeded per-term rank — so would-be candidates wake far enough apart
+//     (>= 2 * base) that the first one finishes before the next wakes.
+//  2. *Total candidate order.* Votes (and candidate yields) prefer the
+//     longer log, tie-broken by the lower rank. Even if scheduling ever
+//     produced simultaneous candidates, both orderings agree on one
+//     winner, so the election result is deterministic regardless.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace npss::meta {
+
+enum class Role : std::uint8_t { kFollower = 0, kCandidate, kLeader };
+
+std::string_view role_name(Role role);
+
+/// Seeded per-term rank of a replica; lower rank wins ties.
+std::uint64_t candidate_rank(std::uint64_t seed, std::uint64_t term,
+                             int replica_index);
+
+/// Election timeout (ms of host time without a heartbeat) before
+/// `replica_index` stands for election in `term`. Staggered by the
+/// replica's rank position among `n_replicas` so candidacies are serialized.
+int election_timeout_ms(std::uint64_t seed, std::uint64_t term,
+                        int replica_index, int n_replicas, int base_ms);
+
+/// The vote/yield ordering: true when candidate a (log length, rank)
+/// should win over candidate b.
+bool candidate_better(std::uint64_t last_index_a, std::uint64_t rank_a,
+                      std::uint64_t last_index_b, std::uint64_t rank_b);
+
+}  // namespace npss::meta

@@ -1,0 +1,108 @@
+#include "meta/record.hpp"
+
+namespace npss::meta {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+std::string_view record_kind_name(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kLineCreate: return "line-create";
+    case RecordKind::kLineQuit: return "line-quit";
+    case RecordKind::kExport: return "export";
+    case RecordKind::kRetire: return "retire";
+  }
+  return "?";
+}
+
+util::Bytes encode_record(const ChangeRecord& record) {
+  ByteWriter out;
+  out.u8(kRecordVersion);
+  out.u8(static_cast<std::uint8_t>(record.kind));
+  out.i64(record.line);
+  out.u8(record.shared ? 1 : 0);
+  out.str(record.address);
+  out.str(record.machine);
+  out.str(record.path);
+  out.str(record.spec_hash);
+  out.str(record.note);
+  out.u32(static_cast<std::uint32_t>(record.procs.size()));
+  for (const auto& [name, sig] : record.procs) {
+    out.str(name);
+    out.str(sig);
+  }
+  return std::move(out).take();
+}
+
+ChangeRecord decode_record(std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  const std::uint8_t version = in.u8();
+  if (version == 0 || version > kRecordVersion) {
+    throw util::EncodingError("unsupported changelog record version " +
+                              std::to_string(version));
+  }
+  ChangeRecord record;
+  record.kind = static_cast<RecordKind>(in.u8());
+  record.line = in.i64();
+  record.shared = in.u8() != 0;
+  record.address = in.str();
+  record.machine = in.str();
+  record.path = in.str();
+  record.spec_hash = in.str();
+  record.note = in.str();
+  const std::uint32_t rows = in.u32();
+  if (static_cast<std::size_t>(rows) * 8 > in.remaining()) {
+    throw util::EncodingError("record proc count " + std::to_string(rows) +
+                              " exceeds frame size");
+  }
+  record.procs.reserve(rows);
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    std::string name = in.str();
+    std::string sig = in.str();
+    record.procs.emplace_back(std::move(name), std::move(sig));
+  }
+  if (!in.exhausted()) {
+    throw util::EncodingError("trailing bytes in changelog record");
+  }
+  return record;
+}
+
+util::Bytes encode_record_batch(
+    const std::vector<std::pair<std::uint64_t, ChangeRecord>>& records) {
+  ByteWriter out;
+  out.u8(kRecordVersion);
+  out.u32(static_cast<std::uint32_t>(records.size()));
+  for (const auto& [index, record] : records) {
+    out.u64(index);
+    out.blob(encode_record(record));
+  }
+  return std::move(out).take();
+}
+
+std::vector<std::pair<std::uint64_t, ChangeRecord>> decode_record_batch(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  const std::uint8_t version = in.u8();
+  if (version == 0 || version > kRecordVersion) {
+    throw util::EncodingError("unsupported record batch version " +
+                              std::to_string(version));
+  }
+  const std::uint32_t count = in.u32();
+  if (static_cast<std::size_t>(count) * 12 > in.remaining()) {
+    throw util::EncodingError("batch record count " + std::to_string(count) +
+                              " exceeds frame size");
+  }
+  std::vector<std::pair<std::uint64_t, ChangeRecord>> records;
+  records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t index = in.u64();
+    util::Bytes body = in.blob();
+    records.emplace_back(index, decode_record(body));
+  }
+  if (!in.exhausted()) {
+    throw util::EncodingError("trailing bytes in record batch");
+  }
+  return records;
+}
+
+}  // namespace npss::meta

@@ -1,0 +1,67 @@
+// Changelog records — the unit of Manager state replication.
+//
+// Every transition the Manager applies to its durable state (line
+// create/quit, an export registration, a process retirement from a move or
+// shutdown) is captured as one ChangeRecord and appended to the replica
+// group's changelog. Records are *versioned* and round-trippable: a
+// leading version byte lets a newer replica decode logs written by an
+// older one, and the encoder is deterministic so two replicas holding the
+// same log hold the same bytes. The PR 5 spec SHA-256 travels with every
+// export record, making the hashes the replicated statement of what each
+// exporter can serve (the move-compat gate keeps holding after failover).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace npss::meta {
+
+enum class RecordKind : std::uint8_t {
+  kLineCreate = 1,  ///< a client registered a new line
+  kLineQuit,        ///< a line quit; its bindings are gone
+  kExport,          ///< a process registered its export table
+  kRetire,          ///< a process's bindings were removed (move/shutdown)
+};
+
+std::string_view record_kind_name(RecordKind kind);
+
+/// One Manager state transition. Field usage per kind:
+///   kLineCreate  line, note=description
+///   kLineQuit    line
+///   kExport      line, shared, address, machine, path, spec_hash,
+///                procs=(name, export signature text)
+///   kRetire      address, note=reason (e.g. "moved to <machine>")
+struct ChangeRecord {
+  RecordKind kind = RecordKind::kLineCreate;
+  std::int64_t line = -1;
+  bool shared = false;
+  std::string address;
+  std::string machine;
+  std::string path;
+  std::string spec_hash;  ///< exporter's spec sha256 (kExport only)
+  std::string note;
+  std::vector<std::pair<std::string, std::string>> procs;
+
+  bool operator==(const ChangeRecord&) const = default;
+};
+
+/// Current serialization version. Decoders accept any version <= this;
+/// new fields must only ever be appended behind a version bump.
+constexpr std::uint8_t kRecordVersion = 1;
+
+util::Bytes encode_record(const ChangeRecord& record);
+ChangeRecord decode_record(std::span<const std::uint8_t> bytes);
+
+/// Batch framing used by catch-up transfers: (index, record) pairs.
+util::Bytes encode_record_batch(
+    const std::vector<std::pair<std::uint64_t, ChangeRecord>>& records);
+std::vector<std::pair<std::uint64_t, ChangeRecord>> decode_record_batch(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace npss::meta

@@ -1,0 +1,18 @@
+#include "meta/snapshot.hpp"
+
+namespace npss::meta {
+
+bool SnapshotStore::install(std::uint64_t index, util::Bytes image) {
+  if (index <= latest_.index) return false;
+  latest_.index = index;
+  latest_.image = std::move(image);
+  ++installs_;
+  return true;
+}
+
+bool SnapshotStore::capture(const ReplicatedState& state) {
+  if (state.last_applied() == 0) return false;
+  return install(state.last_applied(), state.serialize());
+}
+
+}  // namespace npss::meta

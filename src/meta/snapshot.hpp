@@ -1,0 +1,38 @@
+// Snapshot store: periodic compactions of the changelog into a full
+// ReplicatedState image. Only the newest snapshot matters (it subsumes
+// every older one), so the store keeps exactly one, plus counters for the
+// benches. install() is how both a leader compaction and a follower
+// catch-up transfer land.
+#pragma once
+
+#include <cstdint>
+
+#include "meta/state.hpp"
+#include "util/bytes.hpp"
+
+namespace npss::meta {
+
+struct Snapshot {
+  std::uint64_t index = 0;  ///< changelog index the image covers, 0 = none
+  util::Bytes image;        ///< ReplicatedState::serialize output
+};
+
+class SnapshotStore {
+ public:
+  /// Keep `image` as the newest snapshot if it advances the covered
+  /// index. Returns true when installed.
+  bool install(std::uint64_t index, util::Bytes image);
+
+  /// Convenience: serialize `state` at its last_applied index.
+  bool capture(const ReplicatedState& state);
+
+  bool empty() const { return latest_.index == 0; }
+  const Snapshot& latest() const { return latest_; }
+  std::uint64_t installs() const { return installs_; }
+
+ private:
+  Snapshot latest_;
+  std::uint64_t installs_ = 0;
+};
+
+}  // namespace npss::meta

@@ -1,0 +1,137 @@
+#include "meta/state.hpp"
+
+#include <algorithm>
+
+#include "util/sha256.hpp"
+
+namespace npss::meta {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+bool ReplicatedState::apply(const ChangeRecord& record, std::uint64_t index) {
+  if (index <= last_applied_) return false;
+  switch (record.kind) {
+    case RecordKind::kLineCreate:
+      lines_[record.line] = LineInfo{record.note};
+      next_line_ = std::max(next_line_, record.line + 1);
+      break;
+    case RecordKind::kLineQuit: {
+      lines_.erase(record.line);
+      // The line's processes are shut down with it; shared exports stay.
+      for (auto it = exports_.begin(); it != exports_.end();) {
+        if (!it->second.shared && it->second.line == record.line) {
+          it = exports_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      break;
+    }
+    case RecordKind::kExport: {
+      ExportGroup group;
+      group.line = record.line;
+      group.shared = record.shared;
+      group.machine = record.machine;
+      group.path = record.path;
+      group.spec_hash = record.spec_hash;
+      group.procs = record.procs;
+      exports_[record.address] = std::move(group);
+      break;
+    }
+    case RecordKind::kRetire:
+      exports_.erase(record.address);
+      break;
+  }
+  last_applied_ = index;
+  return true;
+}
+
+util::Bytes ReplicatedState::serialize() const {
+  ByteWriter out;
+  out.u8(kStateVersion);
+  out.u64(last_applied_);
+  out.i64(next_line_);
+  out.u32(static_cast<std::uint32_t>(lines_.size()));
+  for (const auto& [id, info] : lines_) {
+    out.i64(id);
+    out.str(info.description);
+  }
+  out.u32(static_cast<std::uint32_t>(exports_.size()));
+  for (const auto& [address, group] : exports_) {
+    out.str(address);
+    out.i64(group.line);
+    out.u8(group.shared ? 1 : 0);
+    out.str(group.machine);
+    out.str(group.path);
+    out.str(group.spec_hash);
+    out.u32(static_cast<std::uint32_t>(group.procs.size()));
+    for (const auto& [name, sig] : group.procs) {
+      out.str(name);
+      out.str(sig);
+    }
+  }
+  return std::move(out).take();
+}
+
+ReplicatedState ReplicatedState::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  const std::uint8_t version = in.u8();
+  if (version == 0 || version > kStateVersion) {
+    throw util::EncodingError("unsupported snapshot image version " +
+                              std::to_string(version));
+  }
+  ReplicatedState state;
+  state.last_applied_ = in.u64();
+  state.next_line_ = in.i64();
+  const std::uint32_t nlines = in.u32();
+  if (static_cast<std::size_t>(nlines) * 12 > in.remaining()) {
+    throw util::EncodingError("snapshot line count exceeds image size");
+  }
+  for (std::uint32_t i = 0; i < nlines; ++i) {
+    const std::int64_t id = in.i64();
+    state.lines_[id] = LineInfo{in.str()};
+  }
+  const std::uint32_t ngroups = in.u32();
+  if (static_cast<std::size_t>(ngroups) * 8 > in.remaining()) {
+    throw util::EncodingError("snapshot export count exceeds image size");
+  }
+  for (std::uint32_t i = 0; i < ngroups; ++i) {
+    std::string address = in.str();
+    ExportGroup group;
+    group.line = in.i64();
+    group.shared = in.u8() != 0;
+    group.machine = in.str();
+    group.path = in.str();
+    group.spec_hash = in.str();
+    const std::uint32_t nprocs = in.u32();
+    if (static_cast<std::size_t>(nprocs) * 8 > in.remaining()) {
+      throw util::EncodingError("snapshot proc count exceeds image size");
+    }
+    group.procs.reserve(nprocs);
+    for (std::uint32_t p = 0; p < nprocs; ++p) {
+      std::string name = in.str();
+      std::string sig = in.str();
+      group.procs.emplace_back(std::move(name), std::move(sig));
+    }
+    state.exports_[std::move(address)] = std::move(group);
+  }
+  if (!in.exhausted()) {
+    throw util::EncodingError("trailing bytes in snapshot image");
+  }
+  return state;
+}
+
+std::string ReplicatedState::digest() const {
+  // Fingerprint the *table* (lines + exports), not the log position: a
+  // replica that applied more records but holds the same table must
+  // compare equal, or the failover transcript could never match.
+  ReplicatedState table = *this;
+  table.last_applied_ = 0;
+  util::Bytes image = table.serialize();
+  return util::sha256_hex(std::string_view(
+      reinterpret_cast<const char*>(image.data()), image.size()));
+}
+
+}  // namespace npss::meta

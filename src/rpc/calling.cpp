@@ -1,8 +1,10 @@
 #include "rpc/calling.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <thread>
 
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -49,6 +51,47 @@ void count(const char* name) {
 
 }  // namespace
 
+std::string discover_manager_leader(MessageIo& io,
+                                    const std::vector<std::string>& replicas,
+                                    int rounds) {
+  for (int round = 0; round < rounds; ++round) {
+    for (const std::string& address : replicas) {
+      Message who;
+      who.kind = MessageKind::kMetaWhoIsLeader;
+      try {
+        Message ack = io.call_within(address, std::move(who),
+                                     /*host_grace_ms=*/100,
+                                     /*raise_errors=*/false);
+        // Only a replica's claim about *itself* counts: a follower that
+        // has not yet heard of the leader's death would keep naming the
+        // corpse, and adopting it would burn the caller's retry budget
+        // before the election even fires.
+        if (ack.kind == MessageKind::kMetaLeaderAck && ack.a == address) {
+          return ack.a;
+        }
+        // Anything else = election in progress or stale; keep polling.
+      } catch (const util::Error&) {
+        // Dead replica; try the next one.
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return {};
+}
+
+bool CallCore::rediscover_manager() const {
+  if (manager_replicas.empty()) return false;
+  std::string leader = discover_manager_leader(*io, manager_replicas);
+  if (leader.empty()) return false;
+  if (leader != manager) {
+    NPSS_LOG_INFO("rpc.call", "manager leader moved: ", manager, " -> ",
+                  leader);
+    count("rpc.meta.rebinds_after_failover");
+  }
+  manager = leader;
+  return true;
+}
+
 CallOptions CallOptions::legacy() {
   CallOptions opts;
   opts.deadline_us = 0;       // block forever, as the original runtime did
@@ -61,19 +104,49 @@ CallOptions CallOptions::legacy() {
 void CallCore::bind(const std::string& name, const std::string& import_text,
                     BindingCache& cache, int host_grace_ms) const {
   obs::Span span("rpc.client", "bind " + name);
-  Message lookup;
-  lookup.kind = MessageKind::kLookup;
-  lookup.line = line;
-  lookup.a = name;
-  lookup.b = import_text;
-  lookup.trace = span.context();
-  Message ack = host_grace_ms > 0
-                    ? io->call_within(manager, std::move(lookup), host_grace_ms)
-                    : io->call(manager, std::move(lookup));
-  cache.address = ack.a;
-  cache.resolved_name = ack.b;
-  cache.lookups.add();
-  count("rpc.client.lookups");
+  for (int attempt = 0;; ++attempt) {
+    Message lookup;
+    lookup.kind = MessageKind::kLookup;
+    lookup.line = line;
+    lookup.a = name;
+    lookup.b = import_text;
+    lookup.trace = span.context();
+    Message ack;
+    try {
+      ack = host_grace_ms > 0
+                ? io->call_within(manager, std::move(lookup), host_grace_ms,
+                                  /*raise_errors=*/false)
+                : io->call(manager, std::move(lookup),
+                           /*raise_errors=*/false);
+    } catch (const util::NoRouteError&) {
+      // The Manager we knew is dead. With a replica group, find the new
+      // leader and re-ask; standalone, the bind fails as it always did.
+      if (attempt >= 3 || !rediscover_manager()) throw;
+      continue;
+    } catch (const util::DeadlineError&) {
+      if (attempt >= 3 || !rediscover_manager()) throw;
+      continue;
+    }
+    if (ack.is_error() &&
+        static_cast<util::ErrorCode>(ack.n) == util::ErrorCode::kNotLeader &&
+        attempt < 3 && !manager_replicas.empty()) {
+      // A follower answered: it names its best leader guess in .b; an
+      // empty hint (election in progress) falls back to polling the group.
+      if (!ack.b.empty() && ack.b != manager) {
+        manager = ack.b;
+        count("rpc.meta.rebinds_after_failover");
+      } else if (!rediscover_manager()) {
+        ack.raise_if_error();
+      }
+      continue;
+    }
+    ack.raise_if_error();
+    cache.address = ack.a;
+    cache.resolved_name = ack.b;
+    cache.lookups.add();
+    count("rpc.client.lookups");
+    return;
+  }
 }
 
 CallResult CallCore::invoke(const std::string& name,
@@ -263,18 +336,32 @@ CallResult CallCore::invoke(const std::string& name,
       failover_tried = true;
       NPSS_LOG_WARN("rpc.call", "failing over '", name, "' to machine '",
                     opts.failover_machine, "' via sch_move");
-      Message mv;
-      mv.kind = MessageKind::kMove;
-      mv.line = line;
-      mv.a = cache.resolved_name.empty() ? name : cache.resolved_name;
-      mv.b = opts.failover_machine;
-      mv.trace = span.context();
+      auto send_move = [&]() {
+        Message mv;
+        mv.kind = MessageKind::kMove;
+        mv.line = line;
+        mv.a = cache.resolved_name.empty() ? name : cache.resolved_name;
+        mv.b = opts.failover_machine;
+        mv.trace = span.context();
+        return grace_ms > 0
+                   ? io->call_within(manager, std::move(mv),
+                                     std::max(grace_ms * 10, 500))
+                   : io->call(manager, std::move(mv));
+      };
       try {
-        Message ack =
-            grace_ms > 0
-                ? io->call_within(manager, std::move(mv),
-                                  std::max(grace_ms * 10, 500))
-                : io->call(manager, std::move(mv));
+        Message ack;
+        try {
+          ack = send_move();
+        } catch (const util::NoRouteError&) {
+          // The Manager died with the procedure's machine. Re-bind to the
+          // new leader (which rebuilt the export table, spec hashes
+          // included, from the replicated log) and retry the move there.
+          if (!rediscover_manager()) throw;
+          ack = send_move();
+        } catch (const util::NotLeaderError&) {
+          if (!rediscover_manager()) throw;
+          ack = send_move();
+        }
         cache.address = ack.a;
         result.failed_over = true;
         attempts_left = 1;  // the post-failover attempt

@@ -120,9 +120,22 @@ struct CallResult {
   }
 };
 
+/// Poll a Manager replica group for the current leader (kMetaWhoIsLeader).
+/// Returns the leader address, or "" when no replica named one within
+/// `rounds` polls (each round visits every replica, then sleeps ~20ms of
+/// host time — elections settle within a few election timeouts).
+std::string discover_manager_leader(MessageIo& io,
+                                    const std::vector<std::string>& replicas,
+                                    int rounds = 50);
+
 struct CallCore {
   MessageIo* io = nullptr;
-  std::string manager;
+  /// Current Manager (leader) address. Mutable: when the leader dies the
+  /// const call paths rediscover and re-point mid-flight.
+  mutable std::string manager;
+  /// Every Manager replica address; empty = classic standalone Manager
+  /// (a dead Manager is then terminal, as before).
+  std::vector<std::string> manager_replicas;
   LineId line = kNoLine;
   const arch::ArchDescriptor* arch = nullptr;
   /// Bills simulated marshal CPU time (may be empty).
@@ -169,9 +182,16 @@ struct CallCore {
                                            BindingCache& cache) const;
 
   /// Just the bind step (used by benches isolating lookup cost). With
-  /// `host_grace_ms` > 0 the Manager exchange is deadline-bounded.
+  /// `host_grace_ms` > 0 the Manager exchange is deadline-bounded. When
+  /// `manager_replicas` is set, a dead or deposed Manager triggers leader
+  /// rediscovery and a retry instead of failing the bind.
   void bind(const std::string& name, const std::string& import_text,
             BindingCache& cache, int host_grace_ms = 0) const;
+
+ private:
+  /// Re-point `manager` at the group's current leader. Returns false when
+  /// no replica list is configured or no leader surfaced.
+  bool rediscover_manager() const;
 };
 
 }  // namespace npss::rpc

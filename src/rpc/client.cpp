@@ -7,16 +7,80 @@ namespace npss::rpc {
 
 SchoonerClient::SchoonerClient(sim::Cluster& cluster, sim::EndpointPtr endpoint,
                                std::string manager_address,
-                               std::string description)
+                               std::string description,
+                               std::vector<std::string> manager_replicas)
     : cluster_(&cluster),
       endpoint_(std::move(endpoint)),
       io_(cluster, endpoint_),
-      manager_(std::move(manager_address)) {
+      manager_(std::move(manager_address)),
+      replicas_(std::move(manager_replicas)) {
   Message msg;
   msg.kind = MessageKind::kRegisterLine;
   msg.a = std::move(description);
-  Message ack = io_.call(manager_, std::move(msg));
+  Message ack = manager_call(std::move(msg));
   line_ = ack.line;
+}
+
+Message SchoonerClient::manager_call(Message msg) {
+  for (int attempt = 0;; ++attempt) {
+    Message copy = msg;
+    Message ack;
+    try {
+      // With a replica group a hung leader (e.g. partitioned away) must
+      // not block the client forever; standalone keeps the legacy
+      // block-until-reply semantics.
+      ack = replicas_.empty()
+                ? io_.call(manager_, std::move(copy), /*raise_errors=*/false)
+                : io_.call_within(manager_, std::move(copy),
+                                  /*host_grace_ms=*/500,
+                                  /*raise_errors=*/false);
+    } catch (const util::NoRouteError&) {
+      if (replicas_.empty() || attempt >= 3) throw;
+      rebind_to_leader();
+      continue;
+    } catch (const util::DeadlineError&) {
+      if (replicas_.empty() || attempt >= 3) throw;
+      rebind_to_leader();
+      continue;
+    }
+    if (ack.is_error() &&
+        static_cast<util::ErrorCode>(ack.n) == util::ErrorCode::kNotLeader &&
+        !replicas_.empty() && attempt < 3) {
+      // The follower's leader hint rides in .b; empty means an election
+      // is still running, so fall back to polling the group.
+      if (!ack.b.empty() && ack.b != manager_) {
+        manager_ = ack.b;
+        if (obs::enabled()) {
+          obs::Registry::global()
+              .counter("rpc.meta.rebinds_after_failover")
+              .add();
+        }
+      } else {
+        rebind_to_leader();
+      }
+      continue;
+    }
+    ack.raise_if_error();
+    return ack;
+  }
+}
+
+void SchoonerClient::rebind_to_leader() {
+  std::string leader = discover_manager_leader(io_, replicas_);
+  if (leader.empty()) {
+    throw util::UnavailableError(
+        "no Manager replica reports a leader; the control plane is down");
+  }
+  if (leader != manager_) {
+    NPSS_LOG_INFO("client", "line ", line_, ": manager leader moved ",
+                  manager_, " -> ", leader);
+    if (obs::enabled()) {
+      obs::Registry::global()
+          .counter("rpc.meta.rebinds_after_failover")
+          .add();
+    }
+  }
+  manager_ = leader;
 }
 
 SchoonerClient::~SchoonerClient() {
@@ -40,7 +104,7 @@ StartResult SchoonerClient::contact_schx(const std::string& machine,
   msg.a = machine;
   msg.b = path;
   msg.n = shared ? 1 : 0;
-  Message ack = io_.call(manager_, std::move(msg));
+  Message ack = manager_call(std::move(msg));
   StartResult result;
   result.address = ack.a;
   result.exports = ack.table;
@@ -73,7 +137,7 @@ std::string SchoonerClient::move_proc(const std::string& name,
   msg.b = machine;
   msg.c = path;
   msg.n = transfer_state ? 1 : 0;
-  Message ack = io_.call(manager_, std::move(msg));
+  Message ack = manager_call(std::move(msg));
   return ack.a;
 }
 
@@ -82,7 +146,7 @@ void SchoonerClient::quit() {
   Message msg;
   msg.kind = MessageKind::kQuit;
   msg.line = line_;
-  io_.call(manager_, std::move(msg));
+  manager_call(std::move(msg));
   line_ = kNoLine;
 }
 
@@ -90,6 +154,7 @@ CallCore SchoonerClient::call_core() {
   CallCore core;
   core.io = &io_;
   core.manager = manager_;
+  core.manager_replicas = replicas_;
   core.line = line_;
   core.arch = &endpoint_->arch();
   core.compute = [this](double us) {

@@ -110,9 +110,13 @@ class SchoonerClient {
  public:
   /// Registers a new line with the Manager at `manager_address`.
   /// `endpoint` is this participant's mailbox (typically on the AVS
-  /// workstation machine).
+  /// workstation machine). `manager_replicas` is the full Manager replica
+  /// group (empty for a classic standalone Manager): with it set, every
+  /// Manager exchange survives a leader death by rediscovering the new
+  /// leader through kMetaWhoIsLeader and re-issuing the request.
   SchoonerClient(sim::Cluster& cluster, sim::EndpointPtr endpoint,
-                 std::string manager_address, std::string description);
+                 std::string manager_address, std::string description,
+                 std::vector<std::string> manager_replicas = {});
 
   ~SchoonerClient();
   SchoonerClient(const SchoonerClient&) = delete;
@@ -154,11 +158,19 @@ class SchoonerClient {
   CallResult invoke(RemoteProc& proc, uts::ValueList args,
                     const CallOptions& opts);
   CallCore call_core();
+  /// Manager request with leader re-bind: on a dead or deposed Manager
+  /// (NoRoute / kNotLeader) rediscover the leader and re-issue. Raises
+  /// error replies as exceptions, like io().call does.
+  Message manager_call(Message msg);
+  /// Poll the replica group for the current leader and adopt it; throws
+  /// util::UnavailableError when none surfaces.
+  void rebind_to_leader();
 
   sim::Cluster* cluster_;
   sim::EndpointPtr endpoint_;
   MessageIo io_;
   std::string manager_;
+  std::vector<std::string> replicas_;
   LineId line_ = kNoLine;
 };
 

@@ -39,6 +39,9 @@ bool is_reply_kind(MessageKind kind) {
     case MessageKind::kStateAck:
     case MessageKind::kPong:
     case MessageKind::kError:
+    case MessageKind::kMetaConfigAck:
+    case MessageKind::kMetaFetchAck:
+    case MessageKind::kMetaLeaderAck:
       return true;
     default:
       return false;
@@ -82,6 +85,22 @@ std::optional<Incoming> MessageIo::receive() {
       return front;
     }
     auto env = endpoint_->receive();
+    if (!env) return std::nullopt;
+    Message msg = decode_counted(env->payload);
+    if (abandoned_reply(msg)) continue;
+    return Incoming{env->from, std::move(msg)};
+  }
+}
+
+std::optional<Incoming> MessageIo::receive_for(int host_ms) {
+  while (true) {
+    if (!stash_.empty()) {
+      Incoming front = std::move(stash_.front());
+      stash_.pop_front();
+      return front;
+    }
+    auto env =
+        endpoint_->receive_for(std::chrono::milliseconds(std::max(host_ms, 1)));
     if (!env) return std::nullopt;
     Message msg = decode_counted(env->payload);
     if (abandoned_reply(msg)) continue;

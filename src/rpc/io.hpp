@@ -41,6 +41,12 @@ class MessageIo {
   /// Non-blocking variant.
   std::optional<Incoming> try_receive();
 
+  /// Bounded-wait variant: blocks at most `host_ms` of *host* time for a
+  /// frame (the stash is drained first). Returns nullopt on timeout or
+  /// once the endpoint closes — a Manager replica's leader loop uses the
+  /// gap to notice missed heartbeats and fire elections.
+  std::optional<Incoming> receive_for(int host_ms);
+
   /// Request/response: sends `request` (stamping a fresh seq) and blocks
   /// until the matching reply arrives; any other traffic received while
   /// waiting is stashed for receive(). Throws util::ShutdownError if the

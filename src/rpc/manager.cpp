@@ -2,8 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <functional>
 #include <optional>
 
+#include "meta/changelog.hpp"
+#include "meta/election.hpp"
+#include "meta/record.hpp"
+#include "meta/snapshot.hpp"
+#include "meta/state.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -19,6 +26,12 @@ using util::ErrorCode;
 void bump(const char* name) {
   if (obs::enabled()) {
     obs::Registry::global().counter(std::string("rpc.manager.") + name).add();
+  }
+}
+
+void bump_meta(const char* name) {
+  if (obs::enabled()) {
+    obs::Registry::global().counter(std::string("rpc.meta.") + name).add();
   }
 }
 
@@ -119,6 +132,51 @@ class ManagerState {
     }
   }
 
+  /// Replication hook: called with every state transition the Manager
+  /// commits (null in standalone mode). The replica driver appends the
+  /// record to the changelog and fans it out to the followers.
+  void set_commit(std::function<void(meta::ChangeRecord)> commit) {
+    commit_ = std::move(commit);
+  }
+
+  /// Rebuild the full Manager bookkeeping from the replicated state
+  /// machine — what a freshly elected leader does before serving clients.
+  /// Pending starts die with the old leader (their requesters time out and
+  /// retry against the new one), so only lines and exports carry over.
+  void rebuild_from(const meta::ReplicatedState& st) {
+    lines_.clear();
+    shared_db_ = NameDb{};
+    pending_.clear();
+    next_line_ = st.next_line();
+    for (const auto& [id, info] : st.lines()) {
+      Line line;
+      line.id = id;
+      line.description = info.description;
+      lines_.emplace(id, std::move(line));
+    }
+    for (const auto& [address, group] : st.exports()) {
+      NameDb* db = &shared_db_;
+      if (!group.shared) {
+        auto it = lines_.find(group.line);
+        if (it == lines_.end()) continue;  // line quit raced the export
+        db = &it->second.db;
+      }
+      for (const auto& [name, sig_text] : group.procs) {
+        uts::ProcDecl decl = parse_signature_text(sig_text);
+        auto binding = std::make_shared<Binding>();
+        binding->canonical_name = name;
+        binding->signature_text = sig_text;
+        binding->signature = decl.signature;
+        binding->address = address;
+        binding->machine = group.machine;
+        binding->path = group.path;
+        binding->line = group.shared ? kNoLine : group.line;
+        binding->shared = group.shared;
+        db->insert(std::move(binding));
+      }
+    }
+  }
+
   /// Returns false when the manager should exit.
   bool handle(const Incoming& in) {
     const Message& msg = in.msg;
@@ -172,6 +230,13 @@ class ManagerState {
                    in.msg.a, "' (", in.from, ")");
     LineId id = line.id;
     lines_.emplace(id, std::move(line));
+    if (commit_) {
+      meta::ChangeRecord rec;
+      rec.kind = meta::RecordKind::kLineCreate;
+      rec.line = id;
+      rec.note = in.msg.a;
+      commit_(std::move(rec));
+    }
     reply(in, Message{.kind = MessageKind::kLineAck, .seq = in.msg.seq,
                       .line = id});
   }
@@ -329,6 +394,20 @@ class ManagerState {
       }
       reply(in, Message::error_reply(msg, e.code(), e.what()));
       return;
+    }
+
+    if (commit_) {
+      meta::ChangeRecord rec;
+      rec.kind = meta::RecordKind::kExport;
+      rec.line = line;
+      rec.shared = shared;
+      rec.address = in.from;
+      rec.machine =
+          registered.empty() ? std::string() : registered.front()->machine;
+      rec.path = msg.a;
+      rec.spec_hash = msg.c;
+      rec.procs = msg.table;
+      commit_(std::move(rec));
     }
 
     reply(in, Message{.kind = MessageKind::kExportAck, .seq = msg.seq});
@@ -490,6 +569,12 @@ class ManagerState {
       lines_.erase(it);
       ++stats_->lines_shut_down;
       bump("lines_shut_down");
+      if (commit_) {
+        meta::ChangeRecord rec;
+        rec.kind = meta::RecordKind::kLineQuit;
+        rec.line = msg.line;
+        commit_(std::move(rec));
+      }
     }
     reply(in, Message{.kind = MessageKind::kQuitAck, .seq = msg.seq,
                       .line = msg.line});
@@ -546,6 +631,15 @@ class ManagerState {
       if (b->address == old_address) moved.push_back(b);
     }
     for (const BindingPtr& b : moved) db.erase(b);
+    if (commit_) {
+      meta::ChangeRecord rec;
+      rec.kind = meta::RecordKind::kRetire;
+      rec.line = binding->line;
+      rec.shared = binding->shared;
+      rec.address = old_address;
+      rec.note = "moved to " + msg.b;
+      commit_(std::move(rec));
+    }
 
     // 4. Start the replacement and wait for its export.
     const std::string path = msg.c.empty() ? binding->path : msg.c;
@@ -588,12 +682,579 @@ class ManagerState {
   MessageIo& io_;
   const ManagerConfig& config_;
   std::shared_ptr<ManagerStats> stats_;
+  std::function<void(meta::ChangeRecord)> commit_;
   /// case-folded name -> manifest declaration text (owned by config_).
   std::map<std::string, const std::string*> folded_manifest_;
   std::map<LineId, Line> lines_;
   NameDb shared_db_;
   std::vector<PendingStart> pending_;
   LineId next_line_ = 1;
+};
+
+/// One replica of a Manager group: the changelog/snapshot/election machinery
+/// wrapped around a ManagerState that only the current leader drives.
+///
+/// Roles (meta::Role):
+///  * leader   — serves clients through ManagerState; every committed
+///    transition is appended to the changelog, applied to the replicated
+///    state machine, and fanned out to the followers as one-way
+///    kMetaAppend frames; broadcasts kMetaHeartbeat every heartbeat_ms.
+///  * follower — mirrors the log (append_at + apply), answers client
+///    requests with kNotLeader + a leader hint, and stands for election
+///    after its seeded, staggered timeout elapses with no heartbeat.
+///  * candidate — one round of kMetaVoteReq/kMetaVoteAck; a majority
+///    (counting itself) rebuilds ManagerState from the replicated state
+///    and takes over.
+class ReplicaDriver {
+ public:
+  ReplicaDriver(MessageIo& io, const ManagerConfig& config,
+                std::shared_ptr<ManagerStats> stats)
+      : io_(io), config_(config), stats_(stats),
+        manager_(io, config, std::move(stats)) {
+    manager_.set_commit([this](meta::ChangeRecord rec) { commit(rec); });
+  }
+
+  void run() {
+    if (!await_config()) return;
+    while (running_) {
+      if (role_ == meta::Role::kLeader) {
+        run_leader();
+      } else {
+        run_follower();
+      }
+    }
+    NPSS_LOG_INFO("manager", "replica ", my_index_, " at ", io_.address(),
+                  " stopped (term ", term_, ")");
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  static int elapsed_ms(Clock::time_point since) {
+    return static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+        Clock::now() - since).count());
+  }
+
+  bool is_client_kind(MessageKind kind) const {
+    switch (kind) {
+      case MessageKind::kRegisterLine:
+      case MessageKind::kStartRequest:
+      case MessageKind::kExport:
+      case MessageKind::kLookup:
+      case MessageKind::kQuit:
+      case MessageKind::kMove:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Bootstrap: replica addresses only exist after every replica process
+  /// has spawned, so SchoonerSystem delivers the membership table in a
+  /// kMetaConfig handshake. Replica 0 is the term-1 leader by convention.
+  bool await_config() {
+    while (auto in = io_.receive()) {
+      const Message& msg = in->msg;
+      if (msg.kind == MessageKind::kMetaConfig) {
+        my_index_ = static_cast<int>(msg.n);
+        peers_.clear();
+        for (const auto& [index, address] : msg.table) {
+          peers_.emplace_back(std::stoi(index), address);
+        }
+        std::sort(peers_.begin(), peers_.end());
+        term_ = 1;
+        role_ = my_index_ == 0 ? meta::Role::kLeader : meta::Role::kFollower;
+        for (const auto& [index, address] : peers_) {
+          if (index == 0) leader_ = address;
+        }
+        io_.send(in->from, Message{.kind = MessageKind::kMetaConfigAck,
+                                   .seq = msg.seq});
+        NPSS_LOG_INFO("manager", "replica ", my_index_, "/", peers_.size(),
+                      " at ", io_.address(), " configured as ",
+                      meta::role_name(role_));
+        return true;
+      }
+      if (msg.kind == MessageKind::kManagerStop) {
+        io_.send(in->from,
+                 Message{.kind = MessageKind::kQuitAck, .seq = msg.seq});
+        running_ = false;
+        return false;
+      }
+      redirect(*in);
+    }
+    running_ = false;
+    return false;
+  }
+
+  /// Leader commit hook: log, apply, replicate, maybe compact.
+  void commit(const meta::ChangeRecord& rec) {
+    const std::uint64_t index = changelog_.append(rec);
+    state_.apply(rec, index);
+    ++stats_->log_appends;
+    bump_meta("log_appends");
+    Message append;
+    append.kind = MessageKind::kMetaAppend;
+    append.n = static_cast<std::int64_t>(term_);
+    append.b = std::to_string(index);
+    append.blob = meta::encode_record(rec);
+    for (const auto& [idx, address] : peers_) {
+      if (address == io_.address()) continue;
+      Message copy = append;
+      copy.seq = io_.next_seq();
+      try {
+        io_.send(address, std::move(copy));
+      } catch (const util::NoRouteError&) {
+        // Dead follower; it catches up via snapshot + tail if it returns.
+      }
+    }
+    maybe_snapshot();
+  }
+
+  void maybe_snapshot() {
+    if (config_.snapshot_interval == 0) return;
+    if (changelog_.last_index() <
+        snapshots_.latest().index + config_.snapshot_interval) {
+      return;
+    }
+    if (snapshots_.capture(state_)) {
+      changelog_.truncate_prefix(snapshots_.latest().index);
+      ++stats_->snapshot_installs;
+      bump_meta("snapshot_installs");
+      NPSS_LOG_DEBUG("manager", "replica ", my_index_, " snapshot at index ",
+                     snapshots_.latest().index, " (log tail ",
+                     changelog_.size(), " records)");
+    }
+  }
+
+  void broadcast_heartbeat() {
+    for (const auto& [idx, address] : peers_) {
+      if (address == io_.address()) continue;
+      Message hb;
+      hb.kind = MessageKind::kMetaHeartbeat;
+      hb.seq = io_.next_seq();
+      hb.n = static_cast<std::int64_t>(term_);
+      hb.a = io_.address();
+      hb.b = std::to_string(changelog_.last_index());
+      try {
+        io_.send(address, std::move(hb));
+      } catch (const util::NoRouteError&) {
+      }
+    }
+  }
+
+  void run_leader() {
+    leader_ = io_.address();
+    broadcast_heartbeat();
+    Clock::time_point last_hb = Clock::now();
+    while (running_ && role_ == meta::Role::kLeader) {
+      const int wait = config_.heartbeat_ms - elapsed_ms(last_hb);
+      if (wait <= 0) {
+        broadcast_heartbeat();
+        last_hb = Clock::now();
+        continue;
+      }
+      auto in = io_.receive_for(wait);
+      if (!in) {
+        if (io_.endpoint().closed()) {
+          running_ = false;
+          return;
+        }
+        continue;
+      }
+      const Message& msg = in->msg;
+      switch (msg.kind) {
+        case MessageKind::kMetaHeartbeat:
+        case MessageKind::kMetaVoteReq:
+          // A higher term means the group moved on without us (e.g. we
+          // were partitioned away); step down and rejoin as a follower.
+          // Replication is async (no quorum commit), so records we
+          // appended while isolated may conflict with the new leader's log
+          // at the same indices — discard ours and rebuild from scratch.
+          if (static_cast<std::uint64_t>(msg.n) > term_) {
+            NPSS_LOG_WARN("manager", "replica ", my_index_,
+                          " deposed: saw term ", msg.n, " > ", term_);
+            term_ = static_cast<std::uint64_t>(msg.n);
+            role_ = meta::Role::kFollower;
+            leader_ = msg.kind == MessageKind::kMetaHeartbeat ? msg.a : "";
+            changelog_.reset(0);
+            state_ = meta::ReplicatedState{};
+            snapshots_ = meta::SnapshotStore{};
+            if (!leader_.empty()) catch_up(leader_);
+            return;
+          }
+          break;
+        case MessageKind::kMetaAppend:
+        case MessageKind::kMetaVoteAck:
+          break;  // stale traffic from an earlier term
+        case MessageKind::kMetaFetch:
+          on_fetch(*in);
+          break;
+        case MessageKind::kMetaWhoIsLeader:
+          answer_who_is_leader(*in);
+          break;
+        default:
+          if (!manager_.handle(*in)) {
+            running_ = false;
+            return;
+          }
+      }
+    }
+  }
+
+  void run_follower() {
+    Clock::time_point last_hb = Clock::now();
+    while (running_ && role_ == meta::Role::kFollower) {
+      // The timeout is for candidacy in the *next* term, staggered by the
+      // seeded rank so at most one replica stands at a time.
+      const int timeout = meta::election_timeout_ms(
+          config_.election_seed, term_ + 1, my_index_,
+          static_cast<int>(peers_.size()), config_.election_base_ms);
+      const int wait = timeout - elapsed_ms(last_hb);
+      if (wait <= 0) {
+        start_election();
+        return;
+      }
+      auto in = io_.receive_for(wait);
+      if (!in) {
+        if (io_.endpoint().closed()) {
+          running_ = false;
+          return;
+        }
+        continue;
+      }
+      const Message& msg = in->msg;
+      switch (msg.kind) {
+        case MessageKind::kMetaHeartbeat:
+          if (static_cast<std::uint64_t>(msg.n) >= term_) {
+            term_ = static_cast<std::uint64_t>(msg.n);
+            leader_ = msg.a;
+            last_hb = Clock::now();
+            if (std::stoull(msg.b) > changelog_.last_index()) {
+              catch_up(msg.a);
+            }
+          }
+          break;
+        case MessageKind::kMetaAppend:
+          on_append(*in);
+          last_hb = Clock::now();
+          break;
+        case MessageKind::kMetaVoteReq:
+          if (on_vote_request(*in)) last_hb = Clock::now();
+          break;
+        case MessageKind::kMetaVoteAck:
+          break;  // stale ack from a round we lost
+        case MessageKind::kMetaFetch: {
+          Message err = Message::error_reply(
+              msg, ErrorCode::kNotLeader,
+              "replica " + std::to_string(my_index_) + " is not the leader");
+          err.b = leader_;
+          reply_to(in->from, std::move(err));
+          break;
+        }
+        case MessageKind::kMetaWhoIsLeader:
+          answer_who_is_leader(*in);
+          break;
+        case MessageKind::kManagerStop:
+          reply_to(in->from,
+                   Message{.kind = MessageKind::kQuitAck, .seq = msg.seq});
+          running_ = false;
+          return;
+        case MessageKind::kPing:
+          reply_to(in->from,
+                   Message{.kind = MessageKind::kPong, .seq = msg.seq});
+          break;
+        default:
+          redirect(*in);
+      }
+    }
+  }
+
+  /// Candidate round. Returns with role_ == kLeader on a majority, else
+  /// kFollower (a better candidate or live leader surfaced, or the round
+  /// timed out and the next staggered timeout applies).
+  void start_election() {
+    ++term_;
+    role_ = meta::Role::kCandidate;
+    leader_.clear();
+    voted_term_ = term_;  // vote for ourselves
+    const std::uint64_t my_rank =
+        meta::candidate_rank(config_.election_seed, term_, my_index_);
+    NPSS_LOG_INFO("manager", "replica ", my_index_, " stands for term ",
+                  term_, " (log ", changelog_.last_index(), ", rank ",
+                  my_rank, ")");
+    std::size_t votes = 1;
+    const std::size_t needed = peers_.size() / 2 + 1;
+    for (const auto& [idx, address] : peers_) {
+      if (address == io_.address()) continue;
+      Message req;
+      req.kind = MessageKind::kMetaVoteReq;
+      req.seq = io_.next_seq();
+      req.n = static_cast<std::int64_t>(term_);
+      req.a = io_.address();
+      req.b = std::to_string(changelog_.last_index());
+      req.c = std::to_string(my_index_);
+      try {
+        io_.send(address, std::move(req));
+      } catch (const util::NoRouteError&) {
+      }
+    }
+    const Clock::time_point started = Clock::now();
+    while (running_ && votes < needed) {
+      const int wait = config_.election_base_ms - elapsed_ms(started);
+      if (wait <= 0) break;
+      auto in = io_.receive_for(wait);
+      if (!in) {
+        if (io_.endpoint().closed()) {
+          running_ = false;
+          return;
+        }
+        continue;
+      }
+      const Message& msg = in->msg;
+      switch (msg.kind) {
+        case MessageKind::kMetaVoteAck:
+          if (static_cast<std::uint64_t>(msg.n) == term_ && msg.b == "1") {
+            ++votes;
+          }
+          break;
+        case MessageKind::kMetaVoteReq: {
+          // Concurrent candidate: the total order (log length, then rank)
+          // picks one winner — yield if they beat us.
+          const std::uint64_t their_term = static_cast<std::uint64_t>(msg.n);
+          const std::uint64_t their_rank = meta::candidate_rank(
+              config_.election_seed, their_term, std::stoi(msg.c));
+          if (their_term > term_ ||
+              (their_term == term_ &&
+               meta::candidate_better(std::stoull(msg.b), their_rank,
+                                      changelog_.last_index(), my_rank))) {
+            term_ = their_term;
+            role_ = meta::Role::kFollower;
+            voted_term_ = their_term;
+            grant_vote(in->from, their_term, true);
+            return;
+          }
+          grant_vote(in->from, their_term, false);
+          break;
+        }
+        case MessageKind::kMetaHeartbeat:
+        case MessageKind::kMetaAppend:
+          if (static_cast<std::uint64_t>(msg.n) >= term_) {
+            // A leader lives; abort the candidacy and follow it.
+            term_ = static_cast<std::uint64_t>(msg.n);
+            role_ = meta::Role::kFollower;
+            leader_ = msg.kind == MessageKind::kMetaHeartbeat ? msg.a
+                                                              : in->from;
+            return;
+          }
+          break;
+        case MessageKind::kMetaWhoIsLeader:
+          answer_who_is_leader(*in);
+          break;
+        case MessageKind::kManagerStop:
+          reply_to(in->from,
+                   Message{.kind = MessageKind::kQuitAck, .seq = msg.seq});
+          running_ = false;
+          return;
+        default:
+          redirect(*in);
+      }
+    }
+    if (!running_) return;
+    if (votes >= needed) {
+      become_leader();
+    } else {
+      NPSS_LOG_WARN("manager", "replica ", my_index_, " lost term ", term_,
+                    " (", votes, "/", needed, " votes)");
+      role_ = meta::Role::kFollower;
+    }
+  }
+
+  void become_leader() {
+    role_ = meta::Role::kLeader;
+    leader_ = io_.address();
+    ++stats_->leader_elections;
+    bump_meta("leader_elections");
+    manager_.rebuild_from(state_);
+    NPSS_LOG_INFO("manager", "replica ", my_index_, " elected leader for term ",
+                  term_, ": ", state_.lines().size(), " line(s), ",
+                  state_.exports().size(),
+                  " export group(s) rebuilt from log index ",
+                  state_.last_applied());
+  }
+
+  /// Follower-side vote rule: first candidate per term whose log holds at
+  /// least everything ours does. Returns true when granted (heartbeat-like
+  /// evidence of an election in progress).
+  bool on_vote_request(const Incoming& in) {
+    const Message& msg = in.msg;
+    const std::uint64_t their_term = static_cast<std::uint64_t>(msg.n);
+    bool grant = false;
+    if (their_term > term_) term_ = their_term;
+    if (their_term >= term_ && their_term > voted_term_ &&
+        std::stoull(msg.b) >= changelog_.last_index()) {
+      voted_term_ = their_term;
+      grant = true;
+      leader_.clear();  // the old leader is presumed dead
+    }
+    grant_vote(in.from, their_term, grant);
+    return grant;
+  }
+
+  void grant_vote(const std::string& to, std::uint64_t term, bool grant) {
+    Message ack;
+    ack.kind = MessageKind::kMetaVoteAck;
+    ack.seq = io_.next_seq();
+    ack.n = static_cast<std::int64_t>(term);
+    ack.b = grant ? "1" : "0";
+    try {
+      io_.send(to, std::move(ack));
+    } catch (const util::NoRouteError&) {
+    }
+  }
+
+  /// Follower-side log replication; a gap triggers snapshot + tail
+  /// catch-up from the sender.
+  void on_append(const Incoming& in) {
+    const Message& msg = in.msg;
+    if (static_cast<std::uint64_t>(msg.n) < term_) return;  // stale leader
+    term_ = static_cast<std::uint64_t>(msg.n);
+    const std::uint64_t index = std::stoull(msg.b);
+    meta::ChangeRecord rec = meta::decode_record(msg.blob);
+    if (changelog_.append_at(index, std::move(rec))) {
+      if (state_.apply(changelog_.at(index), index)) {
+        ++stats_->log_appends;
+        bump_meta("log_appends");
+      }
+      maybe_snapshot();
+    } else {
+      catch_up(in.from);
+    }
+  }
+
+  /// Pull everything we are missing from the leader: its latest snapshot
+  /// (when our gap predates its retained log) plus the record tail.
+  void catch_up(const std::string& from) {
+    Message req;
+    req.kind = MessageKind::kMetaFetch;
+    req.b = std::to_string(changelog_.last_index() + 1);
+    Message ack;
+    try {
+      ack = io_.call_within(from, std::move(req), /*host_grace_ms=*/250);
+    } catch (const util::Error& e) {
+      NPSS_LOG_WARN("manager", "replica ", my_index_, " catch-up from ", from,
+                    " failed: ", e.what());
+      return;  // retried on the next heartbeat that shows us behind
+    }
+    util::ByteReader payload(ack.blob);
+    util::Bytes image = payload.blob();
+    util::Bytes batch = payload.blob();
+    const std::uint64_t snap_index = std::stoull(ack.b);
+    if (!image.empty() && snap_index > state_.last_applied()) {
+      state_ = meta::ReplicatedState::deserialize(image);
+      changelog_.reset(state_.last_applied());
+      snapshots_.install(snap_index, std::move(image));
+      ++stats_->snapshot_installs;
+      bump_meta("snapshot_installs");
+      NPSS_LOG_INFO("manager", "replica ", my_index_,
+                    " installed snapshot at index ", snap_index);
+    }
+    for (auto& [index, rec] : meta::decode_record_batch(batch)) {
+      if (changelog_.append_at(index, std::move(rec))) {
+        if (state_.apply(changelog_.at(index), index)) {
+          ++stats_->log_appends;
+          bump_meta("log_appends");
+        }
+      }
+    }
+  }
+
+  /// Leader side of catch-up: serve the tail directly when we still retain
+  /// the requested index, else latest snapshot + the records past it.
+  void on_fetch(const Incoming& in) {
+    std::uint64_t from = 1;
+    if (!in.msg.b.empty()) from = std::stoull(in.msg.b);
+    std::uint64_t snap_index = 0;
+    util::Bytes image;
+    std::vector<std::pair<std::uint64_t, meta::ChangeRecord>> batch;
+    if (from > changelog_.last_index()) {
+      // Requester already has everything; empty reply.
+    } else if (changelog_.first_index() != 0 &&
+               from >= changelog_.first_index()) {
+      batch = changelog_.tail(from);
+    } else {
+      snap_index = snapshots_.latest().index;
+      image = snapshots_.latest().image;
+      batch = changelog_.tail(snap_index + 1);
+    }
+    util::ByteWriter payload;
+    payload.blob(image);
+    payload.blob(meta::encode_record_batch(batch));
+    Message ack;
+    ack.kind = MessageKind::kMetaFetchAck;
+    ack.seq = in.msg.seq;
+    ack.n = static_cast<std::int64_t>(term_);
+    ack.b = std::to_string(snap_index);
+    ack.blob = std::move(payload).take();
+    reply_to(in.from, std::move(ack));
+  }
+
+  void answer_who_is_leader(const Incoming& in) {
+    Message ack;
+    ack.kind = MessageKind::kMetaLeaderAck;
+    ack.seq = in.msg.seq;
+    ack.a = leader_;  // empty while an election is in progress
+    ack.n = static_cast<std::int64_t>(term_);
+    ack.b = state_.digest();
+    ack.c = std::to_string(state_.last_applied());
+    reply_to(in.from, std::move(ack));
+  }
+
+  /// Non-leader answer to a client request: kNotLeader with the best known
+  /// leader hint in .b, so CallCore can re-bind without a discovery scan.
+  void redirect(const Incoming& in) {
+    if (in.msg.kind == MessageKind::kPing) {
+      reply_to(in.from,
+               Message{.kind = MessageKind::kPong, .seq = in.msg.seq});
+      return;
+    }
+    if (!is_client_kind(in.msg.kind)) {
+      NPSS_LOG_DEBUG("manager", "replica ", my_index_, " ignoring ",
+                     message_kind_name(in.msg.kind), " from ", in.from);
+      return;
+    }
+    Message err = Message::error_reply(
+        in.msg, ErrorCode::kNotLeader,
+        "manager replica " + std::to_string(my_index_) + " at " +
+            io_.address() + " is not the leader");
+    err.b = leader_;
+    reply_to(in.from, std::move(err));
+  }
+
+  void reply_to(const std::string& to, Message msg) {
+    try {
+      io_.send(to, std::move(msg));
+    } catch (const util::NoRouteError&) {
+      // Requester died while we composed the answer; nothing to do.
+    }
+  }
+
+  MessageIo& io_;
+  const ManagerConfig& config_;
+  std::shared_ptr<ManagerStats> stats_;
+  ManagerState manager_;
+
+  bool running_ = true;
+  int my_index_ = 0;
+  /// (replica index, address), sorted by index; includes this replica.
+  std::vector<std::pair<int, std::string>> peers_;
+  meta::Role role_ = meta::Role::kFollower;
+  std::uint64_t term_ = 0;
+  std::uint64_t voted_term_ = 0;  ///< newest term we granted a vote in
+  std::string leader_;            ///< best known leader address
+
+  meta::Changelog changelog_;
+  meta::ReplicatedState state_;
+  meta::SnapshotStore snapshots_;
 };
 
 }  // namespace
@@ -615,6 +1276,12 @@ uts::ProcDecl parse_signature_text(const std::string& text) {
 void manager_main(sim::ProcessContext& ctx, const ManagerConfig& config,
                   std::shared_ptr<ManagerStats> stats) {
   MessageIo io(ctx.cluster(), ctx.self_ptr());
+  if (config.replicated) {
+    ReplicaDriver driver(io, config, std::move(stats));
+    NPSS_LOG_INFO("manager", "replica up at ", io.address());
+    driver.run();
+    return;
+  }
   ManagerState state(io, config, std::move(stats));
   NPSS_LOG_INFO("manager", "up at ", io.address());
   while (auto in = io.receive()) {

@@ -73,6 +73,21 @@ struct ManagerConfig {
   /// incompatible drift: stale-but-compatible exports are admitted with a
   /// warning, incompatible ones are rejected.
   std::vector<std::string> manifest_spec_hashes;
+
+  /// --- Replicated control plane (src/meta/) ---------------------------
+  /// When true the process runs as one replica of a Manager group: it
+  /// waits for the kMetaConfig handshake naming every replica, then enters
+  /// the leader/follower protocol. False = the classic standalone Manager.
+  bool replicated = false;
+  /// Leader heartbeat period (host ms). Follower election timeouts are
+  /// derived from election_base_ms via meta::election_timeout_ms.
+  int heartbeat_ms = 15;
+  int election_base_ms = 60;
+  /// Seed for the deterministic election rank/timeout schedule; the fault
+  /// suite's same-seed-same-recovery contract extends to elections.
+  std::uint64_t election_seed = 1;
+  /// Compact the changelog into a snapshot every N appends (0 = never).
+  std::uint64_t snapshot_interval = 32;
 };
 
 /// Counters the benches read after a run (exposed through ManagerHandle).
@@ -90,6 +105,11 @@ struct ManagerStats {
   /// Rebinds/migrations refused because the offered export surface is
   /// incompatible with what the client (or the manifest) compiled against.
   std::uint64_t compat_rejects = 0;
+  /// Replicated control plane (counted on the replica they happen on;
+  /// SchoonerSystem::manager_stats sums across the group).
+  std::uint64_t leader_elections = 0;   ///< times this replica won a term
+  std::uint64_t log_appends = 0;        ///< changelog records appended here
+  std::uint64_t snapshot_installs = 0;  ///< snapshots captured or received
 };
 
 /// The Manager's process body; spawned by SchoonerSystem.

@@ -71,6 +71,20 @@ enum class MessageKind : std::uint8_t {
   kPong,
   kManagerStop,
   kError,
+  // --- Replicated control plane (src/meta/), appended so frames from
+  // pre-replication peers decode unchanged -------------------------------
+  kMetaConfig,       ///< table=(index, replica address), n=term -> kMetaConfigAck
+  kMetaConfigAck,
+  kMetaHeartbeat,    ///< n=term, a=leader address, b=leader last log index
+  kMetaAppend,       ///< n=term, b=log index, blob=ChangeRecord (one-way)
+  kMetaVoteReq,      ///< n=term, a=candidate addr, b=last log index, c=replica index
+  kMetaVoteAck,      ///< n=term, b="1" granted / "0" refused (one-way)
+  kMetaFetch,        ///< b=from index: catch-up request -> kMetaFetchAck
+  kMetaFetchAck,     ///< n=term, b=snapshot index, blob=two nested blobs:
+                     ///< (snapshot image — may be empty, record batch)
+  kMetaWhoIsLeader,  ///< leader discovery -> kMetaLeaderAck
+  kMetaLeaderAck,    ///< a=leader address ("" = election in progress),
+                     ///< n=term, b=state digest, c=last applied index
 };
 
 std::string_view message_kind_name(MessageKind kind);

@@ -1,5 +1,7 @@
 #include "rpc/schooner.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 
 namespace npss::rpc {
@@ -17,14 +19,74 @@ SchoonerSystem::SchoonerSystem(sim::Cluster& cluster,
     config.servers[machine] = ep->address();
     server_addresses_[machine] = ep->address();
   }
-  stats_ = std::make_shared<ManagerStats>();
-  sim::EndpointPtr manager_ep = cluster.spawn(
-      manager_machine, "schx-manager",
-      [config = std::move(config), stats = stats_](sim::ProcessContext& ctx) {
-        manager_main(ctx, config, stats);
-      });
-  manager_address_ = manager_ep->address();
+
+  const int replicas = std::max(options.manager_replicas, 1);
+  config.replicated = replicas > 1;
+  config.heartbeat_ms = options.heartbeat_ms;
+  config.election_base_ms = options.election_base_ms;
+  config.election_seed = options.election_seed;
+  config.snapshot_interval = options.snapshot_interval;
+
+  // Replica i's home: replica 0 on manager_machine, the rest on the
+  // requested machines (round-robin over the cluster when unspecified).
+  std::vector<std::string> homes{manager_machine};
+  std::vector<std::string> pool = options.replica_machines.empty()
+                                      ? cluster.machine_names()
+                                      : options.replica_machines;
+  for (int i = 1; i < replicas; ++i) {
+    homes.push_back(pool[static_cast<std::size_t>(i - 1) % pool.size()]);
+  }
+  for (int i = 0; i < replicas; ++i) {
+    auto stats = std::make_shared<ManagerStats>();
+    stats_.push_back(stats);
+    sim::EndpointPtr ep = cluster.spawn(
+        homes[static_cast<std::size_t>(i)], "schx-manager",
+        [config, stats](sim::ProcessContext& ctx) {
+          manager_main(ctx, config, stats);
+        });
+    replica_addresses_.push_back(ep->address());
+  }
+  manager_address_ = replica_addresses_.front();
+
+  if (config.replicated) {
+    // Membership handshake: addresses exist only now, so each replica
+    // learns the group (and its own index) in one synchronous exchange.
+    // Replica 0 wakes as the term-1 leader once its ack is in.
+    sim::EndpointPtr ep =
+        cluster.create_endpoint(manager_machine, "schx-boot");
+    MessageIo io(cluster, ep);
+    for (int i = 0; i < replicas; ++i) {
+      Message cfg;
+      cfg.kind = MessageKind::kMetaConfig;
+      cfg.n = i;
+      for (int j = 0; j < replicas; ++j) {
+        cfg.table.emplace_back(std::to_string(j),
+                               replica_addresses_[static_cast<std::size_t>(j)]);
+      }
+      io.call(replica_addresses_[static_cast<std::size_t>(i)], std::move(cfg));
+    }
+    cluster.retire_endpoint(ep->address());
+  }
   running_ = true;
+}
+
+ManagerStats SchoonerSystem::stats() const {
+  ManagerStats total;
+  for (const auto& s : stats_) {
+    total.lines_created += s->lines_created;
+    total.processes_started += s->processes_started;
+    total.lookups += s->lookups;
+    total.type_check_failures += s->type_check_failures;
+    total.moves += s->moves;
+    total.lines_shut_down += s->lines_shut_down;
+    total.static_check_failures += s->static_check_failures;
+    total.stale_manifest_warnings += s->stale_manifest_warnings;
+    total.compat_rejects += s->compat_rejects;
+    total.leader_elections += s->leader_elections;
+    total.log_appends += s->log_appends;
+    total.snapshot_installs += s->snapshot_installs;
+  }
+  return total;
 }
 
 SchoonerSystem::~SchoonerSystem() {
@@ -37,22 +99,35 @@ SchoonerSystem::~SchoonerSystem() {
 std::unique_ptr<SchoonerClient> SchoonerSystem::make_client(
     const std::string& machine, const std::string& description) {
   sim::EndpointPtr ep = cluster_->create_endpoint(machine, "schx-client");
+  // Pass the replica list only for a real group, so standalone clients
+  // keep the legacy block-forever Manager semantics.
+  std::vector<std::string> replicas =
+      replica_addresses_.size() > 1 ? replica_addresses_
+                                    : std::vector<std::string>{};
   return std::make_unique<SchoonerClient>(*cluster_, std::move(ep),
-                                          manager_address_, description);
+                                          manager_address_, description,
+                                          std::move(replicas));
 }
 
 void SchoonerSystem::stop() {
   if (!running_) return;
   running_ = false;
-  // Stop the Manager through a throwaway endpoint on its own machine.
-  try {
-    std::string machine = manager_address_.substr(0, manager_address_.find('/'));
-    sim::EndpointPtr ep = cluster_->create_endpoint(machine, "schx-stopper");
-    MessageIo io(*cluster_, ep);
-    io.call(manager_address_, Message{.kind = MessageKind::kManagerStop});
-    cluster_->retire_endpoint(ep->address());
-  } catch (const util::Error& e) {
-    NPSS_LOG_WARN("schooner", "manager stop failed: ", e.what());
+  // Stop every Manager replica through a throwaway endpoint on its own
+  // machine. The leader (whichever replica holds the role by now) tears
+  // down the remaining lines; followers and crashed replicas just exit.
+  for (const std::string& address : replica_addresses_) {
+    sim::EndpointPtr ep;
+    try {
+      std::string machine = address.substr(0, address.find('/'));
+      ep = cluster_->create_endpoint(machine, "schx-stopper");
+      MessageIo io(*cluster_, ep);
+      io.call_within(address, Message{.kind = MessageKind::kManagerStop},
+                     /*host_grace_ms=*/500);
+    } catch (const util::Error& e) {
+      NPSS_LOG_WARN("schooner", "manager stop (", address,
+                    ") failed: ", e.what());
+    }
+    if (ep) cluster_->retire_endpoint(ep->address());
   }
   for (const auto& [machine, address] : server_addresses_) {
     try {

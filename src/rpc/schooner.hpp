@@ -29,6 +29,23 @@ struct SystemOptions {
   /// spec_hashes). Lets the Manager tell a *stale* manifest (spec text
   /// changed after uts_check ran) apart from an incompatible export.
   std::vector<std::string> manifest_spec_hashes;
+
+  /// --- Replicated control plane (src/meta/) ---------------------------
+  /// Number of Manager replicas. 1 (the default) runs the classic
+  /// standalone Manager; >= 2 runs a replica group: replica 0 starts on
+  /// `manager_machine` as the term-1 leader, the rest on
+  /// `replica_machines` (round-robin over the cluster when empty).
+  int manager_replicas = 1;
+  std::vector<std::string> replica_machines;
+  /// Leader heartbeat period and follower election-timeout base, in host
+  /// milliseconds (see meta::election_timeout_ms for the stagger rule).
+  int heartbeat_ms = 15;
+  int election_base_ms = 60;
+  /// Seed for the deterministic election schedule: same seed, same crash,
+  /// same winner — the fault suite's reproducibility contract.
+  std::uint64_t election_seed = 1;
+  /// Compact the changelog into a snapshot every N appends (0 = never).
+  std::uint64_t snapshot_interval = 32;
 };
 
 class SchoonerSystem {
@@ -45,12 +62,22 @@ class SchoonerSystem {
   sim::Cluster& cluster() { return *cluster_; }
   const std::string& manager_address() const { return manager_address_; }
 
+  /// Addresses of every Manager replica, indexed by replica id. Size 1
+  /// when running the classic standalone Manager. Clients use the full
+  /// list to rediscover the leader after a failover.
+  const std::vector<std::string>& manager_replica_addresses() const {
+    return replica_addresses_;
+  }
+
   /// Make a client (== open a new line) whose endpoint lives on `machine`.
   std::unique_ptr<SchoonerClient> make_client(const std::string& machine,
                                               const std::string& description);
 
-  /// Runtime counters accumulated by the Manager.
-  ManagerStats stats() const { return *stats_; }
+  /// Runtime counters accumulated by the Manager. With a replica group
+  /// this is the sum over all replicas (each keeps its own tallies, so no
+  /// replica thread ever writes another's counters); read it only after
+  /// the group quiesces (e.g. post-stop) for an exact figure.
+  ManagerStats stats() const;
 
   /// Stop the Manager (and through it every remaining line) and the
   /// Servers. Idempotent; also run by the destructor.
@@ -61,8 +88,10 @@ class SchoonerSystem {
  private:
   sim::Cluster* cluster_;
   std::string manager_address_;
+  std::vector<std::string> replica_addresses_;
   std::map<std::string, std::string> server_addresses_;
-  std::shared_ptr<ManagerStats> stats_;
+  /// One ManagerStats per replica (index-aligned with replica_addresses_).
+  std::vector<std::shared_ptr<ManagerStats>> stats_;
   bool running_ = false;
 };
 

@@ -238,6 +238,23 @@ void Cluster::send(Endpoint& from, const std::string& to,
   FaultAction action = FaultAction::kDeliver;
   {
     std::lock_guard lock(mu_);
+    // A partition swallows the frame silently: the sender gets no error
+    // (unlike a link taken down), the receiver gets nothing — peers can
+    // only notice through heartbeat/reply timeouts.
+    for (const auto& [group_a, group_b] : partitions_) {
+      const std::string& fm = from.machine().name;
+      const std::string& tm = dest->machine().name;
+      if ((group_a.contains(fm) && group_b.contains(tm)) ||
+          (group_b.contains(fm) && group_a.contains(tm))) {
+        ++partition_drops_;
+        NPSS_LOG_DEBUG("sim", from.address(), " -> ", to,
+                       " DROPPED by partition");
+        if (obs::enabled()) {
+          obs::Registry::global().counter("sim.fault.partition_drop").add();
+        }
+        return;
+      }
+    }
     ++traffic_.messages;
     traffic_.bytes += size;
     Traffic& per_link = traffic_by_link_[link->name];
@@ -299,6 +316,41 @@ void Cluster::reset_traffic() {
   std::lock_guard lock(mu_);
   traffic_ = {};
   traffic_by_link_.clear();
+}
+
+void Cluster::partition(const std::vector<std::string>& group_a,
+                        const std::vector<std::string>& group_b) {
+  std::lock_guard lock(mu_);
+  std::set<std::string> a, b;
+  for (const std::string& name : group_a) {
+    if (!machines_.contains(name)) {
+      throw NoSuchMachineError("partition: unknown machine '" + name + "'");
+    }
+    a.insert(name);
+  }
+  for (const std::string& name : group_b) {
+    if (!machines_.contains(name)) {
+      throw NoSuchMachineError("partition: unknown machine '" + name + "'");
+    }
+    b.insert(name);
+  }
+  NPSS_LOG_WARN("sim", "partition injected: ", a.size(), " machine(s) | ",
+                b.size(), " machine(s)");
+  partitions_.emplace_back(std::move(a), std::move(b));
+}
+
+void Cluster::heal() {
+  std::lock_guard lock(mu_);
+  if (!partitions_.empty()) {
+    NPSS_LOG_WARN("sim", "partitions healed (", partitions_.size(),
+                  " removed)");
+  }
+  partitions_.clear();
+}
+
+std::uint64_t Cluster::partition_drops() const {
+  std::lock_guard lock(mu_);
+  return partition_drops_;
 }
 
 void Cluster::set_fault_seed(std::uint64_t seed) {

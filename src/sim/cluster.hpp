@@ -208,6 +208,19 @@ class Cluster {
   void reset_traffic();
 
   // --- Fault injection ----------------------------------------------------
+  /// Network partition: frames between any machine in `group_a` and any
+  /// machine in `group_b` are *silently dropped* — exactly what a real
+  /// partition looks like to the endpoints (no error, just silence), so
+  /// peers only notice through missing heartbeats and timed-out waits.
+  /// Partitions stack; machines absent from both groups keep full
+  /// connectivity. Throws NoSuchMachineError on unknown names.
+  void partition(const std::vector<std::string>& group_a,
+                 const std::vector<std::string>& group_b);
+  /// Remove every partition (links resume instantly).
+  void heal();
+  /// Frames swallowed by partitions so far.
+  std::uint64_t partition_drops() const;
+
   /// Seed the deterministic fault schedule (resets schedule positions).
   void set_fault_seed(std::uint64_t seed);
   /// Inject faults on every frame carried by the named link profile.
@@ -232,6 +245,10 @@ class Cluster {
   std::map<std::string, Traffic> traffic_by_link_;
   FaultInjector faults_;
   std::uint64_t crashes_ = 0;
+  /// Active partitions as (group_a, group_b) machine-name sets.
+  std::vector<std::pair<std::set<std::string>, std::set<std::string>>>
+      partitions_;
+  std::uint64_t partition_drops_ = 0;
 };
 
 }  // namespace npss::sim

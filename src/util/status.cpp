@@ -26,6 +26,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
     case ErrorCode::kUnavailable: return "unavailable";
     case ErrorCode::kOk: return "ok";
+    case ErrorCode::kNotLeader: return "not-leader";
   }
   return "unknown";
 }
@@ -52,6 +53,7 @@ void raise_error(ErrorCode code, const std::string& message) {
     case ErrorCode::kModelError: throw ModelError(message);
     case ErrorCode::kDeadlineExceeded: throw DeadlineError(message);
     case ErrorCode::kUnavailable: throw UnavailableError(message);
+    case ErrorCode::kNotLeader: throw NotLeaderError(message);
     case ErrorCode::kOk: break;
     case ErrorCode::kUnknown: break;
   }

@@ -44,6 +44,8 @@ enum class ErrorCode {
   kDeadlineExceeded, ///< call deadline elapsed before a reply arrived
   kUnavailable,      ///< peer unreachable after every recovery attempt
   kOk,               ///< success sentinel for Status (never thrown)
+  // Replicated control plane (appended)
+  kNotLeader,        ///< request reached a Manager follower, not the leader
 };
 
 /// Human-readable name for an ErrorCode (used in messages and logs).
@@ -91,6 +93,7 @@ NPSS_DEFINE_ERROR(ConvergenceError, kConvergenceFailure);
 NPSS_DEFINE_ERROR(ModelError, kModelError);
 NPSS_DEFINE_ERROR(DeadlineError, kDeadlineExceeded);
 NPSS_DEFINE_ERROR(UnavailableError, kUnavailable);
+NPSS_DEFINE_ERROR(NotLeaderError, kNotLeader);
 
 #undef NPSS_DEFINE_ERROR
 

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 
+#include "meta/record.hpp"
+#include "meta/state.hpp"
 #include "rpc/schooner.hpp"
 #include "uts/canonical.hpp"
 #include "uts/spec.hpp"
@@ -215,6 +217,73 @@ TEST(ManagerRobustness, GarbageAndWrongProtocolGetErrorsNotCrashes) {
   ping.kind = rpc::MessageKind::kPing;
   EXPECT_EQ(io.call(schooner.manager_address(), ping).kind,
             rpc::MessageKind::kPong);
+}
+
+meta::ChangeRecord random_record(Rng& rng) {
+  meta::ChangeRecord rec;
+  rec.kind = static_cast<meta::RecordKind>(1 + rng.below(4));
+  rec.line = rng.below(2) ? -1 : rng.below(1000);
+  rec.shared = rng.below(2) == 1;
+  auto random_text = [&rng]() {
+    std::string s;
+    const int len = rng.below(24);
+    for (int i = 0; i < len; ++i) {
+      // Arbitrary bytes, including NUL and high bit: the codec is
+      // length-prefixed, not delimiter-based.
+      s.push_back(static_cast<char>(rng.next() & 0xff));
+    }
+    return s;
+  };
+  rec.address = random_text();
+  rec.machine = random_text();
+  rec.path = random_text();
+  rec.spec_hash = random_text();
+  rec.note = random_text();
+  const int procs = rng.below(4);
+  for (int i = 0; i < procs; ++i) {
+    rec.procs.emplace_back(random_text(), random_text());
+  }
+  return rec;
+}
+
+TEST(MetaRecordProperties, RandomRecordsRoundTripExactly) {
+  Rng rng(0x5eedf00d);
+  for (int i = 0; i < 200; ++i) {
+    meta::ChangeRecord rec = random_record(rng);
+    meta::ChangeRecord back = meta::decode_record(meta::encode_record(rec));
+    EXPECT_EQ(back, rec) << "record " << i;
+  }
+  // Batch framing round-trips too, indices included.
+  std::vector<std::pair<std::uint64_t, meta::ChangeRecord>> batch;
+  for (int i = 0; i < 16; ++i) {
+    batch.emplace_back(rng.next(), random_record(rng));
+  }
+  EXPECT_EQ(meta::decode_record_batch(meta::encode_record_batch(batch)),
+            batch);
+}
+
+TEST(MetaRecordProperties, ReplayIsIdempotentByIndex) {
+  // Applying a record sequence once, or with every record duplicated
+  // (the overlapping snapshot + log-tail delivery a follower can see),
+  // converges to the same state and digest.
+  Rng rng(0xfadedcab);
+  std::vector<meta::ChangeRecord> records;
+  for (int i = 0; i < 64; ++i) records.push_back(random_record(rng));
+
+  meta::ReplicatedState once;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_TRUE(once.apply(records[i], i + 1));
+  }
+  meta::ReplicatedState twice;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_TRUE(twice.apply(records[i], i + 1));
+    EXPECT_FALSE(twice.apply(records[i], i + 1));  // duplicate is a no-op
+  }
+  EXPECT_EQ(once, twice);
+  EXPECT_EQ(once.digest(), twice.digest());
+
+  // And the state image itself round-trips through serialization.
+  EXPECT_EQ(meta::ReplicatedState::deserialize(once.serialize()), once);
 }
 
 }  // namespace

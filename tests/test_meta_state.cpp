@@ -1,0 +1,395 @@
+// The replicated control plane (src/meta/ + the Manager replica group):
+// changelog/snapshot/state-machine units, deterministic elections, and the
+// full failover story — kill the leader mid-run, a follower takes over
+// with the export table (spec hashes included) rebuilt from the log, and
+// clients re-bind without losing a call.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "meta/changelog.hpp"
+#include "meta/election.hpp"
+#include "meta/record.hpp"
+#include "meta/snapshot.hpp"
+#include "meta/state.hpp"
+#include "npss/procedures.hpp"
+#include "rpc/schooner.hpp"
+
+namespace npss {
+namespace {
+
+using meta::ChangeRecord;
+using meta::RecordKind;
+
+// --- Pure-unit half ---------------------------------------------------------
+
+ChangeRecord line_create(std::int64_t line, const std::string& note) {
+  ChangeRecord rec;
+  rec.kind = RecordKind::kLineCreate;
+  rec.line = line;
+  rec.note = note;
+  return rec;
+}
+
+ChangeRecord export_rec(std::int64_t line, const std::string& address,
+                        const std::string& hash) {
+  ChangeRecord rec;
+  rec.kind = RecordKind::kExport;
+  rec.line = line;
+  rec.address = address;
+  rec.machine = "far";
+  rec.path = "/bin/echo";
+  rec.spec_hash = hash;
+  rec.procs = {{"echo", "export echo prog(\"x\" val double)"}};
+  return rec;
+}
+
+TEST(MetaChangelog, AppendTailTruncateAndGapDetection) {
+  meta::Changelog log;
+  EXPECT_EQ(log.last_index(), 0u);
+  EXPECT_EQ(log.append(line_create(1, "a")), 1u);
+  EXPECT_EQ(log.append(line_create(2, "b")), 2u);
+  EXPECT_EQ(log.append(export_rec(1, "far/p#1", "h1")), 3u);
+  EXPECT_EQ(log.first_index(), 1u);
+  EXPECT_EQ(log.tail(2).size(), 2u);
+  EXPECT_EQ(log.at(2).note, "b");
+
+  // Duplicate delivery is a no-op, a gap is refused.
+  EXPECT_TRUE(log.append_at(3, export_rec(1, "far/p#1", "h1")));
+  EXPECT_FALSE(log.append_at(5, line_create(9, "gap")));
+  EXPECT_EQ(log.last_index(), 3u);
+
+  // Compaction retains the tail and keeps indices stable.
+  log.truncate_prefix(2);
+  EXPECT_EQ(log.first_index(), 3u);
+  EXPECT_EQ(log.last_index(), 3u);
+  EXPECT_THROW(log.at(2), util::ProtocolError);
+  EXPECT_EQ(log.at(3).spec_hash, "h1");
+}
+
+TEST(MetaReplicatedState, AppliesRecordsAndSnapshotsRoundTrip) {
+  meta::ReplicatedState st;
+  EXPECT_TRUE(st.apply(line_create(1, "avs line"), 1));
+  EXPECT_TRUE(st.apply(export_rec(1, "far/p#1", "deadbeef"), 2));
+  EXPECT_EQ(st.next_line(), 2);
+  ASSERT_TRUE(st.exports().contains("far/p#1"));
+  EXPECT_EQ(st.exports().at("far/p#1").spec_hash, "deadbeef");
+
+  // The image round-trips exactly; equal states share a digest.
+  meta::ReplicatedState copy =
+      meta::ReplicatedState::deserialize(st.serialize());
+  EXPECT_EQ(copy, st);
+  EXPECT_EQ(copy.digest(), st.digest());
+
+  // A retire removes the export group; a line quit removes its exports.
+  ChangeRecord retire;
+  retire.kind = RecordKind::kRetire;
+  retire.address = "far/p#1";
+  EXPECT_TRUE(st.apply(retire, 3));
+  EXPECT_FALSE(st.exports().contains("far/p#1"));
+}
+
+TEST(MetaSnapshotStore, KeepsOnlyTheNewestImage) {
+  meta::ReplicatedState st;
+  st.apply(line_create(1, "a"), 1);
+  meta::SnapshotStore store;
+  EXPECT_TRUE(store.capture(st));
+  EXPECT_EQ(store.latest().index, 1u);
+  st.apply(export_rec(1, "far/p#1", "h"), 2);
+  EXPECT_TRUE(store.capture(st));
+  EXPECT_EQ(store.latest().index, 2u);
+  // An older image never replaces a newer one.
+  EXPECT_FALSE(store.install(1, store.latest().image));
+  EXPECT_EQ(store.latest().index, 2u);
+  EXPECT_EQ(store.installs(), 2u);
+}
+
+TEST(MetaElection, ScheduleIsAPureFunctionOfSeedTermAndReplica) {
+  // Same inputs, same rank/timeout; the schedule is host-timing-free.
+  for (std::uint64_t term = 1; term <= 5; ++term) {
+    for (int replica = 0; replica < 5; ++replica) {
+      EXPECT_EQ(meta::candidate_rank(42, term, replica),
+                meta::candidate_rank(42, term, replica));
+      EXPECT_EQ(meta::election_timeout_ms(42, term, replica, 5, 60),
+                meta::election_timeout_ms(42, term, replica, 5, 60));
+    }
+  }
+  // Timeouts within one term are staggered by at least 2 * base: the
+  // earliest candidate finishes before the next would stand.
+  std::set<int> timeouts;
+  for (int replica = 0; replica < 5; ++replica) {
+    timeouts.insert(meta::election_timeout_ms(42, 3, replica, 5, 60));
+  }
+  EXPECT_EQ(timeouts.size(), 5u);
+  int prev = -1;
+  for (int t : timeouts) {
+    if (prev >= 0) {
+      EXPECT_GE(t - prev, 2 * 60);
+    }
+    prev = t;
+  }
+  // The ordering prefers the longer log, then the lower rank.
+  EXPECT_TRUE(meta::candidate_better(10, 7, 9, 3));
+  EXPECT_TRUE(meta::candidate_better(10, 3, 10, 7));
+  EXPECT_FALSE(meta::candidate_better(10, 7, 10, 3));
+}
+
+// --- System half: a three-replica Manager group -----------------------------
+
+const char* kEchoSpec =
+    "export echo prog(\"x\" val double, \"y\" res double)";
+const char* kEchoImport =
+    "import echo prog(\"x\" val double, \"y\" res double)";
+
+sim::ProgramImage echo_image() {
+  return rpc::make_procedure_image(
+      kEchoSpec,
+      {{"echo", [](rpc::ProcCall& c) { c.set_real("y", 2.0 * c.real("x")); }}});
+}
+
+struct GroupOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t snapshot_interval = 32;
+};
+
+/// One site, three Manager replica machines plus a worker and a client
+/// machine, with a 3-replica control plane.
+class MetaGroupTest : public ::testing::Test {
+ protected:
+  void build(const GroupOptions& group) {
+    system_.reset();
+    cluster_ = std::make_unique<sim::Cluster>();
+    cluster_->add_machine("m0", "sun-sparc10", "lerc");
+    cluster_->add_machine("m1", "ibm-rs6000", "lerc");
+    cluster_->add_machine("m2", "sgi-4d480", "lerc");
+    cluster_->add_machine("far", "sgi-4d480", "lerc");
+    cluster_->add_machine("avs", "sun-sparc10", "lerc");
+    cluster_->install_image("far", "/bin/echo", echo_image());
+    cluster_->install_image("m2", "/bin/echo", echo_image());
+    rpc::SystemOptions options;
+    options.manager_replicas = 3;
+    options.replica_machines = {"m1", "m2"};
+    options.heartbeat_ms = 10;
+    options.election_base_ms = 40;
+    options.election_seed = group.seed;
+    options.snapshot_interval = group.snapshot_interval;
+    system_ = std::make_unique<rpc::SchoonerSystem>(*cluster_, "m0", options);
+  }
+
+  /// Ask one replica (any role) for its view: (leader, digest, applied).
+  struct ReplicaView {
+    std::string leader;
+    std::string digest;
+    std::string applied;
+  };
+  ReplicaView view_of(const std::string& address) {
+    sim::EndpointPtr ep = cluster_->create_endpoint("avs", "probe");
+    rpc::MessageIo io(*cluster_, ep);
+    rpc::Message who;
+    who.kind = rpc::MessageKind::kMetaWhoIsLeader;
+    rpc::Message ack = io.call_within(address, std::move(who), 500);
+    cluster_->retire_endpoint(ep->address());
+    return ReplicaView{ack.a, ack.b, ack.c};
+  }
+
+  /// Poll until every live replica applied the same log prefix as the
+  /// leader (replication is async) and return the common digest.
+  std::string converged_digest() {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::set<std::string> digests;
+      for (const std::string& address :
+           system_->manager_replica_addresses()) {
+        if (!cluster_->endpoint_alive(address)) continue;
+        digests.insert(view_of(address).digest);
+      }
+      if (digests.size() == 1) return *digests.begin();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ADD_FAILURE() << "replicas never converged on one digest";
+    return {};
+  }
+
+  /// The current leader as the (live) replicas report it.
+  std::string wait_for_leader() {
+    sim::EndpointPtr ep = cluster_->create_endpoint("avs", "probe");
+    rpc::MessageIo io(*cluster_, ep);
+    std::vector<std::string> live;
+    for (const std::string& address : system_->manager_replica_addresses()) {
+      if (cluster_->endpoint_alive(address)) live.push_back(address);
+    }
+    std::string leader = rpc::discover_manager_leader(io, live);
+    cluster_->retire_endpoint(ep->address());
+    return leader;
+  }
+
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::unique_ptr<rpc::SchoonerSystem> system_;
+};
+
+TEST_F(MetaGroupTest, GroupBootsReplicatesAndAgreesOnDigest) {
+  build({});
+  ASSERT_EQ(system_->manager_replica_addresses().size(), 3u);
+  auto client = system_->make_client("avs", "boot test");
+  client->contact_schx("far", "/bin/echo");
+  auto proc = client->import_proc("echo", kEchoImport);
+  uts::ValueList out = proc->call({uts::Value::real(21.0), uts::Value::real(0.0)});
+  EXPECT_DOUBLE_EQ(out[1].as_real(), 42.0);
+
+  // Followers mirror the leader's state machine, byte for byte.
+  EXPECT_FALSE(converged_digest().empty());
+  rpc::ManagerStats stats = system_->stats();
+  EXPECT_GT(stats.log_appends, 0u);
+  EXPECT_EQ(stats.leader_elections, 0u);  // replica 0 leads term 1 as booted
+  client->quit();
+}
+
+TEST_F(MetaGroupTest, LeaderKillFailsOverWithExportTableIntact) {
+  build({});
+  auto client = system_->make_client("avs", "failover test");
+  client->contact_schx("far", "/bin/echo");
+  auto proc = client->import_proc("echo", kEchoImport);
+  EXPECT_DOUBLE_EQ(
+      proc->call({uts::Value::real(1.0), uts::Value::real(0.0)})[1].as_real(),
+      2.0);
+
+  const std::string before = converged_digest();
+  const std::string old_leader = system_->manager_replica_addresses()[0];
+  cluster_->crash_process(old_leader);
+
+  // A follower takes over; the data plane never blinked, so in-flight
+  // calls on the already-bound stub keep succeeding during the election.
+  for (int i = 0; i < 20; ++i) {
+    uts::ValueList out =
+        proc->call({uts::Value::real(i), uts::Value::real(0.0)});
+    EXPECT_DOUBLE_EQ(out[1].as_real(), 2.0 * i);
+  }
+  std::string new_leader = wait_for_leader();
+  ASSERT_FALSE(new_leader.empty());
+  EXPECT_NE(new_leader, old_leader);
+
+  // The new leader rebuilt the export table from the replicated log: its
+  // digest matches the pre-crash fingerprint exactly.
+  EXPECT_EQ(view_of(new_leader).digest, before);
+
+  // A cold re-bind (cache dropped) walks the kNotLeader/no-route path and
+  // lands on the new leader.
+  proc->invalidate();
+  EXPECT_DOUBLE_EQ(
+      proc->call({uts::Value::real(5.0), uts::Value::real(0.0)})[1].as_real(),
+      10.0);
+
+  // The move-compat gate still holds after failover because the bound
+  // signatures (and spec hashes) were replicated: a legal sch_move through
+  // the *new* leader works.
+  std::string moved = client->move_proc("echo", "m2");
+  EXPECT_FALSE(moved.empty());
+  proc->invalidate();
+  EXPECT_DOUBLE_EQ(
+      proc->call({uts::Value::real(7.0), uts::Value::real(0.0)})[1].as_real(),
+      14.0);
+
+  rpc::ManagerStats stats = system_->stats();
+  EXPECT_GE(stats.leader_elections, 1u);
+  client->quit();
+}
+
+TEST_F(MetaGroupTest, SameSeedElectsTheSameLeader) {
+  // The fault-suite contract extends to elections: with one seed, the
+  // post-crash winner is a function of the configuration, not of host
+  // scheduling. Run the same crash twice per seed.
+  auto winner_index = [&](std::uint64_t seed) {
+    build({.seed = seed});
+    auto client = system_->make_client("avs", "election determinism");
+    client->contact_schx("far", "/bin/echo");
+    cluster_->crash_process(system_->manager_replica_addresses()[0]);
+    std::string leader = wait_for_leader();
+    const auto& replicas = system_->manager_replica_addresses();
+    int index = -1;
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+      if (replicas[i] == leader) index = static_cast<int>(i);
+    }
+    EXPECT_GE(index, 1) << "no (or unknown) leader after crash";
+    client->quit();
+    return index;
+  };
+  const int first = winner_index(1234);
+  const int second = winner_index(1234);
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(MetaGroupTest, SnapshotCompactionCoversFollowerCatchUp) {
+  // A tiny snapshot interval forces compaction quickly; a partitioned
+  // follower that missed the compacted records can only recover through
+  // the snapshot + log-tail path.
+  build({.snapshot_interval = 4});
+  auto client = system_->make_client("avs", "snapshot test");
+
+  // Isolate replica 2 from the rest of the control plane (the client and
+  // worker machines stay fully connected).
+  cluster_->partition({"m2"}, {"m0", "m1"});
+  for (int i = 0; i < 3; ++i) {
+    auto extra = system_->make_client("avs", "filler " + std::to_string(i));
+    extra->contact_schx("far", "/bin/echo");
+    extra->quit();
+  }
+  EXPECT_GT(cluster_->partition_drops(), 0u);
+
+  cluster_->heal();
+  // After healing, the follower pulls the snapshot and tail; all three
+  // replicas converge on one digest again.
+  EXPECT_FALSE(converged_digest().empty());
+  rpc::ManagerStats stats = system_->stats();
+  EXPECT_GE(stats.snapshot_installs, 1u);
+  client->quit();
+}
+
+TEST_F(MetaGroupTest, PartitionedLeaderStepsDownAfterHeal) {
+  build({});
+  auto client = system_->make_client("avs", "partition test");
+  client->contact_schx("far", "/bin/echo");
+
+  // Cut the leader off from both followers; they elect a successor.
+  cluster_->partition({"m0"}, {"m1", "m2"});
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::string new_leader;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto v = view_of(system_->manager_replica_addresses()[1]);
+    if (!v.leader.empty() &&
+        v.leader != system_->manager_replica_addresses()[0]) {
+      new_leader = v.leader;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_FALSE(new_leader.empty()) << "no new leader during partition";
+
+  // Heal: the deposed leader sees the higher term, steps down, discards
+  // its (possibly divergent) log, and re-converges with the group.
+  cluster_->heal();
+  const auto heal_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool stepped_down = false;
+  while (std::chrono::steady_clock::now() < heal_deadline) {
+    if (view_of(system_->manager_replica_addresses()[0]).leader ==
+        new_leader) {
+      stepped_down = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(stepped_down) << "old leader never adopted the new term";
+  EXPECT_FALSE(converged_digest().empty());
+  EXPECT_EQ(wait_for_leader(), new_leader);
+  client->quit();
+}
+
+}  // namespace
+}  // namespace npss
