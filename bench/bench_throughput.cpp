@@ -1,0 +1,302 @@
+// A6 — RPC throughput on the multiplexed bus.
+//
+// The paper's Tables 1/2 time one call at a time; this bench measures how
+// many calls per second one client core pushes through the transport, and
+// what pipelining buys: the bus carries many sequence-tagged in-flight
+// calls on one persistent connection, so a window of pipelined calls
+// amortizes syscalls and wire round trips that a lock-step caller pays
+// per call. Rows cover a small scalar signature and an array-heavy one,
+// over real loopback TCP (lock-step vs pipelined window) and over the
+// simulated transport (lock-step vs overlapped clients). Writes
+// BENCH_throughput.json next to the binary.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/testbed.hpp"
+#include "rpc/tcp_transport.hpp"
+#include "util/clock.hpp"
+
+namespace npss {
+namespace {
+
+using uts::Value;
+
+constexpr std::size_t kWindow = 256;  ///< pipelined in-flight call budget
+
+const char* kSmallSpec =
+    "export inc prog(\"x\" val integer, \"y\" res integer)";
+const char* kSmallImport =
+    "import inc prog(\"x\" val integer, \"y\" res integer)";
+const char* kArraySpec =
+    "export sum prog(\"a\" val array[512] of double, \"s\" res double)";
+const char* kArrayImport =
+    "import sum prog(\"a\" val array[512] of double, \"s\" res double)";
+
+std::vector<rpc::ProcedureDef> tcp_procs() {
+  return {{"inc",
+           [](rpc::ProcCall& c) {
+             c.set("y", Value::integer(c.integer("x") + 1));
+           }},
+          {"sum", [](rpc::ProcCall& c) {
+             const std::vector<double> a = c.reals("a");
+             double s = 0.0;
+             for (double v : a) s += v;
+             c.set_real("s", s);
+           }}};
+}
+
+struct Row {
+  std::string signature;  ///< "small" | "array512"
+  std::string transport;  ///< "tcp" | "sim"
+  std::string mode;       ///< "lockstep" | "pipelined" | "overlapped"
+  long calls = 0;
+  double calls_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+Row make_row(const std::string& signature, const std::string& transport,
+             const std::string& mode, std::vector<double>& latencies,
+             double wall_ms) {
+  std::sort(latencies.begin(), latencies.end());
+  Row row;
+  row.signature = signature;
+  row.transport = transport;
+  row.mode = mode;
+  row.calls = static_cast<long>(latencies.size());
+  row.calls_per_sec = row.calls / (wall_ms / 1000.0);
+  row.p50_us = latencies.empty() ? 0.0 : latencies[latencies.size() / 2];
+  row.p99_us = latencies.empty() ? 0.0 : latencies[latencies.size() * 99 / 100];
+  return row;
+}
+
+void print_row(const Row& row) {
+  std::printf("%10s %6s %11s %10ld %14.0f %10.1f %10.1f\n",
+              row.signature.c_str(), row.transport.c_str(), row.mode.c_str(),
+              row.calls, row.calls_per_sec, row.p50_us, row.p99_us);
+}
+
+uts::ValueList small_args(long i) {
+  return {Value::integer(i), Value::integer(0)};
+}
+
+uts::ValueList array_args() {
+  std::vector<double> a(512);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<double>(i);
+  return {Value::real_array(a), Value::real(0)};
+}
+
+/// One legacy (lock-step) call per turn: issue, wait, repeat.
+Row tcp_lockstep(rpc::TcpRemoteProc& proc, const std::string& signature,
+                 long calls, bool small) {
+  using clock_type = std::chrono::steady_clock;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(calls));
+  const uts::ValueList array = array_args();
+  util::Stopwatch wall;
+  for (long i = 0; i < calls; ++i) {
+    const auto t0 = clock_type::now();
+    proc.call(small ? small_args(i) : array);
+    latencies.push_back(
+        std::chrono::duration<double, std::micro>(clock_type::now() - t0)
+            .count());
+  }
+  return make_row(signature, "tcp", "lockstep", latencies, wall.elapsed_ms());
+}
+
+/// Sliding window of kWindow pipelined calls: the oldest call is reaped
+/// as each new one is issued, so the connection always carries a full
+/// window of in-flight seqs.
+Row tcp_pipelined(rpc::TcpRemoteProc& proc, const std::string& signature,
+                  long calls, bool small) {
+  using clock_type = std::chrono::steady_clock;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(calls));
+  const uts::ValueList array = array_args();
+  std::deque<std::pair<rpc::PendingTcpCall, clock_type::time_point>> window;
+  auto reap = [&](std::pair<rpc::PendingTcpCall, clock_type::time_point>& w) {
+    rpc::CallResult& result = w.first.get();
+    if (!result.ok()) {
+      std::fprintf(stderr, "pipelined call failed: %s\n",
+                   result.status.to_string().c_str());
+      std::exit(1);
+    }
+    latencies.push_back(
+        std::chrono::duration<double, std::micro>(clock_type::now() - w.second)
+            .count());
+  };
+  util::Stopwatch wall;
+  for (long i = 0; i < calls; ++i) {
+    if (window.size() >= kWindow) {
+      reap(window.front());
+      window.pop_front();
+    }
+    window.emplace_back(proc.call_async(small ? small_args(i) : array),
+                        clock_type::now());
+  }
+  while (!window.empty()) {
+    reap(window.front());
+    window.pop_front();
+  }
+  return make_row(signature, "tcp", "pipelined", latencies, wall.elapsed_ms());
+}
+
+int run() {
+  bench::print_header(
+      "A6 — RPC throughput: multiplexed bus, pipelined vs lock-step");
+  std::printf("%10s %6s %11s %10s %14s %10s %10s\n", "signature", "wire",
+              "mode", "calls", "calls/sec", "p50 us", "p99 us");
+  bench::print_rule();
+
+  std::vector<Row> rows;
+
+  // --- Real loopback TCP over the bus --------------------------------------
+  {
+    rpc::TcpProcedureHost host(std::string(kSmallSpec) + "\n" + kArraySpec,
+                               tcp_procs(), "sun-sparc10");
+    rpc::TcpRemoteProc inc("127.0.0.1", host.port(), "inc", kSmallImport,
+                           "sun-sparc10");
+    rpc::TcpRemoteProc sum("127.0.0.1", host.port(), "sum", kArrayImport,
+                           "sun-sparc10");
+    // Warm both signature caches (host Prepared entries, client plans).
+    inc.call(small_args(0));
+    sum.call(array_args());
+
+    rows.push_back(tcp_lockstep(inc, "small", 10'000, true));
+    print_row(rows.back());
+    rows.push_back(tcp_pipelined(inc, "small", 100'000, true));
+    print_row(rows.back());
+    rows.push_back(tcp_lockstep(sum, "array512", 2'000, false));
+    print_row(rows.back());
+    rows.push_back(tcp_pipelined(sum, "array512", 20'000, false));
+    print_row(rows.back());
+  }
+
+  // --- Simulated transport (virtual cluster) -------------------------------
+  // The sim endpoint serves one call per turn, so "overlapped" means
+  // independent clients (own lines) in flight together — the flow
+  // executive's concurrency model — rather than seq pipelining.
+  {
+    sim::Cluster cluster;
+    cluster.add_machine("avs", "sun-sparc10", "a");
+    cluster.add_machine("m0", "ibm-rs6000", "a");
+    cluster.install_image(
+        "m0", "/bin/inc",
+        rpc::make_procedure_image(kSmallSpec, {{"inc", [](rpc::ProcCall& c) {
+                                    c.set("y",
+                                          Value::integer(c.integer("x") + 1));
+                                  }}}));
+    rpc::SchoonerSystem schooner(cluster, "avs");
+
+    {
+      using clock_type = std::chrono::steady_clock;
+      auto client = schooner.make_client("avs", "bench-lockstep");
+      client->contact_schx("m0", "/bin/inc");
+      auto inc = client->import_proc("inc", kSmallImport);
+      std::vector<double> latencies;
+      const long kSimCalls = 2'000;
+      latencies.reserve(kSimCalls);
+      util::Stopwatch wall;
+      for (long i = 0; i < kSimCalls; ++i) {
+        const auto t0 = clock_type::now();
+        inc->call(small_args(i));
+        latencies.push_back(std::chrono::duration<double, std::micro>(
+                                clock_type::now() - t0)
+                                .count());
+      }
+      client->quit();
+      rows.push_back(
+          make_row("small", "sim", "lockstep", latencies, wall.elapsed_ms()));
+      print_row(rows.back());
+    }
+    {
+      using clock_type = std::chrono::steady_clock;
+      const int kClients = 4;
+      const long kPerClient = 500;
+      std::vector<double> latencies;
+      std::mutex mu;
+      util::Stopwatch wall;
+      std::vector<std::thread> threads;
+      for (int t = 0; t < kClients; ++t) {
+        threads.emplace_back([&, t] {
+          auto client =
+              schooner.make_client("avs", "bench-ol" + std::to_string(t));
+          client->contact_schx("m0", "/bin/inc");
+          auto inc = client->import_proc("inc", kSmallImport);
+          std::vector<double> mine;
+          mine.reserve(kPerClient);
+          for (long i = 0; i < kPerClient; ++i) {
+            const auto t0 = clock_type::now();
+            inc->call(small_args(i));
+            mine.push_back(std::chrono::duration<double, std::micro>(
+                               clock_type::now() - t0)
+                               .count());
+          }
+          client->quit();
+          std::lock_guard<std::mutex> lock(mu);
+          latencies.insert(latencies.end(), mine.begin(), mine.end());
+        });
+      }
+      for (auto& t : threads) t.join();
+      rows.push_back(
+          make_row("small", "sim", "overlapped", latencies, wall.elapsed_ms()));
+      print_row(rows.back());
+    }
+  }
+
+  double lockstep_small = 0.0, pipelined_small = 0.0;
+  for (const Row& row : rows) {
+    if (row.transport == "tcp" && row.signature == "small") {
+      if (row.mode == "lockstep") lockstep_small = row.calls_per_sec;
+      if (row.mode == "pipelined") pipelined_small = row.calls_per_sec;
+    }
+  }
+  const double ratio =
+      lockstep_small > 0.0 ? pipelined_small / lockstep_small : 0.0;
+  const bool target_met = pipelined_small >= 100'000.0 && ratio >= 5.0;
+  std::printf(
+      "\npipelined/lockstep (small over TCP): %.1fx; pipelined %.0f "
+      "calls/sec — target (>=100k/s and >=5x) %s\n",
+      ratio, pipelined_small, target_met ? "MET" : "NOT met");
+
+  std::FILE* f = std::fopen("BENCH_throughput.json", "w");
+  if (f) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"throughput\",\n");
+    std::fprintf(f, "  \"window\": %zu,\n", kWindow);
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::fprintf(f,
+                   "    {\"signature\": \"%s\", \"transport\": \"%s\", "
+                   "\"mode\": \"%s\", \"calls\": %ld, "
+                   "\"calls_per_sec\": %.0f, \"p50_us\": %.1f, "
+                   "\"p99_us\": %.1f}%s\n",
+                   row.signature.c_str(), row.transport.c_str(),
+                   row.mode.c_str(), row.calls, row.calls_per_sec, row.p50_us,
+                   row.p99_us, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"pipelined_over_lockstep_small\": %.2f,\n", ratio);
+    std::fprintf(f, "  \"pipelined_small_calls_per_sec\": %.0f,\n",
+                 pipelined_small);
+    std::fprintf(f, "  \"target_met\": %s\n", target_met ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_throughput.json\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace npss
+
+int main() { return npss::run(); }

@@ -1,0 +1,61 @@
+// The connection-multiplexed RPC bus — knobs and counters shared by the
+// dispatcher, the framing layer, and both transport ends.
+//
+// The original real-socket transport was lock-step: one blocking
+// connection per client, one thread per connection on the host, one
+// outstanding call per connection turn. The bus replaces that data plane
+// with a poll() event loop owning nonblocking sockets, persistent
+// connections carrying many sequence-tagged in-flight calls, coalesced
+// scatter-gather writes, and an incremental frame decoder — see
+// DESIGN.md §14 for the architecture and the pipelining model.
+#pragma once
+
+#include <cstddef>
+
+namespace npss::obs {
+class Counter;
+class Gauge;
+}  // namespace npss::obs
+
+namespace npss::rpc::bus {
+
+/// Tuning knobs for one dispatcher (README "bus_*" table). The defaults
+/// favor small-call throughput over loopback; every field is a plain
+/// value so call sites can brace-initialize a variant.
+struct BusOptions {
+  /// Bytes pulled per recv() in the read loop; frames coalesced by the
+  /// peer arrive together in one chunk.
+  std::size_t read_chunk_bytes = 64 * 1024;
+  /// Frames whose length prefix exceeds this are a protocol violation:
+  /// the connection is dropped before any allocation happens.
+  std::size_t max_frame_bytes = 64u << 20;
+  /// Backpressure: once a connection's unsent output exceeds this, the
+  /// dispatcher stops reading new requests from it until the peer
+  /// drains — slow consumers stall themselves, not the process.
+  std::size_t backpressure_bytes = 4u << 20;
+  /// Handler threads a TcpProcedureHost runs behind the dispatcher
+  /// (0 = run handlers inline on the event-loop thread).
+  int workers = 2;
+};
+
+/// Cached handles for the bus-level counters (registry lookups are
+/// mutex-guarded; the hot path must be an atomic add):
+///   rpc.bus.bytes_sent       bytes actually written to sockets
+///   rpc.bus.frames_coalesced frames that shared a flush with a
+///                            predecessor (syscalls saved)
+///   rpc.bus.inflight_calls   gauge: calls currently awaiting a reply
+///   rpc.bus.partial_reads    read batches that ended mid-frame (the
+///                            incremental decoder carried state over)
+///   rpc.bus.abandoned_replies late replies discarded by seq after the
+///                            caller gave up on the call
+struct BusMetrics {
+  obs::Counter& bytes_sent;
+  obs::Counter& frames_coalesced;
+  obs::Gauge& inflight_calls;
+  obs::Counter& partial_reads;
+  obs::Counter& abandoned_replies;
+};
+
+BusMetrics& bus_metrics();
+
+}  // namespace npss::rpc::bus

@@ -1,0 +1,386 @@
+#include "rpc/bus/dispatcher.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace npss::rpc::bus {
+
+BusMetrics& bus_metrics() {
+  static BusMetrics m = [] {
+    obs::Registry& reg = obs::Registry::global();
+    return BusMetrics{reg.counter("rpc.bus.bytes_sent"),
+                      reg.counter("rpc.bus.frames_coalesced"),
+                      reg.gauge("rpc.bus.inflight_calls"),
+                      reg.counter("rpc.bus.partial_reads"),
+                      reg.counter("rpc.bus.abandoned_replies")};
+  }();
+  return m;
+}
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// Per-frame transport counters shared with the legacy blocking path
+// (test_obs and the run report read these names).
+struct WireMetrics {
+  obs::Counter& frames_sent;
+  obs::Counter& bytes_sent;
+  obs::Counter& frames_received;
+  obs::Counter& bytes_received;
+};
+
+WireMetrics& wire_metrics() {
+  static WireMetrics m = [] {
+    obs::Registry& reg = obs::Registry::global();
+    return WireMetrics{reg.counter("rpc.transport.frames_sent"),
+                       reg.counter("rpc.transport.bytes_sent"),
+                       reg.counter("rpc.transport.frames_received"),
+                       reg.counter("rpc.transport.bytes_received")};
+  }();
+  return m;
+}
+
+}  // namespace
+
+// --- BusConnection ----------------------------------------------------------
+
+BusConnection::BusConnection(BusDispatcher* dispatcher, int fd,
+                             FrameFn on_frame, CloseFn on_close)
+    : dispatcher_(dispatcher),
+      fd_(fd),
+      decoder_(dispatcher->options().max_frame_bytes),
+      on_frame_(std::move(on_frame)),
+      on_close_(std::move(on_close)) {}
+
+BusConnection::~BusConnection() = default;
+
+bool BusConnection::send_frame(
+    const std::function<void(util::ByteWriter&)>& framer) {
+  {
+    std::lock_guard lock(out_mu_);
+    if (!alive_.load(std::memory_order_relaxed)) return false;
+    const std::size_t mark = pending_.size();
+    try {
+      framer(pending_);
+    } catch (...) {
+      pending_.truncate(mark);
+      throw;
+    }
+    ++pending_frames_;
+    queued_bytes_.fetch_add(pending_.size() - mark,
+                            std::memory_order_relaxed);
+    if (obs::enabled()) {
+      WireMetrics& m = wire_metrics();
+      m.frames_sent.add();
+      m.bytes_sent.add(pending_.size() - mark - 4);  // sans length prefix
+    }
+  }
+  dispatcher_->wake();
+  return true;
+}
+
+bool BusConnection::send_message(const Message& msg) {
+  const std::size_t cap = dispatcher_->options().max_frame_bytes;
+  return send_frame(
+      [&](util::ByteWriter& out) { append_frame(out, msg, cap); });
+}
+
+void BusConnection::shutdown() {
+  auto self = shared_from_this();
+  BusDispatcher* d = dispatcher_;
+  d->post([d, self] {
+    // close_conn is loop-thread-only; it no-ops when already closed.
+    d->stop_requested_close(self);
+  });
+  d->wake();
+}
+
+// --- BusDispatcher ----------------------------------------------------------
+
+BusDispatcher::BusDispatcher(std::string name, BusOptions opts)
+    : opts_(opts) {
+  if (::pipe(wake_fds_) != 0) {
+    throw util::CallError("bus dispatcher: pipe() failed");
+  }
+  set_nonblocking(wake_fds_[0]);
+  set_nonblocking(wake_fds_[1]);
+  read_chunk_.resize(opts_.read_chunk_bytes);
+  thread_ = std::jthread([this, n = std::move(name)] { loop(n); });
+}
+
+BusDispatcher::~BusDispatcher() {
+  stop();
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+}
+
+std::shared_ptr<BusConnection> BusDispatcher::adopt(
+    int fd, BusConnection::FrameFn on_frame,
+    BusConnection::CloseFn on_close) {
+  set_nonblocking(fd);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  auto conn = std::make_shared<BusConnection>(this, fd, std::move(on_frame),
+                                              std::move(on_close));
+  post([this, conn] {
+    if (stopping_) {
+      close_conn(conn, util::Status(util::ErrorCode::kShutdown,
+                                    "bus dispatcher stopped"));
+      return;
+    }
+    conns_.push_back(conn);
+  });
+  wake();
+  return conn;
+}
+
+void BusDispatcher::listen(int listen_fd,
+                           std::function<void(int)> on_accept) {
+  set_nonblocking(listen_fd);
+  post([this, listen_fd, cb = std::move(on_accept)]() mutable {
+    listeners_.push_back(Listener{listen_fd, std::move(cb)});
+  });
+  wake();
+}
+
+void BusDispatcher::post(std::function<void()> op) {
+  std::lock_guard lock(ctl_mu_);
+  ctl_.push_back(std::move(op));
+}
+
+void BusDispatcher::wake() {
+  if (wake_pending_.exchange(true, std::memory_order_acq_rel)) return;
+  const std::uint8_t b = 1;
+  // Nonblocking: a full pipe already guarantees a pending wake.
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &b, 1);
+}
+
+void BusDispatcher::stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  wake();
+  if (thread_.joinable()) thread_.join();
+  // The loop is dead; drain its state on this thread.
+  for (Listener& l : listeners_) ::close(l.fd);
+  listeners_.clear();
+  std::vector<std::shared_ptr<BusConnection>> conns;
+  conns.swap(conns_);
+  for (const auto& c : conns) {
+    close_conn(c, util::Status(util::ErrorCode::kShutdown,
+                               "bus dispatcher stopped"));
+  }
+  std::vector<std::function<void()>> ops;
+  {
+    std::lock_guard lock(ctl_mu_);
+    ops.swap(ctl_);
+  }
+  for (auto& op : ops) op();
+}
+
+void BusDispatcher::stop_requested_close(
+    const std::shared_ptr<BusConnection>& c) {
+  close_conn(c, util::Status(util::ErrorCode::kShutdown,
+                             "connection shut down"));
+}
+
+void BusDispatcher::close_conn(const std::shared_ptr<BusConnection>& c,
+                               const util::Status& why) {
+  bool was_alive;
+  {
+    std::lock_guard lock(c->out_mu_);
+    was_alive = c->alive_.exchange(false, std::memory_order_acq_rel);
+  }
+  if (!was_alive) return;
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i] == c) {
+      conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  ::close(c->fd_);
+  c->fd_ = -1;
+  if (c->on_close_) c->on_close_(c, why);
+}
+
+void BusDispatcher::pull_pending(BusConnection& c) {
+  std::lock_guard lock(c.out_mu_);
+  if (c.pending_.size() == 0) return;
+  if (c.pending_frames_ > 1 && obs::enabled()) {
+    bus_metrics().frames_coalesced.add(c.pending_frames_ - 1);
+  }
+  c.pending_frames_ = 0;
+  c.segs_.push_back(std::move(c.pending_).take());
+  c.pending_ = util::ByteWriter();
+}
+
+void BusDispatcher::flush(const std::shared_ptr<BusConnection>& c) {
+  pull_pending(*c);
+  while (!c->segs_.empty()) {
+    // Scatter-gather: one writev covers the partially written front
+    // segment plus whatever coalesced behind it.
+    iovec iov[8];
+    int cnt = 0;
+    std::size_t off = c->seg_off_;
+    for (const util::Bytes& seg : c->segs_) {
+      iov[cnt].iov_base = const_cast<std::uint8_t*>(seg.data()) + off;
+      iov[cnt].iov_len = seg.size() - off;
+      off = 0;
+      if (++cnt == 8) break;
+    }
+    const ssize_t n = ::writev(c->fd_, iov, cnt);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // poll POLLOUT
+      close_conn(c, util::Status(util::ErrorCode::kCallFailure,
+                                 std::string("tcp write failed: ") +
+                                     std::strerror(errno)));
+      return;
+    }
+    if (obs::enabled()) {
+      bus_metrics().bytes_sent.add(static_cast<std::uint64_t>(n));
+    }
+    c->queued_bytes_.fetch_sub(static_cast<std::size_t>(n),
+                               std::memory_order_relaxed);
+    std::size_t left = static_cast<std::size_t>(n);
+    while (left > 0) {
+      const std::size_t avail = c->segs_.front().size() - c->seg_off_;
+      if (left >= avail) {
+        left -= avail;
+        c->segs_.pop_front();
+        c->seg_off_ = 0;
+      } else {
+        c->seg_off_ += left;
+        left = 0;
+      }
+    }
+    if (c->segs_.empty()) pull_pending(*c);
+  }
+}
+
+void BusDispatcher::read_ready(const std::shared_ptr<BusConnection>& c) {
+  // Bounded rounds so one firehose connection cannot starve the rest;
+  // poll() re-reports anything left unread.
+  for (int round = 0; round < 16; ++round) {
+    const ssize_t n =
+        ::recv(c->fd_, read_chunk_.data(), read_chunk_.size(), 0);
+    if (n == 0) {
+      close_conn(c, util::Status(util::ErrorCode::kCallFailure,
+                                 "connection closed by peer"));
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(c, util::Status(util::ErrorCode::kCallFailure,
+                                 std::string("tcp read failed: ") +
+                                     std::strerror(errno)));
+      return;
+    }
+    try {
+      c->decoder_.feed(
+          std::span(read_chunk_.data(), static_cast<std::size_t>(n)));
+      while (auto frame = c->decoder_.next()) {
+        Message msg = decode_message(*frame);
+        if (obs::enabled()) {
+          WireMetrics& m = wire_metrics();
+          m.frames_received.add();
+          m.bytes_received.add(frame->size());
+        }
+        if (c->on_frame_) c->on_frame_(c, std::move(msg));
+        if (!c->alive()) return;  // a handler closed us
+      }
+    } catch (const util::Error& e) {
+      // Oversized or malformed frame: the stream cannot be re-synced.
+      close_conn(c, util::Status(util::ErrorCode::kProtocolError, e.what()));
+      return;
+    }
+    if (static_cast<std::size_t>(n) < read_chunk_.size()) break;
+  }
+  if (c->decoder_.partial() && obs::enabled()) {
+    bus_metrics().partial_reads.add();
+  }
+}
+
+void BusDispatcher::loop(std::string name) {
+  std::vector<pollfd> pfds;
+  std::vector<std::shared_ptr<BusConnection>> round;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Control ops first (registrations, requested closes).
+    std::vector<std::function<void()>> ops;
+    {
+      std::lock_guard lock(ctl_mu_);
+      ops.swap(ctl_);
+    }
+    for (auto& op : ops) op();
+
+    // Opportunistic flush: frames appended since the last pass go out
+    // now, without waiting for a poll cycle.
+    round.assign(conns_.begin(), conns_.end());
+    for (const auto& c : round) {
+      if (c->alive() && c->queued_bytes() > 0) flush(c);
+    }
+
+    pfds.clear();
+    pfds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
+    for (const Listener& l : listeners_) {
+      pfds.push_back(pollfd{l.fd, POLLIN, 0});
+    }
+    const std::size_t conn_base = pfds.size();
+    for (const auto& c : conns_) {
+      short events = 0;
+      // Backpressure: stop reading a connection whose replies the peer
+      // is not draining.
+      if (c->queued_bytes() < opts_.backpressure_bytes) events |= POLLIN;
+      if (!c->segs_.empty() || c->queued_bytes() > 0) events |= POLLOUT;
+      pfds.push_back(pollfd{c->fd_, events, 0});
+    }
+    round.assign(conns_.begin(), conns_.end());
+
+    int rc = ::poll(pfds.data(), pfds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      NPSS_LOG_WARN("bus", name, ": poll failed: ", std::strerror(errno));
+      break;
+    }
+    if (pfds[0].revents & POLLIN) {
+      std::uint8_t buf[64];
+      while (::read(wake_fds_[0], buf, sizeof buf) > 0) {
+      }
+      wake_pending_.store(false, std::memory_order_release);
+    }
+    for (std::size_t i = 0; i < listeners_.size(); ++i) {
+      if (!(pfds[1 + i].revents & POLLIN)) continue;
+      for (;;) {
+        const int fd = ::accept(listeners_[i].fd, nullptr, nullptr);
+        if (fd < 0) break;
+        listeners_[i].on_accept(fd);
+      }
+    }
+    for (std::size_t i = 0; i < round.size(); ++i) {
+      const auto& c = round[i];
+      if (!c->alive()) continue;
+      const short re = pfds[conn_base + i].revents;
+      if (re & (POLLIN | POLLHUP | POLLERR)) read_ready(c);
+      if (c->alive() && (re & POLLOUT)) flush(c);
+    }
+  }
+}
+
+}  // namespace npss::rpc::bus

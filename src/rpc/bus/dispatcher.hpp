@@ -1,0 +1,158 @@
+// The bus event loop: one thread, one poll() set, every connection
+// nonblocking. Modeled on the classic tcp_dispatcher/tcp_connection
+// split of high-throughput RPC buses: the dispatcher owns the sockets
+// and moves bytes; connection users (client channels, the procedure
+// host's workers) only append frames and receive decoded Messages.
+//
+// Threading contract:
+//   * on_frame / on_close / on_accept callbacks run on the loop thread.
+//     They must not block; hand heavy work to a worker pool.
+//   * BusConnection::send_frame / send_message / shutdown are safe from
+//     any thread. Frames appended while the loop is mid-flush coalesce
+//     into the next writev.
+//   * After on_close (or stop()), a connection never fires callbacks
+//     again; late send_frame calls return false.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rpc/bus/bus.hpp"
+#include "rpc/bus/frame.hpp"
+#include "rpc/message.hpp"
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace npss::rpc::bus {
+
+class BusDispatcher;
+
+/// One nonblocking socket registered with a dispatcher. Outgoing frames
+/// accumulate in a pending buffer (coalescing) that the loop drains with
+/// scatter-gather writev; incoming bytes run through a FrameDecoder.
+class BusConnection : public std::enable_shared_from_this<BusConnection> {
+ public:
+  using FrameFn =
+      std::function<void(const std::shared_ptr<BusConnection>&, Message&&)>;
+  using CloseFn = std::function<void(const std::shared_ptr<BusConnection>&,
+                                     const util::Status&)>;
+
+  BusConnection(BusDispatcher* dispatcher, int fd, FrameFn on_frame,
+                CloseFn on_close);
+  ~BusConnection();
+  BusConnection(const BusConnection&) = delete;
+  BusConnection& operator=(const BusConnection&) = delete;
+
+  /// Append one complete frame via `framer` (which must write exactly
+  /// one length-prefixed frame, e.g. through append_call_frame) and
+  /// schedule a flush. Thread-safe. Returns false when the connection
+  /// is closed — the frame is not queued. If `framer` throws, the
+  /// buffer rolls back to the frame boundary and the exception
+  /// propagates (a marshal error must not corrupt the stream).
+  bool send_frame(const std::function<void(util::ByteWriter&)>& framer);
+
+  /// Convenience: frame and queue an encoded Message.
+  bool send_message(const Message& msg);
+
+  /// Request an asynchronous close; on_close fires once on the loop
+  /// thread with a kShutdown status.
+  void shutdown();
+
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+  int fd() const { return fd_; }
+  /// Output bytes queued but not yet written (backpressure signal).
+  std::size_t queued_bytes() const {
+    return queued_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class BusDispatcher;
+
+  BusDispatcher* dispatcher_;
+  int fd_;
+  std::atomic<bool> alive_{true};
+  std::atomic<std::size_t> queued_bytes_{0};
+
+  // Writer side: any thread appends under out_mu_; the loop moves the
+  // pending buffer into its private segment queue.
+  std::mutex out_mu_;
+  util::ByteWriter pending_;
+  std::size_t pending_frames_ = 0;
+
+  // Loop-thread-only state.
+  std::deque<util::Bytes> segs_;  ///< buffers awaiting write
+  std::size_t seg_off_ = 0;       ///< consumed prefix of segs_.front()
+  FrameDecoder decoder_;
+  FrameFn on_frame_;
+  CloseFn on_close_;
+};
+
+/// The event loop. Owns a wake pipe, registered connections, and any
+/// listening sockets; runs until stop().
+class BusDispatcher {
+ public:
+  explicit BusDispatcher(std::string name, BusOptions opts = {});
+  ~BusDispatcher();
+  BusDispatcher(const BusDispatcher&) = delete;
+  BusDispatcher& operator=(const BusDispatcher&) = delete;
+
+  /// Adopt a connected socket: sets O_NONBLOCK + TCP_NODELAY and
+  /// registers it with the loop. Callbacks fire on the loop thread.
+  std::shared_ptr<BusConnection> adopt(int fd, BusConnection::FrameFn on_frame,
+                                       BusConnection::CloseFn on_close);
+
+  /// Register a listening socket; the loop accepts and hands each new
+  /// fd to `on_accept` (loop thread). The dispatcher owns `listen_fd`.
+  void listen(int listen_fd, std::function<void(int)> on_accept);
+
+  /// Run `op` on the loop thread (connection registration, closes).
+  void post(std::function<void()> op);
+
+  /// Nudge the loop out of poll() (pending output, new control ops).
+  void wake();
+
+  /// Stop the loop, close every connection (on_close fires with a
+  /// kShutdown status) and all listeners. Idempotent.
+  void stop();
+
+  const BusOptions& options() const { return opts_; }
+
+ private:
+  friend class BusConnection;
+
+  void loop(std::string name);
+  void flush(const std::shared_ptr<BusConnection>& c);
+  void pull_pending(BusConnection& c);
+  void read_ready(const std::shared_ptr<BusConnection>& c);
+  void close_conn(const std::shared_ptr<BusConnection>& c,
+                  const util::Status& why);
+  /// Loop-thread entry for an externally requested shutdown().
+  void stop_requested_close(const std::shared_ptr<BusConnection>& c);
+
+  BusOptions opts_;
+  int wake_fds_[2] = {-1, -1};
+  std::atomic<bool> wake_pending_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex ctl_mu_;
+  std::vector<std::function<void()>> ctl_;
+
+  // Loop-thread-only.
+  std::vector<std::shared_ptr<BusConnection>> conns_;
+  struct Listener {
+    int fd;
+    std::function<void(int)> on_accept;
+  };
+  std::vector<Listener> listeners_;
+  util::Bytes read_chunk_;
+
+  std::jthread thread_;
+};
+
+}  // namespace npss::rpc::bus

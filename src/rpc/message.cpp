@@ -64,6 +64,11 @@ void Message::raise_if_error() const {
 
 util::Bytes encode_message(const Message& msg) {
   ByteWriter out;
+  encode_message_into(out, msg);
+  return std::move(out).take();
+}
+
+void encode_message_into(ByteWriter& out, const Message& msg) {
   out.u8(static_cast<std::uint8_t>(msg.kind));
   out.u64(msg.seq);
   out.i64(msg.line);
@@ -86,7 +91,6 @@ util::Bytes encode_message(const Message& msg) {
     out.u64(msg.trace.span_id);
     out.u64(msg.trace.parent_span_id);
   }
-  return std::move(out).take();
 }
 
 Message decode_message(std::span<const std::uint8_t> bytes) {

@@ -117,6 +117,9 @@ struct Message {
 };
 
 util::Bytes encode_message(const Message& msg);
+/// Append the encoding of `msg` to `out` (no intermediate buffer); the
+/// bytes appended are identical to encode_message(msg).
+void encode_message_into(util::ByteWriter& out, const Message& msg);
 Message decode_message(std::span<const std::uint8_t> bytes);
 
 }  // namespace npss::rpc

@@ -9,18 +9,30 @@
 // stack between genuinely separate processes (see examples/tcp_demo.cpp).
 // Heterogeneity still applies: both ends declare the architecture whose
 // native formats their values pass through.
+//
+// Data plane: both ends ride the multiplexed bus (src/rpc/bus/) — a poll()
+// event loop owning nonblocking sockets, persistent connections carrying
+// many sequence-tagged in-flight calls, coalesced scatter-gather writes,
+// and an incremental frame decoder. Every TcpRemoteProc aimed at one
+// host:port shares a pooled connection; call_async() pipelines calls over
+// it (DESIGN.md §14). The blocking TcpConnection remains for peers that
+// want the simple one-frame-at-a-time surface.
 #pragma once
 
 #include <atomic>
+#include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "arch/arch.hpp"
+#include "rpc/bus/channel.hpp"
 #include "rpc/calling.hpp"
 #include "rpc/host.hpp"
 #include "rpc/message.hpp"
+#include "util/queue.hpp"
 
 namespace npss::obs {
 class Counter;
@@ -29,6 +41,10 @@ class Counter;
 namespace npss::rpc {
 
 /// Blocking, length-prefixed Message stream over a connected socket.
+/// (The multiplexed paths use the bus; this surface stays for tools and
+/// tests that want lock-step framing, and it now survives nonblocking
+/// sockets: write_all handles EAGAIN/partial writes, receive_within
+/// charges poll time against the *remaining* deadline across EINTR.)
 class TcpConnection {
  public:
   /// Adopt an already-connected socket descriptor.
@@ -58,16 +74,19 @@ class TcpConnection {
   int fd_ = -1;
 };
 
-/// Serves a set of procedures over TCP. One thread per connection;
-/// stateless dispatch identical to the in-cluster host runtime's kCall
-/// handling (same subset-import semantics, same error mapping).
+/// Serves a set of procedures over TCP: a bus dispatcher owns every
+/// connection; decoded kCall frames are handed to a small worker pool
+/// (kPing answered inline on the loop). Per-signature call plumbing —
+/// parsed import declaration, compatibility check, slot mapping, compiled
+/// marshal plans — is compiled once and cached, so steady-state calls
+/// execute plans instead of re-parsing signature text.
 class TcpProcedureHost {
  public:
   /// Listen on `port` (0 = ephemeral; see port()). `arch_key` names the
   /// architecture whose native formats this host's values pass through.
   TcpProcedureHost(const std::string& spec_text,
                    std::vector<ProcedureDef> procs, const std::string& arch_key,
-                   int port = 0);
+                   int port = 0, bus::BusOptions bus_options = {});
   ~TcpProcedureHost();
   TcpProcedureHost(const TcpProcedureHost&) = delete;
   TcpProcedureHost& operator=(const TcpProcedureHost&) = delete;
@@ -79,46 +98,104 @@ class TcpProcedureHost {
   void stop();
 
  private:
-  void accept_loop();
-  void serve(std::unique_ptr<TcpConnection> conn);
-
   struct Entry {
     uts::ProcDecl decl;
     ProcHandler handler;
+    uts::ValueList defaults;  ///< default_value per export param
   };
+  /// Everything a (procedure, import signature) pair needs per call,
+  /// compiled on first sight and reused: the per-call cost drops to
+  /// cache lookup + plan execution.
+  struct Prepared {
+    const Entry* entry;
+    uts::ProcDecl import_decl;
+    std::vector<std::size_t> slot;  ///< import index -> export slot
+    std::shared_ptr<const uts::MarshalPlan> request_plan;
+    std::shared_ptr<const uts::MarshalPlan> reply_plan;
+  };
+  struct Work {
+    std::shared_ptr<bus::BusConnection> conn;
+    Message msg;
+  };
+
+  std::shared_ptr<const Prepared> prepared_for(const Message& msg);
+  void on_frame(const std::shared_ptr<bus::BusConnection>& conn,
+                Message&& msg);
+  void handle(const std::shared_ptr<bus::BusConnection>& conn, Message& msg);
 
   const arch::ArchDescriptor* arch_;
   std::map<std::string, Entry> handlers_;
-  // Atomic: stop() (any thread) races the accept loop's reads otherwise.
-  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<long> calls_{0};
-  std::jthread acceptor_;
-  std::mutex workers_mu_;
+
+  std::mutex prep_mu_;
+  std::map<std::string, std::shared_ptr<const Prepared>> prepared_;
+
+  std::unique_ptr<bus::BusDispatcher> dispatcher_;
+  util::BlockingQueue<Work> work_;
   std::vector<std::jthread> workers_;
 };
 
-/// Client stub calling one procedure on a TcpProcedureHost.
+class TcpRemoteProc;
+
+/// One pipelined in-flight call (see TcpRemoteProc::call_async). get()
+/// blocks for the reply and yields the CallResult; the destructor of an
+/// un-got pending call abandons its seq (the connection is unaffected).
+class PendingTcpCall {
+ public:
+  PendingTcpCall(PendingTcpCall&&) = default;
+  PendingTcpCall& operator=(PendingTcpCall&&) = default;
+  ~PendingTcpCall();
+
+  /// Wait for the reply (bounded by the deadline captured at issue time)
+  /// and produce the call's result. Idempotent: later calls return the
+  /// same result.
+  CallResult& get();
+
+ private:
+  friend class TcpRemoteProc;
+  PendingTcpCall() = default;
+
+  TcpRemoteProc* owner_ = nullptr;
+  std::shared_ptr<bus::BusChannel> channel_;
+  std::future<Message> reply_;
+  std::uint64_t seq_ = 0;
+  util::SimTime deadline_us_ = 0;
+  std::chrono::steady_clock::time_point issued_;
+  uts::ValueList args_;
+  CallResult result_;
+  bool done_ = false;
+};
+
+/// Client stub calling one procedure on a TcpProcedureHost. All stubs
+/// aimed at one host:port share a pooled bus channel, so their calls
+/// multiplex (and, via call_async, pipeline) over a single socket.
 class TcpRemoteProc {
  public:
   /// `import_spec_text` holds the import declaration for `name`.
+  /// Throws util::CallError when the host is unreachable.
   TcpRemoteProc(const std::string& host, int port, const std::string& name,
                 const std::string& import_spec_text,
                 const std::string& arch_key);
 
   /// Fault-tolerant invoke, mirroring RemoteProc::call(args, opts) on the
-  /// real transport: deadline_us counts *real* microseconds, retries
-  /// reconnect the socket (there is no Manager to rebind through), and a
-  /// timeout tears the connection down so a straggler reply can never be
-  /// matched to a later seq. failover_machine is ignored.
+  /// real transport: deadline_us counts *real* microseconds. A timed-out
+  /// seq is abandoned — the healthy shared connection is kept and the late
+  /// reply discarded by seq; only a dead connection forces a reconnect.
+  /// failover_machine is ignored.
   CallResult call(uts::ValueList args, const CallOptions& opts);
 
   /// Same contract as RemoteProc::call (legacy throwing surface: one
   /// attempt, no deadline).
   uts::ValueList call(uts::ValueList args);
 
-  /// Measure a kPing/kPong round trip over the live connection, in real
+  /// Issue the call and return immediately; many pending calls pipeline
+  /// over the shared connection and replies are matched by seq. One
+  /// attempt, no retries; `deadline_us` of 0 waits forever in get().
+  PendingTcpCall call_async(uts::ValueList args, util::SimTime deadline_us = 0);
+
+  /// Measure a kPing/kPong round trip over the shared connection, in real
   /// (wall-clock) microseconds. Recorded into the rpc.transport.rtt_us
   /// histogram so benches can split network time from marshal time.
   double ping_us();
@@ -126,14 +203,21 @@ class TcpRemoteProc {
   const uts::Signature& signature() const { return decl_.signature; }
 
  private:
-  std::unique_ptr<TcpConnection> conn_;
+  friend class PendingTcpCall;
+
+  /// The pooled channel, reconnecting if the previous one died.
+  std::shared_ptr<bus::BusChannel>& live_channel();
+  void finish(PendingTcpCall& pending);
+
+  std::shared_ptr<bus::BusChannel> channel_;
   std::string host_;
   int port_ = 0;
   std::string name_;
   uts::ProcDecl decl_;
   std::string import_text_;
   const arch::ArchDescriptor* arch_;
-  std::uint64_t seq_ = 0;
+  std::shared_ptr<const uts::MarshalPlan> request_plan_;
+  std::shared_ptr<const uts::MarshalPlan> reply_plan_;
   // Cached observability handles: the span label and the per-procedure
   // call counter are fixed for this stub's lifetime.
   std::string span_label_;

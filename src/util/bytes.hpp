@@ -74,6 +74,21 @@ class ByteWriter {
   /// Pre-size the buffer (compiled marshal plans know the wire size).
   void reserve(std::size_t n) { buf_.reserve(n); }
 
+  /// Overwrite 4 bytes at `pos` with `v` (big-endian). Used for length
+  /// placeholders patched once the payload size is known — the bus
+  /// framer writes a frame's body directly after its prefix and fills
+  /// the prefix in afterwards, avoiding an intermediate buffer.
+  void patch_u32(std::size_t pos, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_[pos + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (8 * (3 - i)));
+    }
+  }
+
+  /// Roll back to an earlier size (a frame boundary) after a failed
+  /// in-place encode, leaving previously written frames intact.
+  void truncate(std::size_t n) { buf_.resize(n); }
+
   std::size_t size() const noexcept { return buf_.size(); }
   const Bytes& bytes() const& noexcept { return buf_; }
   Bytes take() && { return std::move(buf_); }

@@ -401,14 +401,21 @@ Value MarshalPlan::decode_param(const ParamProgram& p,
 
 Bytes MarshalPlan::marshal(const ArchDescriptor& source,
                            const ValueList& values) const {
+  ByteWriter out;
+  if (fixed_) out.reserve(fixed_bytes_);
+  marshal_into(source, values, out);
+  return std::move(out).take();
+}
+
+void MarshalPlan::marshal_into(const ArchDescriptor& source,
+                               const ValueList& values,
+                               ByteWriter& out) const {
   if (values.size() != signature_.size()) {
     throw util::TypeMismatchError(
         "marshal: " + std::to_string(values.size()) + " values for " +
         std::to_string(signature_.size()) + " parameters");
   }
   const bool fast = same_representation(source);
-  ByteWriter out;
-  if (fixed_) out.reserve(fixed_bytes_);
   for (const ParamProgram& p : params_) {
     if (!param_travels(signature_[p.param].mode, direction_)) continue;
     try {
@@ -419,7 +426,6 @@ Bytes MarshalPlan::marshal(const ArchDescriptor& source,
     }
   }
   count_hit(fast);
-  return std::move(out).take();
 }
 
 ValueList MarshalPlan::unmarshal(const ArchDescriptor& target,

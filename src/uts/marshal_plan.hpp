@@ -67,6 +67,13 @@ class MarshalPlan {
   /// signature/direction baked in: identical bytes, identical errors.
   util::Bytes marshal(const arch::ArchDescriptor& source,
                       const ValueList& values) const;
+  /// Append the marshaled batch to `out` — identical bytes and errors,
+  /// but no intermediate buffer: the RPC bus marshals call arguments
+  /// directly into a connection's pending frame buffer. On error, bytes
+  /// may have been appended; callers that need atomicity record
+  /// out.size() first and truncate back.
+  void marshal_into(const arch::ArchDescriptor& source,
+                    const ValueList& values, util::ByteWriter& out) const;
   ValueList unmarshal(const arch::ArchDescriptor& target,
                       std::span<const std::uint8_t> bytes) const;
 

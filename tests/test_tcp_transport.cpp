@@ -165,6 +165,53 @@ TEST(TcpTransport, CrayPersonalityQuantizesOnTheServer) {
   EXPECT_EQ(out[0].as_real(), 1.0) << "Cray word cannot hold 2^-52";
 }
 
+TEST(TcpTransport, PipelinedAsyncCallsAllComplete) {
+  TcpProcedureHost host(
+      "export inc prog(\"x\" val integer, \"y\" res integer)",
+      {{"inc", [](ProcCall& c) {
+          c.set("y", Value::integer(c.integer("x") + 1));
+        }}},
+      "sun-sparc10");
+  TcpRemoteProc inc("127.0.0.1", host.port(), "inc",
+                    "import inc prog(\"x\" val integer, \"y\" res integer)",
+                    "sun-sparc10");
+  // Issue a window of calls before reading any reply: they pipeline over
+  // the shared connection and replies are matched back by seq.
+  std::vector<PendingTcpCall> pending;
+  pending.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    pending.push_back(inc.call_async({Value::integer(i), Value::integer(0)}));
+  }
+  for (int i = 0; i < 64; ++i) {
+    CallResult& result = pending[static_cast<std::size_t>(i)].get();
+    ASSERT_TRUE(result.ok()) << result.status.to_string();
+    EXPECT_EQ(result.values[1].as_integer(), i + 1);
+  }
+  EXPECT_EQ(host.calls(), 64);
+}
+
+TEST(TcpTransport, StubsToOneHostShareThePooledConnection) {
+  TcpProcedureHost host(
+      "export inc prog(\"x\" val integer, \"y\" res integer)",
+      {{"inc", [](ProcCall& c) {
+          c.set("y", Value::integer(c.integer("x") + 1));
+        }}},
+      "sun-sparc10");
+  TcpRemoteProc a("127.0.0.1", host.port(), "inc",
+                  "import inc prog(\"x\" val integer, \"y\" res integer)",
+                  "sun-sparc10");
+  TcpRemoteProc b("127.0.0.1", host.port(), "inc",
+                  "import inc prog(\"x\" val integer, \"y\" res integer)",
+                  "sun-sparc10");
+  EXPECT_EQ(a.call({Value::integer(1), Value::integer(0)})[1].as_integer(), 2);
+  EXPECT_EQ(b.call({Value::integer(2), Value::integer(0)})[1].as_integer(), 3);
+  // One pooled channel per host:port — both stubs rode the same socket.
+  auto c1 = bus::TcpBus::instance().channel("127.0.0.1", host.port());
+  auto c2 = bus::TcpBus::instance().channel("127.0.0.1", host.port());
+  EXPECT_EQ(c1.get(), c2.get());
+  EXPECT_EQ(host.calls(), 2);
+}
+
 TEST(TcpTransport, ConnectionToNowhereFailsFast) {
   EXPECT_THROW(TcpRemoteProc("127.0.0.1", 1, "f",
                              "import f prog(\"x\" val double)",
