@@ -63,11 +63,14 @@ int run() {
       auto work = client->import_proc("work", kImport);
       auto& clock = client->io().endpoint().clock();
 
-      work->call({uts::Value::real(1), uts::Value::real(0)});  // bind
+      const rpc::CallOptions legacy = rpc::CallOptions::legacy();
+      work->call({uts::Value::real(1), uts::Value::real(0)}, legacy)
+          .values_or_raise();  // bind
       util::SimTime t0 = clock.now();
       const int reps = 20;
       for (int i = 0; i < reps; ++i) {
-        work->call({uts::Value::real(1), uts::Value::real(0)});
+        work->call({uts::Value::real(1), uts::Value::real(0)}, legacy)
+            .values_or_raise();
       }
       const double call_ms = util::sim_to_ms(clock.now() - t0) / reps;
 
@@ -77,8 +80,9 @@ int run() {
       const double move_ms = util::sim_to_ms(clock.now() - t0);
 
       t0 = clock.now();
-      uts::ValueList out =
-          work->call({uts::Value::real(1), uts::Value::real(0)});
+      rpc::CallResult reply =
+          work->call({uts::Value::real(1), uts::Value::real(0)}, legacy);
+      uts::ValueList& out = reply.values_or_raise();
       const double stale_ms = util::sim_to_ms(clock.now() - t0);
       // With state transfer the counter continues (reps+1 earlier adds);
       // stateless restarts at 1.

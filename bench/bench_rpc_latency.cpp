@@ -53,7 +53,8 @@ int run() {
     auto echo = client->import_proc(
         "echo", "import echo prog(\"data\" var array[1] of float)");
     uts::ValueList args = {uts::Value::real_array({1.5})};
-    echo->call(args);  // bind + warm
+    const rpc::CallOptions legacy = rpc::CallOptions::legacy();
+    echo->call(args, legacy).values_or_raise();  // bind + warm
     const int reps = 10;
     util::SimTime total = 0;
     for (int i = 0; i < reps; ++i) total += echo->ping();
@@ -82,11 +83,14 @@ int run() {
                       std::to_string(n) + "] of float)");
       uts::ValueList args = {
           uts::Value::real_array(std::vector<double>(n, 1.5))};
-      echo->call(args);  // bind + warm
+      const rpc::CallOptions legacy = rpc::CallOptions::legacy();
+      echo->call(args, legacy).values_or_raise();  // bind + warm
       auto& clock = client->io().endpoint().clock();
       const util::SimTime before = clock.now();
       const int reps = 10;
-      for (int i = 0; i < reps; ++i) echo->call(args);
+      for (int i = 0; i < reps; ++i) {
+        echo->call(args, legacy).values_or_raise();
+      }
       const double per_call_ms =
           util::sim_to_ms((clock.now() - before)) / reps;
       std::printf(" %22.3f", per_call_ms);

@@ -131,20 +131,21 @@ OverlapResult run_overlap_half(int work_ms) {
 
   const uts::ValueList args = {uts::Value::integer(work_ms),
                                uts::Value::integer(0)};
+  const rpc::CallOptions legacy = rpc::CallOptions::legacy();
   // Bind + warm both lines before timing.
-  for (auto& p : procs) (void)p->call(args);
+  for (auto& p : procs) p->call(args, legacy).values_or_raise();
 
   OverlapResult r{};
   {
     const auto t0 = clock_type::now();
-    for (auto& p : procs) (void)p->call(args);
+    for (auto& p : procs) p->call(args, legacy).values_or_raise();
     r.sequential_ms = elapsed_ms(t0);
   }
   {
     const auto t0 = clock_type::now();
-    std::vector<std::future<uts::ValueList>> pending;
-    for (auto& p : procs) pending.push_back(p->call_async(args));
-    for (auto& f : pending) (void)f.get();
+    std::vector<std::future<rpc::CallResult>> pending;
+    for (auto& p : procs) pending.push_back(p->call_async(args, legacy));
+    for (auto& f : pending) f.get().values_or_raise();
     r.overlapped_ms = elapsed_ms(t0);
   }
   for (auto& c : clients) c->quit();

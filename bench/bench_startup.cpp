@@ -38,13 +38,16 @@ int run() {
     // Dynamic startup of one module, then call costs.
     auto client = schooner.make_client("avs", "startup-bench");
     auto& clock = client->io().endpoint().clock();
+    const rpc::CallOptions legacy = rpc::CallOptions::legacy();
     util::SimTime t0 = clock.now();
     client->contact_schx("remote", "/bin/nop0");
     auto nop = client->import_proc("nop", kNopImport);
-    nop->call({uts::Value::real(1)});
+    nop->call({uts::Value::real(1)}, legacy).values_or_raise();
     util::SimTime first_call_done = clock.now();
     const int reps = 50;
-    for (int i = 0; i < reps; ++i) nop->call({uts::Value::real(1)});
+    for (int i = 0; i < reps; ++i) {
+      nop->call({uts::Value::real(1)}, legacy).values_or_raise();
+    }
     util::SimTime warm_done = clock.now();
 
     const double startup_ms = util::sim_to_ms(first_call_done - t0);
@@ -65,7 +68,7 @@ int run() {
         line->io().endpoint().clock().join(batch0);
         line->contact_schx("remote", "/bin/nop" + std::to_string(i));
         auto proc = line->import_proc("nop", kNopImport);
-        proc->call({uts::Value::real(1)});
+        proc->call({uts::Value::real(1)}, legacy).values_or_raise();
         batchN = std::max(batchN, line->io().endpoint().clock().now());
         lines.push_back(std::move(line));
         procs.push_back(std::move(proc));

@@ -101,10 +101,12 @@ Row tcp_lockstep(rpc::TcpRemoteProc& proc, const std::string& signature,
   std::vector<double> latencies;
   latencies.reserve(static_cast<std::size_t>(calls));
   const uts::ValueList array = array_args();
+  rpc::CallOptions once = rpc::CallOptions::legacy();
+  once.max_attempts = 1;  // the historical single-attempt contract
   util::Stopwatch wall;
   for (long i = 0; i < calls; ++i) {
     const auto t0 = clock_type::now();
-    proc.call(small ? small_args(i) : array);
+    proc.call(small ? small_args(i) : array, once).values_or_raise();
     latencies.push_back(
         std::chrono::duration<double, std::micro>(clock_type::now() - t0)
             .count());
@@ -167,8 +169,10 @@ int run() {
     rpc::TcpRemoteProc sum("127.0.0.1", host.port(), "sum", kArrayImport,
                            "sun-sparc10");
     // Warm both signature caches (host Prepared entries, client plans).
-    inc.call(small_args(0));
-    sum.call(array_args());
+    rpc::CallOptions once = rpc::CallOptions::legacy();
+    once.max_attempts = 1;
+    inc.call(small_args(0), once).values_or_raise();
+    sum.call(array_args(), once).values_or_raise();
 
     rows.push_back(tcp_lockstep(inc, "small", 10'000, true));
     print_row(rows.back());
@@ -204,10 +208,11 @@ int run() {
       std::vector<double> latencies;
       const long kSimCalls = 2'000;
       latencies.reserve(kSimCalls);
+      const rpc::CallOptions legacy = rpc::CallOptions::legacy();
       util::Stopwatch wall;
       for (long i = 0; i < kSimCalls; ++i) {
         const auto t0 = clock_type::now();
-        inc->call(small_args(i));
+        inc->call(small_args(i), legacy).values_or_raise();
         latencies.push_back(std::chrono::duration<double, std::micro>(
                                 clock_type::now() - t0)
                                 .count());
@@ -233,9 +238,10 @@ int run() {
           auto inc = client->import_proc("inc", kSmallImport);
           std::vector<double> mine;
           mine.reserve(kPerClient);
+          const rpc::CallOptions legacy = rpc::CallOptions::legacy();
           for (long i = 0; i < kPerClient; ++i) {
             const auto t0 = clock_type::now();
-            inc->call(small_args(i));
+            inc->call(small_args(i), legacy).values_or_raise();
             mine.push_back(std::chrono::duration<double, std::micro>(
                                clock_type::now() - t0)
                                .count());

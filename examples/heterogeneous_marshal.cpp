@@ -112,8 +112,9 @@ int main() {
       "sumsq", "import sumsq prog(\"xs\" val array[8] of double, "
                "\"sum\" res double)");
   std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8};
-  uts::ValueList out =
-      sumsq->call({Value::real_array(xs), Value::real(0)});
+  rpc::CallResult reply = sumsq->call({Value::real_array(xs), Value::real(0)},
+                                      rpc::CallOptions::legacy());
+  uts::ValueList& out = reply.values_or_raise();
   std::printf("  sum of squares over the wire: %.12f (exact 204; Cray's\n"
               "  48-bit mantissa quantizes at ~7e-15 relative)\n",
               out[1].as_real());

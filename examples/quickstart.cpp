@@ -88,28 +88,32 @@ int main() {
             }}}));
 
   // 3. Boot Schooner: Servers on every machine, Manager on the
-  //    workstation, then open a line (a sequential thread of control).
+  //    workstation. A Session holds the Manager connection; each line (a
+  //    sequential thread of control, §4.2) is a lightweight handle on it.
   rpc::SchoonerSystem schooner(cluster, "workstation");
-  auto client = schooner.make_client("workstation", "quickstart");
+  auto session = schooner.make_session("workstation");
+  auto line = session->open_line(rpc::LineOptions{}.with_name("quickstart"));
 
   // 4. The §3.3 startup calls: contact the Manager, start the remote
   //    processes, import the procedure.
-  client->contact_schx("cray", "/npss/bin/integrate");
-  client->contact_schx("rs6000", "/npss/bin/evalpoly");
-  auto integrate = client->import_proc(
+  line->contact_schx("cray", "/npss/bin/integrate");
+  line->contact_schx("rs6000", "/npss/bin/evalpoly");
+  auto integrate = line->import_proc(
       "integrate",
       "import integrate prog(\"coeffs\" val array[4] of double,"
       " \"lo\" val double, \"hi\" val double, \"area\" res double)");
 
   // 5. Call it: integral of 1 + 2x + 3x^2 + 4x^3 over [0,1] == 1+1+1+1.
-  uts::ValueList out = integrate->call({Value::real_array({1, 2, 3, 4}),
-                                        Value::real(0.0), Value::real(1.0),
-                                        Value::real(0)});
+  rpc::CallResult reply = integrate->call(
+      {Value::real_array({1, 2, 3, 4}), Value::real(0.0), Value::real(1.0),
+       Value::real(0)},
+      rpc::CallOptions::legacy());
+  uts::ValueList& out = reply.values_or_raise();
   std::printf("integral over [0,1] of 1 + 2x + 3x^2 + 4x^3 = %.6f "
               "(exact 4; midpoint-16 error expected ~1e-3)\n",
               out[3].as_real());
 
-  const auto& clock = client->io().endpoint().clock();
+  const auto& clock = line->io().endpoint().clock();
   std::printf("simulated elapsed time: %.1f ms across %llu messages\n",
               util::sim_to_ms(clock.now()),
               static_cast<unsigned long long>(cluster.traffic().messages));
@@ -117,6 +121,6 @@ int main() {
               "cray->rs6000 calls (same site), so the WAN was crossed only\n"
               "twice -- the coarse-grained decomposition Schooner favors.\n");
 
-  client->quit();
+  line->quit();
   return 0;
 }

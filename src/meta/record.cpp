@@ -31,6 +31,7 @@ util::Bytes encode_record(const ChangeRecord& record) {
     out.str(name);
     out.str(sig);
   }
+  out.i64(record.quota);  // v2 field, appended behind the version bump
   return std::move(out).take();
 }
 
@@ -61,6 +62,7 @@ ChangeRecord decode_record(std::span<const std::uint8_t> bytes) {
     std::string sig = in.str();
     record.procs.emplace_back(std::move(name), std::move(sig));
   }
+  if (version >= 2) record.quota = in.i64();  // absent (0) in v1 logs
   if (!in.exhausted()) {
     throw util::EncodingError("trailing bytes in changelog record");
   }

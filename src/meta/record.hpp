@@ -32,7 +32,7 @@ enum class RecordKind : std::uint8_t {
 std::string_view record_kind_name(RecordKind kind);
 
 /// One Manager state transition. Field usage per kind:
-///   kLineCreate  line, note=description
+///   kLineCreate  line, note=description, quota=outstanding-call quota
 ///   kLineQuit    line
 ///   kExport      line, shared, address, machine, path, spec_hash,
 ///                procs=(name, export signature text)
@@ -47,13 +47,17 @@ struct ChangeRecord {
   std::string spec_hash;  ///< exporter's spec sha256 (kExport only)
   std::string note;
   std::vector<std::pair<std::string, std::string>> procs;
+  /// Per-line outstanding-call quota granted at admission (kLineCreate
+  /// only; 0 = unlimited). Version-2 field: decoding a v1 record leaves 0.
+  std::int64_t quota = 0;
 
   bool operator==(const ChangeRecord&) const = default;
 };
 
 /// Current serialization version. Decoders accept any version <= this;
 /// new fields must only ever be appended behind a version bump.
-constexpr std::uint8_t kRecordVersion = 1;
+/// v2: + quota (the admission-control grant on kLineCreate).
+constexpr std::uint8_t kRecordVersion = 2;
 
 util::Bytes encode_record(const ChangeRecord& record);
 ChangeRecord decode_record(std::span<const std::uint8_t> bytes);

@@ -13,7 +13,7 @@ bool ReplicatedState::apply(const ChangeRecord& record, std::uint64_t index) {
   if (index <= last_applied_) return false;
   switch (record.kind) {
     case RecordKind::kLineCreate:
-      lines_[record.line] = LineInfo{record.note};
+      lines_[record.line] = LineInfo{record.note, record.quota};
       next_line_ = std::max(next_line_, record.line + 1);
       break;
     case RecordKind::kLineQuit: {
@@ -56,6 +56,7 @@ util::Bytes ReplicatedState::serialize() const {
   for (const auto& [id, info] : lines_) {
     out.i64(id);
     out.str(info.description);
+    out.i64(info.quota);  // v2 field
   }
   out.u32(static_cast<std::uint32_t>(exports_.size()));
   for (const auto& [address, group] : exports_) {
@@ -91,7 +92,10 @@ ReplicatedState ReplicatedState::deserialize(
   }
   for (std::uint32_t i = 0; i < nlines; ++i) {
     const std::int64_t id = in.i64();
-    state.lines_[id] = LineInfo{in.str()};
+    LineInfo info;
+    info.description = in.str();
+    if (version >= 2) info.quota = in.i64();  // absent (0) in v1 images
+    state.lines_[id] = std::move(info);
   }
   const std::uint32_t ngroups = in.u32();
   if (static_cast<std::size_t>(ngroups) * 8 > in.remaining()) {

@@ -40,6 +40,9 @@ struct ExportGroup {
 
 struct LineInfo {
   std::string description;
+  /// Outstanding-call quota the leader granted at admission (0 =
+  /// unlimited); replicated so a new leader re-states the same policy.
+  std::int64_t quota = 0;
 
   bool operator==(const LineInfo&) const = default;
 };
@@ -76,6 +79,7 @@ class ReplicatedState {
   std::map<std::string, ExportGroup> exports_;
 };
 
-constexpr std::uint8_t kStateVersion = 1;
+/// v2: + LineInfo::quota (admission-control grant).
+constexpr std::uint8_t kStateVersion = 2;
 
 }  // namespace npss::meta

@@ -228,7 +228,14 @@ std::future<uts::ValueList> RemoteBackend::call_async(
                             "[" + std::to_string(instance) +
                             "] is not placed remotely");
   }
-  return inst->primary->call_async(std::move(args));
+  std::future<rpc::CallResult> inner =
+      inst->primary->call_async(std::move(args),
+                                inst->primary->call_options());
+  return std::async(std::launch::deferred,
+                    [inner = std::move(inner)]() mutable {
+                      rpc::CallResult result = inner.get();
+                      return std::move(result.values_or_raise());
+                    });
 }
 
 std::string RemoteBackend::move(AdaptedComponent component, int instance,

@@ -52,10 +52,13 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-/// Last-write-wins instantaneous value.
+/// Last-write-wins instantaneous value. add()/sub() make it usable as a
+/// level gauge too (e.g. rpc.line.active counts currently-open lines).
 class Gauge {
  public:
   void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept { detail::atomic_add(value_, delta); }
+  void sub(double delta) noexcept { detail::atomic_add(value_, -delta); }
   double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }

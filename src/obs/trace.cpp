@@ -97,8 +97,9 @@ void render_span(std::ostringstream& os,
                      children,
                  const SpanRecord& span, int depth) {
   for (int i = 0; i < depth; ++i) os << "  ";
-  os << span.layer << " " << span.name << "  [" << span.duration_us
-     << " us]\n";
+  os << span.layer << " " << span.name;
+  if (span.line >= 0) os << " (line " << span.line << ")";
+  os << "  [" << span.duration_us << " us]\n";
   auto it = children.find(span.span_id);
   if (it == children.end()) return;
   for (const SpanRecord* child : it->second) {
@@ -197,6 +198,7 @@ Span::~Span() {
   rec.parent_span_id = ctx_.parent_span_id;
   rec.layer = std::move(layer_);
   rec.name = std::move(name_);
+  rec.line = line_;
   rec.start_us = us_since_epoch(start_);
   rec.duration_us = elapsed_us();
   SpanCollector::global().record(std::move(rec));

@@ -40,6 +40,10 @@ struct SpanRecord {
   std::uint64_t parent_span_id = 0;
   std::string layer;  ///< instrumented layer, e.g. "rpc.client"
   std::string name;   ///< operation, e.g. "call shaft"
+  /// Schooner line the operation ran under, or -1 (rpc::kNoLine) when the
+  /// span is not line-scoped. Lets a multi-tenant run's traces be sliced
+  /// per line (DESIGN.md §15).
+  std::int64_t line = -1;
   double start_us = 0.0;     ///< since process start (steady clock)
   double duration_us = 0.0;
 };
@@ -100,12 +104,19 @@ class Span {
 
   bool active() const noexcept { return active_; }
 
+  /// Tag the span with the Schooner line it serves; recorded into
+  /// SpanRecord::line when the span closes. No-op on an inactive span.
+  void set_line(std::int64_t line) noexcept {
+    if (active_) line_ = line;
+  }
+
  private:
   void open(std::string layer, std::string name, TraceContext ctx);
 
   TraceContext ctx_;
   TraceContext prev_;
   std::string layer_, name_;
+  std::int64_t line_ = -1;
   std::chrono::steady_clock::time_point start_;
   bool active_ = false;
 };

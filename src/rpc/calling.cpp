@@ -166,8 +166,47 @@ CallResult CallCore::invoke(const std::string& name,
 
   // One span covers the whole fault-tolerant call; each attempt opens a
   // child below so a trace shows retries as siblings, not fresh roots.
+  // The line tag lets a multi-tenant run's traces be sliced per line.
   obs::Span span("rpc.client", "call " + name);
+  span.set_line(line);
   const util::SimTime virtual_start = clock ? clock->now() : 0;
+
+  // Line-budget gates: a line that has spent its virtual budget, or holds
+  // its full outstanding-call quota, fails fast — its failure mode stays
+  // its own instead of becoming queue depth for its neighbors.
+  LineBudget* budget = opts.line_budget.get();
+  if (budget) {
+    if (budget->virtual_exhausted()) {
+      count("rpc.line.budget_exhausted");
+      result.status = util::Status(
+          util::ErrorCode::kBudgetExhausted,
+          "call to '" + name + "': line " + std::to_string(line) +
+              " virtual budget of " +
+              std::to_string(budget->limits().virtual_us) + "us is spent");
+      return result;
+    }
+    if (!budget->try_begin_call()) {
+      count("rpc.line.budget_exhausted");
+      result.status = util::Status(
+          util::ErrorCode::kBudgetExhausted,
+          "call to '" + name + "': line " + std::to_string(line) +
+              " outstanding-call quota of " +
+              std::to_string(budget->limits().outstanding) + " is full");
+      return result;
+    }
+  }
+  // Release the in-flight slot and bill the line's virtual spend on every
+  // exit path (success, failure, or a throw from marshal/bind).
+  struct BudgetGuard {
+    LineBudget* budget;
+    const util::VirtualClock* clock;
+    util::SimTime start;
+    ~BudgetGuard() {
+      if (!budget) return;
+      budget->end_call();
+      if (clock) budget->charge_virtual(clock->now() - start);
+    }
+  } budget_guard{budget, clock, virtual_start};
   const bool deadlined = opts.deadline_us > 0;
   const util::SimTime deadline_abs =
       deadlined && clock ? virtual_start + opts.deadline_us : 0;
@@ -324,6 +363,17 @@ CallResult CallCore::invoke(const std::string& name,
     result.status = attempt.status;
     --attempts_left;
     if (!retryable) break;
+    // A retry spends the *line's* budget too: once it is gone the line
+    // stops storming and surfaces kBudgetExhausted instead.
+    if (attempts_left > 0 && budget && !budget->charge_retry()) {
+      count("rpc.line.budget_exhausted");
+      result.status = util::Status(
+          util::ErrorCode::kBudgetExhausted,
+          "call to '" + name + "': line " + std::to_string(line) +
+              " retry budget of " + std::to_string(budget->limits().retries) +
+              " is spent; last error: " + attempt.status.to_string());
+      break;
+    }
     if (attempts_left > 0) count("rpc.client.retries");
 
     // Migration-based failover: every retry found the process dead, so

@@ -5,10 +5,12 @@
 // procedure migrates.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <future>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "rpc/io.hpp"
@@ -59,6 +61,100 @@ struct BackoffPolicy {
   double jitter = 0.25;             ///< +- fraction of the delay
 };
 
+/// Per-line fault budget — the isolation half of the multi-tenant session
+/// layer (DESIGN.md §15). One LineBudget is shared by every stub on a
+/// Line; CallCore::invoke charges it, so a line whose peer dies or whose
+/// deadline storms retries burns through *its own* budget and starts
+/// failing fast (kBudgetExhausted) instead of holding transport slots and
+/// Manager attention its neighbors need. All counters are atomics: stubs
+/// on one line may call from different threads.
+class LineBudget {
+ public:
+  struct Limits {
+    /// Total virtual time the line may spend inside calls (all calls
+    /// summed, backoff and timeout waits included). 0 = unlimited.
+    util::SimTime virtual_us = 0;
+    /// Retry attempts (2nd+ attempts of any call) the line may spend.
+    /// 0 = unlimited.
+    long retries = 0;
+    /// Concurrent in-flight calls. 0 = unlimited. The Manager's per-line
+    /// quota (kLineAck.n) is folded in at admission; the smaller cap wins.
+    int outstanding = 0;
+  };
+
+  LineBudget() = default;
+  explicit LineBudget(Limits limits) : limits_(limits) {}
+
+  const Limits& limits() const { return limits_; }
+
+  /// Fold the Manager-granted outstanding-call quota into the cap
+  /// (smaller wins; <=0 leaves the cap unchanged). Called once at line
+  /// admission, before the line carries traffic.
+  void restrict_outstanding(int cap) {
+    if (cap <= 0) return;
+    if (limits_.outstanding == 0 || cap < limits_.outstanding) {
+      limits_.outstanding = cap;
+    }
+  }
+
+  /// Reserve an in-flight call slot; false when the cap is reached.
+  bool try_begin_call() {
+    if (limits_.outstanding == 0) {
+      outstanding_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    int cur = outstanding_.load(std::memory_order_relaxed);
+    while (cur < limits_.outstanding) {
+      if (outstanding_.compare_exchange_weak(cur, cur + 1,
+                                             std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  void end_call() { outstanding_.fetch_sub(1, std::memory_order_relaxed); }
+
+  /// Spend one retry; false when the retry budget is already gone.
+  bool charge_retry() {
+    if (limits_.retries == 0) return true;
+    long cur = retries_.load(std::memory_order_relaxed);
+    while (cur < limits_.retries) {
+      if (retries_.compare_exchange_weak(cur, cur + 1,
+                                         std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void charge_virtual(util::SimTime us) {
+    if (us > 0) virtual_spent_.fetch_add(us, std::memory_order_relaxed);
+  }
+
+  /// True once the virtual-time budget is spent (retry and outstanding
+  /// limits gate their own operations and are not reflected here).
+  bool virtual_exhausted() const {
+    return limits_.virtual_us > 0 &&
+           virtual_spent_.load(std::memory_order_relaxed) >= limits_.virtual_us;
+  }
+
+  int outstanding() const {
+    return outstanding_.load(std::memory_order_relaxed);
+  }
+  long retries_spent() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  util::SimTime virtual_spent() const {
+    return virtual_spent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Limits limits_;
+  std::atomic<int> outstanding_{0};
+  std::atomic<long> retries_{0};
+  std::atomic<util::SimTime> virtual_spent_{0};
+};
+
 struct CallOptions {
   /// Total virtual-time budget for the call, binding and retries
   /// included. 0 = no deadline: every transport wait blocks forever, as
@@ -83,6 +179,10 @@ struct CallOptions {
   /// only meaningful when deadline_us > 0. Virtual-time accounting stays
   /// deterministic regardless of this value.
   int host_grace_ms = 50;
+  /// The owning line's shared fault budget; charged by CallCore::invoke.
+  /// Empty = unbudgeted (legacy clients, manager-internal calls). Set
+  /// automatically on every stub created through rpc::Line.
+  std::shared_ptr<LineBudget> line_budget;
 
   /// The shim options reproducing the legacy throwing call exactly:
   /// no deadline, one stale/dead-address retry, no backoff sleep.
@@ -169,12 +269,16 @@ struct CallCore {
                                        const CallOptions& opts) const;
 
   /// Legacy throwing shim over invoke(..., CallOptions::legacy()).
+  [[deprecated(
+      "use invoke(..., CallOptions) and branch on CallResult.status")]]
   uts::ValueList invoke(const std::string& name,
                         const uts::ProcDecl& import_decl,
                         const std::string& import_text, uts::ValueList args,
                         BindingCache& cache) const;
 
   /// Legacy throwing async shim.
+  [[deprecated(
+      "use invoke_async(..., CallOptions); get() yields a CallResult")]]
   std::future<uts::ValueList> invoke_async(const std::string& name,
                                            const uts::ProcDecl& import_decl,
                                            const std::string& import_text,

@@ -1,28 +1,58 @@
 #include "rpc/client.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "rpc/manager.hpp"
 #include "util/log.hpp"
 
 namespace npss::rpc {
 
-SchoonerClient::SchoonerClient(sim::Cluster& cluster, sim::EndpointPtr endpoint,
-                               std::string manager_address,
-                               std::string description,
-                               std::vector<std::string> manager_replicas)
-    : cluster_(&cluster),
-      endpoint_(std::move(endpoint)),
-      io_(cluster, endpoint_),
-      manager_(std::move(manager_address)),
-      replicas_(std::move(manager_replicas)) {
-  Message msg;
-  msg.kind = MessageKind::kRegisterLine;
-  msg.a = std::move(description);
-  Message ack = manager_call(std::move(msg));
-  line_ = ack.line;
+namespace {
+
+void count(const char* name) {
+  if (obs::enabled()) obs::Registry::global().counter(name).add();
 }
 
-Message SchoonerClient::manager_call(Message msg) {
+}  // namespace
+
+// --- Session ---------------------------------------------------------------
+
+Session::Session(sim::Cluster& cluster, std::string machine,
+                 std::string manager_address,
+                 std::vector<std::string> manager_replicas)
+    : cluster_(&cluster),
+      machine_(std::move(machine)),
+      manager_(std::move(manager_address)),
+      replicas_(std::move(manager_replicas)) {}
+
+std::string Session::manager_address() const { return leader(); }
+
+std::string Session::leader() const {
+  std::lock_guard lock(mu_);
+  return manager_;
+}
+
+void Session::note_leader(const std::string& leader) {
+  std::lock_guard lock(mu_);
+  if (leader == manager_) return;
+  NPSS_LOG_INFO("client", "manager leader moved: ", manager_, " -> ", leader);
+  count("rpc.meta.rebinds_after_failover");
+  manager_ = leader;
+}
+
+void Session::rebind_to_leader(MessageIo& io) {
+  std::string found = discover_manager_leader(io, replicas_);
+  if (found.empty()) {
+    throw util::UnavailableError(
+        "no Manager replica reports a leader; the control plane is down");
+  }
+  note_leader(found);
+}
+
+Message Session::manager_call(MessageIo& io, Message msg) {
   for (int attempt = 0;; ++attempt) {
+    const std::string target = leader();
     Message copy = msg;
     Message ack;
     try {
@@ -30,17 +60,17 @@ Message SchoonerClient::manager_call(Message msg) {
       // not block the client forever; standalone keeps the legacy
       // block-until-reply semantics.
       ack = replicas_.empty()
-                ? io_.call(manager_, std::move(copy), /*raise_errors=*/false)
-                : io_.call_within(manager_, std::move(copy),
-                                  /*host_grace_ms=*/500,
-                                  /*raise_errors=*/false);
+                ? io.call(target, std::move(copy), /*raise_errors=*/false)
+                : io.call_within(target, std::move(copy),
+                                 /*host_grace_ms=*/500,
+                                 /*raise_errors=*/false);
     } catch (const util::NoRouteError&) {
       if (replicas_.empty() || attempt >= 3) throw;
-      rebind_to_leader();
+      rebind_to_leader(io);
       continue;
     } catch (const util::DeadlineError&) {
       if (replicas_.empty() || attempt >= 3) throw;
-      rebind_to_leader();
+      rebind_to_leader(io);
       continue;
     }
     if (ack.is_error() &&
@@ -48,15 +78,10 @@ Message SchoonerClient::manager_call(Message msg) {
         !replicas_.empty() && attempt < 3) {
       // The follower's leader hint rides in .b; empty means an election
       // is still running, so fall back to polling the group.
-      if (!ack.b.empty() && ack.b != manager_) {
-        manager_ = ack.b;
-        if (obs::enabled()) {
-          obs::Registry::global()
-              .counter("rpc.meta.rebinds_after_failover")
-              .add();
-        }
+      if (!ack.b.empty() && ack.b != target) {
+        note_leader(ack.b);
       } else {
-        rebind_to_leader();
+        rebind_to_leader(io);
       }
       continue;
     }
@@ -65,46 +90,101 @@ Message SchoonerClient::manager_call(Message msg) {
   }
 }
 
-void SchoonerClient::rebind_to_leader() {
-  std::string leader = discover_manager_leader(io_, replicas_);
-  if (leader.empty()) {
-    throw util::UnavailableError(
-        "no Manager replica reports a leader; the control plane is down");
-  }
-  if (leader != manager_) {
-    NPSS_LOG_INFO("client", "line ", line_, ": manager leader moved ",
-                  manager_, " -> ", leader);
-    if (obs::enabled()) {
-      obs::Registry::global()
-          .counter("rpc.meta.rebinds_after_failover")
-          .add();
-    }
-  }
-  manager_ = leader;
+std::unique_ptr<Line> Session::open_line(LineOptions opts) {
+  sim::EndpointPtr endpoint = cluster_->create_endpoint(
+      machine_, "schx-line-" + std::to_string(line_seq_.fetch_add(
+                    1, std::memory_order_relaxed)));
+  auto line = std::unique_ptr<Line>(new Line(
+      *this, std::move(endpoint), std::move(opts), /*owns_endpoint=*/true));
+  lines_opened_.fetch_add(1, std::memory_order_relaxed);
+  return line;
 }
 
-SchoonerClient::~SchoonerClient() {
+std::unique_ptr<Line> Session::adopt_line(sim::EndpointPtr endpoint,
+                                          LineOptions opts) {
+  auto line = std::unique_ptr<Line>(new Line(
+      *this, std::move(endpoint), std::move(opts), /*owns_endpoint=*/false));
+  lines_opened_.fetch_add(1, std::memory_order_relaxed);
+  return line;
+}
+
+// --- Line ------------------------------------------------------------------
+
+Line::Line(Session& session, sim::EndpointPtr endpoint, LineOptions opts,
+           bool owns_endpoint)
+    : session_(&session),
+      endpoint_(std::move(endpoint)),
+      io_(*session.cluster_, endpoint_),
+      name_(std::move(opts.name)),
+      owns_endpoint_(owns_endpoint),
+      budget_(std::make_shared<LineBudget>(opts.budget)) {
+  const int attempts = std::max(opts.admission_attempts, 1);
+  try {
+    for (int attempt = 1;; ++attempt) {
+      Message msg;
+      msg.kind = MessageKind::kRegisterLine;
+      msg.a = name_;
+      try {
+        Message ack = session_->manager_call(io_, std::move(msg));
+        line_ = ack.line;
+        // The Manager grants a per-line outstanding-call quota in ack.n
+        // (0 = unlimited); the smaller of it and the caller's cap wins.
+        budget_->restrict_outstanding(static_cast<int>(ack.n));
+        return;
+      } catch (const util::LineRejectedError&) {
+        // Admission gate (SystemOptions::max_lines). Back off gracefully:
+        // capacity frees when some other line quits, and a thundering
+        // herd of instant re-registrations would keep the Manager busy
+        // saying no. Virtual time advances in step so seeded runs stay
+        // deterministic.
+        if (attempt >= attempts) throw;
+        count("rpc.line.admission_backoffs");
+        if (opts.admission_backoff_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(opts.admission_backoff_ms));
+          endpoint_->clock().advance(
+              static_cast<util::SimTime>(opts.admission_backoff_ms) * 1000);
+        }
+      }
+    }
+  } catch (...) {
+    // The line never existed as far as the Manager is concerned; a
+    // Session-created endpoint would otherwise leak in the cluster.
+    if (owns_endpoint_) {
+      try {
+        session_->cluster_->retire_endpoint(endpoint_->address());
+      } catch (...) {
+      }
+    }
+    throw;
+  }
+}
+
+Line::~Line() {
   try {
     quit();
   } catch (...) {
     // Destructor teardown is best-effort (the Manager may already be gone).
   }
+  if (owns_endpoint_) {
+    try {
+      session_->cluster_->retire_endpoint(endpoint_->address());
+    } catch (...) {
+    }
+  }
 }
 
-const arch::ArchDescriptor& SchoonerClient::arch() const {
-  return endpoint_->arch();
-}
+const arch::ArchDescriptor& Line::arch() const { return endpoint_->arch(); }
 
-StartResult SchoonerClient::contact_schx(const std::string& machine,
-                                         const std::string& path,
-                                         bool shared) {
+StartResult Line::contact_schx(const std::string& machine,
+                               const std::string& path, bool shared) {
   Message msg;
   msg.kind = MessageKind::kStartRequest;
   msg.line = line_;
   msg.a = machine;
   msg.b = path;
   msg.n = shared ? 1 : 0;
-  Message ack = manager_call(std::move(msg));
+  Message ack = session_->manager_call(io_, std::move(msg));
   StartResult result;
   result.address = ack.a;
   result.exports = ack.table;
@@ -113,7 +193,18 @@ StartResult SchoonerClient::contact_schx(const std::string& machine,
   return result;
 }
 
-std::unique_ptr<RemoteProc> SchoonerClient::import_proc(
+BindingCache& Line::cache_for(const std::string& name,
+                              const uts::Signature& signature,
+                              const std::string& import_text) {
+  BindingCache& cache = caches_[name + "\n" + import_text];
+  if (!cache.request_plan) {
+    cache.request_plan = uts::compile_plan(signature, uts::Direction::kRequest);
+    cache.reply_plan = uts::compile_plan(signature, uts::Direction::kReply);
+  }
+  return cache;
+}
+
+std::unique_ptr<RemoteProc> Line::import_proc(
     const std::string& name, const std::string& import_spec_text) {
   uts::SpecFile file = uts::parse_spec(import_spec_text);
   const uts::ProcDecl& decl = file.find(name);
@@ -122,14 +213,14 @@ std::unique_ptr<RemoteProc> SchoonerClient::import_proc(
                            "' is not an import");
   }
   std::string text = uts::decl_to_string(decl);
+  BindingCache& cache = cache_for(name, decl.signature, text);
   return std::unique_ptr<RemoteProc>(
-      new RemoteProc(*this, name, decl, std::move(text)));
+      new RemoteProc(*this, name, decl, std::move(text), cache));
 }
 
-std::string SchoonerClient::move_proc(const std::string& name,
-                                      const std::string& machine,
-                                      const std::string& path,
-                                      bool transfer_state) {
+std::string Line::move_proc(const std::string& name,
+                            const std::string& machine,
+                            const std::string& path, bool transfer_state) {
   Message msg;
   msg.kind = MessageKind::kMove;
   msg.line = line_;
@@ -137,24 +228,24 @@ std::string SchoonerClient::move_proc(const std::string& name,
   msg.b = machine;
   msg.c = path;
   msg.n = transfer_state ? 1 : 0;
-  Message ack = manager_call(std::move(msg));
+  Message ack = session_->manager_call(io_, std::move(msg));
   return ack.a;
 }
 
-void SchoonerClient::quit() {
+void Line::quit() {
   if (line_ == kNoLine) return;
   Message msg;
   msg.kind = MessageKind::kQuit;
   msg.line = line_;
-  manager_call(std::move(msg));
+  session_->manager_call(io_, std::move(msg));
   line_ = kNoLine;
 }
 
-CallCore SchoonerClient::call_core() {
+CallCore Line::call_core() {
   CallCore core;
   core.io = &io_;
-  core.manager = manager_;
-  core.manager_replicas = replicas_;
+  core.manager = session_->leader();
+  core.manager_replicas = session_->replicas_;
   core.line = line_;
   core.arch = &endpoint_->arch();
   core.compute = [this](double us) {
@@ -166,14 +257,31 @@ CallCore SchoonerClient::call_core() {
   return core;
 }
 
-CallResult SchoonerClient::invoke(RemoteProc& proc, uts::ValueList args,
-                                  const CallOptions& opts) {
+CallOptions Line::with_budget(const CallOptions& opts) const {
+  if (opts.line_budget) return opts;
+  CallOptions stamped = opts;
+  stamped.line_budget = budget_;
+  return stamped;
+}
+
+CallResult Line::invoke(RemoteProc& proc, uts::ValueList args,
+                        const CallOptions& opts) {
   if (line_ == kNoLine) {
     throw util::ShutdownError("line already quit");
   }
   return call_core().invoke(proc.name_, proc.decl_, proc.import_text_,
-                            std::move(args), proc.cache_, opts);
+                            std::move(args), proc.cache_, with_budget(opts));
 }
+
+// --- RemoteProc ------------------------------------------------------------
+
+RemoteProc::RemoteProc(Line& owner, std::string name, uts::ProcDecl decl,
+                       std::string import_text, BindingCache& cache)
+    : owner_(&owner),
+      name_(std::move(name)),
+      decl_(std::move(decl)),
+      import_text_(std::move(import_text)),
+      cache_(cache) {}
 
 CallResult RemoteProc::call(uts::ValueList args, const CallOptions& opts) {
   calls_.add();
@@ -187,8 +295,16 @@ std::future<CallResult> RemoteProc::call_async(uts::ValueList args,
   }
   calls_.add();
   return owner_->call_core().invoke_async(name_, decl_, import_text_,
-                                          std::move(args), cache_, opts);
+                                          std::move(args), cache_,
+                                          owner_->with_budget(opts));
 }
+
+// The deprecated throwing surface keeps compiling warning-free here (the
+// shim itself is the one sanctioned caller of the legacy contract).
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 
 uts::ValueList RemoteProc::call(uts::ValueList args) {
   return call(std::move(args), options_).values_or_raise();
@@ -203,18 +319,31 @@ std::future<uts::ValueList> RemoteProc::call_async(uts::ValueList args) {
                     });
 }
 
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
 util::SimTime RemoteProc::ping() {
   if (owner_->line_ == kNoLine) {
     throw util::ShutdownError("line already quit");
   }
   if (cache_.address.empty()) {
-    CallCore core;
-    core.io = &owner_->io_;
-    core.manager = owner_->manager_;
-    core.line = owner_->line_;
-    core.bind(name_, import_text_, cache_);
+    owner_->call_core().bind(name_, import_text_, cache_);
   }
   return owner_->io_.ping(cache_.address);
+}
+
+// --- SchoonerClient (compatibility wrapper) --------------------------------
+
+SchoonerClient::SchoonerClient(sim::Cluster& cluster, sim::EndpointPtr endpoint,
+                               std::string manager_address,
+                               std::string description,
+                               std::vector<std::string> manager_replicas)
+    : session_(std::make_unique<Session>(cluster, endpoint->machine().name,
+                                         std::move(manager_address),
+                                         std::move(manager_replicas))) {
+  line_ = session_->adopt_line(std::move(endpoint),
+                               LineOptions{}.with_name(std::move(description)));
 }
 
 }  // namespace npss::rpc

@@ -3,12 +3,22 @@
 // processes, import stubs for calling, sch_i_quit for line teardown, and
 // the §4.2 extension sch_move for migrating a running procedure.
 //
-// One SchoonerClient == one *line*: a sequential thread of control with
-// its own procedure name space under the shared, persistent Manager.
+// Multi-tenant surface (DESIGN.md §15): a Session owns one Manager
+// connection — the cached leader identity, admission policy, and the
+// per-line binding caches — and mints lightweight Line handles from it.
+// Each Line is one of the paper's §4 "lines": a sequential thread of
+// control with its own procedure name space, its own teardown
+// (sch_i_quit), and — past the paper — its own fault budget (LineBudget)
+// and Manager-granted call quota, so thousands of concurrent lines share
+// one resident fleet without sharing failure modes. The historical
+// `SchoonerClient` (one client == one line) remains as a thin
+// compatibility wrapper over Session + one Line; new code should use
+// Session/Line directly.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "rpc/calling.hpp"
@@ -18,24 +28,26 @@
 
 namespace npss::rpc {
 
-class SchoonerClient;
+class Line;
+class Session;
 
 /// An imported remote procedure (the client stub the stub compiler would
-/// have generated from the import specification).
+/// have generated from the import specification). Stubs are minted by
+/// Line::import_proc and must not outlive their Line.
 class RemoteProc {
  public:
   /// Fault-tolerant invoke: `args` is parallel to the import signature
   /// (res-slot inputs are ignored), `opts` carries the deadline/retry/
   /// failover policy. Failure comes back typed in CallResult.status —
-  /// this overload does not throw for transport or peer errors.
+  /// this overload does not throw for transport or peer errors. The
+  /// owning line's LineBudget is charged unless `opts` names another.
   CallResult call(uts::ValueList args, const CallOptions& opts);
 
   /// Overlapping fault-tolerant invoke: the call runs on a worker thread
   /// and the caller collects the CallResult from the future. The owning
-  /// client's endpoint serves one call at a time, so overlap calls on
-  /// *different* stubs of *different* clients (as the flow executive does
-  /// for independent remote components) — not two async calls on one
-  /// client.
+  /// line's endpoint serves one call at a time, so overlap calls on
+  /// *different* lines (as the flow executive does for independent remote
+  /// components) — not two async calls on one line.
   std::future<CallResult> call_async(uts::ValueList args,
                                      const CallOptions& opts);
 
@@ -43,9 +55,14 @@ class RemoteProc {
   /// stub's default options and raises the terminal status as its
   /// original Error subclass. Returns the full slot list with res/var
   /// slots holding the results.
+  [[deprecated(
+      "use call(args, CallOptions) and branch on CallResult.status "
+      "(or .values_or_raise() where a throw is wanted)")]]
   uts::ValueList call(uts::ValueList args);
 
   /// Legacy throwing async variant.
+  [[deprecated(
+      "use call_async(args, CallOptions); get() yields a CallResult")]]
   std::future<uts::ValueList> call_async(uts::ValueList args);
 
   /// Default CallOptions used by the legacy throwing surface (initially
@@ -61,8 +78,9 @@ class RemoteProc {
   const uts::MarshalPlan& request_plan() const { return *cache_.request_plan; }
   const uts::MarshalPlan& reply_plan() const { return *cache_.reply_plan; }
 
-  /// Per-stub metrics for the benches (process-wide aggregates live in
-  /// the global obs::Registry under rpc.client.*).
+  /// Per-stub call count; lookups/stale_retries read the line's shared
+  /// binding cache for this procedure (two stubs importing the same name
+  /// on one line share a cache, so the second import is born bound).
   int calls() const { return static_cast<int>(calls_.value()); }
   int lookups() const { return static_cast<int>(cache_.lookups.value()); }
   int stale_retries() const {
@@ -78,25 +96,16 @@ class RemoteProc {
   void invalidate() { cache_.address.clear(); }
 
  private:
-  friend class SchoonerClient;
-  RemoteProc(SchoonerClient& owner, std::string name, uts::ProcDecl decl,
-             std::string import_text)
-      : owner_(&owner),
-        name_(std::move(name)),
-        decl_(std::move(decl)),
-        import_text_(std::move(import_text)) {
-    cache_.request_plan =
-        uts::compile_plan(decl_.signature, uts::Direction::kRequest);
-    cache_.reply_plan =
-        uts::compile_plan(decl_.signature, uts::Direction::kReply);
-  }
+  friend class Line;
+  RemoteProc(Line& owner, std::string name, uts::ProcDecl decl,
+             std::string import_text, BindingCache& cache);
 
-  SchoonerClient* owner_;
+  Line* owner_;
   std::string name_;
   uts::ProcDecl decl_;
   std::string import_text_;
   CallOptions options_ = CallOptions::legacy();
-  BindingCache cache_;
+  BindingCache& cache_;  ///< owned by the Line, shared per (name, import)
   obs::Counter calls_;
 };
 
@@ -106,26 +115,61 @@ struct StartResult {
   std::vector<std::pair<std::string, std::string>> exports;
 };
 
-class SchoonerClient {
+/// Builder-style per-line options:
+///   session.open_line(LineOptions{}
+///                         .with_name("tenant-42")
+///                         .with_budget({.virtual_us = 5'000'000,
+///                                       .retries = 32}));
+struct LineOptions {
+  /// Human-readable line description, recorded in the Manager's (and the
+  /// replicated changelog's) line table.
+  std::string name = "line";
+  /// The line's fault budget (all-zero = unlimited). The Manager's
+  /// per-line outstanding-call quota is folded in at admission.
+  LineBudget::Limits budget;
+  /// Admission retries when the Manager answers kLineRejected (the
+  /// max_lines gate): total registration attempts, and the host-time
+  /// pause between them (virtual time advances in step so seeded runs
+  /// stay deterministic). admission_attempts = 1 fails fast.
+  int admission_attempts = 1;
+  int admission_backoff_ms = 20;
+
+  LineOptions& with_name(std::string n) {
+    name = std::move(n);
+    return *this;
+  }
+  LineOptions& with_budget(LineBudget::Limits limits) {
+    budget = limits;
+    return *this;
+  }
+  LineOptions& with_admission(int attempts, int backoff_ms = 20) {
+    admission_attempts = attempts;
+    admission_backoff_ms = backoff_ms;
+    return *this;
+  }
+};
+
+/// One §4 line: a sequential thread of control with its own procedure
+/// name space under the Session's Manager. Duplicate procedure names
+/// across lines are fine — each line binds through its own name space.
+/// A Line is driven by one thread at a time (its endpoint's reply
+/// matching is single-caller); run many Lines for concurrency. Must not
+/// outlive its Session.
+class Line {
  public:
-  /// Registers a new line with the Manager at `manager_address`.
-  /// `endpoint` is this participant's mailbox (typically on the AVS
-  /// workstation machine). `manager_replicas` is the full Manager replica
-  /// group (empty for a classic standalone Manager): with it set, every
-  /// Manager exchange survives a leader death by rediscovering the new
-  /// leader through kMetaWhoIsLeader and re-issuing the request.
-  SchoonerClient(sim::Cluster& cluster, sim::EndpointPtr endpoint,
-                 std::string manager_address, std::string description,
-                 std::vector<std::string> manager_replicas = {});
+  ~Line();
+  Line(const Line&) = delete;
+  Line& operator=(const Line&) = delete;
 
-  ~SchoonerClient();
-  SchoonerClient(const SchoonerClient&) = delete;
-  SchoonerClient& operator=(const SchoonerClient&) = delete;
-
-  LineId line() const { return line_; }
+  LineId id() const { return line_; }
+  const std::string& name() const { return name_; }
   MessageIo& io() { return io_; }
-  const std::string& manager_address() const { return manager_; }
   const arch::ArchDescriptor& arch() const;
+  Session& session() { return *session_; }
+
+  /// The line's shared fault budget; every stub charges it. The Manager's
+  /// outstanding-call quota (kLineAck.n) has been folded in.
+  const std::shared_ptr<LineBudget>& budget() const { return budget_; }
 
   /// sch_contact_schx: ask the Manager to start the executable at `path`
   /// on `machine` as part of this line (or as a shared procedure).
@@ -134,7 +178,8 @@ class SchoonerClient {
 
   /// Build a stub from an import declaration. `import_spec_text` must hold
   /// exactly one import declaration for `name` (or pass the whole text of
-  /// a spec file plus the name to select).
+  /// a spec file plus the name to select). Stubs importing the same
+  /// (name, declaration) pair share one binding cache on this line.
   std::unique_ptr<RemoteProc> import_proc(const std::string& name,
                                           const std::string& import_spec_text);
 
@@ -152,26 +197,151 @@ class SchoonerClient {
   bool active() const { return line_ != kNoLine; }
 
  private:
+  friend class Session;
   friend class RemoteProc;
+  friend class SchoonerClient;
+
+  /// Registers the line with the Manager (kRegisterLine), honoring the
+  /// admission backoff in `opts`. `owns_endpoint` = the Session created
+  /// the endpoint for this line and should retire it on teardown (false
+  /// for the endpoint adopted by the SchoonerClient shim).
+  Line(Session& session, sim::EndpointPtr endpoint, LineOptions opts,
+       bool owns_endpoint);
+
   /// The one invoke path every RemoteProc surface (sync/async, throwing/
-  /// status-returning) funnels through.
+  /// status-returning) funnels through; stamps the line budget into opts.
   CallResult invoke(RemoteProc& proc, uts::ValueList args,
                     const CallOptions& opts);
   CallCore call_core();
-  /// Manager request with leader re-bind: on a dead or deposed Manager
-  /// (NoRoute / kNotLeader) rediscover the leader and re-issue. Raises
-  /// error replies as exceptions, like io().call does.
-  Message manager_call(Message msg);
-  /// Poll the replica group for the current leader and adopt it; throws
-  /// util::UnavailableError when none surfaces.
-  void rebind_to_leader();
+  /// Find-or-create the binding cache for a (name, import) pair,
+  /// compiling the marshal plans on first sight. References are stable
+  /// (map nodes) for the life of the Line.
+  BindingCache& cache_for(const std::string& name,
+                          const uts::Signature& signature,
+                          const std::string& import_text);
+  CallOptions with_budget(const CallOptions& opts) const;
 
-  sim::Cluster* cluster_;
+  Session* session_;
   sim::EndpointPtr endpoint_;
   MessageIo io_;
+  std::string name_;
+  LineId line_ = kNoLine;
+  bool owns_endpoint_ = false;
+  std::shared_ptr<LineBudget> budget_;
+  /// Per-line binding caches, keyed "name\n<import text>" — the §4.2
+  /// name cache, hoisted out of the stubs so re-imports share bindings.
+  std::map<std::string, BindingCache> caches_;
+};
+
+/// The Manager connection shared by many lines: the cached leader
+/// identity (re-pointed after elections, under a mutex — lines race to
+/// update it), and the factory for Line handles. One Session per client
+/// process is the intended shape; it must outlive every Line it opened.
+class Session {
+ public:
+  /// `machine` is the cluster machine this session's lines live on (their
+  /// endpoints and native formats). `manager_replicas` is the full
+  /// Manager replica group (empty for a classic standalone Manager):
+  /// with it set, every Manager exchange survives a leader death by
+  /// rediscovering the new leader and re-issuing the request.
+  Session(sim::Cluster& cluster, std::string machine,
+          std::string manager_address,
+          std::vector<std::string> manager_replicas = {});
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Register a new line with the Manager and hand back its handle.
+  /// Throws util::LineRejectedError when the Manager's admission gate
+  /// (SystemOptions::max_lines) still refuses after the admission backoff
+  /// in `opts` is spent.
+  std::unique_ptr<Line> open_line(LineOptions opts = {});
+
+  /// Current Manager leader, as this session last saw it.
+  std::string manager_address() const;
+  const std::string& machine() const { return machine_; }
+  sim::Cluster& cluster() { return *cluster_; }
+  const std::vector<std::string>& manager_replicas() const {
+    return replicas_;
+  }
+  /// Lines this session successfully opened (admission rejections and
+  /// quits do not decrement; diagnostic).
+  long lines_opened() const { return lines_opened_; }
+
+ private:
+  friend class Line;
+  friend class SchoonerClient;
+
+  /// Open a line over a caller-supplied endpoint (the SchoonerClient
+  /// adoption path; the endpoint is not retired on teardown).
+  std::unique_ptr<Line> adopt_line(sim::EndpointPtr endpoint,
+                                   LineOptions opts);
+
+  /// Manager request over `io` with leader re-bind: on a dead or deposed
+  /// Manager (NoRoute / kNotLeader) rediscover the leader and re-issue.
+  /// Raises error replies as exceptions, like MessageIo::call does.
+  Message manager_call(MessageIo& io, Message msg);
+  /// Poll the replica group for the current leader and adopt it; throws
+  /// util::UnavailableError when none surfaces.
+  void rebind_to_leader(MessageIo& io);
+  std::string leader() const;
+  void note_leader(const std::string& leader);
+
+  sim::Cluster* cluster_;
+  std::string machine_;
+  mutable std::mutex mu_;   ///< guards manager_ (lines update it in races)
   std::string manager_;
   std::vector<std::string> replicas_;
-  LineId line_ = kNoLine;
+  std::atomic<long> lines_opened_{0};
+  std::atomic<long> line_seq_{0};  ///< endpoint-label suffix for open_line
+};
+
+/// Compatibility wrapper: one SchoonerClient == one line, exactly the
+/// pre-session API. Deprecated in favor of Session + Line (a Session
+/// amortizes the Manager connection over many lines and carries the
+/// admission/budget machinery); kept fully functional so existing tests
+/// and adapted modules migrate incrementally.
+class SchoonerClient {
+ public:
+  /// Registers a new line with the Manager at `manager_address`.
+  /// `endpoint` is this participant's mailbox (typically on the AVS
+  /// workstation machine).
+  SchoonerClient(sim::Cluster& cluster, sim::EndpointPtr endpoint,
+                 std::string manager_address, std::string description,
+                 std::vector<std::string> manager_replicas = {});
+
+  ~SchoonerClient() = default;
+  SchoonerClient(const SchoonerClient&) = delete;
+  SchoonerClient& operator=(const SchoonerClient&) = delete;
+
+  LineId line() const { return line_->id(); }
+  MessageIo& io() { return line_->io(); }
+  std::string manager_address() const { return session_->manager_address(); }
+  const arch::ArchDescriptor& arch() const { return line_->arch(); }
+
+  StartResult contact_schx(const std::string& machine,
+                           const std::string& path, bool shared = false) {
+    return line_->contact_schx(machine, path, shared);
+  }
+  std::unique_ptr<RemoteProc> import_proc(
+      const std::string& name, const std::string& import_spec_text) {
+    return line_->import_proc(name, import_spec_text);
+  }
+  std::string move_proc(const std::string& name, const std::string& machine,
+                        const std::string& path = "",
+                        bool transfer_state = false) {
+    return line_->move_proc(name, machine, path, transfer_state);
+  }
+  void quit() { line_->quit(); }
+  bool active() const { return line_->active(); }
+
+  /// The wrapped handles, for code mid-migration.
+  Session& session() { return *session_; }
+  Line& as_line() { return *line_; }
+
+ private:
+  std::unique_ptr<Session> session_;
+  std::unique_ptr<Line> line_;
 };
 
 }  // namespace npss::rpc

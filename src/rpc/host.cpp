@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <mutex>
+#include <thread>
 
 #include "obs/trace.hpp"
 #include "rpc/calling.hpp"
 #include "rpc/manager.hpp"
+#include "util/fair_queue.hpp"
 #include "util/log.hpp"
 #include "util/sha256.hpp"
 
@@ -63,6 +66,12 @@ class HostRuntime {
   uts::ValueList call_remote(const std::string& name,
                              const std::string& import_text,
                              uts::ValueList args) {
+    if (options_.workers > 0) {
+      // The dispatch loop owns io_.receive(); a nested call from a worker
+      // would race it for the reply stream.
+      throw util::ModelError(
+          "nested call_remote is unavailable in a pooled host (workers > 0)");
+    }
     auto decl_it = nested_decls_.find(import_text);
     if (decl_it == nested_decls_.end()) {
       decl_it = nested_decls_
@@ -77,7 +86,9 @@ class HostRuntime {
     core.arch = &ctx_.self().arch();
     core.compute = [this](double us) { compute(us); };
     BindingCache& cache = nested_cache_[name];
-    return core.invoke(name, decl, import_text, std::move(args), cache);
+    CallResult result = core.invoke(name, decl, import_text, std::move(args),
+                                    cache, CallOptions::legacy());
+    return std::move(result.values_or_raise());
   }
 
  private:
@@ -101,6 +112,9 @@ class HostRuntime {
                                   const std::string& proc_name,
                                   const std::string& import_text) {
     const std::string key = lower(proc_name) + "\n" + import_text;
+    // Pooled hosts reach here from several workers at once; map nodes are
+    // reference-stable, so callers may keep the entry past the lock.
+    std::scoped_lock lock(import_mu_);
     auto it = import_cache_.find(key);
     if (it != import_cache_.end()) return it->second;
 
@@ -159,11 +173,29 @@ class HostRuntime {
   }
 
   void serve() {
+    // Pooled mode (§15 fairness): kCall work queues per line and the pool
+    // drains lines round-robin, so one line's call storm waits behind its
+    // own earlier calls instead of starving every other line. Control
+    // messages stay on the dispatch thread, which also keeps sole
+    // ownership of io_.receive().
+    util::FairQueue<Incoming> queue;
+    std::vector<std::jthread> pool;
+    const int workers = std::max(options_.workers, 0);
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      pool.emplace_back([this, &queue] {
+        while (auto work = queue.pop()) on_call(*work);
+      });
+    }
     while (auto in = io_.receive()) {
       const Message& msg = in->msg;
       switch (msg.kind) {
         case MessageKind::kCall:
-          on_call(*in);
+          if (workers > 0) {
+            queue.push(msg.line, std::move(*in));
+          } else {
+            on_call(*in);
+          }
           break;
         case MessageKind::kStateRequest: {
           Message rep;
@@ -188,6 +220,10 @@ class HostRuntime {
                    Message{.kind = MessageKind::kPong, .seq = msg.seq});
           break;
         case MessageKind::kShutdownProc:
+          // Let the pool finish (and answer) everything already queued,
+          // then error-answer whatever is still in the mailbox.
+          queue.close();
+          pool.clear();
           drain_and_exit(msg.a);
           return;
         default:
@@ -198,6 +234,7 @@ class HostRuntime {
                                                 msg.kind))));
       }
     }
+    queue.close();
   }
 
   void on_call(const Incoming& in) {
@@ -205,6 +242,7 @@ class HostRuntime {
     // Adopt the caller's trace so both hops share one trace id; nested
     // remote calls made by the handler become children of this span.
     obs::Span span("rpc.host", "serve " + msg.a, msg.trace);
+    span.set_line(msg.line);
     try {
       auto it = handlers_.find(lower(msg.a));
       if (it == handlers_.end()) {
@@ -299,6 +337,7 @@ class HostRuntime {
   std::map<std::string, HandlerEntry> handlers_;
   std::map<std::string, BindingCache> nested_cache_;
   std::map<std::string, uts::ProcDecl> nested_decls_;
+  std::mutex import_mu_;  ///< guards import_cache_ in pooled mode
   std::map<std::string, ImportEntry> import_cache_;
 };
 

@@ -96,6 +96,15 @@ struct ProcedureImageOptions {
   /// A procedure with neither hook is stateless and freely movable.
   std::function<util::Bytes()> save_state;
   std::function<void(std::span<const std::uint8_t>)> restore_state;
+  /// Worker pool size for serving kCall. 0 (default) keeps the historical
+  /// single-threaded loop. With N > 0, calls queue per *line* and N
+  /// workers drain the lines round-robin (util::FairQueue), so one line's
+  /// call storm queues behind itself instead of starving its neighbors —
+  /// the shared-fleet fairness half of DESIGN.md §15. Pooled hosts serve
+  /// concurrent calls, so handlers must be thread-safe; nested
+  /// ProcCall::call_remote is unavailable in pooled mode (the reply
+  /// stream is owned by the dispatch loop).
+  int workers = 0;
 };
 
 /// Build a program image exporting `procs` per `spec_text` (which must hold

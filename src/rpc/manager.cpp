@@ -101,6 +101,7 @@ class NameDb {
 struct Line {
   LineId id = kNoLine;
   std::string description;
+  std::int64_t quota = 0;  ///< outstanding-call quota granted at admission
   NameDb db;
 };
 
@@ -152,6 +153,7 @@ class ManagerState {
       Line line;
       line.id = id;
       line.description = info.description;
+      line.quota = info.quota;
       lines_.emplace(id, std::move(line));
     }
     for (const auto& [address, group] : st.exports()) {
@@ -221,24 +223,54 @@ class ManagerState {
   }
 
   void on_register_line(const Incoming& in) {
+    // Admission gate: past max_lines the Manager says no instead of
+    // degrading for everyone already admitted. The client's
+    // Session::open_line backs off and re-asks (capacity frees when a
+    // neighbor quits).
+    if (config_.max_lines > 0 &&
+        lines_.size() >= static_cast<std::size_t>(config_.max_lines)) {
+      ++stats_->lines_rejected;
+      bump("lines_rejected");
+      if (obs::enabled()) {
+        obs::Registry::global().counter("rpc.line.rejected").add();
+      }
+      NPSS_LOG_DEBUG("manager", "line for '", in.msg.a, "' rejected (",
+                     lines_.size(), "/", config_.max_lines, " lines active)");
+      reply(in, Message::error_reply(
+                    in.msg, ErrorCode::kLineRejected,
+                    "manager at capacity: " +
+                        std::to_string(config_.max_lines) +
+                        " concurrent line(s) admitted"));
+      return;
+    }
     Line line;
     line.id = next_line_++;
     line.description = in.msg.a;
+    line.quota = config_.line_call_quota;
     ++stats_->lines_created;
     bump("lines_created");
+    if (obs::enabled()) {
+      obs::Registry& reg = obs::Registry::global();
+      reg.counter("rpc.line.admitted").add();
+      reg.gauge("rpc.line.active").add(1);
+    }
     NPSS_LOG_DEBUG("manager", "line ", line.id, " registered for '",
                    in.msg.a, "' (", in.from, ")");
     LineId id = line.id;
+    const std::int64_t quota = line.quota;
     lines_.emplace(id, std::move(line));
     if (commit_) {
       meta::ChangeRecord rec;
       rec.kind = meta::RecordKind::kLineCreate;
       rec.line = id;
       rec.note = in.msg.a;
+      rec.quota = quota;
       commit_(std::move(rec));
     }
+    // The ack grants the per-line outstanding-call quota in .n; the
+    // client folds it into the line's LineBudget.
     reply(in, Message{.kind = MessageKind::kLineAck, .seq = in.msg.seq,
-                      .line = id});
+                      .line = id, .n = quota});
   }
 
   /// Spawn `path` on `machine` through its Server; returns the new address.
@@ -569,6 +601,9 @@ class ManagerState {
       lines_.erase(it);
       ++stats_->lines_shut_down;
       bump("lines_shut_down");
+      if (obs::enabled()) {
+        obs::Registry::global().gauge("rpc.line.active").sub(1);
+      }
       if (commit_) {
         meta::ChangeRecord rec;
         rec.kind = meta::RecordKind::kLineQuit;
@@ -664,6 +699,10 @@ class ManagerState {
   void on_stop(const Incoming& in) {
     for (auto& [id, line] : lines_) {
       shutdown_line_procs(line, "manager stopping");
+    }
+    if (obs::enabled() && !lines_.empty()) {
+      obs::Registry::global().gauge("rpc.line.active").sub(
+          static_cast<double>(lines_.size()));
     }
     lines_.clear();
     for (const BindingPtr& b : shared_db_.all()) {

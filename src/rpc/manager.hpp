@@ -55,6 +55,16 @@ struct ManagerConfig {
   /// machine name -> Server address (SchoonerSystem fills this in).
   std::map<std::string, std::string> servers;
 
+  /// --- Admission control (multi-tenant session layer, DESIGN.md §15) --
+  /// Most lines the Manager will carry at once; a kRegisterLine beyond it
+  /// is answered with a kLineRejected error reply and the client backs
+  /// off (Session::open_line). 0 = unlimited (the historical behavior).
+  int max_lines = 0;
+  /// Per-line outstanding-call quota granted at admission (kLineAck.n).
+  /// Enforced client-side by the line's LineBudget — the Manager states
+  /// the policy once instead of refereeing every call. 0 = unlimited.
+  int line_call_quota = 0;
+
   /// Strict static-check mode: when set, every export a process registers
   /// is cross-checked against `static_manifest` (the "exports" table of a
   /// `uts_check --json` run over the configuration's spec files). An export
@@ -93,6 +103,8 @@ struct ManagerConfig {
 /// Counters the benches read after a run (exposed through ManagerHandle).
 struct ManagerStats {
   std::uint64_t lines_created = 0;
+  /// kRegisterLine refusals from the max_lines admission gate.
+  std::uint64_t lines_rejected = 0;
   std::uint64_t processes_started = 0;
   std::uint64_t lookups = 0;
   std::uint64_t type_check_failures = 0;

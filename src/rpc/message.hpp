@@ -4,7 +4,12 @@
 // message frame, byte-encoded (big-endian) onto the virtual fabric. Field
 // usage per kind:
 //
-//   kRegisterLine   a=requester description            -> kLineAck line=id
+//   kRegisterLine   a=requester description            -> kLineAck line=id,
+//                                                         n=per-line call
+//                                                           quota (0 = none);
+//                                                      or kError
+//                                                         n=kLineRejected
+//                                                         (admission gate)
 //   kStartRequest   line, a=machine, b=path,
 //                   n bit0 = shared procedure          -> kStartAck a=addr
 //   kSpawn          a=path, b=label, table=argv        -> kSpawnAck a=addr

@@ -20,6 +20,9 @@ SchoonerSystem::SchoonerSystem(sim::Cluster& cluster,
     server_addresses_[machine] = ep->address();
   }
 
+  config.max_lines = options.max_lines;
+  config.line_call_quota = options.line_call_quota;
+
   const int replicas = std::max(options.manager_replicas, 1);
   config.replicated = replicas > 1;
   config.heartbeat_ms = options.heartbeat_ms;
@@ -74,6 +77,7 @@ ManagerStats SchoonerSystem::stats() const {
   ManagerStats total;
   for (const auto& s : stats_) {
     total.lines_created += s->lines_created;
+    total.lines_rejected += s->lines_rejected;
     total.processes_started += s->processes_started;
     total.lookups += s->lookups;
     total.type_check_failures += s->type_check_failures;
@@ -107,6 +111,15 @@ std::unique_ptr<SchoonerClient> SchoonerSystem::make_client(
   return std::make_unique<SchoonerClient>(*cluster_, std::move(ep),
                                           manager_address_, description,
                                           std::move(replicas));
+}
+
+std::unique_ptr<Session> SchoonerSystem::make_session(
+    const std::string& machine) {
+  std::vector<std::string> replicas =
+      replica_addresses_.size() > 1 ? replica_addresses_
+                                    : std::vector<std::string>{};
+  return std::make_unique<Session>(*cluster_, machine, manager_address_,
+                                   std::move(replicas));
 }
 
 void SchoonerSystem::stop() {

@@ -46,6 +46,15 @@ struct SystemOptions {
   std::uint64_t election_seed = 1;
   /// Compact the changelog into a snapshot every N appends (0 = never).
   std::uint64_t snapshot_interval = 32;
+
+  /// --- Multi-tenant session layer (DESIGN.md §15) ---------------------
+  /// Most concurrent lines the Manager admits; registration beyond it is
+  /// refused with kLineRejected and Session::open_line backs off.
+  /// 0 = unlimited.
+  int max_lines = 0;
+  /// Per-line outstanding-call quota granted at admission and enforced by
+  /// the line's LineBudget. 0 = unlimited.
+  int line_call_quota = 0;
 };
 
 class SchoonerSystem {
@@ -70,8 +79,14 @@ class SchoonerSystem {
   }
 
   /// Make a client (== open a new line) whose endpoint lives on `machine`.
+  /// Compatibility surface; new code opens a Session and mints Lines.
   std::unique_ptr<SchoonerClient> make_client(const std::string& machine,
                                               const std::string& description);
+
+  /// Open a Session on `machine`: one Manager connection from which many
+  /// lightweight Line handles are created (session.open_line(...)). The
+  /// Session must not outlive this system.
+  std::unique_ptr<Session> make_session(const std::string& machine);
 
   /// Runtime counters accumulated by the Manager. With a replica group
   /// this is the sum over all replicas (each keeps its own tallies, so no

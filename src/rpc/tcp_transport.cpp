@@ -294,7 +294,8 @@ void TcpProcedureHost::on_frame(
     handle(conn, msg);
     return;
   }
-  work_.push(Work{conn, std::move(msg)});
+  const LineId line = msg.line;
+  work_.push(line, Work{conn, std::move(msg)});
 }
 
 std::shared_ptr<const TcpProcedureHost::Prepared>
@@ -544,12 +545,15 @@ CallResult TcpRemoteProc::call(uts::ValueList args, const CallOptions& opts) {
   return result;
 }
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 uts::ValueList TcpRemoteProc::call(uts::ValueList args) {
   CallOptions opts = CallOptions::legacy();
   opts.max_attempts = 1;  // the original stub made exactly one attempt
   CallResult result = call(std::move(args), opts);
   return std::move(result.values_or_raise());
 }
+#pragma GCC diagnostic pop
 
 PendingTcpCall TcpRemoteProc::call_async(uts::ValueList args,
                                          util::SimTime deadline_us) {

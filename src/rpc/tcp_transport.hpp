@@ -32,7 +32,7 @@
 #include "rpc/calling.hpp"
 #include "rpc/host.hpp"
 #include "rpc/message.hpp"
-#include "util/queue.hpp"
+#include "util/fair_queue.hpp"
 
 namespace npss::obs {
 class Counter;
@@ -133,7 +133,9 @@ class TcpProcedureHost {
   std::map<std::string, std::shared_ptr<const Prepared>> prepared_;
 
   std::unique_ptr<bus::BusDispatcher> dispatcher_;
-  util::BlockingQueue<Work> work_;
+  /// Per-line FIFO lanes drained round-robin: one line's call storm
+  /// queues behind itself, not in front of every other line (§15).
+  util::FairQueue<Work> work_;
   std::vector<std::jthread> workers_;
 };
 
@@ -188,6 +190,8 @@ class TcpRemoteProc {
 
   /// Same contract as RemoteProc::call (legacy throwing surface: one
   /// attempt, no deadline).
+  [[deprecated(
+      "use call(args, CallOptions) and branch on CallResult.status")]]
   uts::ValueList call(uts::ValueList args);
 
   /// Issue the call and return immediately; many pending calls pipeline

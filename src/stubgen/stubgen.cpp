@@ -227,7 +227,9 @@ GeneratedStub generate_client_stub(const ProcDecl& decl) {
         << (&p - decl.signature.data()) << "].type));\n";
     }
   }
-  h << "    uts::ValueList out = proc_->call(std::move(args));\n";
+  h << "    npss::rpc::CallResult reply =\n"
+       "        proc_->call(std::move(args), proc_->call_options());\n";
+  h << "    uts::ValueList& out = reply.values_or_raise();\n";
   h << "    Result result{};\n";
   std::size_t idx = 0;
   for (const Param& p : decl.signature) {

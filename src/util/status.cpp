@@ -27,6 +27,8 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kUnavailable: return "unavailable";
     case ErrorCode::kOk: return "ok";
     case ErrorCode::kNotLeader: return "not-leader";
+    case ErrorCode::kLineRejected: return "line-rejected";
+    case ErrorCode::kBudgetExhausted: return "budget-exhausted";
   }
   return "unknown";
 }
@@ -54,6 +56,8 @@ void raise_error(ErrorCode code, const std::string& message) {
     case ErrorCode::kDeadlineExceeded: throw DeadlineError(message);
     case ErrorCode::kUnavailable: throw UnavailableError(message);
     case ErrorCode::kNotLeader: throw NotLeaderError(message);
+    case ErrorCode::kLineRejected: throw LineRejectedError(message);
+    case ErrorCode::kBudgetExhausted: throw BudgetExhaustedError(message);
     case ErrorCode::kOk: break;
     case ErrorCode::kUnknown: break;
   }

@@ -46,6 +46,9 @@ enum class ErrorCode {
   kOk,               ///< success sentinel for Status (never thrown)
   // Replicated control plane (appended)
   kNotLeader,        ///< request reached a Manager follower, not the leader
+  // Multi-tenant session layer (appended)
+  kLineRejected,     ///< Manager admission control refused the new line
+  kBudgetExhausted,  ///< the line's fault budget is spent; call refused
 };
 
 /// Human-readable name for an ErrorCode (used in messages and logs).
@@ -94,6 +97,8 @@ NPSS_DEFINE_ERROR(ModelError, kModelError);
 NPSS_DEFINE_ERROR(DeadlineError, kDeadlineExceeded);
 NPSS_DEFINE_ERROR(UnavailableError, kUnavailable);
 NPSS_DEFINE_ERROR(NotLeaderError, kNotLeader);
+NPSS_DEFINE_ERROR(LineRejectedError, kLineRejected);
+NPSS_DEFINE_ERROR(BudgetExhaustedError, kBudgetExhausted);
 
 #undef NPSS_DEFINE_ERROR
 
