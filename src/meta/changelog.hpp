@@ -5,6 +5,12 @@
 // then names the oldest retained record. A follower that needs records
 // older than first_index() is served the snapshot instead — the
 // snapshot + log-tail catch-up path.
+//
+// Threading: replica-thread confined (lock_hierarchy.md). A Changelog
+// is owned by one replica's manager_main loop and is never shared, so
+// it carries no lock; cross-replica effects travel as messages. Counter
+// visibility to the bench thread goes through the replica's
+// ManagerCounters, never through this object.
 #pragma once
 
 #include <cstdint>

@@ -14,6 +14,9 @@
 //     longer log, tie-broken by the lower rank. Even if scheduling ever
 //     produced simultaneous candidates, both orderings agree on one
 //     winner, so the election result is deterministic regardless.
+//
+// Threading: pure functions of their arguments — no shared state, no
+// locks; callable from any replica thread (lock_hierarchy.md).
 #pragma once
 
 #include <cstdint>

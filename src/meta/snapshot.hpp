@@ -3,6 +3,10 @@
 // every older one), so the store keeps exactly one, plus counters for the
 // benches. install() is how both a leader compaction and a follower
 // catch-up transfer land.
+//
+// Threading: replica-thread confined, like the Changelog it compacts
+// (lock_hierarchy.md) — owned by one manager_main loop, no lock, no
+// cross-thread access.
 #pragma once
 
 #include <cstdint>

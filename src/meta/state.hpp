@@ -13,6 +13,12 @@
 // — so two replicas with equal state produce byte-identical images and
 // equal digest() values, which is how the fault suite proves the export
 // table survived a failover intact.
+//
+// Threading: replica-thread confined (lock_hierarchy.md). Each replica
+// owns one ReplicatedState, mutated only from its own manager_main
+// thread; replication happens by shipping records/snapshots, not by
+// sharing this object, so it is deliberately lock-free and carries no
+// thread-safety annotations.
 #pragma once
 
 #include <cstdint>

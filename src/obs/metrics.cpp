@@ -141,7 +141,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   Entry& e = entries_[name];
   if (e.gauge || e.histogram) {
     throw util::ModelError("metric '" + name + "' is not a counter");
@@ -151,7 +151,7 @@ Counter& Registry::counter(const std::string& name) {
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   Entry& e = entries_[name];
   if (e.counter || e.histogram) {
     throw util::ModelError("metric '" + name + "' is not a gauge");
@@ -162,7 +162,7 @@ Gauge& Registry::gauge(const std::string& name) {
 
 Histogram& Registry::histogram(const std::string& name,
                                const std::vector<double>& upper_bounds) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   Entry& e = entries_[name];
   if (e.counter || e.gauge) {
     throw util::ModelError("metric '" + name + "' is not a histogram");
@@ -172,7 +172,7 @@ Histogram& Registry::histogram(const std::string& name,
 }
 
 std::vector<std::string> Registry::names() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) out.push_back(name);
@@ -180,7 +180,7 @@ std::vector<std::string> Registry::names() const {
 }
 
 std::vector<std::string> Registry::active_names() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::string> out;
   for (const auto& [name, e] : entries_) {
     const bool active = (e.counter && e.counter->value() > 0) ||
@@ -192,12 +192,12 @@ std::vector<std::string> Registry::active_names() const {
 }
 
 bool Registry::has(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return entries_.contains(name);
 }
 
 const Counter& Registry::find_counter(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end() || !it->second.counter) {
     throw util::ModelError("no counter named '" + name + "'");
@@ -206,7 +206,7 @@ const Counter& Registry::find_counter(const std::string& name) const {
 }
 
 const Gauge& Registry::find_gauge(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end() || !it->second.gauge) {
     throw util::ModelError("no gauge named '" + name + "'");
@@ -215,7 +215,7 @@ const Gauge& Registry::find_gauge(const std::string& name) const {
 }
 
 const Histogram& Registry::find_histogram(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end() || !it->second.histogram) {
     throw util::ModelError("no histogram named '" + name + "'");
@@ -239,7 +239,7 @@ void format_double(std::ostringstream& os, double v) {
 }  // namespace
 
 std::string Registry::to_text() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::ostringstream os;
   for (const auto& [name, e] : entries_) {
     if (e.counter) {
@@ -264,7 +264,7 @@ std::string Registry::to_text() const {
 }
 
 std::string Registry::to_json() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::ostringstream os;
   os << "{\"counters\":{";
   bool first = true;
@@ -310,7 +310,7 @@ std::string Registry::to_json() const {
 }
 
 void Registry::reset() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [name, e] : entries_) {
     if (e.counter) e.counter->reset();
     if (e.gauge) e.gauge->reset();

@@ -18,9 +18,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace npss::obs {
 
@@ -158,8 +160,11 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  // Leaf lock (lock_hierarchy.md): registration and export serialize on
+  // it, but nothing else is ever acquired under it. Hot-path recording
+  // goes through the returned handles, which are lock-free atomics.
+  mutable util::Mutex mu_{"obs.Registry"};
+  std::map<std::string, Entry> entries_ SCHOONER_GUARDED_BY(mu_);
 };
 
 }  // namespace npss::obs

@@ -48,7 +48,7 @@ SpanCollector& SpanCollector::global() {
 SpanCollector::SpanCollector(std::size_t capacity) : capacity_(capacity) {}
 
 void SpanCollector::record(SpanRecord rec) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   if (spans_.size() >= capacity_) {
     ++dropped_;
     return;
@@ -57,12 +57,12 @@ void SpanCollector::record(SpanRecord rec) {
 }
 
 std::vector<SpanRecord> SpanCollector::snapshot() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return spans_;
 }
 
 std::vector<SpanRecord> SpanCollector::trace(std::uint64_t trace_id) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<SpanRecord> out;
   for (const SpanRecord& s : spans_) {
     if (s.trace_id == trace_id) out.push_back(s);
@@ -75,17 +75,17 @@ std::vector<SpanRecord> SpanCollector::trace(std::uint64_t trace_id) const {
 }
 
 std::size_t SpanCollector::size() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return spans_.size();
 }
 
 std::uint64_t SpanCollector::dropped() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return dropped_;
 }
 
 void SpanCollector::clear() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   spans_.clear();
   dropped_ = 0;
 }

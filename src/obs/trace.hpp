@@ -12,9 +12,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace npss::obs {
 
@@ -73,10 +75,12 @@ class SpanCollector {
   std::string render_tree(std::size_t max_traces = 8) const;
 
  private:
-  mutable std::mutex mu_;
+  // Leaf lock (lock_hierarchy.md): record/snapshot hold it briefly and
+  // never take another lock under it.
+  mutable util::Mutex mu_{"obs.SpanCollector"};
   std::size_t capacity_;
-  std::vector<SpanRecord> spans_;
-  std::uint64_t dropped_ = 0;
+  std::vector<SpanRecord> spans_ SCHOONER_GUARDED_BY(mu_);
+  std::uint64_t dropped_ SCHOONER_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII span. Opening a span makes it the thread's current context;

@@ -76,7 +76,7 @@ std::future<Message> BusChannel::send(
     std::uint64_t seq, const std::function<void(util::ByteWriter&)>& framer) {
   std::future<Message> fut;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (closed_) {
       throw util::CallError("bus channel closed: " + close_status_.message());
     }
@@ -94,16 +94,18 @@ std::future<Message> BusChannel::send(
   }
   if (!queued) {
     // The connection died between the closed_ check and the send; the
-    // on_close sweep may or may not have seen our waiter.
+    // on_close sweep may or may not have seen our waiter. The status is
+    // re-read under the lock — on_close may still be mid-write on the
+    // loop thread at this point.
     if (abandon(seq)) {
-      throw util::CallError("bus channel closed: " + close_status_.message());
+      throw util::CallError("bus channel closed: " + close_status().message());
     }
   }
   return fut;
 }
 
 bool BusChannel::abandon(std::uint64_t seq) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = waiting_.find(seq);
   if (it == waiting_.end()) return false;
   waiting_.erase(it);
@@ -114,7 +116,7 @@ bool BusChannel::abandon(std::uint64_t seq) {
 void BusChannel::on_frame(Message&& msg) {
   std::promise<Message> waiter;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = waiting_.find(msg.seq);
     if (it == waiting_.end()) {
       // The caller abandoned this seq (deadline) — the late reply is
@@ -132,7 +134,7 @@ void BusChannel::on_frame(Message&& msg) {
 void BusChannel::on_close(const util::Status& why) {
   std::map<std::uint64_t, std::promise<Message>> orphans;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (closed_) return;
     closed_ = true;
     close_status_ = why;
@@ -156,7 +158,7 @@ TcpBus& TcpBus::instance() {
 std::shared_ptr<BusChannel> TcpBus::channel(const std::string& host,
                                             int port) {
   const std::string key = host + ":" + std::to_string(port);
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = channels_.find(key);
   if (it != channels_.end() && it->second->alive()) return it->second;
   auto ch = BusChannel::open(dispatcher_, host, port);

@@ -14,10 +14,11 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "rpc/bus/dispatcher.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace npss::rpc::bus {
 
@@ -51,7 +52,12 @@ class BusChannel : public std::enable_shared_from_this<BusChannel> {
   bool abandon(std::uint64_t seq);
 
   bool alive() const { return conn_ && conn_->alive(); }
-  const util::Status& close_status() const { return close_status_; }
+  /// By value: the status is written by the loop thread's on_close while
+  /// callers may be mid-send, so a reference would be a torn read.
+  util::Status close_status() const {
+    util::MutexLock lock(mu_);
+    return close_status_;
+  }
   const std::shared_ptr<BusConnection>& connection() const { return conn_; }
   std::size_t max_frame_bytes() const { return max_frame_bytes_; }
 
@@ -65,10 +71,11 @@ class BusChannel : public std::enable_shared_from_this<BusChannel> {
   std::size_t max_frame_bytes_ = 0;
   std::atomic<std::uint64_t> seq_{0};
 
-  std::mutex mu_;
-  std::map<std::uint64_t, std::promise<Message>> waiting_;
-  bool closed_ = false;
-  util::Status close_status_;
+  mutable util::Mutex mu_{"bus.BusChannel"};
+  std::map<std::uint64_t, std::promise<Message>> waiting_
+      SCHOONER_GUARDED_BY(mu_);
+  bool closed_ SCHOONER_GUARDED_BY(mu_) = false;
+  util::Status close_status_ SCHOONER_GUARDED_BY(mu_);
 };
 
 /// The process-wide client bus: one dispatcher thread, one shared channel
@@ -89,8 +96,9 @@ class TcpBus {
   // pooled channels go first and the dispatcher (whose loop fires their
   // on_close callbacks) outlives them.
   BusDispatcher dispatcher_{"tcp-bus-client"};
-  std::mutex mu_;
-  std::map<std::string, std::shared_ptr<BusChannel>> channels_;
+  util::Mutex mu_{"bus.TcpBus.pool"};
+  std::map<std::string, std::shared_ptr<BusChannel>> channels_
+      SCHOONER_GUARDED_BY(mu_);
 };
 
 /// Blocking TCP connect (IPv4 dotted quad), TCP_NODELAY set. Throws

@@ -72,7 +72,7 @@ BusConnection::~BusConnection() = default;
 bool BusConnection::send_frame(
     const std::function<void(util::ByteWriter&)>& framer) {
   {
-    std::lock_guard lock(out_mu_);
+    util::MutexLock lock(out_mu_);
     if (!alive_.load(std::memory_order_relaxed)) return false;
     const std::size_t mark = pending_.size();
     try {
@@ -159,7 +159,7 @@ void BusDispatcher::listen(int listen_fd,
 }
 
 void BusDispatcher::post(std::function<void()> op) {
-  std::lock_guard lock(ctl_mu_);
+  util::MutexLock lock(ctl_mu_);
   ctl_.push_back(std::move(op));
 }
 
@@ -188,7 +188,7 @@ void BusDispatcher::stop() {
   }
   std::vector<std::function<void()>> ops;
   {
-    std::lock_guard lock(ctl_mu_);
+    util::MutexLock lock(ctl_mu_);
     ops.swap(ctl_);
   }
   for (auto& op : ops) op();
@@ -204,7 +204,7 @@ void BusDispatcher::close_conn(const std::shared_ptr<BusConnection>& c,
                                const util::Status& why) {
   bool was_alive;
   {
-    std::lock_guard lock(c->out_mu_);
+    util::MutexLock lock(c->out_mu_);
     was_alive = c->alive_.exchange(false, std::memory_order_acq_rel);
   }
   if (!was_alive) return;
@@ -220,7 +220,7 @@ void BusDispatcher::close_conn(const std::shared_ptr<BusConnection>& c,
 }
 
 void BusDispatcher::pull_pending(BusConnection& c) {
-  std::lock_guard lock(c.out_mu_);
+  util::MutexLock lock(c.out_mu_);
   if (c.pending_.size() == 0) return;
   if (c.pending_frames_ > 1 && obs::enabled()) {
     bus_metrics().frames_coalesced.add(c.pending_frames_ - 1);
@@ -325,7 +325,7 @@ void BusDispatcher::loop(std::string name) {
     // Control ops first (registrations, requested closes).
     std::vector<std::function<void()>> ops;
     {
-      std::lock_guard lock(ctl_mu_);
+      util::MutexLock lock(ctl_mu_);
       ops.swap(ctl_);
     }
     for (auto& op : ops) op();

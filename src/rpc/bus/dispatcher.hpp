@@ -19,7 +19,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -27,7 +26,9 @@
 #include "rpc/bus/frame.hpp"
 #include "rpc/message.hpp"
 #include "util/bytes.hpp"
+#include "util/mutex.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace npss::rpc::bus {
 
@@ -81,11 +82,14 @@ class BusConnection : public std::enable_shared_from_this<BusConnection> {
 
   // Writer side: any thread appends under out_mu_; the loop moves the
   // pending buffer into its private segment queue.
-  std::mutex out_mu_;
-  util::ByteWriter pending_;
-  std::size_t pending_frames_ = 0;
+  util::Mutex out_mu_{"bus.BusConnection.out"};
+  util::ByteWriter pending_ SCHOONER_GUARDED_BY(out_mu_);
+  std::size_t pending_frames_ SCHOONER_GUARDED_BY(out_mu_) = 0;
 
-  // Loop-thread-only state.
+  // Loop-thread-only state: touched exclusively by the dispatcher's
+  // loop thread (flush / read_ready / close_conn), so it needs no lock.
+  // The annotations can't express thread confinement; the dispatcher's
+  // loop() is the only code path that reaches these.
   std::deque<util::Bytes> segs_;  ///< buffers awaiting write
   std::size_t seg_off_ = 0;       ///< consumed prefix of segs_.front()
   FrameDecoder decoder_;
@@ -140,10 +144,11 @@ class BusDispatcher {
   std::atomic<bool> wake_pending_{false};
   std::atomic<bool> stopping_{false};
 
-  std::mutex ctl_mu_;
-  std::vector<std::function<void()>> ctl_;
+  util::Mutex ctl_mu_{"bus.BusDispatcher.ctl"};
+  std::vector<std::function<void()>> ctl_ SCHOONER_GUARDED_BY(ctl_mu_);
 
-  // Loop-thread-only.
+  // Loop-thread-only (same confinement contract as BusConnection's
+  // decoder state: only loop() and its helpers touch these).
   std::vector<std::shared_ptr<BusConnection>> conns_;
   struct Listener {
     int fd;

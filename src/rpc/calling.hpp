@@ -30,6 +30,14 @@ constexpr double kMarshalUsPerByte = 0.02;
 /// procedure in the line", §4.2). The per-stub metrics are obs counters;
 /// process-wide aggregates of the same events land in the global
 /// obs::Registry under rpc.client.*.
+///
+/// Threading: line-thread confined, deliberately unlocked
+/// (lock_hierarchy.md). A BindingCache is owned by one Line and touched
+/// only by that line's sequential thread of control — the single-caller
+/// contract of DESIGN.md §15/§16 — so guarding it would buy nothing.
+/// Cross-thread sharing happens one level down, in the LineBudget the
+/// line's stubs share, whose counters are atomics for exactly that
+/// reason.
 struct BindingCache {
   std::string address;        ///< empty = unbound
   std::string resolved_name;  ///< exporter-cased name

@@ -29,12 +29,12 @@ Session::Session(sim::Cluster& cluster, std::string machine,
 std::string Session::manager_address() const { return leader(); }
 
 std::string Session::leader() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return manager_;
 }
 
 void Session::note_leader(const std::string& leader) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   if (leader == manager_) return;
   NPSS_LOG_INFO("client", "manager leader moved: ", manager_, " -> ", leader);
   count("rpc.meta.rebinds_after_failover");

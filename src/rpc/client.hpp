@@ -18,12 +18,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "rpc/calling.hpp"
 #include "rpc/io.hpp"
 #include "rpc/message.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "uts/spec.hpp"
 
 namespace npss::rpc {
@@ -230,6 +231,9 @@ class Line {
   std::shared_ptr<LineBudget> budget_;
   /// Per-line binding caches, keyed "name\n<import text>" — the §4.2
   /// name cache, hoisted out of the stubs so re-imports share bindings.
+  /// Thread-confined: a Line has one owning caller by contract
+  /// (DESIGN.md §15/§16), so this needs no lock; cross-thread use of one
+  /// Line is a caller bug, not a data structure this layer defends.
   std::map<std::string, BindingCache> caches_;
 };
 
@@ -289,8 +293,11 @@ class Session {
 
   sim::Cluster* cluster_;
   std::string machine_;
-  mutable std::mutex mu_;   ///< guards manager_ (lines update it in races)
-  std::string manager_;
+  /// Leader-cache lock: lines race to re-point manager_ after an
+  /// election. note_leader logs under it, so Session.leader orders
+  /// before util.Logger in the hierarchy (lock_hierarchy.md).
+  mutable util::Mutex mu_{"rpc.Session.leader"};
+  std::string manager_ SCHOONER_GUARDED_BY(mu_);
   std::vector<std::string> replicas_;
   std::atomic<long> lines_opened_{0};
   std::atomic<long> line_seq_{0};  ///< endpoint-label suffix for open_line

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cctype>
-#include <mutex>
 #include <thread>
 
 #include "obs/trace.hpp"
@@ -10,7 +9,9 @@
 #include "rpc/manager.hpp"
 #include "util/fair_queue.hpp"
 #include "util/log.hpp"
+#include "util/mutex.hpp"
 #include "util/sha256.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace npss::rpc {
 
@@ -114,7 +115,7 @@ class HostRuntime {
     const std::string key = lower(proc_name) + "\n" + import_text;
     // Pooled hosts reach here from several workers at once; map nodes are
     // reference-stable, so callers may keep the entry past the lock.
-    std::scoped_lock lock(import_mu_);
+    util::MutexLock lock(import_mu_);
     auto it = import_cache_.find(key);
     if (it != import_cache_.end()) return it->second;
 
@@ -337,8 +338,15 @@ class HostRuntime {
   std::map<std::string, HandlerEntry> handlers_;
   std::map<std::string, BindingCache> nested_cache_;
   std::map<std::string, uts::ProcDecl> nested_decls_;
-  std::mutex import_mu_;  ///< guards import_cache_ in pooled mode
-  std::map<std::string, ImportEntry> import_cache_;
+  /// Guards import_cache_ in pooled mode; a leaf lock — compiling an
+  /// entry (parse + plan compile) runs under it but takes only the
+  /// uts.PlanCache below it (lock_hierarchy.md). The rest of
+  /// HostRuntime's state is dispatch-thread-only: handlers_ and the
+  /// nested caches are built at serve() start and then read-only to
+  /// workers, and io_.receive() is owned by the dispatch thread alone.
+  util::Mutex import_mu_{"rpc.Host.import_cache"};
+  std::map<std::string, ImportEntry> import_cache_
+      SCHOONER_GUARDED_BY(import_mu_);
 };
 
 const uts::Value& ProcCall::arg(std::size_t index) const {

@@ -21,6 +21,7 @@ namespace {
 
 using util::ErrorCode;
 
+// ManagerCounters is the live atomic tally each replica increments;
 // ManagerStats stays the copyable per-system snapshot the benches read;
 // the global registry carries the cumulative process-wide view.
 void bump(const char* name) {
@@ -125,7 +126,7 @@ struct PendingStart {
 class ManagerState {
  public:
   ManagerState(MessageIo& io, const ManagerConfig& config,
-               std::shared_ptr<ManagerStats> stats)
+               std::shared_ptr<ManagerCounters> stats)
       : io_(io), config_(config), stats_(std::move(stats)) {
     // Manifest names obey the same case-synonym rule as the NameDb.
     for (const auto& [name, text] : config_.static_manifest) {
@@ -720,7 +721,7 @@ class ManagerState {
 
   MessageIo& io_;
   const ManagerConfig& config_;
-  std::shared_ptr<ManagerStats> stats_;
+  std::shared_ptr<ManagerCounters> stats_;
   std::function<void(meta::ChangeRecord)> commit_;
   /// case-folded name -> manifest declaration text (owned by config_).
   std::map<std::string, const std::string*> folded_manifest_;
@@ -747,7 +748,7 @@ class ManagerState {
 class ReplicaDriver {
  public:
   ReplicaDriver(MessageIo& io, const ManagerConfig& config,
-                std::shared_ptr<ManagerStats> stats)
+                std::shared_ptr<ManagerCounters> stats)
       : io_(io), config_(config), stats_(stats),
         manager_(io, config, std::move(stats)) {
     manager_.set_commit([this](meta::ChangeRecord rec) { commit(rec); });
@@ -1279,7 +1280,7 @@ class ReplicaDriver {
 
   MessageIo& io_;
   const ManagerConfig& config_;
-  std::shared_ptr<ManagerStats> stats_;
+  std::shared_ptr<ManagerCounters> stats_;
   ManagerState manager_;
 
   bool running_ = true;
@@ -1313,7 +1314,7 @@ uts::ProcDecl parse_signature_text(const std::string& text) {
 }
 
 void manager_main(sim::ProcessContext& ctx, const ManagerConfig& config,
-                  std::shared_ptr<ManagerStats> stats) {
+                  std::shared_ptr<ManagerCounters> stats) {
   MessageIo io(ctx.cluster(), ctx.self_ptr());
   if (config.replicated) {
     ReplicaDriver driver(io, config, std::move(stats));

@@ -21,6 +21,8 @@
 //    caller's line.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -124,8 +126,52 @@ struct ManagerStats {
   std::uint64_t snapshot_installs = 0;  ///< snapshots captured or received
 };
 
+/// The live counters a running replica increments. Atomic field by
+/// field: each counter is bumped on its replica's own thread while
+/// SchoonerSystem::stats() sums across the group from the test/bench
+/// thread, so plain uint64 fields would be a data race. Relaxed order is
+/// enough — each counter is an independent tally, not a synchronization
+/// point.
+struct ManagerCounters {
+  std::atomic<std::uint64_t> lines_created{0};
+  std::atomic<std::uint64_t> lines_rejected{0};
+  std::atomic<std::uint64_t> processes_started{0};
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> type_check_failures{0};
+  std::atomic<std::uint64_t> moves{0};
+  std::atomic<std::uint64_t> lines_shut_down{0};
+  std::atomic<std::uint64_t> static_check_failures{0};
+  std::atomic<std::uint64_t> stale_manifest_warnings{0};
+  std::atomic<std::uint64_t> compat_rejects{0};
+  std::atomic<std::uint64_t> leader_elections{0};
+  std::atomic<std::uint64_t> log_appends{0};
+  std::atomic<std::uint64_t> snapshot_installs{0};
+
+  /// The copyable view callers aggregate and compare.
+  ManagerStats snapshot() const {
+    ManagerStats s;
+    s.lines_created = lines_created.load(std::memory_order_relaxed);
+    s.lines_rejected = lines_rejected.load(std::memory_order_relaxed);
+    s.processes_started = processes_started.load(std::memory_order_relaxed);
+    s.lookups = lookups.load(std::memory_order_relaxed);
+    s.type_check_failures =
+        type_check_failures.load(std::memory_order_relaxed);
+    s.moves = moves.load(std::memory_order_relaxed);
+    s.lines_shut_down = lines_shut_down.load(std::memory_order_relaxed);
+    s.static_check_failures =
+        static_check_failures.load(std::memory_order_relaxed);
+    s.stale_manifest_warnings =
+        stale_manifest_warnings.load(std::memory_order_relaxed);
+    s.compat_rejects = compat_rejects.load(std::memory_order_relaxed);
+    s.leader_elections = leader_elections.load(std::memory_order_relaxed);
+    s.log_appends = log_appends.load(std::memory_order_relaxed);
+    s.snapshot_installs = snapshot_installs.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
 /// The Manager's process body; spawned by SchoonerSystem.
 void manager_main(sim::ProcessContext& ctx, const ManagerConfig& config,
-                  std::shared_ptr<ManagerStats> stats);
+                  std::shared_ptr<ManagerCounters> stats);
 
 }  // namespace npss::rpc

@@ -40,7 +40,7 @@ SchoonerSystem::SchoonerSystem(sim::Cluster& cluster,
     homes.push_back(pool[static_cast<std::size_t>(i - 1) % pool.size()]);
   }
   for (int i = 0; i < replicas; ++i) {
-    auto stats = std::make_shared<ManagerStats>();
+    auto stats = std::make_shared<ManagerCounters>();
     stats_.push_back(stats);
     sim::EndpointPtr ep = cluster.spawn(
         homes[static_cast<std::size_t>(i)], "schx-manager",
@@ -74,21 +74,25 @@ SchoonerSystem::SchoonerSystem(sim::Cluster& cluster,
 }
 
 ManagerStats SchoonerSystem::stats() const {
+  // Each replica thread is still bumping its counters while we read;
+  // snapshot() loads every field atomically, so the sum is race-free
+  // (if not a single consistent instant, which callers don't need).
   ManagerStats total;
   for (const auto& s : stats_) {
-    total.lines_created += s->lines_created;
-    total.lines_rejected += s->lines_rejected;
-    total.processes_started += s->processes_started;
-    total.lookups += s->lookups;
-    total.type_check_failures += s->type_check_failures;
-    total.moves += s->moves;
-    total.lines_shut_down += s->lines_shut_down;
-    total.static_check_failures += s->static_check_failures;
-    total.stale_manifest_warnings += s->stale_manifest_warnings;
-    total.compat_rejects += s->compat_rejects;
-    total.leader_elections += s->leader_elections;
-    total.log_appends += s->log_appends;
-    total.snapshot_installs += s->snapshot_installs;
+    const ManagerStats r = s->snapshot();
+    total.lines_created += r.lines_created;
+    total.lines_rejected += r.lines_rejected;
+    total.processes_started += r.processes_started;
+    total.lookups += r.lookups;
+    total.type_check_failures += r.type_check_failures;
+    total.moves += r.moves;
+    total.lines_shut_down += r.lines_shut_down;
+    total.static_check_failures += r.static_check_failures;
+    total.stale_manifest_warnings += r.stale_manifest_warnings;
+    total.compat_rejects += r.compat_rejects;
+    total.leader_elections += r.leader_elections;
+    total.log_appends += r.log_appends;
+    total.snapshot_installs += r.snapshot_installs;
   }
   return total;
 }

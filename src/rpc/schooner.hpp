@@ -105,8 +105,9 @@ class SchoonerSystem {
   std::string manager_address_;
   std::vector<std::string> replica_addresses_;
   std::map<std::string, std::string> server_addresses_;
-  /// One ManagerStats per replica (index-aligned with replica_addresses_).
-  std::vector<std::shared_ptr<ManagerStats>> stats_;
+  /// One live counter block per replica (index-aligned with
+  /// replica_addresses_); stats() sums snapshots across the group.
+  std::vector<std::shared_ptr<ManagerCounters>> stats_;
   bool running_ = false;
 };
 

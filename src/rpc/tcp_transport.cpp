@@ -302,7 +302,7 @@ std::shared_ptr<const TcpProcedureHost::Prepared>
 TcpProcedureHost::prepared_for(const Message& msg) {
   const std::string key = msg.a + '\n' + msg.b;
   {
-    std::lock_guard lock(prep_mu_);
+    util::MutexLock lock(prep_mu_);
     auto it = prepared_.find(key);
     if (it != prepared_.end()) return it->second;
   }
@@ -331,7 +331,7 @@ TcpProcedureHost::prepared_for(const Message& msg) {
       uts::compile_plan(prep->import_decl.signature, uts::Direction::kRequest);
   prep->reply_plan =
       uts::compile_plan(prep->import_decl.signature, uts::Direction::kReply);
-  std::lock_guard lock(prep_mu_);
+  util::MutexLock lock(prep_mu_);
   prepared_[key] = prep;
   return prep;
 }

@@ -33,6 +33,8 @@
 #include "rpc/host.hpp"
 #include "rpc/message.hpp"
 #include "util/fair_queue.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace npss::obs {
 class Counter;
@@ -129,8 +131,13 @@ class TcpProcedureHost {
   std::atomic<bool> stopping_{false};
   std::atomic<long> calls_{0};
 
-  std::mutex prep_mu_;
-  std::map<std::string, std::shared_ptr<const Prepared>> prepared_;
+  /// Guards the prepared-call cache workers race to fill; leaf lock
+  /// except for the uts.PlanCache taken while compiling an entry
+  /// (lock_hierarchy.md). handlers_ / arch_ / port_ are set before the
+  /// workers start and read-only afterward.
+  util::Mutex prep_mu_{"rpc.TcpHost.prepared"};
+  std::map<std::string, std::shared_ptr<const Prepared>> prepared_
+      SCHOONER_GUARDED_BY(prep_mu_);
 
   std::unique_ptr<bus::BusDispatcher> dispatcher_;
   /// Per-line FIFO lanes drained round-robin: one line's call storm

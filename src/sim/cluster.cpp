@@ -30,7 +30,7 @@ Cluster::~Cluster() { shutdown(); }
 Machine& Cluster::add_machine(const std::string& name,
                               const std::string& arch_key,
                               const std::string& site) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto [it, inserted] = machines_.try_emplace(
       name, Machine{name, &arch::arch_catalog(arch_key), site});
   if (!inserted) {
@@ -40,7 +40,7 @@ Machine& Cluster::add_machine(const std::string& name,
 }
 
 const Machine& Cluster::machine(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = machines_.find(name);
   if (it == machines_.end()) {
     throw NoSuchMachineError("unknown machine '" + name + "'");
@@ -49,12 +49,12 @@ const Machine& Cluster::machine(const std::string& name) const {
 }
 
 bool Cluster::has_machine(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return machines_.contains(name);
 }
 
 std::vector<std::string> Cluster::machine_names() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(machines_.size());
   for (const auto& [name, m] : machines_) names.push_back(name);
@@ -64,13 +64,13 @@ std::vector<std::string> Cluster::machine_names() const {
 void Cluster::set_site_link(const std::string& site_a,
                             const std::string& site_b,
                             const LinkProfile& profile) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   site_links_[{std::min(site_a, site_b), std::max(site_a, site_b)}] = profile;
 }
 
 void Cluster::set_link_up(const std::string& site_a,
                           const std::string& site_b, bool up) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto key = std::make_pair(std::min(site_a, site_b),
                             std::max(site_a, site_b));
   if (up) {
@@ -81,18 +81,17 @@ void Cluster::set_link_up(const std::string& site_a,
 }
 
 void Cluster::set_intra_site_link(const LinkProfile& profile) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   intra_site_ = profile;
 }
 
 void Cluster::set_intra_machine_link(const LinkProfile& profile) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   intra_machine_ = profile;
 }
 
-const LinkProfile& Cluster::route(const Machine& from,
-                                  const Machine& to) const {
-  std::lock_guard lock(mu_);
+LinkProfile Cluster::route(const Machine& from, const Machine& to) const {
+  util::MutexLock lock(mu_);
   if (from.name == to.name) return intra_machine_;
   if (from.site == to.site) return intra_site_;
   auto key = std::make_pair(std::min(from.site, to.site),
@@ -111,7 +110,7 @@ const LinkProfile& Cluster::route(const Machine& from,
 
 void Cluster::install_image(const std::string& machine,
                             const std::string& path, ProgramImage image) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   if (!machines_.contains(machine)) {
     throw NoSuchMachineError("install_image: unknown machine '" + machine +
                              "'");
@@ -121,13 +120,13 @@ void Cluster::install_image(const std::string& machine,
 
 bool Cluster::has_image(const std::string& machine,
                         const std::string& path) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return images_.contains({machine, path});
 }
 
 EndpointPtr Cluster::create_endpoint(const std::string& machine,
                                      const std::string& label) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = machines_.find(machine);
   if (it == machines_.end()) {
     throw NoSuchMachineError("create_endpoint: unknown machine '" + machine +
@@ -145,7 +144,7 @@ EndpointPtr Cluster::spawn(const std::string& machine,
                            std::vector<std::string> args) {
   EndpointPtr ep = create_endpoint(machine, label);
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     threads_.emplace_back([this, ep, image = std::move(image),
                            args = std::move(args)]() mutable {
       ProcessContext ctx(*this, ep, std::move(args));
@@ -167,7 +166,7 @@ EndpointPtr Cluster::spawn_image(const std::string& machine,
                                  std::vector<std::string> args) {
   ProgramImage image;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = images_.find({machine, path});
     if (it == images_.end()) {
       throw NoSuchImageError("no executable '" + path + "' on machine '" +
@@ -181,7 +180,7 @@ EndpointPtr Cluster::spawn_image(const std::string& machine,
 void Cluster::retire_endpoint(const std::string& address) {
   EndpointPtr ep;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = endpoints_.find(address);
     if (it == endpoints_.end()) return;
     ep = it->second;
@@ -192,7 +191,7 @@ void Cluster::retire_endpoint(const std::string& address) {
 
 void Cluster::crash_process(const std::string& address) {
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (!endpoints_.contains(address)) return;
     ++crashes_;
   }
@@ -206,7 +205,7 @@ void Cluster::crash_process(const std::string& address) {
 int Cluster::crash_machine(const std::string& machine) {
   std::vector<std::string> victims;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     for (const auto& [addr, ep] : endpoints_) {
       if (ep->machine().name == machine) victims.push_back(addr);
     }
@@ -216,28 +215,29 @@ int Cluster::crash_machine(const std::string& machine) {
 }
 
 bool Cluster::endpoint_alive(const std::string& address) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return endpoints_.contains(address);
 }
 
 void Cluster::send(Endpoint& from, const std::string& to,
                    util::Bytes payload) {
   EndpointPtr dest;
-  const LinkProfile* link = nullptr;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = endpoints_.find(to);
     if (it == endpoints_.end()) {
       throw NoRouteError("no endpoint at address '" + to + "'");
     }
     dest = it->second;
   }
-  link = &route(from.machine(), dest->machine());
+  // By value: the profile is read outside the lock below, and the
+  // routing table may be reconfigured concurrently.
+  const LinkProfile link = route(from.machine(), dest->machine());
   const std::size_t size = payload.size();
-  util::SimTime stamp = from.clock().now() + link->transfer_time(size);
+  util::SimTime stamp = from.clock().now() + link.transfer_time(size);
   FaultAction action = FaultAction::kDeliver;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     // A partition swallows the frame silently: the sender gets no error
     // (unlike a link taken down), the receiver gets nothing — peers can
     // only notice through heartbeat/reply timeouts.
@@ -257,12 +257,12 @@ void Cluster::send(Endpoint& from, const std::string& to,
     }
     ++traffic_.messages;
     traffic_.bytes += size;
-    Traffic& per_link = traffic_by_link_[link->name];
+    Traffic& per_link = traffic_by_link_[link.name];
     ++per_link.messages;
     per_link.bytes += size;
     if (faults_.active()) {
       util::SimTime extra = 0;
-      action = faults_.next(link->name, &extra);
+      action = faults_.next(link.name, &extra);
       if (action == FaultAction::kDelay) stamp += extra;
     }
   }
@@ -276,11 +276,11 @@ void Cluster::send(Endpoint& from, const std::string& to,
     // The frame vanishes on the wire: the sender paid the send, the
     // receiver never hears about it. Callers recover via deadlines.
     NPSS_LOG_DEBUG("sim", from.address(), " -> ", to, " DROPPED on ",
-                   link->name);
+                   link.name);
     return;
   }
   NPSS_LOG_TRACE("sim", from.address(), " -> ", to, " (", size, " bytes via ",
-                 link->name, ")");
+                 link.name, ")");
   if (action == FaultAction::kDuplicate) {
     dest->inbox_.push(Envelope{from.address(), to, stamp, payload});
   }
@@ -294,7 +294,7 @@ void Cluster::shutdown() {
   std::unordered_map<std::string, EndpointPtr> eps;
   std::vector<std::jthread> threads;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     eps.swap(endpoints_);
     threads.swap(threads_);
   }
@@ -303,24 +303,24 @@ void Cluster::shutdown() {
 }
 
 Cluster::Traffic Cluster::traffic() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return traffic_;
 }
 
 std::map<std::string, Cluster::Traffic> Cluster::traffic_by_link() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return traffic_by_link_;
 }
 
 void Cluster::reset_traffic() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   traffic_ = {};
   traffic_by_link_.clear();
 }
 
 void Cluster::partition(const std::vector<std::string>& group_a,
                         const std::vector<std::string>& group_b) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::set<std::string> a, b;
   for (const std::string& name : group_a) {
     if (!machines_.contains(name)) {
@@ -340,7 +340,7 @@ void Cluster::partition(const std::vector<std::string>& group_a,
 }
 
 void Cluster::heal() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   if (!partitions_.empty()) {
     NPSS_LOG_WARN("sim", "partitions healed (", partitions_.size(),
                   " removed)");
@@ -349,34 +349,34 @@ void Cluster::heal() {
 }
 
 std::uint64_t Cluster::partition_drops() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return partition_drops_;
 }
 
 void Cluster::set_fault_seed(std::uint64_t seed) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   faults_.set_seed(seed);
 }
 
 void Cluster::set_link_faults(const std::string& link_name,
                               const FaultSpec& spec) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   faults_.set_link_faults(link_name, spec);
 }
 
 void Cluster::clear_faults() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   faults_.clear();
   faults_.reset_stats();
 }
 
 FaultInjector::Stats Cluster::fault_stats() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return faults_.stats();
 }
 
 std::uint64_t Cluster::crashes() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return crashes_;
 }
 

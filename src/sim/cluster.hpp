@@ -16,7 +16,6 @@
 #include <map>
 #include <set>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -27,8 +26,10 @@
 #include "sim/network.hpp"
 #include "util/bytes.hpp"
 #include "util/clock.hpp"
+#include "util/mutex.hpp"
 #include "util/queue.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace npss::sim {
 
@@ -148,7 +149,11 @@ class Cluster {
   /// Link used between processes on the same machine.
   void set_intra_machine_link(const LinkProfile& profile);
 
-  const LinkProfile& route(const Machine& from, const Machine& to) const;
+  /// The link profile a frame between these machines would ride. By
+  /// value: the routing table may be reconfigured (set_link,
+  /// set_link_up) while senders are in flight, so a reference into it
+  /// would be read off-lock.
+  LinkProfile route(const Machine& from, const Machine& to) const;
 
   // --- Program images (simulated executables) ----------------------------
   void install_image(const std::string& machine, const std::string& path,
@@ -231,24 +236,34 @@ class Cluster {
   std::uint64_t crashes() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Machine> machines_;
-  std::map<std::pair<std::string, std::string>, LinkProfile> site_links_;
-  std::set<std::pair<std::string, std::string>> links_down_;
-  LinkProfile intra_site_;
-  LinkProfile intra_machine_;
-  std::unordered_map<std::string, EndpointPtr> endpoints_;
-  std::map<std::pair<std::string, std::string>, ProgramImage> images_;
-  std::vector<std::jthread> threads_;
-  std::uint64_t next_pid_ = 1;
-  Traffic traffic_;
-  std::map<std::string, Traffic> traffic_by_link_;
-  FaultInjector faults_;
-  std::uint64_t crashes_ = 0;
+  /// One coarse lock over all cluster state. Standalone in the lock
+  /// hierarchy except for the util.Logger / obs.Registry leaves taken by
+  /// logging and drop accounting; critically, send() never holds it
+  /// while pushing into an endpoint's inbox (a BlockingQueue with its
+  /// own lock), so delivery cannot order sim.Cluster against mailbox
+  /// waits (lock_hierarchy.md).
+  mutable util::Mutex mu_{"sim.Cluster"};
+  std::map<std::string, Machine> machines_ SCHOONER_GUARDED_BY(mu_);
+  std::map<std::pair<std::string, std::string>, LinkProfile> site_links_
+      SCHOONER_GUARDED_BY(mu_);
+  std::set<std::pair<std::string, std::string>> links_down_
+      SCHOONER_GUARDED_BY(mu_);
+  LinkProfile intra_site_ SCHOONER_GUARDED_BY(mu_);
+  LinkProfile intra_machine_ SCHOONER_GUARDED_BY(mu_);
+  std::unordered_map<std::string, EndpointPtr> endpoints_
+      SCHOONER_GUARDED_BY(mu_);
+  std::map<std::pair<std::string, std::string>, ProgramImage> images_
+      SCHOONER_GUARDED_BY(mu_);
+  std::vector<std::jthread> threads_ SCHOONER_GUARDED_BY(mu_);
+  std::uint64_t next_pid_ SCHOONER_GUARDED_BY(mu_) = 1;
+  Traffic traffic_ SCHOONER_GUARDED_BY(mu_);
+  std::map<std::string, Traffic> traffic_by_link_ SCHOONER_GUARDED_BY(mu_);
+  FaultInjector faults_ SCHOONER_GUARDED_BY(mu_);
+  std::uint64_t crashes_ SCHOONER_GUARDED_BY(mu_) = 0;
   /// Active partitions as (group_a, group_b) machine-name sets.
   std::vector<std::pair<std::set<std::string>, std::set<std::string>>>
-      partitions_;
-  std::uint64_t partition_drops_ = 0;
+      partitions_ SCHOONER_GUARDED_BY(mu_);
+  std::uint64_t partition_drops_ SCHOONER_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace npss::sim

@@ -9,13 +9,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace npss::util {
 
@@ -30,7 +31,7 @@ class FairQueue {
   /// (dropping the item) if closed.
   bool push(std::int64_t key, T item) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return false;
       auto [it, fresh] = lanes_.try_emplace(key);
       it->second.push_back(std::move(item));
@@ -44,50 +45,53 @@ class FairQueue {
   /// Block until an item is available or the queue is closed and drained.
   /// Pops rotate across keys: each call serves the next non-empty lane.
   std::optional<T> pop() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return closed_ || size_ != 0; });
+    MutexLock lock(mu_);
+    while (!closed_ && size_ == 0) cv_.wait(lock);
     return take();
   }
 
   /// Like pop(), bounded by `timeout`. nullopt means closed-and-drained
   /// or timed out; callers that need to tell them apart check closed().
   std::optional<T> pop_for(std::chrono::milliseconds timeout) {
-    std::unique_lock lock(mu_);
-    cv_.wait_for(lock, timeout, [&] { return closed_ || size_ != 0; });
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (!closed_ && size_ == 0) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
     return take();
   }
 
   /// Wake all waiters; subsequent pushes are dropped, pops drain then stop.
   void close() {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return size_;
   }
 
   /// Keys currently holding queued items (diagnostic).
   std::size_t active_keys() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return rr_.size();
   }
 
  private:
   // Append `key` to the round-robin ring. Precondition: its lane just
   // became non-empty (a lane is enlisted at most once).
-  void enlist(std::int64_t key) { rr_.push_back(key); }
+  void enlist(std::int64_t key) SCHOONER_REQUIRES(mu_) { rr_.push_back(key); }
 
-  std::optional<T> take() {
+  std::optional<T> take() SCHOONER_REQUIRES(mu_) {
     if (size_ == 0) return std::nullopt;
     // Serve the lane at the cursor; skip (and drop) entries whose lane
     // emptied — lanes are only ever enlisted while non-empty, so each
@@ -109,12 +113,13 @@ class FairQueue {
     }
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<std::int64_t, std::deque<T>> lanes_;
-  std::deque<std::int64_t> rr_;  ///< keys with queued items, service order
-  std::size_t size_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_{"util.FairQueue"};
+  CondVar cv_;
+  std::map<std::int64_t, std::deque<T>> lanes_ SCHOONER_GUARDED_BY(mu_);
+  std::deque<std::int64_t> rr_ SCHOONER_GUARDED_BY(
+      mu_);  ///< keys with queued items, service order
+  std::size_t size_ SCHOONER_GUARDED_BY(mu_) = 0;
+  bool closed_ SCHOONER_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace npss::util

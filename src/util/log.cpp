@@ -25,7 +25,7 @@ Logger& Logger::instance() {
 
 void Logger::write(LogLevel level, const std::string& component,
                    const std::string& message) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::fprintf(stderr, "[%s] %-10s %s\n", level_tag(level), component.c_str(),
                message.c_str());
 }

@@ -4,9 +4,10 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "util/mutex.hpp"
 
 namespace npss::util {
 
@@ -32,7 +33,10 @@ class Logger {
 
  private:
   Logger() = default;
-  std::mutex mu_;
+  // Serializes sink writes only — a leaf lock in the hierarchy
+  // (lock_hierarchy.md): write() never takes another lock under it, so
+  // logging is safe from inside any critical section.
+  Mutex mu_{"util.Logger"};
   std::atomic<LogLevel> level_{LogLevel::kOff};
 };
 

@@ -10,9 +10,10 @@
 #include <atomic>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace npss::util {
 
@@ -36,8 +37,10 @@ inline void parallel_for(std::size_t begin, std::size_t end,
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
+  // Stack-local leaf lock: lives only for this fork-join, and the
+  // workers take nothing else while holding it.
   std::exception_ptr first_error;
-  std::mutex error_mu;
+  Mutex error_mu{"util.parallel_for.error"};
   std::atomic<bool> failed{false};
   {
     std::vector<std::jthread> pool;
@@ -55,7 +58,7 @@ inline void parallel_for(std::size_t begin, std::size_t end,
           }
         } catch (...) {
           failed.store(true, std::memory_order_relaxed);
-          std::lock_guard lock(error_mu);
+          MutexLock lock(error_mu);
           if (!first_error) first_error = std::current_exception();
         }
       });

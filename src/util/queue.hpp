@@ -3,11 +3,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace npss::util {
 
@@ -21,7 +22,7 @@ class BlockingQueue {
   /// Enqueue an item. Returns false (dropping the item) if closed.
   bool push(T item) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -32,8 +33,8 @@ class BlockingQueue {
   /// Block until an item is available or the queue is closed and drained.
   /// Returns nullopt only after close() once the queue is empty.
   std::optional<T> pop() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) cv_.wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -44,8 +45,11 @@ class BlockingQueue {
   /// or `timeout` elapses. A nullopt therefore means "closed" or "timed
   /// out"; callers that need to tell them apart check closed().
   std::optional<T> pop_for(std::chrono::milliseconds timeout) {
-    std::unique_lock lock(mu_);
-    cv_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); });
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -54,7 +58,7 @@ class BlockingQueue {
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -64,27 +68,27 @@ class BlockingQueue {
   /// Wake all waiters; subsequent pushes are dropped, pops drain then stop.
   void close() {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_{"util.BlockingQueue"};
+  CondVar cv_;
+  std::deque<T> items_ SCHOONER_GUARDED_BY(mu_);
+  bool closed_ SCHOONER_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace npss::util

@@ -1,0 +1,74 @@
+// Clang Thread Safety Analysis attribute macros (DESIGN.md §16). The
+// concurrency core annotates every shared field with the mutex that
+// guards it and every locking function with what it acquires, releases,
+// or requires; under clang the whole tree then compiles with
+// -Wthread-safety and the CI thread-safety lane promotes violations to
+// errors. Under other compilers (the default g++ build) every macro
+// expands to nothing, so the annotations are pure documentation there.
+//
+// Naming follows the attribute vocabulary of the analysis itself
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed to
+// keep them greppable and to avoid colliding with abseil-style macros a
+// vendored dependency might define.
+#pragma once
+
+#if defined(__clang__)
+#define SCHOONER_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SCHOONER_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a class as a capability (a lock). `x` is the name the analysis
+/// uses in diagnostics, e.g. SCHOONER_CAPABILITY("mutex").
+#define SCHOONER_CAPABILITY(x) SCHOONER_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (util::MutexLock).
+#define SCHOONER_SCOPED_CAPABILITY \
+  SCHOONER_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define SCHOONER_GUARDED_BY(x) SCHOONER_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by `x` (the pointer itself
+/// may be read freely).
+#define SCHOONER_PT_GUARDED_BY(x) SCHOONER_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function may only be called while already holding the listed
+/// capabilities; it does not acquire or release them. Used on private
+/// helpers called under the lock (e.g. FairQueue::take).
+#define SCHOONER_REQUIRES(...) \
+  SCHOONER_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and holds them on return.
+#define SCHOONER_ACQUIRE(...) \
+  SCHOONER_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (which must be held on entry).
+#define SCHOONER_RELEASE(...) \
+  SCHOONER_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition and returns `result` on success.
+#define SCHOONER_TRY_ACQUIRE(...) \
+  SCHOONER_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the listed capabilities
+/// (it acquires them itself; calling with them held would deadlock).
+#define SCHOONER_EXCLUDES(...) \
+  SCHOONER_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability (accessor used
+/// in other annotations).
+#define SCHOONER_RETURN_CAPABILITY(x) \
+  SCHOONER_THREAD_ANNOTATION(lock_returned(x))
+
+/// Runtime assertion that the calling thread holds `x`; informs the
+/// analysis without acquiring anything.
+#define SCHOONER_ASSERT_CAPABILITY(x) \
+  SCHOONER_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch for functions whose locking is deliberately outside the
+/// analysis (e.g. lock-free fences the checker cannot model). Use
+/// sparingly and document why at each site.
+#define SCHOONER_NO_THREAD_SAFETY_ANALYSIS \
+  SCHOONER_THREAD_ANNOTATION(no_thread_safety_analysis)

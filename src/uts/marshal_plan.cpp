@@ -4,7 +4,7 @@
 #include <cstring>
 #include <limits>
 #include <map>
-#include <mutex>
+#include "util/mutex.hpp"
 
 #include "obs/metrics.hpp"
 
@@ -488,11 +488,11 @@ std::shared_ptr<const MarshalPlan> compile_plan(const Signature& signature,
   // Keyed on the signature's canonical text: imports of the same
   // declaration (every stub of a shared procedure, every host serving the
   // same import text) share one compiled plan.
-  static std::mutex mu;
+  static util::Mutex mu{"uts.PlanCache"};
   static std::map<std::string, std::shared_ptr<const MarshalPlan>> cache;
   std::string key = signature_to_string(signature);
   key.push_back(direction == Direction::kRequest ? 'Q' : 'R');
-  std::lock_guard lock(mu);
+  util::MutexLock lock(mu);
   auto it = cache.find(key);
   if (it != cache.end()) return it->second;
   auto plan = std::make_shared<const MarshalPlan>(signature, direction);

@@ -1,0 +1,37 @@
+// Negative-test corpus for the thread-safety gate: this file contains a
+// *seeded* GUARDED_BY violation and must NOT compile under
+// clang -Wthread-safety -Werror. The build-and-expect-failure ctest
+// case in tests/CMakeLists.txt (negative.thread_safety_violation_rejected,
+// WILL_FAIL) proves the analysis is actually wired in — if the macros
+// ever degrade to no-ops under clang, or the CI lane drops the flags,
+// this file starts compiling and the suite goes red.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(long amount) {
+    // SEEDED BUG: balance_ is GUARDED_BY(mu_) but mu_ is not held here.
+    // -Wthread-safety must reject this line.
+    balance_ += amount;
+  }
+
+  long balance() const {
+    npss::util::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable npss::util::Mutex mu_{"negative.Account"};
+  long balance_ SCHOONER_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return account.balance() == 1 ? 0 : 1;
+}
