@@ -110,6 +110,20 @@ const std::vector<CodeInfo>& diagnostic_code_table() {
       {"UTS408", Severity::kNote,
        "predicted wavefront width for a dependency level (bench_scheduler "
        "expectation)"},
+      {"MC001", Severity::kError,
+       "election safety violated: two replicas both led the same term"},
+      {"MC002", Severity::kError,
+       "log consistency violated: two replicas committed different records "
+       "at the same index"},
+      {"MC003", Severity::kError,
+       "durability violated: a client-acknowledged change is missing from "
+       "the current leader's log and state"},
+      {"MC004", Severity::kError,
+       "convergence violated: two replicas applied the same index but their "
+       "state digests differ"},
+      {"MC005", Severity::kError,
+       "replay idempotence violated: re-applying a replica's own log to its "
+       "snapshot does not reproduce its state"},
   };
   return table;
 }

@@ -9,9 +9,12 @@
 //   UTS2xx  portability hazards across architecture pairs
 //   UTS3xx  spec evolution (uts_diff: old export surface vs new)
 //   UTS4xx  flow-network lint (flow_lint: the AVS-style module graph)
+//   MC0xx   replicated control-plane model checking (meta_check: safety
+//           invariants over every explored schedule, DESIGN.md §17)
 //
 // The full table lives in diagnostic_code_table() and is rendered by
-// `uts_check --list-codes` (and reproduced in DESIGN.md §11–12).
+// `uts_check --list-codes` / `meta_check --list-codes` (and reproduced in
+// DESIGN.md §11–12 and §17).
 #pragma once
 
 #include <cstdint>

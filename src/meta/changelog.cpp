@@ -10,7 +10,12 @@ std::uint64_t Changelog::append(ChangeRecord record) {
 }
 
 bool Changelog::append_at(std::uint64_t index, ChangeRecord record) {
-  if (index <= last_index()) return true;  // already held (duplicate)
+  if (index <= base_) return true;  // compacted away: snapshot covers it
+  if (index <= last_index()) {
+    if (at(index).term == record.term) return true;  // duplicate delivery
+    // Conflict: a deposed leader wrote this suffix. Truncate and replace.
+    truncate_suffix(index);
+  }
   if (index != last_index() + 1) return false;  // gap: caller must fetch
   records_.push_back(std::move(record));
   return true;
@@ -26,6 +31,22 @@ const ChangeRecord& Changelog::at(std::uint64_t index) const {
   return records_[index - base_ - 1];
 }
 
+std::uint64_t Changelog::term_at(std::uint64_t index) const {
+  if (index == 0) return 0;
+  if (index == base_) return base_term_;
+  return at(index).term;
+}
+
+void Changelog::truncate_suffix(std::uint64_t from) {
+  if (from > last_index()) return;
+  if (from <= base_) {
+    throw util::ProtocolError("truncate_suffix(" + std::to_string(from) +
+                              ") would cut into the compacted prefix (base " +
+                              std::to_string(base_) + ")");
+  }
+  records_.resize(static_cast<std::size_t>(from - base_ - 1));
+}
+
 std::vector<std::pair<std::uint64_t, ChangeRecord>> Changelog::tail(
     std::uint64_t from) const {
   std::vector<std::pair<std::uint64_t, ChangeRecord>> out;
@@ -37,15 +58,17 @@ std::vector<std::pair<std::uint64_t, ChangeRecord>> Changelog::tail(
 
 void Changelog::truncate_prefix(std::uint64_t upto) {
   while (!records_.empty() && base_ < upto) {
+    base_term_ = records_.front().term;
     records_.pop_front();
     ++base_;
   }
   if (records_.empty() && base_ < upto) base_ = upto;
 }
 
-void Changelog::reset(std::uint64_t base_index) {
+void Changelog::reset(std::uint64_t base_index, std::uint64_t base_term) {
   records_.clear();
   base_ = base_index;
+  base_term_ = base_term;
 }
 
 }  // namespace npss::meta

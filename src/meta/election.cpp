@@ -51,4 +51,22 @@ bool candidate_better(std::uint64_t last_index_a, std::uint64_t rank_a,
   return rank_a < rank_b;
 }
 
+bool candidate_better(std::uint64_t last_term_a, std::uint64_t last_index_a,
+                      std::uint64_t rank_a, std::uint64_t last_term_b,
+                      std::uint64_t last_index_b, std::uint64_t rank_b) {
+  if (last_term_a != last_term_b) return last_term_a > last_term_b;
+  if (last_index_a != last_index_b) return last_index_a > last_index_b;
+  return rank_a < rank_b;
+}
+
+bool log_up_to_date(std::uint64_t their_last_term,
+                    std::uint64_t their_last_index,
+                    std::uint64_t our_last_term,
+                    std::uint64_t our_last_index) {
+  if (their_last_term != our_last_term) {
+    return their_last_term > our_last_term;
+  }
+  return their_last_index >= our_last_index;
+}
+
 }  // namespace npss::meta

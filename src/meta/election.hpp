@@ -43,4 +43,20 @@ int election_timeout_ms(std::uint64_t seed, std::uint64_t term,
 bool candidate_better(std::uint64_t last_index_a, std::uint64_t rank_a,
                       std::uint64_t last_index_b, std::uint64_t rank_b);
 
+/// Term-aware vote/yield ordering for the quorum-commit protocol:
+/// (last log term, last index) lexicographically, rank as tie-break.
+bool candidate_better(std::uint64_t last_term_a, std::uint64_t last_index_a,
+                      std::uint64_t rank_a, std::uint64_t last_term_b,
+                      std::uint64_t last_index_b, std::uint64_t rank_b);
+
+/// The election restriction: a voter grants only when the candidate's
+/// log is at least as up to date as its own — (last term, last index)
+/// compared lexicographically. This is what makes the commit rule sound:
+/// a majority-committed entry lives on a majority, so any electable
+/// candidate carries it.
+bool log_up_to_date(std::uint64_t their_last_term,
+                    std::uint64_t their_last_index,
+                    std::uint64_t our_last_term,
+                    std::uint64_t our_last_index);
+
 }  // namespace npss::meta

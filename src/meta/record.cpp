@@ -11,6 +11,7 @@ std::string_view record_kind_name(RecordKind kind) {
     case RecordKind::kLineQuit: return "line-quit";
     case RecordKind::kExport: return "export";
     case RecordKind::kRetire: return "retire";
+    case RecordKind::kNoop: return "noop";
   }
   return "?";
 }
@@ -32,6 +33,7 @@ util::Bytes encode_record(const ChangeRecord& record) {
     out.str(sig);
   }
   out.i64(record.quota);  // v2 field, appended behind the version bump
+  out.u64(record.term);   // v3 field
   return std::move(out).take();
 }
 
@@ -43,7 +45,13 @@ ChangeRecord decode_record(std::span<const std::uint8_t> bytes) {
                               std::to_string(version));
   }
   ChangeRecord record;
-  record.kind = static_cast<RecordKind>(in.u8());
+  const std::uint8_t kind = in.u8();
+  if (kind < static_cast<std::uint8_t>(RecordKind::kLineCreate) ||
+      kind > static_cast<std::uint8_t>(RecordKind::kNoop)) {
+    throw util::EncodingError("unknown changelog record kind " +
+                              std::to_string(kind));
+  }
+  record.kind = static_cast<RecordKind>(kind);
   record.line = in.i64();
   record.shared = in.u8() != 0;
   record.address = in.str();
@@ -63,6 +71,7 @@ ChangeRecord decode_record(std::span<const std::uint8_t> bytes) {
     record.procs.emplace_back(std::move(name), std::move(sig));
   }
   if (version >= 2) record.quota = in.i64();  // absent (0) in v1 logs
+  if (version >= 3) record.term = in.u64();   // absent (0) in v1/v2 logs
   if (!in.exhausted()) {
     throw util::EncodingError("trailing bytes in changelog record");
   }

@@ -27,6 +27,7 @@ enum class RecordKind : std::uint8_t {
   kLineQuit,        ///< a line quit; its bindings are gone
   kExport,          ///< a process registered its export table
   kRetire,          ///< a process's bindings were removed (move/shutdown)
+  kNoop,            ///< leader barrier entry: advances the log, no state
 };
 
 std::string_view record_kind_name(RecordKind kind);
@@ -37,6 +38,9 @@ std::string_view record_kind_name(RecordKind kind);
 ///   kExport      line, shared, address, machine, path, spec_hash,
 ///                procs=(name, export signature text)
 ///   kRetire      address, note=reason (e.g. "moved to <machine>")
+///   kNoop        (no fields) — appended by a freshly elected leader so
+///                the new term has an entry to commit, which in turn
+///                commits every prior-term entry beneath it
 struct ChangeRecord {
   RecordKind kind = RecordKind::kLineCreate;
   std::int64_t line = -1;
@@ -50,6 +54,11 @@ struct ChangeRecord {
   /// Per-line outstanding-call quota granted at admission (kLineCreate
   /// only; 0 = unlimited). Version-2 field: decoding a v1 record leaves 0.
   std::int64_t quota = 0;
+  /// Election term the entry was appended under. The commit rule and the
+  /// conflict-truncation rule both compare entry terms, so the term is
+  /// part of the replicated record, not driver bookkeeping. Version-3
+  /// field: decoding a v1/v2 record leaves 0.
+  std::uint64_t term = 0;
 
   bool operator==(const ChangeRecord&) const = default;
 };
@@ -57,7 +66,8 @@ struct ChangeRecord {
 /// Current serialization version. Decoders accept any version <= this;
 /// new fields must only ever be appended behind a version bump.
 /// v2: + quota (the admission-control grant on kLineCreate).
-constexpr std::uint8_t kRecordVersion = 2;
+/// v3: + term (the quorum-commit protocol's per-entry election term).
+constexpr std::uint8_t kRecordVersion = 3;
 
 util::Bytes encode_record(const ChangeRecord& record);
 ChangeRecord decode_record(std::span<const std::uint8_t> bytes);

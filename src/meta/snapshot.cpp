@@ -1,18 +1,54 @@
 #include "meta/snapshot.hpp"
 
+#include <string>
+#include <utility>
+
 namespace npss::meta {
 
-bool SnapshotStore::install(std::uint64_t index, util::Bytes image) {
-  if (index <= latest_.index) return false;
+util::Status SnapshotStore::install(std::uint64_t index, util::Bytes image,
+                                    const std::string& expected_digest) {
+  if (index <= latest_.index) {
+    return util::Status(util::ErrorCode::kUnavailable,
+                        "snapshot at index " + std::to_string(index) +
+                            " is stale (holding " +
+                            std::to_string(latest_.index) + ")");
+  }
+  ReplicatedState state;
+  try {
+    state = ReplicatedState::deserialize(image);
+  } catch (const util::Error& err) {
+    return util::Status(util::ErrorCode::kEncodingError,
+                        std::string("snapshot image rejected: ") +
+                            err.what());
+  }
+  if (state.last_applied() != index) {
+    return util::Status(
+        util::ErrorCode::kProtocolError,
+        "snapshot image covers index " +
+            std::to_string(state.last_applied()) + ", not " +
+            std::to_string(index));
+  }
+  std::string digest = state.digest();
+  if (!expected_digest.empty() && digest != expected_digest) {
+    return util::Status(util::ErrorCode::kEncodingError,
+                        "snapshot digest mismatch: image decodes but its "
+                        "table fingerprint is not the sender's");
+  }
   latest_.index = index;
   latest_.image = std::move(image);
+  latest_.digest = std::move(digest);
   ++installs_;
-  return true;
+  return util::Status::ok();
 }
 
 bool SnapshotStore::capture(const ReplicatedState& state) {
   if (state.last_applied() == 0) return false;
-  return install(state.last_applied(), state.serialize());
+  if (state.last_applied() <= latest_.index) return false;
+  latest_.index = state.last_applied();
+  latest_.image = state.serialize();
+  latest_.digest = state.digest();
+  ++installs_;
+  return true;
 }
 
 }  // namespace npss::meta

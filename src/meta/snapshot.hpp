@@ -10,24 +10,37 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "meta/state.hpp"
 #include "util/bytes.hpp"
+#include "util/status.hpp"
 
 namespace npss::meta {
 
 struct Snapshot {
   std::uint64_t index = 0;  ///< changelog index the image covers, 0 = none
   util::Bytes image;        ///< ReplicatedState::serialize output
+  std::string digest;       ///< ReplicatedState::digest() of the image
 };
 
 class SnapshotStore {
  public:
   /// Keep `image` as the newest snapshot if it advances the covered
-  /// index. Returns true when installed.
-  bool install(std::uint64_t index, util::Bytes image);
+  /// index. The image is validated before anything is overwritten: it
+  /// must deserialize cleanly, its embedded last_applied must equal
+  /// `index`, and — when `expected_digest` is non-empty — its
+  /// ReplicatedState::digest() must match (the catch-up transfer ships
+  /// the sender's digest alongside the bytes, so a torn or bit-flipped
+  /// image is rejected instead of installed). Returns kOk when
+  /// installed, kUnavailable when `index` is stale (not an error: the
+  /// held snapshot already subsumes it), kEncodingError /
+  /// kProtocolError when the image fails validation.
+  util::Status install(std::uint64_t index, util::Bytes image,
+                       const std::string& expected_digest = "");
 
-  /// Convenience: serialize `state` at its last_applied index.
+  /// Convenience: serialize `state` at its last_applied index. Trusted
+  /// path (the image comes from our own state) — no validation pass.
   bool capture(const ReplicatedState& state);
 
   bool empty() const { return latest_.index == 0; }

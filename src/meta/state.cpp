@@ -42,6 +42,8 @@ bool ReplicatedState::apply(const ChangeRecord& record, std::uint64_t index) {
     case RecordKind::kRetire:
       exports_.erase(record.address);
       break;
+    case RecordKind::kNoop:
+      break;  // advances last_applied_ only — the new-leader barrier
   }
   last_applied_ = index;
   return true;

@@ -40,7 +40,6 @@ bool is_reply_kind(MessageKind kind) {
     case MessageKind::kPong:
     case MessageKind::kError:
     case MessageKind::kMetaConfigAck:
-    case MessageKind::kMetaFetchAck:
     case MessageKind::kMetaLeaderAck:
       return true;
     default:

@@ -4,9 +4,11 @@
 #include <cctype>
 #include <chrono>
 #include <functional>
+#include <map>
 #include <optional>
 
 #include "meta/changelog.hpp"
+#include "meta/core.hpp"
 #include "meta/election.hpp"
 #include "meta/record.hpp"
 #include "meta/snapshot.hpp"
@@ -27,12 +29,6 @@ using util::ErrorCode;
 void bump(const char* name) {
   if (obs::enabled()) {
     obs::Registry::global().counter(std::string("rpc.manager.") + name).add();
-  }
-}
-
-void bump_meta(const char* name) {
-  if (obs::enabled()) {
-    obs::Registry::global().counter(std::string("rpc.meta.") + name).add();
   }
 }
 
@@ -134,10 +130,19 @@ class ManagerState {
     }
   }
 
+  /// A deferred client acknowledgement: runs once the transition that
+  /// produced it is durable. Null-safe no-arg callable.
+  using Completion = std::function<void()>;
+
   /// Replication hook: called with every state transition the Manager
-  /// commits (null in standalone mode). The replica driver appends the
-  /// record to the changelog and fans it out to the followers.
-  void set_commit(std::function<void(meta::ChangeRecord)> commit) {
+  /// wants to commit (null in standalone mode). The replica driver
+  /// appends the record to the changelog, replicates it, and invokes the
+  /// completion only once a majority holds the entry — the quorum-commit
+  /// rule meta_check forced. Completions the driver drops (leader
+  /// deposed before commit) simply never run; the requester times out
+  /// and retries against the new leader.
+  void set_commit(
+      std::function<void(meta::ChangeRecord, Completion)> commit) {
     commit_ = std::move(commit);
   }
 
@@ -260,18 +265,24 @@ class ManagerState {
     LineId id = line.id;
     const std::int64_t quota = line.quota;
     lines_.emplace(id, std::move(line));
+    // The ack grants the per-line outstanding-call quota in .n; the
+    // client folds it into the line's LineBudget. Under replication the
+    // ack is deferred until the record is quorum-committed — the
+    // acked-registration-can-be-lost hole meta_check exposed.
+    Completion ack = [this, from = in.from, seq = in.msg.seq, id, quota] {
+      io_.send(from, Message{.kind = MessageKind::kLineAck, .seq = seq,
+                             .line = id, .n = quota});
+    };
     if (commit_) {
       meta::ChangeRecord rec;
       rec.kind = meta::RecordKind::kLineCreate;
       rec.line = id;
       rec.note = in.msg.a;
       rec.quota = quota;
-      commit_(std::move(rec));
+      commit_(std::move(rec), std::move(ack));
+    } else {
+      ack();
     }
-    // The ack grants the per-line outstanding-call quota in .n; the
-    // client folds it into the line's LineBudget.
-    reply(in, Message{.kind = MessageKind::kLineAck, .seq = in.msg.seq,
-                      .line = id, .n = quota});
   }
 
   /// Spawn `path` on `machine` through its Server; returns the new address.
@@ -429,6 +440,20 @@ class ManagerState {
       return;
     }
 
+    // The export ack — and the start/move ack riding behind it — waits
+    // for quorum commit, so a failover can never forget an export the
+    // requester was already told about.
+    std::optional<PendingStart> pending;
+    if (pending_it != pending_.end()) {
+      pending = std::move(*pending_it);
+      pending_.erase(pending_it);
+    }
+    Completion ack = [this, from = in.from, seq = msg.seq,
+                      pending = std::move(pending), registered]() mutable {
+      io_.send(from,
+               Message{.kind = MessageKind::kExportAck, .seq = seq});
+      if (pending) finish_pending(*pending, registered);
+    };
     if (commit_) {
       meta::ChangeRecord rec;
       rec.kind = meta::RecordKind::kExport;
@@ -440,15 +465,10 @@ class ManagerState {
       rec.path = msg.a;
       rec.spec_hash = msg.c;
       rec.procs = msg.table;
-      commit_(std::move(rec));
+      commit_(std::move(rec), std::move(ack));
+    } else {
+      ack();
     }
-
-    reply(in, Message{.kind = MessageKind::kExportAck, .seq = msg.seq});
-
-    if (pending_it == pending_.end()) return;
-    PendingStart pending = std::move(*pending_it);
-    pending_.erase(pending_it);
-    finish_pending(pending, registered);
   }
 
   void finish_pending(PendingStart& pending,
@@ -594,26 +614,33 @@ class ManagerState {
 
   void on_quit(const Incoming& in) {
     const Message& msg = in.msg;
+    Completion ack = [this, from = in.from, seq = msg.seq,
+                      line = msg.line] {
+      io_.send(from, Message{.kind = MessageKind::kQuitAck, .seq = seq,
+                             .line = line});
+    };
     auto it = lines_.find(msg.line);
-    if (it != lines_.end()) {
-      NPSS_LOG_DEBUG("manager", "line ", msg.line, " quitting (",
-                     it->second.db.all().size(), " bindings)");
-      shutdown_line_procs(it->second, "line quit");
-      lines_.erase(it);
-      ++stats_->lines_shut_down;
-      bump("lines_shut_down");
-      if (obs::enabled()) {
-        obs::Registry::global().gauge("rpc.line.active").sub(1);
-      }
-      if (commit_) {
-        meta::ChangeRecord rec;
-        rec.kind = meta::RecordKind::kLineQuit;
-        rec.line = msg.line;
-        commit_(std::move(rec));
-      }
+    if (it == lines_.end()) {
+      ack();
+      return;
     }
-    reply(in, Message{.kind = MessageKind::kQuitAck, .seq = msg.seq,
-                      .line = msg.line});
+    NPSS_LOG_DEBUG("manager", "line ", msg.line, " quitting (",
+                   it->second.db.all().size(), " bindings)");
+    shutdown_line_procs(it->second, "line quit");
+    lines_.erase(it);
+    ++stats_->lines_shut_down;
+    bump("lines_shut_down");
+    if (obs::enabled()) {
+      obs::Registry::global().gauge("rpc.line.active").sub(1);
+    }
+    if (commit_) {
+      meta::ChangeRecord rec;
+      rec.kind = meta::RecordKind::kLineQuit;
+      rec.line = msg.line;
+      commit_(std::move(rec), std::move(ack));
+    } else {
+      ack();
+    }
   }
 
   void on_move(const Incoming& in) {
@@ -674,7 +701,9 @@ class ManagerState {
       rec.shared = binding->shared;
       rec.address = old_address;
       rec.note = "moved to " + msg.b;
-      commit_(std::move(rec));
+      // No client ack rides the retirement itself — the kMoveAck waits
+      // for the replacement's kExport commit — so the completion is empty.
+      commit_(std::move(rec), [] {});
     }
 
     // 4. Start the replacement and wait for its export.
@@ -722,7 +751,7 @@ class ManagerState {
   MessageIo& io_;
   const ManagerConfig& config_;
   std::shared_ptr<ManagerCounters> stats_;
-  std::function<void(meta::ChangeRecord)> commit_;
+  std::function<void(meta::ChangeRecord, Completion)> commit_;
   /// case-folded name -> manifest declaration text (owned by config_).
   std::map<std::string, const std::string*> folded_manifest_;
   std::map<LineId, Line> lines_;
@@ -731,40 +760,63 @@ class ManagerState {
   LineId next_line_ = 1;
 };
 
-/// One replica of a Manager group: the changelog/snapshot/election machinery
-/// wrapped around a ManagerState that only the current leader drives.
+/// One replica of a Manager group: a meta::ReplicaCore — the pure
+/// steppable consensus state machine that src/mc/'s meta_check
+/// exhaustively model-checks — driven by host time and rpc::Message
+/// frames. The driver owns everything impure (the clock anchor behind
+/// the core's single logical timer, the address<->replica-index map,
+/// wire framing, the deferred client completions) and the core owns the
+/// protocol, so the schedules the checker proves safe are the schedules
+/// this loop can actually produce.
 ///
-/// Roles (meta::Role):
-///  * leader   — serves clients through ManagerState; every committed
-///    transition is appended to the changelog, applied to the replicated
-///    state machine, and fanned out to the followers as one-way
-///    kMetaAppend frames; broadcasts kMetaHeartbeat every heartbeat_ms.
-///  * follower — mirrors the log (append_at + apply), answers client
-///    requests with kNotLeader + a leader hint, and stands for election
-///    after its seeded, staggered timeout elapses with no heartbeat.
-///  * candidate — one round of kMetaVoteReq/kMetaVoteAck; a majority
-///    (counting itself) rebuilds ManagerState from the replicated state
-///    and takes over.
+/// Client acks are quorum-committed: ManagerState hands each transition
+/// to the core as a proposal plus a completion, and the completion runs
+/// only when the core reports the entry committed (majority-held). A
+/// deposed leader drops its completions — those requesters time out and
+/// retry against the new leader, instead of holding an ack for state
+/// that no longer exists.
 class ReplicaDriver {
  public:
   ReplicaDriver(MessageIo& io, const ManagerConfig& config,
                 std::shared_ptr<ManagerCounters> stats)
       : io_(io), config_(config), stats_(stats),
         manager_(io, config, std::move(stats)) {
-    manager_.set_commit([this](meta::ChangeRecord rec) { commit(rec); });
+    manager_.set_commit(
+        [this](meta::ChangeRecord rec, ManagerState::Completion done) {
+          const std::uint64_t index = core_->propose(std::move(rec));
+          if (index != 0) completions_[index] = std::move(done);
+        });
   }
 
   void run() {
     if (!await_config()) return;
+    Clock::time_point anchor = Clock::now();
+    std::uint64_t anchored_gen = core_->timer_generation();
     while (running_) {
-      if (role_ == meta::Role::kLeader) {
-        run_leader();
-      } else {
-        run_follower();
+      pump();
+      if (!running_) break;
+      if (core_->timer_generation() != anchored_gen) {
+        // The core restarted its quiet-period countdown (heartbeat
+        // accepted, role or term changed): re-anchor the host clock.
+        anchored_gen = core_->timer_generation();
+        anchor = Clock::now();
       }
+      const int wait = core_->timer_ms() - elapsed_ms(anchor);
+      if (wait <= 0) {
+        core_->fire_timer();
+        anchor = Clock::now();
+        anchored_gen = core_->timer_generation();
+        continue;
+      }
+      auto in = io_.receive_for(wait);
+      if (!in) {
+        if (io_.endpoint().closed()) running_ = false;
+        continue;
+      }
+      dispatch(*in);
     }
     NPSS_LOG_INFO("manager", "replica ", my_index_, " at ", io_.address(),
-                  " stopped (term ", term_, ")");
+                  " stopped (term ", core_ ? core_->term() : 0, ")");
   }
 
  private:
@@ -802,18 +854,26 @@ class ReplicaDriver {
           peers_.emplace_back(std::stoi(index), address);
         }
         std::sort(peers_.begin(), peers_.end());
-        term_ = 1;
-        role_ = my_index_ == 0 ? meta::Role::kLeader : meta::Role::kFollower;
-        for (const auto& [index, address] : peers_) {
-          if (index == 0) leader_ = address;
-        }
+        meta::CoreConfig cc;
+        cc.index = my_index_;
+        cc.replicas = static_cast<int>(peers_.size());
+        cc.seed = config_.election_seed;
+        cc.snapshot_interval = config_.snapshot_interval;
+        cc.heartbeat_ms = config_.heartbeat_ms;
+        cc.election_base_ms = config_.election_base_ms;
+        cc.quorum_commit = true;
+        core_.emplace(cc);
+        core_->start(my_index_ == 0 ? meta::Role::kLeader
+                                    : meta::Role::kFollower,
+                     /*term=*/1, /*leader_index=*/0);
         io_.send(in->from, Message{.kind = MessageKind::kMetaConfigAck,
                                    .seq = msg.seq});
         NPSS_LOG_INFO("manager", "replica ", my_index_, "/", peers_.size(),
                       " at ", io_.address(), " configured as ",
-                      meta::role_name(role_));
+                      meta::role_name(core_->role()));
         return true;
       }
+      if (msg.kind == MessageKind::kMetaConfigAck) continue;
       if (msg.kind == MessageKind::kManagerStop) {
         io_.send(in->from,
                  Message{.kind = MessageKind::kQuitAck, .seq = msg.seq});
@@ -826,426 +886,283 @@ class ReplicaDriver {
     return false;
   }
 
-  /// Leader commit hook: log, apply, replicate, maybe compact.
-  void commit(const meta::ChangeRecord& rec) {
-    const std::uint64_t index = changelog_.append(rec);
-    state_.apply(rec, index);
-    ++stats_->log_appends;
-    bump_meta("log_appends");
-    Message append;
-    append.kind = MessageKind::kMetaAppend;
-    append.n = static_cast<std::int64_t>(term_);
-    append.b = std::to_string(index);
-    append.blob = meta::encode_record(rec);
-    for (const auto& [idx, address] : peers_) {
-      if (address == io_.address()) continue;
-      Message copy = append;
-      copy.seq = io_.next_seq();
+  int addr_index(const std::string& address) const {
+    for (const auto& [idx, addr] : peers_) {
+      if (addr == address) return idx;
+    }
+    return -1;
+  }
+
+  std::string addr_of(int index) const {
+    for (const auto& [idx, addr] : peers_) {
+      if (idx == index) return addr;
+    }
+    return {};
+  }
+
+  /// Drain the core's queued side effects: protocol messages onto the
+  /// wire, commit/role events into client acks and Manager rebuilds,
+  /// counter deltas into the shared atomics.
+  void pump() {
+    for (meta::Outbound& out : core_->take_outbound()) {
+      const std::string to = addr_of(out.to);
+      if (to.empty()) continue;
       try {
-        io_.send(address, std::move(copy));
+        io_.send(to, to_wire(out.msg));
       } catch (const util::NoRouteError&) {
-        // Dead follower; it catches up via snapshot + tail if it returns.
+        // Dead peer; it catches up via snapshot + tail if it returns.
       }
     }
-    maybe_snapshot();
+    for (const meta::CoreEvent& ev : core_->take_events()) on_event(ev);
+    sync_counters();
   }
 
-  void maybe_snapshot() {
-    if (config_.snapshot_interval == 0) return;
-    if (changelog_.last_index() <
-        snapshots_.latest().index + config_.snapshot_interval) {
-      return;
-    }
-    if (snapshots_.capture(state_)) {
-      changelog_.truncate_prefix(snapshots_.latest().index);
-      ++stats_->snapshot_installs;
-      bump_meta("snapshot_installs");
-      NPSS_LOG_DEBUG("manager", "replica ", my_index_, " snapshot at index ",
-                     snapshots_.latest().index, " (log tail ",
-                     changelog_.size(), " records)");
-    }
-  }
-
-  void broadcast_heartbeat() {
-    for (const auto& [idx, address] : peers_) {
-      if (address == io_.address()) continue;
-      Message hb;
-      hb.kind = MessageKind::kMetaHeartbeat;
-      hb.seq = io_.next_seq();
-      hb.n = static_cast<std::int64_t>(term_);
-      hb.a = io_.address();
-      hb.b = std::to_string(changelog_.last_index());
-      try {
-        io_.send(address, std::move(hb));
-      } catch (const util::NoRouteError&) {
-      }
-    }
-  }
-
-  void run_leader() {
-    leader_ = io_.address();
-    broadcast_heartbeat();
-    Clock::time_point last_hb = Clock::now();
-    while (running_ && role_ == meta::Role::kLeader) {
-      const int wait = config_.heartbeat_ms - elapsed_ms(last_hb);
-      if (wait <= 0) {
-        broadcast_heartbeat();
-        last_hb = Clock::now();
-        continue;
-      }
-      auto in = io_.receive_for(wait);
-      if (!in) {
-        if (io_.endpoint().closed()) {
-          running_ = false;
-          return;
+  void on_event(const meta::CoreEvent& ev) {
+    switch (ev.kind) {
+      case meta::CoreEventKind::kBecameLeader:
+        // The projection includes the uncommitted tail the no-op barrier
+        // is about to commit — our own entries cannot be truncated while
+        // we stay leader, so serving from it is safe.
+        manager_.rebuild_from(core_->projected_state());
+        NPSS_LOG_INFO("manager", "replica ", my_index_,
+                      " elected leader for term ", ev.term, ": ",
+                      core_->state().lines().size(), " line(s), ",
+                      core_->state().exports().size(),
+                      " export group(s) rebuilt from log index ",
+                      core_->state().last_applied());
+        break;
+      case meta::CoreEventKind::kSteppedDown:
+        // Unacked client work dies with the leadership; requesters time
+        // out and retry against whoever won term ev.term.
+        completions_.clear();
+        NPSS_LOG_WARN("manager", "replica ", my_index_,
+                      " deposed: following term ", ev.term);
+        break;
+      case meta::CoreEventKind::kCommitted: {
+        auto it = completions_.find(ev.index);
+        if (it == completions_.end()) break;
+        ManagerState::Completion done = std::move(it->second);
+        completions_.erase(it);
+        try {
+          done();
+        } catch (const util::Error& e) {
+          NPSS_LOG_WARN("manager", "ack for committed index ", ev.index,
+                        " undeliverable: ", e.what());
         }
-        continue;
-      }
-      const Message& msg = in->msg;
-      switch (msg.kind) {
-        case MessageKind::kMetaHeartbeat:
-        case MessageKind::kMetaVoteReq:
-          // A higher term means the group moved on without us (e.g. we
-          // were partitioned away); step down and rejoin as a follower.
-          // Replication is async (no quorum commit), so records we
-          // appended while isolated may conflict with the new leader's log
-          // at the same indices — discard ours and rebuild from scratch.
-          if (static_cast<std::uint64_t>(msg.n) > term_) {
-            NPSS_LOG_WARN("manager", "replica ", my_index_,
-                          " deposed: saw term ", msg.n, " > ", term_);
-            term_ = static_cast<std::uint64_t>(msg.n);
-            role_ = meta::Role::kFollower;
-            leader_ = msg.kind == MessageKind::kMetaHeartbeat ? msg.a : "";
-            changelog_.reset(0);
-            state_ = meta::ReplicatedState{};
-            snapshots_ = meta::SnapshotStore{};
-            if (!leader_.empty()) catch_up(leader_);
-            return;
-          }
-          break;
-        case MessageKind::kMetaAppend:
-        case MessageKind::kMetaVoteAck:
-          break;  // stale traffic from an earlier term
-        case MessageKind::kMetaFetch:
-          on_fetch(*in);
-          break;
-        case MessageKind::kMetaWhoIsLeader:
-          answer_who_is_leader(*in);
-          break;
-        default:
-          if (!manager_.handle(*in)) {
-            running_ = false;
-            return;
-          }
+        break;
       }
     }
   }
 
-  void run_follower() {
-    Clock::time_point last_hb = Clock::now();
-    while (running_ && role_ == meta::Role::kFollower) {
-      // The timeout is for candidacy in the *next* term, staggered by the
-      // seeded rank so at most one replica stands at a time.
-      const int timeout = meta::election_timeout_ms(
-          config_.election_seed, term_ + 1, my_index_,
-          static_cast<int>(peers_.size()), config_.election_base_ms);
-      const int wait = timeout - elapsed_ms(last_hb);
-      if (wait <= 0) {
-        start_election();
+  void sync_counters() {
+    const meta::CoreCounters& now = core_->counters();
+    const auto drain = [](std::uint64_t current, std::uint64_t& seen) {
+      const std::uint64_t delta = current - seen;
+      seen = current;
+      return delta;
+    };
+    if (const std::uint64_t d = drain(now.log_appends, synced_.log_appends)) {
+      stats_->log_appends += d;
+      if (obs::enabled()) {
+        obs::Registry::global().counter("rpc.meta.log_appends").add(
+            static_cast<double>(d));
+      }
+    }
+    if (const std::uint64_t d =
+            drain(now.snapshot_installs, synced_.snapshot_installs)) {
+      stats_->snapshot_installs += d;
+      if (obs::enabled()) {
+        obs::Registry::global().counter("rpc.meta.snapshot_installs").add(
+            static_cast<double>(d));
+      }
+    }
+    if (const std::uint64_t d =
+            drain(now.leader_elections, synced_.leader_elections)) {
+      stats_->leader_elections += d;
+      if (obs::enabled()) {
+        obs::Registry::global().counter("rpc.meta.leader_elections").add(
+            static_cast<double>(d));
+      }
+    }
+  }
+
+  void dispatch(const Incoming& in) {
+    const Message& msg = in.msg;
+    switch (msg.kind) {
+      case MessageKind::kMetaHeartbeat:
+      case MessageKind::kMetaAppend:
+      case MessageKind::kMetaAppendAck:
+      case MessageKind::kMetaVoteReq:
+      case MessageKind::kMetaVoteAck:
+      case MessageKind::kMetaFetch:
+      case MessageKind::kMetaFetchAck:
+        if (auto m = from_wire(in)) core_->handle(*m);
         return;
-      }
-      auto in = io_.receive_for(wait);
-      if (!in) {
-        if (io_.endpoint().closed()) {
+      case MessageKind::kMetaConfig:
+        // Duplicate handshake delivery: re-ack, the table is unchanged.
+        reply_to(in.from, Message{.kind = MessageKind::kMetaConfigAck,
+                                  .seq = msg.seq});
+        return;
+      case MessageKind::kMetaWhoIsLeader:
+        answer_who_is_leader(in);
+        return;
+      case MessageKind::kPing:
+        reply_to(in.from, Message{.kind = MessageKind::kPong,
+                                  .seq = msg.seq});
+        return;
+      case MessageKind::kManagerStop:
+        if (core_->role() == meta::Role::kLeader) {
+          if (!manager_.handle(in)) running_ = false;
+        } else {
+          reply_to(in.from, Message{.kind = MessageKind::kQuitAck,
+                                    .seq = msg.seq});
           running_ = false;
-          return;
         }
-        continue;
+        return;
+      default:
+        if (core_->role() == meta::Role::kLeader) {
+          if (!manager_.handle(in)) running_ = false;
+        } else {
+          redirect(in);
+        }
+    }
+  }
+
+  /// rpc::Message <-> meta::Msg framing. The core speaks replica indices
+  /// and typed fields; the wire speaks addresses and the shared Message
+  /// struct (field usage documented on each MessageKind).
+  Message to_wire(const meta::Msg& m) {
+    Message w;
+    w.seq = io_.next_seq();
+    w.n = static_cast<std::int64_t>(m.term);
+    switch (m.kind) {
+      case meta::MsgKind::kHeartbeat:
+        w.kind = MessageKind::kMetaHeartbeat;
+        w.a = io_.address();
+        w.b = std::to_string(m.last_index);
+        w.c = std::to_string(m.commit_term);
+        w.line = static_cast<std::int64_t>(m.commit);
+        break;
+      case meta::MsgKind::kAppend:
+        w.kind = MessageKind::kMetaAppend;
+        w.b = std::to_string(m.index);
+        w.c = std::to_string(m.prev_term);
+        w.line = static_cast<std::int64_t>(m.commit);
+        w.blob = meta::encode_record(m.record);
+        break;
+      case meta::MsgKind::kAppendAck:
+        w.kind = MessageKind::kMetaAppendAck;
+        w.b = std::to_string(m.index);
+        break;
+      case meta::MsgKind::kVoteReq:
+        w.kind = MessageKind::kMetaVoteReq;
+        w.a = io_.address();
+        w.b = std::to_string(m.last_index);
+        w.c = std::to_string(my_index_);
+        w.line = static_cast<std::int64_t>(m.last_term);
+        break;
+      case meta::MsgKind::kVoteAck:
+        w.kind = MessageKind::kMetaVoteAck;
+        w.b = m.granted ? "1" : "0";
+        break;
+      case meta::MsgKind::kFetch:
+        w.kind = MessageKind::kMetaFetch;
+        w.b = std::to_string(m.index);
+        break;
+      case meta::MsgKind::kFetchAck: {
+        w.kind = MessageKind::kMetaFetchAck;
+        w.a = std::to_string(m.snap_term);
+        w.b = std::to_string(m.snap_index);
+        w.c = m.snap_digest;
+        w.line = static_cast<std::int64_t>(m.commit);
+        util::ByteWriter payload;
+        payload.blob(m.snapshot);
+        payload.blob(meta::encode_record_batch(m.batch));
+        w.blob = std::move(payload).take();
+        break;
       }
-      const Message& msg = in->msg;
+    }
+    return w;
+  }
+
+  std::optional<meta::Msg> from_wire(const Incoming& in) {
+    const Message& msg = in.msg;
+    meta::Msg m;
+    m.from = addr_index(in.from);
+    if (m.from < 0) return std::nullopt;  // not a member of this group
+    m.term = msg.n < 0 ? 0 : static_cast<std::uint64_t>(msg.n);
+    const auto u64 = [](const std::string& s) {
+      return s.empty() ? std::uint64_t{0} : std::stoull(s);
+    };
+    const auto commit_of = [&msg] {
+      return msg.line < 0 ? std::uint64_t{0}
+                          : static_cast<std::uint64_t>(msg.line);
+    };
+    try {
       switch (msg.kind) {
         case MessageKind::kMetaHeartbeat:
-          if (static_cast<std::uint64_t>(msg.n) >= term_) {
-            term_ = static_cast<std::uint64_t>(msg.n);
-            leader_ = msg.a;
-            last_hb = Clock::now();
-            if (std::stoull(msg.b) > changelog_.last_index()) {
-              catch_up(msg.a);
-            }
-          }
+          m.kind = meta::MsgKind::kHeartbeat;
+          m.last_index = u64(msg.b);
+          m.commit_term = u64(msg.c);
+          m.commit = commit_of();
           break;
         case MessageKind::kMetaAppend:
-          on_append(*in);
-          last_hb = Clock::now();
+          m.kind = meta::MsgKind::kAppend;
+          m.index = u64(msg.b);
+          m.prev_term = u64(msg.c);
+          m.commit = commit_of();
+          m.record = meta::decode_record(msg.blob);
+          break;
+        case MessageKind::kMetaAppendAck:
+          m.kind = meta::MsgKind::kAppendAck;
+          m.index = u64(msg.b);
           break;
         case MessageKind::kMetaVoteReq:
-          if (on_vote_request(*in)) last_hb = Clock::now();
+          m.kind = meta::MsgKind::kVoteReq;
+          m.last_index = u64(msg.b);
+          m.last_term = msg.line < 0
+                            ? std::uint64_t{0}
+                            : static_cast<std::uint64_t>(msg.line);
           break;
         case MessageKind::kMetaVoteAck:
-          break;  // stale ack from a round we lost
-        case MessageKind::kMetaFetch: {
-          Message err = Message::error_reply(
-              msg, ErrorCode::kNotLeader,
-              "replica " + std::to_string(my_index_) + " is not the leader");
-          err.b = leader_;
-          reply_to(in->from, std::move(err));
+          m.kind = meta::MsgKind::kVoteAck;
+          m.granted = msg.b == "1";
+          break;
+        case MessageKind::kMetaFetch:
+          m.kind = meta::MsgKind::kFetch;
+          m.index = msg.b.empty() ? 1 : u64(msg.b);
+          break;
+        case MessageKind::kMetaFetchAck: {
+          m.kind = meta::MsgKind::kFetchAck;
+          m.snap_term = u64(msg.a);
+          m.snap_index = u64(msg.b);
+          m.snap_digest = msg.c;
+          m.commit = commit_of();
+          util::ByteReader payload(msg.blob);
+          m.snapshot = payload.blob();
+          m.batch = meta::decode_record_batch(payload.blob());
           break;
         }
-        case MessageKind::kMetaWhoIsLeader:
-          answer_who_is_leader(*in);
-          break;
-        case MessageKind::kManagerStop:
-          reply_to(in->from,
-                   Message{.kind = MessageKind::kQuitAck, .seq = msg.seq});
-          running_ = false;
-          return;
-        case MessageKind::kPing:
-          reply_to(in->from,
-                   Message{.kind = MessageKind::kPong, .seq = msg.seq});
-          break;
         default:
-          redirect(*in);
+          return std::nullopt;
       }
+    } catch (const std::exception&) {
+      // Malformed frame (torn numeral, bad record bytes): drop it; the
+      // protocol re-sends or re-fetches, it never trusts a broken frame.
+      return std::nullopt;
     }
-  }
-
-  /// Candidate round. Returns with role_ == kLeader on a majority, else
-  /// kFollower (a better candidate or live leader surfaced, or the round
-  /// timed out and the next staggered timeout applies).
-  void start_election() {
-    ++term_;
-    role_ = meta::Role::kCandidate;
-    leader_.clear();
-    voted_term_ = term_;  // vote for ourselves
-    const std::uint64_t my_rank =
-        meta::candidate_rank(config_.election_seed, term_, my_index_);
-    NPSS_LOG_INFO("manager", "replica ", my_index_, " stands for term ",
-                  term_, " (log ", changelog_.last_index(), ", rank ",
-                  my_rank, ")");
-    std::size_t votes = 1;
-    const std::size_t needed = peers_.size() / 2 + 1;
-    for (const auto& [idx, address] : peers_) {
-      if (address == io_.address()) continue;
-      Message req;
-      req.kind = MessageKind::kMetaVoteReq;
-      req.seq = io_.next_seq();
-      req.n = static_cast<std::int64_t>(term_);
-      req.a = io_.address();
-      req.b = std::to_string(changelog_.last_index());
-      req.c = std::to_string(my_index_);
-      try {
-        io_.send(address, std::move(req));
-      } catch (const util::NoRouteError&) {
-      }
-    }
-    const Clock::time_point started = Clock::now();
-    while (running_ && votes < needed) {
-      const int wait = config_.election_base_ms - elapsed_ms(started);
-      if (wait <= 0) break;
-      auto in = io_.receive_for(wait);
-      if (!in) {
-        if (io_.endpoint().closed()) {
-          running_ = false;
-          return;
-        }
-        continue;
-      }
-      const Message& msg = in->msg;
-      switch (msg.kind) {
-        case MessageKind::kMetaVoteAck:
-          if (static_cast<std::uint64_t>(msg.n) == term_ && msg.b == "1") {
-            ++votes;
-          }
-          break;
-        case MessageKind::kMetaVoteReq: {
-          // Concurrent candidate: the total order (log length, then rank)
-          // picks one winner — yield if they beat us.
-          const std::uint64_t their_term = static_cast<std::uint64_t>(msg.n);
-          const std::uint64_t their_rank = meta::candidate_rank(
-              config_.election_seed, their_term, std::stoi(msg.c));
-          if (their_term > term_ ||
-              (their_term == term_ &&
-               meta::candidate_better(std::stoull(msg.b), their_rank,
-                                      changelog_.last_index(), my_rank))) {
-            term_ = their_term;
-            role_ = meta::Role::kFollower;
-            voted_term_ = their_term;
-            grant_vote(in->from, their_term, true);
-            return;
-          }
-          grant_vote(in->from, their_term, false);
-          break;
-        }
-        case MessageKind::kMetaHeartbeat:
-        case MessageKind::kMetaAppend:
-          if (static_cast<std::uint64_t>(msg.n) >= term_) {
-            // A leader lives; abort the candidacy and follow it.
-            term_ = static_cast<std::uint64_t>(msg.n);
-            role_ = meta::Role::kFollower;
-            leader_ = msg.kind == MessageKind::kMetaHeartbeat ? msg.a
-                                                              : in->from;
-            return;
-          }
-          break;
-        case MessageKind::kMetaWhoIsLeader:
-          answer_who_is_leader(*in);
-          break;
-        case MessageKind::kManagerStop:
-          reply_to(in->from,
-                   Message{.kind = MessageKind::kQuitAck, .seq = msg.seq});
-          running_ = false;
-          return;
-        default:
-          redirect(*in);
-      }
-    }
-    if (!running_) return;
-    if (votes >= needed) {
-      become_leader();
-    } else {
-      NPSS_LOG_WARN("manager", "replica ", my_index_, " lost term ", term_,
-                    " (", votes, "/", needed, " votes)");
-      role_ = meta::Role::kFollower;
-    }
-  }
-
-  void become_leader() {
-    role_ = meta::Role::kLeader;
-    leader_ = io_.address();
-    ++stats_->leader_elections;
-    bump_meta("leader_elections");
-    manager_.rebuild_from(state_);
-    NPSS_LOG_INFO("manager", "replica ", my_index_, " elected leader for term ",
-                  term_, ": ", state_.lines().size(), " line(s), ",
-                  state_.exports().size(),
-                  " export group(s) rebuilt from log index ",
-                  state_.last_applied());
-  }
-
-  /// Follower-side vote rule: first candidate per term whose log holds at
-  /// least everything ours does. Returns true when granted (heartbeat-like
-  /// evidence of an election in progress).
-  bool on_vote_request(const Incoming& in) {
-    const Message& msg = in.msg;
-    const std::uint64_t their_term = static_cast<std::uint64_t>(msg.n);
-    bool grant = false;
-    if (their_term > term_) term_ = their_term;
-    if (their_term >= term_ && their_term > voted_term_ &&
-        std::stoull(msg.b) >= changelog_.last_index()) {
-      voted_term_ = their_term;
-      grant = true;
-      leader_.clear();  // the old leader is presumed dead
-    }
-    grant_vote(in.from, their_term, grant);
-    return grant;
-  }
-
-  void grant_vote(const std::string& to, std::uint64_t term, bool grant) {
-    Message ack;
-    ack.kind = MessageKind::kMetaVoteAck;
-    ack.seq = io_.next_seq();
-    ack.n = static_cast<std::int64_t>(term);
-    ack.b = grant ? "1" : "0";
-    try {
-      io_.send(to, std::move(ack));
-    } catch (const util::NoRouteError&) {
-    }
-  }
-
-  /// Follower-side log replication; a gap triggers snapshot + tail
-  /// catch-up from the sender.
-  void on_append(const Incoming& in) {
-    const Message& msg = in.msg;
-    if (static_cast<std::uint64_t>(msg.n) < term_) return;  // stale leader
-    term_ = static_cast<std::uint64_t>(msg.n);
-    const std::uint64_t index = std::stoull(msg.b);
-    meta::ChangeRecord rec = meta::decode_record(msg.blob);
-    if (changelog_.append_at(index, std::move(rec))) {
-      if (state_.apply(changelog_.at(index), index)) {
-        ++stats_->log_appends;
-        bump_meta("log_appends");
-      }
-      maybe_snapshot();
-    } else {
-      catch_up(in.from);
-    }
-  }
-
-  /// Pull everything we are missing from the leader: its latest snapshot
-  /// (when our gap predates its retained log) plus the record tail.
-  void catch_up(const std::string& from) {
-    Message req;
-    req.kind = MessageKind::kMetaFetch;
-    req.b = std::to_string(changelog_.last_index() + 1);
-    Message ack;
-    try {
-      ack = io_.call_within(from, std::move(req), /*host_grace_ms=*/250);
-    } catch (const util::Error& e) {
-      NPSS_LOG_WARN("manager", "replica ", my_index_, " catch-up from ", from,
-                    " failed: ", e.what());
-      return;  // retried on the next heartbeat that shows us behind
-    }
-    util::ByteReader payload(ack.blob);
-    util::Bytes image = payload.blob();
-    util::Bytes batch = payload.blob();
-    const std::uint64_t snap_index = std::stoull(ack.b);
-    if (!image.empty() && snap_index > state_.last_applied()) {
-      state_ = meta::ReplicatedState::deserialize(image);
-      changelog_.reset(state_.last_applied());
-      snapshots_.install(snap_index, std::move(image));
-      ++stats_->snapshot_installs;
-      bump_meta("snapshot_installs");
-      NPSS_LOG_INFO("manager", "replica ", my_index_,
-                    " installed snapshot at index ", snap_index);
-    }
-    for (auto& [index, rec] : meta::decode_record_batch(batch)) {
-      if (changelog_.append_at(index, std::move(rec))) {
-        if (state_.apply(changelog_.at(index), index)) {
-          ++stats_->log_appends;
-          bump_meta("log_appends");
-        }
-      }
-    }
-  }
-
-  /// Leader side of catch-up: serve the tail directly when we still retain
-  /// the requested index, else latest snapshot + the records past it.
-  void on_fetch(const Incoming& in) {
-    std::uint64_t from = 1;
-    if (!in.msg.b.empty()) from = std::stoull(in.msg.b);
-    std::uint64_t snap_index = 0;
-    util::Bytes image;
-    std::vector<std::pair<std::uint64_t, meta::ChangeRecord>> batch;
-    if (from > changelog_.last_index()) {
-      // Requester already has everything; empty reply.
-    } else if (changelog_.first_index() != 0 &&
-               from >= changelog_.first_index()) {
-      batch = changelog_.tail(from);
-    } else {
-      snap_index = snapshots_.latest().index;
-      image = snapshots_.latest().image;
-      batch = changelog_.tail(snap_index + 1);
-    }
-    util::ByteWriter payload;
-    payload.blob(image);
-    payload.blob(meta::encode_record_batch(batch));
-    Message ack;
-    ack.kind = MessageKind::kMetaFetchAck;
-    ack.seq = in.msg.seq;
-    ack.n = static_cast<std::int64_t>(term_);
-    ack.b = std::to_string(snap_index);
-    ack.blob = std::move(payload).take();
-    reply_to(in.from, std::move(ack));
+    return m;
   }
 
   void answer_who_is_leader(const Incoming& in) {
     Message ack;
     ack.kind = MessageKind::kMetaLeaderAck;
     ack.seq = in.msg.seq;
-    ack.a = leader_;  // empty while an election is in progress
-    ack.n = static_cast<std::int64_t>(term_);
-    ack.b = state_.digest();
-    ack.c = std::to_string(state_.last_applied());
+    const int leader = core_->leader_index();
+    ack.a = leader >= 0 ? addr_of(leader) : std::string();
+    ack.n = static_cast<std::int64_t>(core_->term());
+    ack.b = core_->state().digest();
+    ack.c = std::to_string(core_->state().last_applied());
     reply_to(in.from, std::move(ack));
   }
 
@@ -1266,7 +1183,8 @@ class ReplicaDriver {
         in.msg, ErrorCode::kNotLeader,
         "manager replica " + std::to_string(my_index_) + " at " +
             io_.address() + " is not the leader");
-    err.b = leader_;
+    const int leader = core_ ? core_->leader_index() : -1;
+    err.b = leader >= 0 ? addr_of(leader) : std::string();
     reply_to(in.from, std::move(err));
   }
 
@@ -1287,14 +1205,10 @@ class ReplicaDriver {
   int my_index_ = 0;
   /// (replica index, address), sorted by index; includes this replica.
   std::vector<std::pair<int, std::string>> peers_;
-  meta::Role role_ = meta::Role::kFollower;
-  std::uint64_t term_ = 0;
-  std::uint64_t voted_term_ = 0;  ///< newest term we granted a vote in
-  std::string leader_;            ///< best known leader address
-
-  meta::Changelog changelog_;
-  meta::ReplicatedState state_;
-  meta::SnapshotStore snapshots_;
+  std::optional<meta::ReplicaCore> core_;
+  /// Client acks keyed by the changelog index whose commit releases them.
+  std::map<std::uint64_t, ManagerState::Completion> completions_;
+  meta::CoreCounters synced_;  ///< counters already folded into stats_
 };
 
 }  // namespace

@@ -42,6 +42,7 @@ std::string_view message_kind_name(MessageKind kind) {
     case MessageKind::kMetaFetchAck: return "meta-fetch-ack";
     case MessageKind::kMetaWhoIsLeader: return "meta-who-is-leader";
     case MessageKind::kMetaLeaderAck: return "meta-leader-ack";
+    case MessageKind::kMetaAppendAck: return "meta-append-ack";
   }
   return "?";
 }

@@ -80,16 +80,24 @@ enum class MessageKind : std::uint8_t {
   // pre-replication peers decode unchanged -------------------------------
   kMetaConfig,       ///< table=(index, replica address), n=term -> kMetaConfigAck
   kMetaConfigAck,
-  kMetaHeartbeat,    ///< n=term, a=leader address, b=leader last log index
-  kMetaAppend,       ///< n=term, b=log index, blob=ChangeRecord (one-way)
-  kMetaVoteReq,      ///< n=term, a=candidate addr, b=last log index, c=replica index
+  kMetaHeartbeat,    ///< n=term, a=leader addr, b=last index, c=commit term,
+                     ///< line=commit index (quorum piggyback)
+  kMetaAppend,       ///< n=term, b=log index, c=prev entry term,
+                     ///< line=commit index, blob=ChangeRecord
+  kMetaVoteReq,      ///< n=term, a=candidate addr, b=last log index,
+                     ///< c=replica index, line=last log term
   kMetaVoteAck,      ///< n=term, b="1" granted / "0" refused (one-way)
   kMetaFetch,        ///< b=from index: catch-up request -> kMetaFetchAck
-  kMetaFetchAck,     ///< n=term, b=snapshot index, blob=two nested blobs:
+  kMetaFetchAck,     ///< n=term, b=snapshot index, c=snapshot digest,
+                     ///< a=snapshot entry term, line=commit index,
+                     ///< blob=two nested blobs:
                      ///< (snapshot image — may be empty, record batch)
   kMetaWhoIsLeader,  ///< leader discovery -> kMetaLeaderAck
   kMetaLeaderAck,    ///< a=leader address ("" = election in progress),
                      ///< n=term, b=state digest, c=last applied index
+  // --- Quorum commit (appended behind the existing kinds so mixed-build
+  // frames keep decoding) --------------------------------------------------
+  kMetaAppendAck,    ///< n=term, b=matched-through index (one-way)
 };
 
 std::string_view message_kind_name(MessageKind kind);

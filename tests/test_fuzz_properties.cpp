@@ -221,9 +221,11 @@ TEST(ManagerRobustness, GarbageAndWrongProtocolGetErrorsNotCrashes) {
 
 meta::ChangeRecord random_record(Rng& rng) {
   meta::ChangeRecord rec;
-  rec.kind = static_cast<meta::RecordKind>(1 + rng.below(4));
+  rec.kind = static_cast<meta::RecordKind>(1 + rng.below(5));
   rec.line = rng.below(2) ? -1 : rng.below(1000);
   rec.shared = rng.below(2) == 1;
+  rec.quota = rng.below(2) ? 0 : rng.below(64);
+  rec.term = rng.next() % 16;  // v3 field: per-entry election term
   auto random_text = [&rng]() {
     std::string s;
     const int len = rng.below(24);
@@ -284,6 +286,135 @@ TEST(MetaRecordProperties, ReplayIsIdempotentByIndex) {
 
   // And the state image itself round-trips through serialization.
   EXPECT_EQ(meta::ReplicatedState::deserialize(once.serialize()), once);
+}
+
+// --- Adversarial decoding: torn, bit-flipped, and length-lying frames -------
+//
+// The catch-up path feeds wire bytes straight into decode_record /
+// decode_record_batch / ReplicatedState::deserialize. None of them may
+// crash, over-read, or allocate unbounded memory on hostile input — they
+// parse, or they throw EncodingError.
+
+template <typename Decode>
+void expect_parse_or_throw(const util::Bytes& frame, Decode&& decode,
+                           const char* what) {
+  try {
+    decode(frame);
+  } catch (const util::EncodingError&) {
+    // rejected cleanly — the acceptable outcome for a damaged frame
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << what << ": unexpected exception type: " << e.what();
+  }
+}
+
+TEST(MetaRecordAdversarial, MutatedRecordBytesParseOrThrowNeverCrash) {
+  Rng rng(0xbadc0de5);
+  const auto decode = [](const util::Bytes& b) {
+    (void)meta::decode_record(b);
+  };
+  for (int i = 0; i < 150; ++i) {
+    const util::Bytes frame = meta::encode_record(random_record(rng));
+    // Single-byte corruption anywhere in the frame.
+    util::Bytes flipped = frame;
+    flipped[static_cast<std::size_t>(rng.below(
+        static_cast<int>(frame.size())))] ^= 1u << rng.below(8);
+    expect_parse_or_throw(flipped, decode, "bit flip");
+    // Truncation at every prefix length would be O(n^2); a random cut
+    // per frame covers the same decoder states across 150 frames.
+    util::Bytes cut(frame.begin(),
+                    frame.begin() + rng.below(static_cast<int>(frame.size())));
+    expect_parse_or_throw(cut, decode, "truncation");
+    // Appended garbage must be flagged, not silently ignored.
+    util::Bytes padded = frame;
+    padded.push_back(static_cast<std::uint8_t>(rng.next()));
+    EXPECT_THROW((void)meta::decode_record(padded), util::EncodingError);
+  }
+}
+
+TEST(MetaRecordAdversarial, MutatedBatchAndSnapshotFramesNeverCrash) {
+  Rng rng(0x7e55e11a);
+  std::vector<std::pair<std::uint64_t, meta::ChangeRecord>> batch;
+  meta::ReplicatedState state;
+  for (int i = 0; i < 12; ++i) {
+    batch.emplace_back(static_cast<std::uint64_t>(i + 1), random_record(rng));
+    meta::ChangeRecord rec = random_record(rng);
+    state.apply(rec, static_cast<std::uint64_t>(i + 1));
+  }
+  const util::Bytes batch_frame = meta::encode_record_batch(batch);
+  const util::Bytes image = state.serialize();
+  const auto decode_batch = [](const util::Bytes& b) {
+    (void)meta::decode_record_batch(b);
+  };
+  const auto decode_image = [](const util::Bytes& b) {
+    (void)meta::ReplicatedState::deserialize(b);
+  };
+  for (int i = 0; i < 300; ++i) {
+    const bool is_batch = rng.below(2) != 0;
+    util::Bytes frame = is_batch ? batch_frame : image;
+    switch (rng.below(3)) {
+      case 0:
+        frame[static_cast<std::size_t>(
+            rng.below(static_cast<int>(frame.size())))] ^= 1u << rng.below(8);
+        break;
+      case 1:
+        frame.resize(static_cast<std::size_t>(
+            rng.below(static_cast<int>(frame.size()))));
+        break;
+      default:
+        frame.push_back(static_cast<std::uint8_t>(rng.next()));
+        break;
+    }
+    if (is_batch) {
+      expect_parse_or_throw(frame, decode_batch, "mutated batch frame");
+    } else {
+      expect_parse_or_throw(frame, decode_image, "mutated snapshot image");
+    }
+  }
+}
+
+TEST(MetaRecordAdversarial, LengthLyingCountsAreRejectedNotAllocated) {
+  // A frame that *claims* four billion procs/records/lines must be
+  // rejected by the count-versus-remaining-bytes guard before any
+  // allocation happens — not after an out-of-memory attempt.
+  {
+    util::ByteWriter out;  // record with procs count = 0xffffffff
+    out.u8(meta::kRecordVersion);
+    out.u8(1);   // kLineCreate
+    out.i64(7);
+    out.u8(0);
+    for (int i = 0; i < 5; ++i) out.str("");
+    out.u32(0xffffffffu);
+    EXPECT_THROW((void)meta::decode_record(std::move(out).take()),
+                 util::EncodingError);
+  }
+  {
+    util::ByteWriter out;  // batch with record count = 0xffffffff
+    out.u8(meta::kRecordVersion);
+    out.u32(0xffffffffu);
+    EXPECT_THROW((void)meta::decode_record_batch(std::move(out).take()),
+                 util::EncodingError);
+  }
+  {
+    util::ByteWriter out;  // snapshot image with line count = 0xffffffff
+    out.u8(meta::kStateVersion);
+    out.u64(3);   // last_applied
+    out.i64(4);   // next_line
+    out.u32(0xffffffffu);
+    EXPECT_THROW(
+        (void)meta::ReplicatedState::deserialize(std::move(out).take()),
+        util::EncodingError);
+  }
+  {
+    util::ByteWriter out;  // batch whose nested blob length lies
+    out.u8(meta::kRecordVersion);
+    out.u32(1);
+    out.u64(1);           // index
+    out.u32(0x7fffffffu); // blob claims 2 GiB follow; 2 bytes do
+    out.u8(0);
+    out.u8(0);
+    EXPECT_THROW((void)meta::decode_record_batch(std::move(out).take()),
+                 util::EncodingError);
+  }
 }
 
 }  // namespace

@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "mc/explore.hpp"
+#include "mc/model.hpp"
 #include "meta/changelog.hpp"
 #include "meta/election.hpp"
 #include "meta/record.hpp"
@@ -103,10 +105,122 @@ TEST(MetaSnapshotStore, KeepsOnlyTheNewestImage) {
   st.apply(export_rec(1, "far/p#1", "h"), 2);
   EXPECT_TRUE(store.capture(st));
   EXPECT_EQ(store.latest().index, 2u);
-  // An older image never replaces a newer one.
-  EXPECT_FALSE(store.install(1, store.latest().image));
+  // An older image never replaces a newer one (stale, not an error).
+  EXPECT_EQ(store.install(1, store.latest().image).code(),
+            util::ErrorCode::kUnavailable);
   EXPECT_EQ(store.latest().index, 2u);
   EXPECT_EQ(store.installs(), 2u);
+}
+
+TEST(MetaSnapshotStore, RejectsCorruptImagesBeforeInstalling) {
+  meta::ReplicatedState st;
+  st.apply(line_create(1, "a"), 1);
+  meta::SnapshotStore store;
+  ASSERT_TRUE(store.capture(st));
+  const std::string good_digest = store.latest().digest;
+  EXPECT_EQ(good_digest, st.digest());
+
+  st.apply(export_rec(1, "far/p#1", "h"), 2);
+  util::Bytes image = st.serialize();
+
+  // A single flipped bit in the image must be rejected — either the
+  // decode detects the tear, or the digest cross-check does — and the
+  // held snapshot must survive untouched.
+  for (const std::size_t at : {std::size_t{0}, image.size() / 2}) {
+    util::Bytes torn = image;
+    torn[at] ^= 0x20;
+    const util::Status s = store.install(2, std::move(torn), st.digest());
+    EXPECT_FALSE(s.is_ok());
+    EXPECT_TRUE(s.code() == util::ErrorCode::kEncodingError ||
+                s.code() == util::ErrorCode::kProtocolError)
+        << s.to_string();
+    EXPECT_EQ(store.latest().index, 1u);
+    EXPECT_EQ(store.latest().digest, good_digest);
+    EXPECT_EQ(store.installs(), 1u);
+  }
+
+  // Truncated bytes are torn too.
+  util::Bytes half(image.begin(),
+                   image.begin() + static_cast<std::ptrdiff_t>(image.size() / 2));
+  EXPECT_EQ(store.install(2, std::move(half)).code(),
+            util::ErrorCode::kEncodingError);
+
+  // An image whose embedded applied-index lies about `index` is refused
+  // even when its bytes are internally consistent.
+  EXPECT_EQ(store.install(7, st.serialize()).code(),
+            util::ErrorCode::kProtocolError);
+
+  // The intact image with the right digest installs.
+  EXPECT_TRUE(store.install(2, std::move(image), st.digest()).is_ok());
+  EXPECT_EQ(store.latest().index, 2u);
+  EXPECT_EQ(store.latest().digest, st.digest());
+  EXPECT_EQ(store.installs(), 2u);
+}
+
+TEST(MetaChangelog, AppendAtTheCompactionBoundaryStaysConsistent) {
+  // Regression: a catch-up append landing exactly at, one before, or one
+  // after the compaction boundary must neither throw nor corrupt the
+  // retained tail (the snapshot covers everything at or below base).
+  meta::Changelog log;
+  for (std::int64_t i = 1; i <= 5; ++i) {
+    ChangeRecord rec = line_create(i, "e" + std::to_string(i));
+    rec.term = static_cast<std::uint64_t>(i <= 3 ? 1 : 2);
+    log.append(rec);
+  }
+  log.truncate_prefix(3);  // snapshot covers 1..3; boundary base = 3
+  ASSERT_EQ(log.first_index(), 4u);
+  ASSERT_EQ(log.last_index(), 5u);
+  EXPECT_EQ(log.term_at(3), 1u);  // the base term survives compaction
+
+  ChangeRecord dup = line_create(3, "e3");
+  dup.term = 1;
+  // One before, at, and one after the boundary, in turn.
+  EXPECT_TRUE(log.append_at(2, dup));  // covered by the snapshot: no-op
+  EXPECT_TRUE(log.append_at(3, dup));  // exactly at the base: no-op
+  ChangeRecord same4 = line_create(4, "e4");
+  same4.term = 2;
+  EXPECT_TRUE(log.append_at(4, same4));  // duplicate of a retained entry
+  EXPECT_EQ(log.last_index(), 5u);       // nothing was truncated
+  EXPECT_EQ(log.at(5).note, "e5");
+
+  // A *conflicting* entry one after the boundary truncates the stale
+  // suffix and takes its place.
+  ChangeRecord newer4 = line_create(40, "e4'");
+  newer4.term = 3;
+  EXPECT_TRUE(log.append_at(4, newer4));
+  EXPECT_EQ(log.last_index(), 4u);
+  EXPECT_EQ(log.at(4).line, 40);
+  EXPECT_EQ(log.term_at(4), 3u);
+
+  // Beyond the tail is still a gap, and the compacted prefix can never
+  // be truncated back into.
+  EXPECT_FALSE(log.append_at(6, dup));
+  EXPECT_THROW(log.truncate_suffix(3), util::ProtocolError);
+
+  // reset() (snapshot install) re-bases both index and term.
+  log.reset(10, 4);
+  EXPECT_EQ(log.last_index(), 10u);
+  EXPECT_EQ(log.last_term(), 4u);
+  EXPECT_EQ(log.first_index(), 0u);  // nothing retained
+  ChangeRecord next = line_create(11, "post-install");
+  next.term = 5;
+  EXPECT_TRUE(log.append_at(11, next));
+  EXPECT_EQ(log.term_at(11), 5u);
+}
+
+TEST(MetaElection, LogUpToDateOrderingGatesVotes) {
+  // (last term, last index) lexicographic: a longer log from an older
+  // term never outranks a shorter log from a newer term.
+  EXPECT_TRUE(meta::log_up_to_date(3, 1, 2, 9));    // newer term wins
+  EXPECT_FALSE(meta::log_up_to_date(2, 9, 3, 1));
+  EXPECT_TRUE(meta::log_up_to_date(2, 5, 2, 5));    // equal is up to date
+  EXPECT_TRUE(meta::log_up_to_date(2, 6, 2, 5));
+  EXPECT_FALSE(meta::log_up_to_date(2, 4, 2, 5));
+  // Candidate ordering prefers term, then index, then rank.
+  EXPECT_TRUE(meta::candidate_better(3, 1, 9, 2, 9, 0));
+  EXPECT_TRUE(meta::candidate_better(2, 9, 9, 2, 8, 0));
+  EXPECT_TRUE(meta::candidate_better(2, 9, 0, 2, 9, 1));
+  EXPECT_FALSE(meta::candidate_better(2, 9, 1, 2, 9, 0));
 }
 
 TEST(MetaElection, ScheduleIsAPureFunctionOfSeedTermAndReplica) {
@@ -137,6 +251,28 @@ TEST(MetaElection, ScheduleIsAPureFunctionOfSeedTermAndReplica) {
   EXPECT_TRUE(meta::candidate_better(10, 7, 9, 3));
   EXPECT_TRUE(meta::candidate_better(10, 3, 10, 7));
   EXPECT_FALSE(meta::candidate_better(10, 7, 10, 3));
+}
+
+TEST(MetaQuorumRegression, MinimizedLegacyScheduleLosesAnAckedWrite) {
+  // The schedule meta_check minimized for the PR 6 protocol, re-executed
+  // verbatim: propose on the bootstrap leader (acked immediately — the
+  // bug), then replica 1 stands with an index-only vote and wins a term
+  // it has no log for. The acked write is gone (MC003).
+  const std::vector<mc::Action> schedule =
+      mc::decode_schedule("p0,t1,d1>2,d2>1");
+  mc::Options legacy;
+  legacy.quorum_commit = false;
+  mc::ExploreResult bad = mc::replay(legacy, schedule);
+  ASSERT_TRUE(bad.violation.has_value());
+  EXPECT_EQ(bad.violation->code, "MC003");
+
+  // The same schedule against the quorum protocol is harmless: the write
+  // is never acknowledged before a majority holds it, so nothing acked
+  // is lost and every invariant holds.
+  mc::Options quorum;
+  quorum.quorum_commit = true;
+  mc::ExploreResult good = mc::replay(quorum, schedule);
+  EXPECT_FALSE(good.violation.has_value()) << good.violation->code;
 }
 
 // --- System half: a three-replica Manager group -----------------------------
