@@ -18,11 +18,29 @@ std::string state_hash(const World& world) {
       reinterpret_cast<const char*>(image.data()), image.size()));
 }
 
+/// True when every action in `inner` also appears in `outer`.
+bool subset(const std::vector<Action>& inner,
+            const std::vector<Action>& outer) {
+  return std::all_of(inner.begin(), inner.end(), [&](const Action& a) {
+    return std::find(outer.begin(), outer.end(), a) != outer.end();
+  });
+}
+
+/// What one exploration of a cached state covered: how much depth it had
+/// and which actions its sleep set pruned. A revisit may only be skipped
+/// when the cached exploration dominates it — otherwise a subtree pruned
+/// under the cached sleep set would never be explored from this state
+/// along any path (violations missed inside the bound).
+struct VisitedEntry {
+  int depth = -1;
+  std::vector<Action> sleep;
+};
+
 struct Search {
   const ExploreOptions& x;
   const Options& wopts;
-  /// state hash -> largest remaining depth already explored from it.
-  std::unordered_map<std::string, int> visited;
+  /// state hash -> the dominating exploration recorded from that state.
+  std::unordered_map<std::string, VisitedEntry> visited;
   ExploreStats stats;
   std::optional<Violation> violation;
   std::vector<Action> path;
@@ -67,26 +85,33 @@ struct Search {
       World next = world;
       next.step(action);
       ++stats.states_explored;
+      std::vector<Action> child_sleep;
+      if (x.reduce) {
+        // A sleeping sibling stays asleep below this edge only if it
+        // commutes with the edge (disjoint footprints).
+        const std::uint64_t taken = world.footprint(action);
+        for (const Action& b : local_sleep) {
+          if ((world.footprint(b) & taken) == 0) child_sleep.push_back(b);
+        }
+      }
       const std::string hash = state_hash(next);
       auto it = visited.find(hash);
-      if (it != visited.end() && it->second >= remaining - 1) {
-        // Already explored from here with at least this much budget:
-        // nothing new can be found below.
+      if (it != visited.end() && it->second.depth >= remaining - 1 &&
+          subset(it->second.sleep, child_sleep)) {
+        // The cached exploration had at least this much budget and its
+        // sleep set pruned no action ours would explore (it is a subset
+        // of ours): nothing new can be found below.
         ++stats.visited_hits;
       } else {
+        // Record this exploration only when it dominates the cached one
+        // (deeper-or-equal with fewer-or-equal sleeping actions); a
+        // re-exploration under an incomparable sleep set keeps the
+        // cached entry — redundant work, never missed work.
         if (it == visited.end()) {
-          visited.emplace(hash, remaining - 1);
-        } else {
-          it->second = remaining - 1;
-        }
-        std::vector<Action> child_sleep;
-        if (x.reduce) {
-          // A sleeping sibling stays asleep below this edge only if it
-          // commutes with the edge (disjoint footprints).
-          const std::uint64_t taken = world.footprint(action);
-          for (const Action& b : local_sleep) {
-            if ((world.footprint(b) & taken) == 0) child_sleep.push_back(b);
-          }
+          visited.emplace(hash, VisitedEntry{remaining - 1, child_sleep});
+        } else if (remaining - 1 >= it->second.depth &&
+                   subset(child_sleep, it->second.sleep)) {
+          it->second = VisitedEntry{remaining - 1, child_sleep};
         }
         path.push_back(action);
         if (dfs(next, remaining - 1, child_sleep)) return true;
@@ -181,7 +206,7 @@ char action_char(ActionKind kind) {
 ExploreResult explore(const Options& world_opts, const ExploreOptions& x) {
   Search search{x, world_opts, {}, {}, {}, {}, {}, false};
   World root(world_opts);
-  search.visited.emplace(state_hash(root), x.depth);
+  search.visited.emplace(state_hash(root), VisitedEntry{x.depth, {}});
   search.dfs(root, x.depth, {});
   ExploreResult result;
   result.stats = search.stats;

@@ -4,22 +4,25 @@
 // The search is depth-first over every Action the World enables, up to
 // `depth` steps. Two reductions keep it tractable:
 //
-//  * Visited set — sha256 of World::fingerprint() maps to the largest
-//    *remaining depth* already explored from that state. Re-reaching a
-//    state with no more budget than before proves nothing new, so the
-//    subtree is skipped; re-reaching it with *more* remaining depth
-//    re-explores (the depth-refinement rule — without it, a shallow
-//    first visit would mask violations that need longer suffixes).
+//  * Visited set — sha256 of World::fingerprint() maps to the
+//    exploration already recorded from that state: its *remaining
+//    depth* and the *sleep set* it ran under. A revisit is skipped only
+//    when the cached exploration dominates the current one — at least
+//    as much budget AND a sleep set that is a subset of the incoming
+//    one. Either refinement alone re-explores: a shallow first visit
+//    would mask violations needing longer suffixes, and a first visit
+//    under a larger sleep set pruned subtrees the current visit must
+//    still search (skipping on hash+depth alone is unsound once sleep
+//    sets are on — those pruned transitions would never be explored
+//    from that state along any path).
 //
 //  * Sleep sets — after exploring sibling action A, A enters the sleep
 //    set for the remaining siblings; children inherit the sleep set
 //    minus actions that conflict with the edge taken (two actions
 //    conflict when their World::footprint() masks intersect). This is
 //    the classic Godefroid sleep-set reduction: schedules that only
-//    reorder commuting actions collapse to one representative.
-//    Combined with state caching it is a pragmatic variant — a pruned
-//    interleaving is always equivalent to an explored one within the
-//    bound (DESIGN.md §17 discusses the trade).
+//    reorder commuting actions collapse to one representative
+//    (DESIGN.md §17 discusses the trade).
 //
 // A violating schedule is minimized by greedy delta-debugging (drop one
 // action, replay, keep the drop if the same code still fires) and

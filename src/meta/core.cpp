@@ -424,22 +424,29 @@ void ReplicaCore::on_fetch_ack_quorum(const Msg& m) {
   if (!complete || (m.snapshot.empty() && m.batch.empty())) {
     return;  // gap or empty reply: no new matched prefix, retry later
   }
-  // A fetch reply carries the leader's *whole* retained tail, so any
-  // entries we still hold past its end are stale uncommitted garbage
-  // from a deposed leader — drop them, or the matched-through ack
-  // below would overstate what we share with the leader.
+  // A fetch reply describes a *prefix* of the leader's log as of when it
+  // was served — never the leader's present tail. A delayed or
+  // duplicated reply can arrive after we appended (and the leader
+  // quorum-counted) newer current-term entries past its end, so nothing
+  // here may truncate beyond the reply's tail: a genuinely divergent
+  // suffix is removed by the append path's prev-term conflict check and
+  // append_at's term comparison instead.
   const std::uint64_t leader_last =
       std::max(m.snap_index,
                m.batch.empty() ? std::uint64_t{0} : m.batch.back().first);
-  if (leader_last >= commit_ && changelog_.last_index() > leader_last) {
-    changelog_.truncate_suffix(leader_last + 1);
-  }
+  // Ack only the prefix this reply verified: its tail, or our commit
+  // index if that is further (committed entries are shared with any
+  // current-term leader by Leader Completeness). Acking the raw
+  // last_index would let the leader count us for entries past the
+  // reply that we may not actually share.
+  const std::uint64_t verified =
+      std::min(changelog_.last_index(), std::max(commit_, leader_last));
   Msg ack;
   ack.kind = MsgKind::kAppendAck;
   ack.term = term_;
-  ack.index = changelog_.last_index();
+  ack.index = verified;
   send(m.from, std::move(ack));
-  const std::uint64_t c = std::min(m.commit, changelog_.last_index());
+  const std::uint64_t c = std::min(m.commit, verified);
   if (c > commit_) commit_to(c);
 }
 

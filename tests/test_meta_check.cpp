@@ -163,13 +163,43 @@ TEST(McExplore, ReductionDoesNotChangeTheVerdict) {
   const mc::ExploreResult b = mc::explore(small_opts(true), reduced);
   EXPECT_FALSE(a.violation);
   EXPECT_FALSE(b.violation);
-  EXPECT_LE(b.stats.states_explored, a.stats.states_explored);
+  EXPECT_GT(b.stats.sleep_pruned, 0u);
 
   const mc::ExploreResult c = mc::explore(small_opts(false), full);
   const mc::ExploreResult d = mc::explore(small_opts(false), reduced);
   ASSERT_TRUE(c.violation);
   ASSERT_TRUE(d.violation);
   EXPECT_EQ(c.violation->code, d.violation->code);
+}
+
+TEST(McExplore, ReductionAgreesWithFullSearchUnderFaults) {
+  // The visited set caches (remaining depth, sleep set) per state and
+  // only skips a revisit the cached exploration dominates; skipping on
+  // hash+depth alone would let a first visit under a larger sleep set
+  // permanently hide the subtrees it pruned. Cross-check reduced vs
+  // full search at bounds where sleep sets actually form (duplicates +
+  // crashes give commuting link/node actions): the verdict must match.
+  mc::Options opts = small_opts(false);  // legacy: a violation exists
+  opts.max_duplicates = 1;
+  opts.max_crashes = 1;
+  mc::ExploreOptions full;
+  full.depth = 5;
+  full.reduce = false;
+  mc::ExploreOptions reduced = full;
+  reduced.reduce = true;
+  const mc::ExploreResult a = mc::explore(opts, full);
+  const mc::ExploreResult b = mc::explore(opts, reduced);
+  ASSERT_TRUE(a.violation);
+  ASSERT_TRUE(b.violation);
+  EXPECT_EQ(a.violation->code, b.violation->code);
+
+  mc::Options clean = small_opts(true);
+  clean.max_duplicates = 1;
+  clean.max_crashes = 1;
+  const mc::ExploreResult c = mc::explore(clean, full);
+  const mc::ExploreResult d = mc::explore(clean, reduced);
+  EXPECT_FALSE(c.violation) << c.transcript;
+  EXPECT_FALSE(d.violation) << d.transcript;
 }
 
 TEST(McExplore, ReplayRejectsSchedulesTheWorldCannotRun) {
@@ -189,6 +219,26 @@ TEST(McExplore, DuplicatedFramesAreHarmlessUnderQuorum) {
   x.depth = 6;
   const mc::ExploreResult result = mc::explore(opts, x);
   EXPECT_FALSE(result.violation) << result.transcript;
+}
+
+TEST(McExplore, MultiOpWithDuplicatesAndFaultsStaysClean) {
+  // The stale-fetch-ack regression class (see test_meta_state.cpp's
+  // StaleFetchAckCannotDropQuorumCountedEntries) needs two client ops
+  // and a duplicated frame to even be expressible; the shallow single-op
+  // dup-free bounds above cannot reach it. Explore with every fault
+  // class enabled at once — ops 2, dups 1, drops 1, crashes 1 — so the
+  // dup/fetch/append interleavings are systematically covered.
+  mc::Options opts = small_opts(true);
+  opts.max_ops = 2;
+  opts.max_duplicates = 1;
+  opts.max_drops = 1;
+  opts.max_crashes = 1;
+  mc::ExploreOptions x;
+  x.depth = 6;
+  x.max_states = 1000000;
+  const mc::ExploreResult result = mc::explore(opts, x);
+  EXPECT_FALSE(result.violation) << result.transcript;
+  EXPECT_FALSE(result.stats.budget_exhausted);
 }
 
 }  // namespace

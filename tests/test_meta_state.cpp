@@ -275,6 +275,38 @@ TEST(MetaQuorumRegression, MinimizedLegacyScheduleLosesAnAckedWrite) {
   EXPECT_FALSE(good.violation.has_value()) << good.violation->code;
 }
 
+TEST(MetaQuorumRegression, StaleFetchAckCannotDropQuorumCountedEntries) {
+  // A fetch reply is information about a *prefix* of the leader's log,
+  // not its present tail. This schedule duplicates a fetch-ack so the
+  // stale copy reaches r1 only after r1 has appended and acked entry #2
+  // — an entry the leader then quorum-counted and acked to the client.
+  // The protocol once truncated r1's log past the stale reply's tail
+  // (entry #2 included); after the leader crashed, r1 won term 2 and
+  // the acked op-2 existed nowhere: MC003, on the *quorum* protocol.
+  // The fix treats fetch replies as prefix-only (no truncation past the
+  // tail, ack clamped to the verified prefix), so the same 18 actions
+  // must now satisfy every invariant.
+  const std::vector<mc::Action> schedule = mc::decode_schedule(
+      "p0,x0>1,t0,d0>1,d1>0,d0>2,d2>0,p0,u0>1,d0>1,d0>1,d1>0,d1>0,d0>1,"
+      "c0,t1,d1>2,d2>1");
+  mc::Options opts;
+  opts.quorum_commit = true;
+  opts.max_ops = 2;
+  opts.max_duplicates = 1;
+  opts.max_drops = 1;
+  opts.max_crashes = 1;
+  mc::ExploreResult result = mc::replay(opts, schedule);
+  EXPECT_FALSE(result.violation.has_value())
+      << result.violation->code << ": " << result.violation->message;
+  // The epilogue must still show op-2 *acked* — otherwise the schedule
+  // stopped reaching quorum and MC003 had nothing to defend — and the
+  // new leader is r1, the replica that held the once-truncated entry.
+  EXPECT_NE(result.transcript.find("op-2@#2(t1)"), std::string::npos)
+      << result.transcript;
+  EXPECT_NE(result.transcript.find("r1: leader, term 2"), std::string::npos)
+      << result.transcript;
+}
+
 // --- System half: a three-replica Manager group -----------------------------
 
 const char* kEchoSpec =
